@@ -1,0 +1,426 @@
+// Benchmarks: one per experiment table of EXPERIMENTS.md (E1–E12). Each
+// benchmark exercises the hot path of its experiment under testing.B so
+// the tables' cost columns can be regenerated with:
+//
+//	go test -bench=. -benchmem
+//
+// The correctness assertions mirror the experiment definitions: a theorem
+// benchmark fails the run if any iteration violates the theorem.
+package nestedsg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nestedsg/internal/classic"
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/generic"
+	"nestedsg/internal/harness"
+	"nestedsg/internal/locking"
+	"nestedsg/internal/mvto"
+	"nestedsg/internal/object"
+	"nestedsg/internal/oracle"
+	"nestedsg/internal/program"
+	"nestedsg/internal/replica"
+	"nestedsg/internal/serial"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+	"nestedsg/internal/undolog"
+	"nestedsg/internal/workload"
+)
+
+func specRegister() spec.Spec { return spec.Register{} }
+func specCounter() spec.Spec  { return spec.Counter{} }
+
+func workloadWriteOp(v int64) spec.Op { return spec.Op{Kind: spec.OpWrite, Arg: spec.Int(v)} }
+func workloadIncOp() spec.Op          { return spec.Op{Kind: spec.OpIncrement, Arg: spec.Int(1)} }
+
+// BenchmarkE1MossSerialCorrectness measures the full Theorem 17 pipeline:
+// one concurrent Moss run plus checking and witnessing per iteration.
+func BenchmarkE1MossSerialCorrectness(b *testing.B) {
+	violations := 0
+	for i := 0; i < b.N; i++ {
+		v, err := harness.RunAndCheck(harness.Options{
+			Workload: workload.Config{Seed: int64(i), TopLevel: 5, Depth: 2, Fanout: 3,
+				Objects: 3, ParProb: 0.5},
+			Generic: generic.Options{Seed: int64(i) * 31, Protocol: locking.Protocol{},
+				AbortProb: 0.01, MaxAborts: 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !v.SeriallyCorrect() {
+			violations++
+		}
+	}
+	if violations > 0 {
+		b.Fatalf("%d violations of Theorem 17", violations)
+	}
+}
+
+// BenchmarkE2UndoLogSerialCorrectness is the Theorem 25 analogue over
+// mixed data types.
+func BenchmarkE2UndoLogSerialCorrectness(b *testing.B) {
+	violations := 0
+	for i := 0; i < b.N; i++ {
+		v, err := harness.RunAndCheck(harness.Options{
+			Workload: workload.Config{Seed: int64(i), TopLevel: 5, Depth: 2, Fanout: 3,
+				Objects: 6, SpecName: "mixed", ParProb: 0.5},
+			Generic: generic.Options{Seed: int64(i)*31 + 7, Protocol: undolog.Protocol{},
+				AbortProb: 0.01, MaxAborts: 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !v.SeriallyCorrect() {
+			violations++
+		}
+	}
+	if violations > 0 {
+		b.Fatalf("%d violations of Theorem 25", violations)
+	}
+}
+
+// BenchmarkE3NegativeControls measures detection cost on broken-protocol
+// runs and reports the detection rate.
+func BenchmarkE3NegativeControls(b *testing.B) {
+	flagged := 0
+	for i := 0; i < b.N; i++ {
+		v, err := harness.RunAndCheck(harness.Options{
+			Workload: workload.Config{Seed: int64(i), TopLevel: 5, Depth: 1, Fanout: 3,
+				Objects: 1, HotProb: 1, ParProb: 0.8, ReadRatio: 0.4},
+			Generic: generic.Options{Seed: int64(i) * 977,
+				Protocol: locking.BrokenProtocol{Mode: locking.IgnoreReadLocks}},
+			SkipWitness: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !v.Check.OK {
+			flagged++
+		}
+	}
+	b.ReportMetric(float64(flagged)/float64(b.N), "detected/op")
+}
+
+// BenchmarkE4Commutativity compares the two protocols on a hot counter
+// (the §6 motivation); the interesting column is blocked-polls/op.
+func BenchmarkE4Commutativity(b *testing.B) {
+	for _, proto := range []object.Protocol{locking.Protocol{}, undolog.Protocol{}} {
+		proto := proto
+		b.Run(proto.Name(), func(b *testing.B) {
+			blocked, victims := 0, 0
+			for i := 0; i < b.N; i++ {
+				tr := tname.NewTree()
+				root := workload.Build(tr, workload.Config{Seed: int64(i), TopLevel: 8,
+					Depth: 0, Fanout: 4, Objects: 1, HotProb: 1, SpecName: "counter"})
+				_, st, err := generic.Run(tr, root, generic.Options{Seed: int64(i) * 17, Protocol: proto})
+				if err != nil {
+					b.Fatal(err)
+				}
+				blocked += st.Blocked
+				victims += st.DeadlockVictims
+			}
+			b.ReportMetric(float64(blocked)/float64(b.N), "blocked-polls/op")
+			b.ReportMetric(float64(victims)/float64(b.N), "victims/op")
+		})
+	}
+}
+
+// prebuiltTrace generates one Moss trace for the checker-cost benchmarks.
+func prebuiltTrace(b *testing.B, topLevel int) (*tname.Tree, *program.Node, event.Behavior) {
+	b.Helper()
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 42, TopLevel: topLevel, Depth: 1,
+		Fanout: 3, Objects: 4, HotProb: 0.3, ParProb: 0.5})
+	trace, _, err := generic.Run(tr, root, generic.Options{Seed: 99, Protocol: locking.Protocol{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, root, trace
+}
+
+// BenchmarkE5SGConstruction measures SG(β) build + acyclicity against
+// history length.
+func BenchmarkE5SGConstruction(b *testing.B) {
+	for _, topLevel := range []int{4, 16, 64} {
+		topLevel := topLevel
+		b.Run(fmt.Sprintf("toplevel=%d", topLevel), func(b *testing.B) {
+			tr, _, trace := prebuiltTrace(b, topLevel)
+			b.ReportMetric(float64(len(trace)), "events")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sg := core.Build(tr, trace)
+				if _, cyc := sg.Acyclicity(); cyc != nil {
+					b.Fatal("unexpected cycle")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6ClassicalEquivalence measures the flat-history subsumption
+// check: one run, both graph constructions, and the comparison.
+func BenchmarkE6ClassicalEquivalence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: int64(i), TopLevel: 6, Depth: 0,
+			Fanout: 3, Objects: 2, HotProb: 0.5})
+		trace, _, err := generic.Run(tr, root, generic.Options{Seed: int64(i) * 31, Protocol: locking.Protocol{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sgt, err := classic.BuildSGT(tr, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if msg := sgt.CompareWithNested(tr, core.Build(tr, trace)); msg != "" {
+			b.Fatal(msg)
+		}
+	}
+}
+
+// BenchmarkE7CurrentSafe measures the Lemma 6 audit on a prebuilt trace.
+func BenchmarkE7CurrentSafe(b *testing.B) {
+	tr, _, trace := prebuiltTrace(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reads, badWrites := simple.AuditCurrentSafe(tr, trace)
+		if len(badWrites) != 0 {
+			b.Fatal("bad writes under faithful Moss")
+		}
+		for _, r := range reads {
+			if !r.Current || !r.Safe {
+				b.Fatal("read neither current nor safe under faithful Moss")
+			}
+		}
+	}
+}
+
+// BenchmarkE8ProtocolOverhead compares end-to-end run cost per protocol on
+// identical workloads.
+func BenchmarkE8ProtocolOverhead(b *testing.B) {
+	cfg := workload.Config{TopLevel: 8, Depth: 1, Fanout: 3, Objects: 4, ParProb: 0.5}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := tname.NewTree()
+			c := cfg
+			c.Seed = int64(i)
+			root := workload.Build(tr, c)
+			if _, err := serial.Run(tr, root, serial.Options{Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, proto := range []object.Protocol{locking.Protocol{}, undolog.Protocol{}} {
+		proto := proto
+		b.Run(proto.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := tname.NewTree()
+				c := cfg
+				c.Seed = int64(i)
+				root := workload.Build(tr, c)
+				if _, _, err := generic.Run(tr, root, generic.Options{Seed: int64(i), Protocol: proto}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9DeadlockFailure measures Moss under high contention with
+// failure injection; reports deadlock victims per run.
+func BenchmarkE9DeadlockFailure(b *testing.B) {
+	victims, aborts := 0, 0
+	for i := 0; i < b.N; i++ {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: int64(i), TopLevel: 8, Depth: 1,
+			Fanout: 3, Objects: 2, HotProb: 1, ParProb: 0.8, ReadRatio: 0.4})
+		_, st, err := generic.Run(tr, root, generic.Options{Seed: int64(i) * 7919,
+			Protocol: locking.Protocol{}, AbortProb: 0.03, MaxAborts: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		victims += st.DeadlockVictims
+		aborts += st.Aborts
+	}
+	b.ReportMetric(float64(victims)/float64(b.N), "victims/op")
+	b.ReportMetric(float64(aborts)/float64(b.N), "aborts/op")
+}
+
+// BenchmarkE10WitnessReplay measures serial-witness materialization on a
+// prebuilt checked trace.
+func BenchmarkE10WitnessReplay(b *testing.B) {
+	for _, topLevel := range []int{8, 32} {
+		topLevel := topLevel
+		b.Run(fmt.Sprintf("toplevel=%d", topLevel), func(b *testing.B) {
+			tr, root, trace := prebuiltTrace(b, topLevel)
+			res := core.Check(tr, trace)
+			if !res.OK {
+				b.Fatal(res.Summary(tr))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := serial.Witness(tr, root, trace, res.Certificate.Order); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Micro-benchmarks for the per-object automata: the cost of one access
+// decision.
+
+// BenchmarkMossAccessDecision measures TryRequestCommit + inform cycles on
+// the locking automaton.
+func BenchmarkMossAccessDecision(b *testing.B) {
+	tr := tname.NewTree()
+	x := tr.AddObject("x", specRegister())
+	top := tr.Child(tname.Root, "t")
+	accs := make([]tname.TxID, b.N)
+	for i := range accs {
+		accs[i] = tr.Access(top, fmt.Sprintf("a%d", i), x, workloadWriteOp(int64(i)))
+	}
+	m := locking.NewMoss(tr, x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Create(accs[i])
+		if _, ok := m.TryRequestCommit(accs[i]); !ok {
+			b.Fatal("write blocked unexpectedly")
+		}
+		m.InformCommit(accs[i])
+		m.InformCommit(top) // keeps the chain at T0, so the next access is free
+	}
+}
+
+// BenchmarkUndoAccessDecision measures the undo-log commutativity gate at
+// bounded log lengths. The gate scans the log, so cost is linear in log
+// size — exactly the compaction need the paper notes ("practical
+// implementations would need to compact the information in the operations
+// log"); the sub-benchmarks show the slope.
+func BenchmarkUndoAccessDecision(b *testing.B) {
+	for _, logLen := range []int{16, 256} {
+		logLen := logLen
+		b.Run(fmt.Sprintf("log=%d", logLen), func(b *testing.B) {
+			tr := tname.NewTree()
+			x := tr.AddObject("c", specCounter())
+			top := tr.Child(tname.Root, "t")
+			warm := make([]tname.TxID, logLen)
+			for i := range warm {
+				warm[i] = tr.Access(top, fmt.Sprintf("w%d", i), x, workloadIncOp())
+			}
+			accs := make([]tname.TxID, b.N)
+			for i := range accs {
+				accs[i] = tr.Access(top, fmt.Sprintf("a%d", i), x, workloadIncOp())
+			}
+			fresh := func() *undolog.Undo {
+				u := undolog.New(tr, x)
+				for _, id := range warm {
+					u.Create(id)
+					if _, ok := u.TryRequestCommit(id); !ok {
+						b.Fatal("warmup inc blocked")
+					}
+					u.InformCommit(id)
+				}
+				return u
+			}
+			u := fresh()
+			sinceRebuild := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u.Create(accs[i])
+				if _, ok := u.TryRequestCommit(accs[i]); !ok {
+					b.Fatal("inc blocked unexpectedly")
+				}
+				u.InformCommit(accs[i])
+				sinceRebuild++
+				if sinceRebuild == logLen {
+					// Keep the measured log length in [logLen, 2·logLen).
+					b.StopTimer()
+					u = fresh()
+					sinceRebuild = 0
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11OracleSearch measures the exhaustive-order oracle on small
+// traces (the conservatism experiment).
+func BenchmarkE11OracleSearch(b *testing.B) {
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 3, TopLevel: 4, Depth: 1,
+		Fanout: 2, Objects: 1, HotProb: 1, ParProb: 0.9})
+	trace, _, err := generic.Run(tr, root, generic.Options{Seed: 13, Protocol: locking.Protocol{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := oracle.Search(tr, trace, 200000)
+		if res.Outcome != oracle.Found {
+			b.Fatalf("oracle outcome %s on a Moss trace", res.Outcome)
+		}
+	}
+}
+
+// BenchmarkE12OrphanActivity measures the cost of letting orphans run.
+func BenchmarkE12OrphanActivity(b *testing.B) {
+	for _, allow := range []bool{false, true} {
+		allow := allow
+		name := "frozen"
+		if allow {
+			name = "running"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := tname.NewTree()
+				root := workload.Build(tr, workload.Config{Seed: int64(i), TopLevel: 5,
+					Depth: 2, Fanout: 3, Objects: 2, HotProb: 0.6, ParProb: 0.7})
+				_, _, err := generic.Run(tr, root, generic.Options{Seed: int64(i)*577 + 3,
+					Protocol: locking.Protocol{}, AbortProb: 0.04, MaxAborts: 6, AllowOrphans: allow})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13MultiversionGap measures one MVTO run plus the oracle
+// certification.
+func BenchmarkE13MultiversionGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: int64(i), TopLevel: 4, Depth: 1,
+			Fanout: 2, Objects: 2, HotProb: 0.8, ParProb: 0.9, ReadRatio: 0.6})
+		trace, _, err := generic.Run(tr, root, generic.Options{Seed: int64(i)*13 + 5,
+			Protocol: mvto.NewProtocol(tr)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := oracle.Search(tr, trace, 500000); res.Outcome != oracle.Found {
+			b.Fatalf("oracle outcome %s", res.Outcome)
+		}
+	}
+}
+
+// BenchmarkE14ReplicatedData measures a quorum-replicated run with
+// availability failures.
+func BenchmarkE14ReplicatedData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: int64(i), TopLevel: 5, Depth: 1,
+			Fanout: 3, Objects: 2, HotProb: 0.6, ParProb: 0.7})
+		proto := replica.Protocol{Cfg: replica.Config{Copies: 5, ReadQuorum: 3, WriteQuorum: 3,
+			UnavailableProb: 0.3, Seed: int64(i) * 131}}
+		if _, _, err := generic.Run(tr, root, generic.Options{Seed: int64(i)*17 + 3,
+			Protocol: proto, AbortProb: 0.02, MaxAborts: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

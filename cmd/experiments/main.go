@@ -1,0 +1,83 @@
+// Command experiments regenerates every table of EXPERIMENTS.md: the
+// theorem-validation sweeps (E1, E2), the negative controls (E3), the
+// concurrency and cost characterizations (E4–E5, E8–E10) and the
+// classical-theory subsumption check (E6) plus the Lemma 6 audit (E7).
+//
+// Usage:
+//
+//	experiments                # standard scale
+//	experiments -scale full    # the thorough setting
+//	experiments -only E4,E5
+//
+// Exit status is non-zero if any experiment reports violations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nestedsg/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scaleName = fs.String("scale", "standard", "smoke, standard or full")
+		only      = fs.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4)")
+		notes     = fs.Bool("notes", false, "print per-experiment notes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "smoke":
+		scale = experiments.Smoke
+	case "standard":
+		scale = experiments.Standard
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(stderr, "experiments: unknown scale %q\n", *scaleName)
+		return 2
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failures := 0
+	for _, res := range experiments.All(scale) {
+		if len(want) > 0 && !want[res.ID] {
+			continue
+		}
+		fmt.Fprintln(stdout, res.Table.String())
+		if res.Violations > 0 {
+			failures++
+			fmt.Fprintf(stdout, "!! %s reported %d violations\n\n", res.ID, res.Violations)
+		}
+		if *notes && len(res.Notes) > 0 {
+			for _, n := range res.Notes {
+				fmt.Fprintf(stdout, "   note: %s\n", n)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "%d experiment(s) reported violations\n", failures)
+		return 1
+	}
+	fmt.Fprintln(stdout, "all experiments passed")
+	return 0
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestSmokeScaleAllPass(t *testing.T) {
+	code, out, errOut := runCmd(t, "-scale", "smoke")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr=%s\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "all experiments passed") {
+		t.Errorf("missing pass line:\n%s", out)
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+		if !strings.Contains(out, id+" —") {
+			t.Errorf("missing table for %s", id)
+		}
+	}
+}
+
+func TestOnlyFilter(t *testing.T) {
+	code, out, _ := runCmd(t, "-scale", "smoke", "-only", "e5,E6")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "E5 —") || !strings.Contains(out, "E6 —") {
+		t.Errorf("filtered tables missing:\n%s", out)
+	}
+	if strings.Contains(out, "E1 —") {
+		t.Errorf("E1 should be filtered out")
+	}
+}
+
+func TestUnknownScale(t *testing.T) {
+	code, _, errOut := runCmd(t, "-scale", "cosmic")
+	if code != 2 || !strings.Contains(errOut, "unknown scale") {
+		t.Fatalf("code=%d stderr=%s", code, errOut)
+	}
+}

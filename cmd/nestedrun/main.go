@@ -1,0 +1,178 @@
+// Command nestedrun generates a seeded nested-transaction workload, runs it
+// under a chosen concurrency-control protocol, and writes the recorded
+// behavior as a JSON trace (checkable with sgcheck). It can also check the
+// trace in-process and print run statistics.
+//
+// Usage:
+//
+//	nestedrun -protocol moss -toplevel 8 -depth 2 -seed 7 -out trace.json
+//	nestedrun -protocol undolog -spec counter -hot 0.9 -check
+//	nestedrun -protocol moss-broken-readlocks -check   # watch it get caught
+//
+// Protocols: serial, moss, undolog, mvto, replica, moss-broken-readlocks,
+// moss-broken-inheritance, moss-broken-recovery, undolog-broken-noundo,
+// undolog-broken-commute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/generic"
+	"nestedsg/internal/locking"
+	"nestedsg/internal/mvto"
+	"nestedsg/internal/object"
+	"nestedsg/internal/replica"
+	"nestedsg/internal/serial"
+	"nestedsg/internal/tname"
+	"nestedsg/internal/undolog"
+	"nestedsg/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func protocolByName(name string) object.Protocol {
+	switch name {
+	case "moss":
+		return locking.Protocol{}
+	case "undolog":
+		return undolog.Protocol{}
+	case "moss-broken-readlocks":
+		return locking.BrokenProtocol{Mode: locking.IgnoreReadLocks}
+	case "moss-broken-inheritance":
+		return locking.BrokenProtocol{Mode: locking.NoInheritance}
+	case "moss-broken-recovery":
+		return locking.BrokenProtocol{Mode: locking.KeepAbortState}
+	case "undolog-broken-noundo":
+		return undolog.BrokenProtocol{Mode: undolog.NoUndo}
+	case "undolog-broken-commute":
+		return undolog.BrokenProtocol{Mode: undolog.SkipCommute}
+	}
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nestedrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		protocol  = fs.String("protocol", "moss", "protocol: serial, moss, undolog, or a *-broken-* variant")
+		seed      = fs.Int64("seed", 1, "seed for workload generation and scheduling")
+		topLevel  = fs.Int("toplevel", 6, "number of top-level transactions")
+		depth     = fs.Int("depth", 1, "maximum nesting depth below the top level")
+		fanout    = fs.Int("fanout", 3, "children per subtransaction")
+		objects   = fs.Int("objects", 4, "number of objects")
+		specName  = fs.String("spec", "register", "object type: register, counter, account, set, appendlog, queue, mixed")
+		readRatio = fs.Float64("readratio", 0.5, "fraction of reads on register objects")
+		hot       = fs.Float64("hot", 0, "probability an access hits object 0 (contention)")
+		parProb   = fs.Float64("par", 0.5, "probability a subtransaction runs children in parallel")
+		retryProb = fs.Float64("retry", 0, "probability a subtransaction retries an aborted child once")
+		condProb  = fs.Float64("cond", 0, "probability a sequential subtransaction adds a value-dependent access")
+		abortProb = fs.Float64("abortprob", 0, "per-step probability of injecting a spontaneous abort")
+		maxAborts = fs.Int("maxaborts", 0, "budget of injected aborts (0 disables injection)")
+		replicas  = fs.Int("replicas", 3, "replica protocol: number of copies N")
+		readQ     = fs.Int("readq", 2, "replica protocol: read quorum R")
+		writeQ    = fs.Int("writeq", 2, "replica protocol: write quorum W (R+W must exceed N)")
+		unavail   = fs.Float64("unavail", 0, "replica protocol: per-attempt copy unavailability probability")
+		out       = fs.String("out", "", "write the JSON trace here ('-' for stdout)")
+		check     = fs.Bool("check", false, "run the serialization-graph check on the trace")
+		quiet     = fs.Bool("q", false, "suppress the statistics line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	tr := tname.NewTree()
+	cfg := workload.Config{
+		Seed: *seed, TopLevel: *topLevel, Depth: *depth, Fanout: *fanout,
+		Objects: *objects, SpecName: *specName, ReadRatio: *readRatio,
+		HotProb: *hot, ParProb: *parProb, RetryProb: *retryProb, CondProb: *condProb,
+	}
+	root := workload.Build(tr, cfg)
+
+	var (
+		trace event.Behavior
+		st    generic.Stats
+		err   error
+	)
+	switch *protocol {
+	case "serial":
+		trace, err = serial.Run(tr, root, serial.Options{Seed: *seed, AbortProb: *abortProb, MaxAborts: *maxAborts})
+	case "mvto":
+		// MVTO needs the system type to share one hierarchical clock and
+		// supports register objects only.
+		if *specName != "register" {
+			fmt.Fprintln(stderr, "nestedrun: -protocol mvto requires -spec register")
+			return 2
+		}
+		trace, st, err = generic.Run(tr, root, generic.Options{
+			Seed: *seed, Protocol: mvto.NewProtocol(tr), AbortProb: *abortProb, MaxAborts: *maxAborts,
+		})
+	case "replica":
+		if *specName != "register" {
+			fmt.Fprintln(stderr, "nestedrun: -protocol replica requires -spec register")
+			return 2
+		}
+		cfgR := replica.Config{Copies: *replicas, ReadQuorum: *readQ, WriteQuorum: *writeQ,
+			UnavailableProb: *unavail, Seed: *seed}
+		if err := cfgR.Validate(); err != nil {
+			fmt.Fprintln(stderr, "nestedrun:", err)
+			return 2
+		}
+		trace, st, err = generic.Run(tr, root, generic.Options{
+			Seed: *seed, Protocol: replica.Protocol{Cfg: cfgR}, AbortProb: *abortProb, MaxAborts: *maxAborts,
+		})
+	default:
+		proto := protocolByName(*protocol)
+		if proto == nil {
+			fmt.Fprintf(stderr, "nestedrun: unknown protocol %q\n", *protocol)
+			return 2
+		}
+		trace, st, err = generic.Run(tr, root, generic.Options{
+			Seed: *seed, Protocol: proto, AbortProb: *abortProb, MaxAborts: *maxAborts,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "nestedrun:", err)
+		return 2
+	}
+
+	if !*quiet {
+		fmt.Fprintf(stdout, "protocol=%s events=%d commits=%d aborts=%d accesses=%d blocked=%d victims=%d\n",
+			*protocol, len(trace), st.Commits, st.Aborts, st.Accesses, st.Blocked, st.DeadlockVictims)
+	}
+
+	if *out != "" {
+		w := io.Writer(stdout)
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(stderr, "nestedrun:", err)
+				return 2
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := event.WriteTrace(w, tr, trace); err != nil {
+			fmt.Fprintln(stderr, "nestedrun:", err)
+			return 2
+		}
+		if *out != "-" && !*quiet {
+			fmt.Fprintf(stdout, "wrote trace to %s\n", *out)
+		}
+	}
+
+	if *check {
+		res := core.Check(tr, trace)
+		fmt.Fprintln(stdout, "check:", res.Summary(tr))
+		if !res.OK {
+			return 1
+		}
+	}
+	return 0
+}

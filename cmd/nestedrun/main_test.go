@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestRunMossWithCheck(t *testing.T) {
+	code, out, errOut := runCmd(t, "-protocol", "moss", "-seed", "3", "-toplevel", "4", "-check")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "serially correct for T0") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestRunSerialProtocol(t *testing.T) {
+	code, out, _ := runCmd(t, "-protocol", "serial", "-seed", "1", "-check")
+	if code != 0 || !strings.Contains(out, "serially correct") {
+		t.Fatalf("code=%d out=%s", code, out)
+	}
+}
+
+func TestRunUndoLogAllSpecs(t *testing.T) {
+	for _, spn := range []string{"register", "counter", "account", "set", "appendlog", "queue", "mixed"} {
+		code, _, errOut := runCmd(t, "-protocol", "undolog", "-spec", spn, "-seed", "2", "-check", "-q")
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", spn, code, errOut)
+		}
+	}
+}
+
+func TestRunBrokenProtocolGetsFlagged(t *testing.T) {
+	flagged := false
+	for seed := int64(0); seed < 10 && !flagged; seed++ {
+		code, out, _ := runCmd(t, "-protocol", "moss-broken-readlocks", "-hot", "1",
+			"-objects", "1", "-seed", "977", "-check", "-q", "-par", "0.9")
+		if code == 1 && strings.Contains(out, "check:") {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Error("broken protocol was never flagged")
+	}
+}
+
+func TestRunWritesTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	code, _, errOut := runCmd(t, "-protocol", "moss", "-seed", "5", "-out", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"events"`) {
+		t.Error("trace file does not look like a trace")
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	code, _, errOut := runCmd(t, "-protocol", "martian")
+	if code != 2 || !strings.Contains(errOut, "unknown protocol") {
+		t.Fatalf("code=%d stderr=%s", code, errOut)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	code, _, _ := runCmd(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("code=%d", code)
+	}
+}
+
+func TestProtocolByNameCoversAll(t *testing.T) {
+	names := []string{"moss", "undolog", "moss-broken-readlocks", "moss-broken-inheritance",
+		"moss-broken-recovery", "undolog-broken-noundo", "undolog-broken-commute"}
+	for _, n := range names {
+		p := protocolByName(n)
+		if p == nil {
+			t.Errorf("protocolByName(%q) = nil", n)
+			continue
+		}
+		if p.Name() != n {
+			t.Errorf("protocolByName(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if protocolByName("serial") != nil {
+		t.Error("serial is not a generic protocol")
+	}
+}
+
+func TestRunMVTO(t *testing.T) {
+	code, out, errOut := runCmd(t, "-protocol", "mvto", "-seed", "4", "-toplevel", "4", "-q")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	_ = out
+	// MVTO is register-only.
+	code, _, errOut = runCmd(t, "-protocol", "mvto", "-spec", "counter")
+	if code != 2 || !strings.Contains(errOut, "register") {
+		t.Fatalf("code=%d stderr=%s", code, errOut)
+	}
+}
+
+func TestRunReplica(t *testing.T) {
+	code, _, errOut := runCmd(t, "-protocol", "replica", "-replicas", "5", "-readq", "3",
+		"-writeq", "3", "-unavail", "0.3", "-seed", "9", "-check", "-q")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	// Bad quorum arithmetic is rejected.
+	code, _, errOut = runCmd(t, "-protocol", "replica", "-replicas", "3", "-readq", "1", "-writeq", "1")
+	if code != 2 || !strings.Contains(errOut, "R+W") {
+		t.Fatalf("code=%d stderr=%s", code, errOut)
+	}
+	// Register-only.
+	code, _, _ = runCmd(t, "-protocol", "replica", "-spec", "set")
+	if code != 2 {
+		t.Fatalf("code=%d", code)
+	}
+}

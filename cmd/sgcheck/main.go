@@ -1,0 +1,145 @@
+// Command sgcheck reads a JSON trace (as written by nestedrun) and runs the
+// paper's serialization-graph check on it: well-formedness, appropriate
+// return values, SG(β) acyclicity. It prints the verdict, and optionally
+// the certificate, the graph in DOT form, or the quadratic suitability
+// audit.
+//
+// Usage:
+//
+//	nestedrun -seed 7 -out trace.json
+//	sgcheck -in trace.json -cert -dot sg.dot
+//
+// Exit status is 0 when the trace is certified serially correct for T0, 1
+// on a check failure and 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/minimize"
+	"nestedsg/internal/oracle"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/tname"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in           = fs.String("in", "", "trace file to check ('-' or empty for stdin)")
+		cert         = fs.Bool("cert", false, "print the certificate (sibling order and views) on success")
+		dotOut       = fs.String("dot", "", "write SG(β) in Graphviz DOT form to this file")
+		deep         = fs.Bool("deep", false, "run the quadratic suitability audit of §2.3.2")
+		useOracle    = fs.Bool("oracle", false, "on SG failure, run the exhaustive Theorem-2 order search (exponential; small traces only)")
+		oracleBudget = fs.Int("oraclebudget", 200000, "candidate budget for -oracle")
+		minimizeOut  = fs.String("minimize", "", "on failure, shrink the trace to a 1-minimal failing core and write it here")
+		audit        = fs.Bool("currentsafe", false, "also audit the Lemma 6 current/safe conditions (read/write objects only)")
+		verbose      = fs.Bool("v", false, "print the trace as it is read")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	r := io.Reader(os.Stdin)
+	if *in != "" && *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "sgcheck:", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, b, err := event.ReadTrace(r)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgcheck:", err)
+		return 2
+	}
+	if *verbose {
+		fmt.Fprint(stdout, b.Format(tr))
+	}
+
+	res := core.Check(tr, b)
+	fmt.Fprintf(stdout, "trace: %d events, %d transactions, %d objects\n", len(b), tr.NumTx(), tr.NumObjects())
+	fmt.Fprintln(stdout, "verdict:", res.Summary(tr))
+
+	if res.SG != nil && *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(res.SG.DOT()), 0o644); err != nil {
+			fmt.Fprintln(stderr, "sgcheck:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote SG(β) to %s\n", *dotOut)
+	}
+	if !res.OK {
+		if *minimizeOut != "" {
+			small, mst := minimize.Minimize(tr, b)
+			fmt.Fprintf(stdout, "minimize: %d -> %d events (%s, %d subtrees removed)\n",
+				mst.EventsBefore, mst.EventsAfter, mst.Class, mst.Removed)
+			f, err := os.Create(*minimizeOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "sgcheck:", err)
+				return 2
+			}
+			werr := event.WriteTrace(f, tr, small)
+			f.Close()
+			if werr != nil {
+				fmt.Fprintln(stderr, "sgcheck:", werr)
+				return 2
+			}
+			fmt.Fprintf(stdout, "wrote minimized trace to %s\n", *minimizeOut)
+		}
+		if *useOracle && res.WFErr == nil {
+			or := oracle.Search(tr, b, *oracleBudget)
+			fmt.Fprintf(stdout, "oracle: %s after %d candidate orders\n", or.Outcome, or.Tried)
+			if or.Outcome == oracle.Found {
+				fmt.Fprintln(stdout, "oracle: a suitable sibling order exists — the SG rejection was conservative; the behavior is serially correct for T0 by Theorem 2")
+				return 0
+			}
+		}
+		return 1
+	}
+	if *cert {
+		fmt.Fprint(stdout, core.FormatCertificate(tr, res.Certificate))
+	}
+	if *deep {
+		if err := core.AuditSuitability(tr, b, res.Certificate.Order); err != nil {
+			fmt.Fprintln(stdout, "suitability audit: FAILED:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "suitability audit: ok (R is suitable for β and T0)")
+	}
+	if *audit {
+		allRegisters := true
+		for x := tname.ObjID(0); int(x) < tr.NumObjects(); x++ {
+			if tr.Spec(x).Name() != "register" {
+				allRegisters = false
+			}
+		}
+		if !allRegisters {
+			fmt.Fprintln(stdout, "current/safe audit: skipped (non read/write objects present)")
+		} else {
+			reads, badWrites := simple.AuditCurrentSafe(tr, b)
+			curOK, safeOK := 0, 0
+			for _, rr := range reads {
+				if rr.Current {
+					curOK++
+				}
+				if rr.Safe {
+					safeOK++
+				}
+			}
+			fmt.Fprintf(stdout, "current/safe audit: %d reads, %d current, %d safe, %d bad writes\n",
+				len(reads), curOK, safeOK, len(badWrites))
+		}
+	}
+	return 0
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/generic"
+	"nestedsg/internal/locking"
+	"nestedsg/internal/tname"
+	"nestedsg/internal/workload"
+)
+
+func makeTrace(t *testing.T) string {
+	t.Helper()
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 3, TopLevel: 4, Depth: 1, Fanout: 3,
+		Objects: 2, SpecName: "mixed", ParProb: 0.7})
+	b, _, err := generic.Run(tr, root, generic.Options{Seed: 5, Protocol: locking.Protocol{},
+		AbortProb: 0.03, MaxAborts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := event.WriteTrace(f, tr, b); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarize(t *testing.T) {
+	path := makeTrace(t)
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-in", path}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"events by kind", "CREATE", "tree shape", "outcomes:",
+		"per-object operations", "concurrency: max"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-in", "/nope.json"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := os.WriteFile(path, []byte("42"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-in", path}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}

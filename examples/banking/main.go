@@ -1,0 +1,89 @@
+// Banking: the §6 motivation for type-specific concurrency control.
+//
+// Many tellers concurrently deposit into one hot account. Under read/write
+// locking every deposit takes an exclusive lock, so the tellers serialize
+// and deadlock-avoidance aborts appear under contention. Under undo
+// logging, deposits commute backward, so they interleave freely — yet the
+// serialization-graph checker certifies both runs serially correct for T0.
+//
+// Run with:
+//
+//	go run ./examples/banking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nestedsg"
+)
+
+const (
+	tellers          = 12
+	depositsPer      = 3
+	depositAmount    = 10
+	auditWithdrawals = 2
+)
+
+// buildBank constructs the system and the program of T0: `tellers`
+// top-level transactions that each make several deposits into the shared
+// account inside a nested subtransaction, plus an auditor that withdraws
+// twice and checks the balance.
+func buildBank(tr *nestedsg.Tree) (*nestedsg.Node, nestedsg.ObjID) {
+	account := tr.AddObject("account", nestedsg.SpecByName("account"))
+
+	var tops []*nestedsg.Node
+	for i := 0; i < tellers; i++ {
+		var deps []*nestedsg.Node
+		for j := 0; j < depositsPer; j++ {
+			deps = append(deps, nestedsg.Access(
+				fmt.Sprintf("dep%d", j), account, nestedsg.DepositOp(depositAmount)))
+		}
+		// Each teller wraps its deposits in a parallel subtransaction —
+		// nested atomicity around a batch of commuting updates.
+		tops = append(tops, nestedsg.Seq(fmt.Sprintf("teller%d", i),
+			nestedsg.Par("batch", deps...)))
+	}
+
+	auditor := nestedsg.Seq("auditor",
+		nestedsg.Access("w1", account, nestedsg.WithdrawOp(depositAmount)),
+		nestedsg.Access("w2", account, nestedsg.WithdrawOp(depositAmount)),
+		nestedsg.Access("bal", account, nestedsg.BalanceOp()),
+	)
+	tops = append(tops, auditor)
+
+	return nestedsg.Par("T0", tops...), account
+}
+
+func runUnder(name string, proto nestedsg.Protocol, seed int64) {
+	tr := nestedsg.NewTree()
+	root, _ := buildBank(tr)
+	trace, stats, err := nestedsg.Run(tr, root, nestedsg.RunOptions{Seed: seed, Protocol: proto})
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	res := nestedsg.Check(tr, trace)
+	if !res.OK {
+		log.Fatalf("%s: check failed: %s", name, res.Summary(tr))
+	}
+	if _, err := nestedsg.SerialWitness(tr, root, trace, res.Certificate); err != nil {
+		log.Fatalf("%s: witness failed: %v", name, err)
+	}
+	fmt.Printf("%-9s events=%-4d accesses=%-3d blocked-polls=%-5d deadlock-victims=%-2d  %s\n",
+		name, len(trace), stats.Accesses, stats.Blocked, stats.DeadlockVictims, res.Summary(tr))
+}
+
+func main() {
+	fmt.Printf("%d tellers × %d deposits of %d into one hot account, plus an auditor\n\n",
+		tellers, depositsPer, depositAmount)
+	for seed := int64(1); seed <= 3; seed++ {
+		fmt.Printf("seed %d:\n", seed)
+		runUnder("moss", nestedsg.MossLocking(), seed)
+		runUnder("undolog", nestedsg.UndoLogging(), seed)
+		fmt.Println()
+	}
+	fmt.Println("Deposits commute backward (Weihl), so the undo-logging objects admit")
+	fmt.Println("them concurrently where read/write locks serialize every update —")
+	fmt.Println("compare the blocked-poll and victim counts. Both traces are certified")
+	fmt.Println("serially correct for T0 by the same serialization-graph construction.")
+}

@@ -1,0 +1,80 @@
+// Replicated: nested transactions over quorum-replicated objects — the
+// replicated-data extension the paper cites as [6].
+//
+// An inventory register is stored as five versioned copies with majority
+// quorums (R=3, W=3). Copies fail transiently; reads still see the latest
+// committed write because every read quorum intersects every write quorum.
+// Concurrency control is Moss' locking on the logical object, so the
+// recorded behavior is certified serially correct for T0 by the same
+// serialization-graph checker.
+//
+// Run with:
+//
+//	go run ./examples/replicated
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nestedsg"
+)
+
+func main() {
+	for _, unavail := range []float64{0, 0.4} {
+		fmt.Printf("=== copy unavailability p = %.1f ===\n", unavail)
+		runOnce(unavail)
+		fmt.Println()
+	}
+	fmt.Println("With R+W > N every read quorum overlaps every write quorum, so the")
+	fmt.Println("highest version number always surfaces — unavailability only costs")
+	fmt.Println("retries, never staleness; the checker certifies every run.")
+}
+
+func runOnce(unavail float64) {
+	tr := nestedsg.NewTree()
+	stock := tr.AddObject("stock", nestedsg.SpecByName("register"))
+
+	// One restocker sets the level twice inside a sequential transaction;
+	// auditors read concurrently.
+	restock := nestedsg.Seq("restock",
+		nestedsg.Access("first", stock, nestedsg.WriteOp(100)),
+		nestedsg.Access("second", stock, nestedsg.WriteOp(80)),
+	)
+	var tops []*nestedsg.Node
+	tops = append(tops, restock)
+	for i := 0; i < 4; i++ {
+		tops = append(tops, nestedsg.Seq(fmt.Sprintf("audit%d", i),
+			nestedsg.Access("read", stock, nestedsg.ReadOp())))
+	}
+	root := nestedsg.Par("T0", tops...)
+
+	trace, stats, err := nestedsg.Run(tr, root, nestedsg.RunOptions{
+		Seed: 11,
+		Protocol: nestedsg.QuorumReplication(nestedsg.ReplicaConfig{
+			Copies: 5, ReadQuorum: 3, WriteQuorum: 3,
+			UnavailableProb: unavail, Seed: 23,
+		}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := nestedsg.Check(tr, trace)
+	if !res.OK {
+		log.Fatalf("check failed: %s", res.Summary(tr))
+	}
+	if _, err := nestedsg.SerialWitness(tr, root, trace, res.Certificate); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("events=%d accesses=%d blocked-polls=%d  %s\n",
+		len(trace), stats.Accesses, stats.Blocked, res.Summary(tr))
+
+	// What did the audits see? Either the initial 0 (serialized before the
+	// restock) or the final 80 — never the intermediate 100 leaking from
+	// an uncommitted chain, and never a stale version.
+	for _, e := range trace {
+		if e.Kind == nestedsg.EventRequestCommit && tr.IsAccess(e.Tx) && tr.Label(e.Tx) == "read" {
+			fmt.Printf("  %s read %s\n", tr.Name(tr.Parent(e.Tx)), e.Val)
+		}
+	}
+}

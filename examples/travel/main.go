@@ -1,0 +1,131 @@
+// Travel: the introduction's motivation for nesting — a transaction that
+// issues several concurrent "remote procedure calls" (subtransactions),
+// tolerates the failure of some of them, and retries.
+//
+// Each trip booking runs flight, hotel and car reservations as parallel
+// subtransactions against seat/room/car counters plus a booking set.
+// Failures are injected; aborted legs are retried once by the booking
+// program. The recorded concurrent behavior is checked with the
+// serialization-graph construction and replayed into its serial witness —
+// under failures, the witness shows aborted legs as never having run.
+//
+// Run with:
+//
+//	go run ./examples/travel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nestedsg"
+)
+
+const trips = 6
+
+// leg books one resource: decrement the inventory counter and record the
+// booking in the ledger set.
+func leg(name string, inventory, ledger nestedsg.ObjID, bookingID int64) *nestedsg.Node {
+	return nestedsg.Seq(name,
+		nestedsg.Access("take", inventory, nestedsg.DecOp(1)),
+		nestedsg.Access("record", ledger, nestedsg.InsertOp(bookingID)),
+	)
+}
+
+// retryOnce wraps a parallel booking so each statically declared leg that
+// aborts is retried exactly once under a "~r" label — a deterministic
+// program, so the serial witness can re-run it.
+func retryOnce(n *nestedsg.Node) *nestedsg.Node {
+	static := make(map[*nestedsg.Node]bool, len(n.Children))
+	for _, c := range n.Children {
+		static[c] = true
+	}
+	n.OnOutcome = func(idx int, child *nestedsg.Node, oc nestedsg.Outcome) []*nestedsg.Node {
+		if !oc.Committed && static[child] {
+			clone := *child
+			clone.Label = child.Label + "~r"
+			return []*nestedsg.Node{&clone}
+		}
+		return nil
+	}
+	return n
+}
+
+func main() {
+	tr := nestedsg.NewTree()
+	counter := nestedsg.SpecByName("counter")
+	seats := tr.AddObject("seats", counter)
+	rooms := tr.AddObject("rooms", counter)
+	cars := tr.AddObject("cars", counter)
+	ledger := tr.AddObject("ledger", nestedsg.SpecByName("set"))
+
+	var tops []*nestedsg.Node
+	for i := 0; i < trips; i++ {
+		booking := nestedsg.Par(fmt.Sprintf("trip%d", i),
+			leg("flight", seats, ledger, int64(i)),
+			leg("hotel", rooms, ledger, int64(i)),
+			leg("car", cars, ledger, int64(i)),
+		)
+		tops = append(tops, retryOnce(booking))
+	}
+	root := nestedsg.Par("T0", tops...)
+
+	// Undo logging lets the commuting inventory decrements interleave;
+	// failure injection aborts random subtransactions mid-flight.
+	trace, stats, err := nestedsg.Run(tr, root, nestedsg.RunOptions{
+		Seed:      7,
+		Protocol:  nestedsg.UndoLogging(),
+		AbortProb: 0.03,
+		MaxAborts: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("concurrent run: %d events, %d commits, %d aborts (%d injected), %d accesses\n",
+		len(trace), stats.Commits, stats.Aborts, stats.SpontaneousAborts, stats.Accesses)
+
+	res := nestedsg.Check(tr, trace)
+	fmt.Println("checker:", res.Summary(tr))
+	if !res.OK {
+		log.Fatal("unexpectedly incorrect")
+	}
+
+	gamma, err := nestedsg.SerialWitness(tr, root, trace, res.Certificate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nestedsg.ValidateSerial(tr, gamma); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial witness: %d events — aborted legs appear never to have run\n", len(gamma))
+
+	// Show each trip's fate and the apparent serial order.
+	commits := trace.CommitSet()
+	aborted := trace.AbortSet()
+	fmt.Println("\ntrip outcomes (concurrent run):")
+	for i := 0; i < trips; i++ {
+		tx := tr.Child(nestedsg.Root, fmt.Sprintf("trip%d", i))
+		switch {
+		case commits[tx]:
+			fmt.Printf("  trip%d committed\n", i)
+		case aborted[tx]:
+			fmt.Printf("  trip%d aborted\n", i)
+		default:
+			fmt.Printf("  trip%d incomplete\n", i)
+		}
+	}
+	var committedTrips []nestedsg.TxID
+	for i := 0; i < trips; i++ {
+		if tx := tr.Child(nestedsg.Root, fmt.Sprintf("trip%d", i)); commits[tx] {
+			committedTrips = append(committedTrips, tx)
+		}
+	}
+	fmt.Print("\napparent serial order of committed trips: ")
+	for i, tx := range res.Certificate.Order.SortSiblings(committedTrips) {
+		if i > 0 {
+			fmt.Print(" < ")
+		}
+		fmt.Print(tr.Label(tx))
+	}
+	fmt.Println()
+}

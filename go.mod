@@ -1,0 +1,3 @@
+module nestedsg
+
+go 1.22

@@ -1,0 +1,169 @@
+package classic
+
+import (
+	"testing"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/generic"
+	"nestedsg/internal/locking"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+	"nestedsg/internal/undolog"
+	"nestedsg/internal/workload"
+)
+
+func flatFixture(t *testing.T) (*tname.Tree, tname.TxID, tname.TxID, tname.TxID, tname.TxID) {
+	t.Helper()
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	t1 := tr.Child(tname.Root, "t1")
+	t2 := tr.Child(tname.Root, "t2")
+	w1 := tr.Access(t1, "w1", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(1)})
+	r2 := tr.Access(t2, "r2", x, spec.Op{Kind: spec.OpRead})
+	return tr, t1, t2, w1, r2
+}
+
+func ev(k event.Kind, tx tname.TxID) event.Event { return event.NewEvent(k, tx) }
+func evv(k event.Kind, tx tname.TxID, v spec.Value) event.Event {
+	return event.NewValEvent(k, tx, v)
+}
+
+func TestBuildSGTBasicEdge(t *testing.T) {
+	tr, t1, t2, w1, r2 := flatFixture(t)
+	b := event.Behavior{
+		ev(event.Create, tname.Root),
+		ev(event.RequestCreate, t1), ev(event.Create, t1),
+		ev(event.RequestCreate, t2), ev(event.Create, t2),
+		ev(event.RequestCreate, w1), ev(event.Create, w1),
+		evv(event.RequestCommit, w1, spec.OK), ev(event.Commit, w1),
+		ev(event.RequestCreate, r2), ev(event.Create, r2),
+		evv(event.RequestCommit, r2, spec.Int(1)), ev(event.Commit, r2),
+		evv(event.ReportCommit, w1, spec.OK), evv(event.ReportCommit, r2, spec.Int(1)),
+		evv(event.RequestCommit, t1, spec.Nil), ev(event.Commit, t1),
+		evv(event.RequestCommit, t2, spec.Nil), ev(event.Commit, t2),
+	}
+	s, err := BuildSGT(tr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Edges[Edge{From: t1, To: t2}] {
+		t.Error("expected classical edge t1 -> t2")
+	}
+	if !s.Serializable() {
+		t.Error("single edge is serializable")
+	}
+	if msg := s.CompareWithNested(tr, core.Build(tr, b)); msg != "" {
+		t.Errorf("nested/classical mismatch: %s", msg)
+	}
+}
+
+func TestBuildSGTCommittedProjection(t *testing.T) {
+	tr, t1, t2, w1, r2 := flatFixture(t)
+	// w1 responds but t1 aborts: the classical committed projection drops
+	// the conflict.
+	b := event.Behavior{
+		ev(event.Create, tname.Root),
+		ev(event.RequestCreate, t1), ev(event.Create, t1),
+		ev(event.RequestCreate, t2), ev(event.Create, t2),
+		ev(event.RequestCreate, w1), ev(event.Create, w1),
+		evv(event.RequestCommit, w1, spec.OK), ev(event.Commit, w1),
+		ev(event.Abort, t1),
+		ev(event.RequestCreate, r2), ev(event.Create, r2),
+		evv(event.RequestCommit, r2, spec.Int(0)), ev(event.Commit, r2),
+		evv(event.ReportCommit, r2, spec.Int(0)),
+		evv(event.RequestCommit, t2, spec.Nil), ev(event.Commit, t2),
+	}
+	s, err := BuildSGT(tr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Edges) != 0 {
+		t.Errorf("aborted transaction must contribute no edges: %v", s.Edges)
+	}
+	if msg := s.CompareWithNested(tr, core.Build(tr, b)); msg != "" {
+		t.Errorf("mismatch: %s", msg)
+	}
+}
+
+func TestBuildSGTRejectsDeepNesting(t *testing.T) {
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	t1 := tr.Child(tname.Root, "t1")
+	sub := tr.Child(t1, "sub")
+	deep := tr.Access(sub, "deep", x, spec.Op{Kind: spec.OpRead})
+	b := event.Behavior{evv(event.RequestCommit, deep, spec.Int(0))}
+	if _, err := BuildSGT(tr, b); err == nil {
+		t.Fatal("nested access must be rejected by the classical builder")
+	}
+}
+
+func TestBuildSGTCycle(t *testing.T) {
+	tr, t1, t2, w1, r2 := flatFixture(t)
+	x := tr.Object("x")
+	w1b := tr.Access(t1, "w1b", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(2)})
+	b := event.Behavior{
+		ev(event.Create, tname.Root),
+		ev(event.RequestCreate, t1), ev(event.Create, t1),
+		ev(event.RequestCreate, t2), ev(event.Create, t2),
+		ev(event.RequestCreate, w1), ev(event.Create, w1),
+		evv(event.RequestCommit, w1, spec.OK), ev(event.Commit, w1),
+		ev(event.RequestCreate, r2), ev(event.Create, r2),
+		evv(event.RequestCommit, r2, spec.Int(1)), ev(event.Commit, r2),
+		ev(event.RequestCreate, w1b), ev(event.Create, w1b),
+		evv(event.RequestCommit, w1b, spec.OK), ev(event.Commit, w1b),
+		evv(event.ReportCommit, w1, spec.OK), evv(event.ReportCommit, r2, spec.Int(1)),
+		evv(event.ReportCommit, w1b, spec.OK),
+		evv(event.RequestCommit, t1, spec.Nil), ev(event.Commit, t1),
+		evv(event.RequestCommit, t2, spec.Nil), ev(event.Commit, t2),
+	}
+	s, err := BuildSGT(tr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Serializable() {
+		t.Fatal("w1 < r2 < w1b is a classic non-serializable pattern")
+	}
+	// The nested checker agrees: SG(β, T0) has the same cycle.
+	res := core.Check(tr, b)
+	if res.OK || res.Cycle == nil {
+		t.Fatalf("nested checker must reject too: %s", res.Summary(tr))
+	}
+}
+
+// TestSubsumptionOnGeneratedFlatWorkloads is experiment E6: across seeded
+// flat workloads under both protocols, the conflict edges of SG(β, T0)
+// equal the classical graph's, and acyclicity verdicts agree.
+func TestSubsumptionOnGeneratedFlatWorkloads(t *testing.T) {
+	run := func(seed int64, proto string) {
+		tr := tname.NewTree()
+		cfg := workload.Config{Seed: seed, TopLevel: 6, Depth: 0, Fanout: 3,
+			Objects: 2, HotProb: 0.5, SpecName: "register"}
+		root := workload.Build(tr, cfg)
+		var p generic.Options
+		if proto == "moss" {
+			p = generic.Options{Seed: seed * 31, Protocol: locking.Protocol{}}
+		} else {
+			p = generic.Options{Seed: seed * 31, Protocol: undolog.Protocol{}}
+		}
+		b, _, err := generic.Run(tr, root, p)
+		if err != nil {
+			t.Fatalf("seed %d %s: %v", seed, proto, err)
+		}
+		s, err := BuildSGT(tr, b)
+		if err != nil {
+			t.Fatalf("seed %d %s: %v", seed, proto, err)
+		}
+		sg := core.Build(tr, b)
+		if msg := s.CompareWithNested(tr, sg); msg != "" {
+			t.Fatalf("seed %d %s: %s", seed, proto, msg)
+		}
+		if !s.Serializable() {
+			t.Fatalf("seed %d %s: locking/undolog produced a non-serializable flat history", seed, proto)
+		}
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		run(seed, "moss")
+		run(seed, "undolog")
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// View is view(β, T0, R, X): the operations of X visible to T0, ordered by
+// R_trans on their transaction components (§2.3.2).
+type View struct {
+	Obj tname.ObjID
+	Ops []event.AccessOp
+}
+
+// Certificate is the positive outcome of the Theorem 8/19 check: evidence
+// from which serial correctness for T0 follows, and from which an explicit
+// serial witness behavior can be replayed (internal/serial).
+type Certificate struct {
+	// Order is the suitable sibling order R, realized as a topological sort
+	// of each SG(β, T).
+	Order *SiblingOrder
+	// Views holds view(β, T0, R, X) for every object with visible
+	// operations; each was verified to be a finite behavior of S_X.
+	Views []View
+}
+
+// Result is the full outcome of checking a behavior against Theorem 8/19.
+// Exactly one of the failure fields is non-nil when OK is false.
+type Result struct {
+	// OK reports that the behavior satisfied every hypothesis, hence is
+	// serially correct for T0.
+	OK bool
+
+	// WFErr is set when the behavior violates the simple-system axioms —
+	// the trace is not a simple behavior and the theorem does not speak
+	// about it.
+	WFErr error
+	// ValueViolations is set when the behavior does not have appropriate
+	// return values (§3.2 / §6.1).
+	ValueViolations []simple.ValueViolation
+	// Cycle is set when SG(β) has a cycle.
+	Cycle *Cycle
+	// ViewErr is set if a view failed to replay as a behavior of its serial
+	// object. Under Proposition 7/18 this cannot happen once return values
+	// are appropriate and SG(β) is acyclic; a non-nil ViewErr therefore
+	// indicates a bug in a Spec's Conflicts table (a non-conservative
+	// entry), and the checker reports it rather than trusting the table.
+	ViewErr error
+
+	// Certificate is set when OK.
+	Certificate *Certificate
+	// SG is the constructed graph (always set unless WFErr).
+	SG *SG
+}
+
+// Summary renders a one-line outcome.
+func (r *Result) Summary(tr *tname.Tree) string {
+	switch {
+	case r.OK:
+		return fmt.Sprintf("serially correct for T0 (SG edges: %d)", r.SG.NumEdges())
+	case r.WFErr != nil:
+		return "not a simple behavior: " + r.WFErr.Error()
+	case len(r.ValueViolations) > 0:
+		v := r.ValueViolations[0]
+		return "inappropriate return values: " + v.Error(tr)
+	case r.Cycle != nil:
+		return r.Cycle.Format(tr)
+	case r.ViewErr != nil:
+		return "view replay failed: " + r.ViewErr.Error()
+	}
+	return "unknown failure"
+}
+
+// Check verifies the hypotheses of Theorem 8 (read/write objects) and
+// Theorem 19 (arbitrary types) on the serial actions of b:
+//
+//  1. b's serial projection satisfies the simple-system axioms;
+//  2. b has appropriate return values;
+//  3. SG(β) is acyclic;
+//  4. (verification of the conclusion's mechanism) each view(β, T0, R, X)
+//     replays as a finite behavior of S_X.
+//
+// When all hold, the behavior is serially correct for T0 and the
+// certificate allows a serial witness to be constructed.
+func Check(tr *tname.Tree, b event.Behavior) *Result {
+	res := &Result{}
+	serial := b.Serial()
+	if err := simple.CheckWellFormed(tr, serial); err != nil {
+		res.WFErr = err
+		return res
+	}
+	res.SG = Build(tr, serial)
+	res.ValueViolations = simple.AppropriateReturnValues(tr, serial)
+	if len(res.ValueViolations) > 0 {
+		return res
+	}
+	order, cycle := res.SG.Acyclicity()
+	if cycle != nil {
+		res.Cycle = cycle
+		return res
+	}
+	views, err := ComputeViews(tr, res.SG, order)
+	if err != nil {
+		res.ViewErr = err
+		return res
+	}
+	res.OK = true
+	res.Certificate = &Certificate{Order: order, Views: views}
+	return res
+}
+
+// ComputeViews orders the visible operations of each object by R_trans and
+// verifies each resulting view is a behavior of the serial object. The
+// error identifies the object and operation that failed.
+func ComputeViews(tr *tname.Tree, sg *SG, order *SiblingOrder) ([]View, error) {
+	byObj := make(map[tname.ObjID][]event.AccessOp)
+	var objs []tname.ObjID
+	for _, op := range sg.VisibleOps {
+		if _, ok := byObj[op.Obj]; !ok {
+			objs = append(objs, op.Obj)
+		}
+		byObj[op.Obj] = append(byObj[op.Obj], op)
+	}
+	var out []View
+	for _, x := range objs {
+		ops := order.SortOps(byObj[x])
+		xi := make([]spec.OpVal, len(ops))
+		for i, op := range ops {
+			xi[i] = op.OV
+		}
+		if ok, i := spec.IsBehavior(tr.Spec(x), xi); !ok {
+			return nil, fmt.Errorf("view(β,T0,R,%s): operation %d (%s by %s) is not legal in the reordered sequence",
+				tr.ObjectLabel(x), i, xi[i], tr.Name(ops[i].Tx))
+		}
+		out = append(out, View{Obj: x, Ops: ops})
+	}
+	return out, nil
+}
+
+// FormatCertificate renders the sibling order for human inspection.
+func FormatCertificate(tr *tname.Tree, c *Certificate) string {
+	var sb strings.Builder
+	sb.WriteString("suitable sibling order R (topological sorts of SG(β,T)):\n")
+	parents := make([]tname.TxID, 0, len(c.Order.ByParent))
+	for p := range c.Order.ByParent {
+		parents = append(parents, p)
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+	for _, p := range parents {
+		fmt.Fprintf(&sb, "  %s: ", tr.Name(p))
+		for i, k := range c.Order.ByParent[p] {
+			if i > 0 {
+				sb.WriteString(" < ")
+			}
+			sb.WriteString(tr.Label(k))
+		}
+		sb.WriteString("\n")
+	}
+	for _, v := range c.Views {
+		fmt.Fprintf(&sb, "view at %s:", tr.ObjectLabel(v.Obj))
+		for _, op := range v.Ops {
+			fmt.Fprintf(&sb, " %s", op.OV)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

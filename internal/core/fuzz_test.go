@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// randomSystem interns a random tree over a couple of typed objects.
+func randomSystem(rng *rand.Rand) (*tname.Tree, []tname.TxID) {
+	tr := tname.NewTree()
+	specs := spec.All()
+	nObj := 1 + rng.Intn(3)
+	objs := make([]tname.ObjID, nObj)
+	for i := range objs {
+		sp := specs[rng.Intn(len(specs))]
+		objs[i] = tr.AddObject(sp.Name()+string(rune('a'+i)), sp)
+	}
+	names := []tname.TxID{tname.Root}
+	for i := 0; i < 14; i++ {
+		parent := names[rng.Intn(len(names))]
+		if tr.IsAccess(parent) {
+			continue
+		}
+		label := "n" + string(rune('a'+i))
+		var id tname.TxID
+		if rng.Intn(3) == 0 {
+			x := objs[rng.Intn(len(objs))]
+			id = tr.Access(parent, label, x, tr.Spec(x).RandOp(rng))
+		} else {
+			id = tr.Child(parent, label)
+		}
+		names = append(names, id)
+	}
+	return tr, names
+}
+
+// randomEvents emits arbitrary (usually ill-formed) event sequences.
+func randomEvents(rng *rand.Rand, tr *tname.Tree, names []tname.TxID, n int) event.Behavior {
+	kinds := []event.Kind{event.Create, event.RequestCreate, event.RequestCommit,
+		event.Commit, event.Abort, event.ReportCommit, event.ReportAbort}
+	b := make(event.Behavior, n)
+	for i := range b {
+		k := kinds[rng.Intn(len(kinds))]
+		tx := names[rng.Intn(len(names))]
+		var v spec.Value
+		switch rng.Intn(4) {
+		case 0:
+			v = spec.OK
+		case 1:
+			v = spec.Int(int64(rng.Intn(8)))
+		case 2:
+			v = spec.Bool(rng.Intn(2) == 0)
+		}
+		b[i] = event.NewValEvent(k, tx, v)
+	}
+	return b
+}
+
+// TestCheckNeverPanicsOnGarbage: Check must classify arbitrary event
+// soup as a well-formedness failure (or, rarely, pass it) — never panic.
+func TestCheckNeverPanicsOnGarbage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, names := randomSystem(rng)
+		b := randomEvents(rng, tr, names, 1+rng.Intn(60))
+		res := Check(tr, b)
+		// A garbage sequence that somehow passes must carry a certificate.
+		if res.OK && res.Certificate == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildNeverPanicsOnGarbage: the graph construction itself is defined
+// on arbitrary sequences of serial actions (the paper defines conflict and
+// precedes for any such sequence), so Build must tolerate them.
+func TestBuildNeverPanicsOnGarbage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, names := randomSystem(rng)
+		b := randomEvents(rng, tr, names, 1+rng.Intn(60))
+		sg := Build(tr, b)
+		sg.Acyclicity()
+		_ = sg.DOT()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVisibilityHelpersNeverPanic exercises the simple-system derived
+// notions on garbage.
+func TestVisibilityHelpersNeverPanic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, names := randomSystem(rng)
+		b := randomEvents(rng, tr, names, 1+rng.Intn(40))
+		simple.VisibleTo(tr, b, tname.Root)
+		simple.Clean(tr, b)
+		for _, n := range names {
+			vis := simple.NewVis(tr, b, n)
+			for _, m := range names {
+				vis.Visible(m)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGarbageValuesOnInvisibleAccessesAreIgnored: appropriate return
+// values only constrain the committed projection; an uncommitted access
+// may return anything without affecting the verdict.
+func TestGarbageValuesOnInvisibleAccesses(t *testing.T) {
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	t1 := tr.Child(tname.Root, "t1")
+	t2 := tr.Child(tname.Root, "t2")
+	r1 := tr.Access(t1, "r1", x, spec.Op{Kind: spec.OpRead})
+	r2 := tr.Access(t2, "r2", x, spec.Op{Kind: spec.OpRead})
+	ev := event.NewEvent
+	evv := event.NewValEvent
+	b := event.Behavior{
+		ev(event.Create, tname.Root),
+		ev(event.RequestCreate, t1), ev(event.Create, t1),
+		ev(event.RequestCreate, t2), ev(event.Create, t2),
+		ev(event.RequestCreate, r1), ev(event.Create, r1),
+		evv(event.RequestCommit, r1, spec.Int(424242)), // garbage, but t1 never commits
+		ev(event.Commit, r1),
+		ev(event.RequestCreate, r2), ev(event.Create, r2),
+		evv(event.RequestCommit, r2, spec.Int(0)), ev(event.Commit, r2),
+		evv(event.ReportCommit, r2, spec.Int(0)),
+		evv(event.RequestCommit, t2, spec.Nil), ev(event.Commit, t2),
+	}
+	res := Check(tr, b)
+	if !res.OK {
+		t.Fatalf("invisible garbage must not fail the check: %s", res.Summary(tr))
+	}
+}

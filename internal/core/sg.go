@@ -1,0 +1,437 @@
+// Package core implements the paper's contribution: the serialization graph
+// construction for nested transactions (§4) and its generalization to
+// arbitrary data types (§6.1), together with a checker for the main theorem
+// (Theorem 8 / Theorem 19): a finite simple behavior with appropriate
+// return values and an acyclic serialization graph is serially correct for
+// T0.
+//
+// The construction takes a recorded behavior β (a sequence of serial
+// actions) and produces SG(β), the union of one directed graph SG(β, T) per
+// transaction T visible to T0 in β. The nodes of SG(β, T) are children of
+// T; there is an edge T' → T” when (T', T”) ∈ precedes(β) ∪ conflict(β):
+//
+//   - conflict(β): a descendant access of T” requested commit after a
+//     conflicting descendant access of T' did, both visible to T0 (§4);
+//     for read/write objects two accesses conflict unless both are reads,
+//     and in general they conflict when they fail to commute backward
+//     (§6.1) — this package takes the relation from each object's Spec, so
+//     the same code implements both constructions.
+//   - precedes(β): the parent saw a report for T' before requesting the
+//     creation of T” (external consistency, §4).
+//
+// Acyclicity is certified: the checker returns the sibling order R obtained
+// by topologically sorting each SG(β, T) and the per-object views
+// view(β, T0, R, X), which internal/serial replays into an explicit serial
+// witness γ with γ|T0 = β|T0.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/graph"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// EdgeKind labels why an edge is present in a serialization graph.
+type EdgeKind uint8
+
+// Edge kinds; an edge may carry both labels.
+const (
+	EdgeConflict EdgeKind = 1 << iota
+	EdgePrecedes
+)
+
+// String renders the label set.
+func (k EdgeKind) String() string {
+	var parts []string
+	if k&EdgeConflict != 0 {
+		parts = append(parts, "conflict")
+	}
+	if k&EdgePrecedes != 0 {
+		parts = append(parts, "precedes")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParentGraph is SG(β, T) for one transaction T visible to T0: the directed
+// graph on the children of T induced by conflict(β) ∪ precedes(β).
+type ParentGraph struct {
+	// Parent is T.
+	Parent tname.TxID
+	// Children maps node index to child transaction name. Only children
+	// that occur in the behavior are materialized; the paper's graph has a
+	// node per (possibly never-invoked) child, but isolated nodes affect
+	// neither acyclicity nor the derived order.
+	Children []tname.TxID
+	// G is the edge structure over node indices.
+	G *graph.Graph
+	// Kinds labels each edge.
+	Kinds map[[2]int32]EdgeKind
+
+	index map[tname.TxID]int
+}
+
+func newParentGraph(parent tname.TxID) *ParentGraph {
+	return &ParentGraph{Parent: parent, Kinds: make(map[[2]int32]EdgeKind), index: make(map[tname.TxID]int)}
+}
+
+func (pg *ParentGraph) node(t tname.TxID) int {
+	if i, ok := pg.index[t]; ok {
+		return i
+	}
+	i := len(pg.Children)
+	pg.Children = append(pg.Children, t)
+	pg.index[t] = i
+	return i
+}
+
+func (pg *ParentGraph) addEdge(from, to tname.TxID, kind EdgeKind) {
+	f, t := pg.node(from), pg.node(to)
+	key := [2]int32{int32(f), int32(t)}
+	pg.Kinds[key] |= kind
+}
+
+func (pg *ParentGraph) build() {
+	pg.G = graph.New(len(pg.Children))
+	for key := range pg.Kinds {
+		pg.G.AddEdge(int(key[0]), int(key[1]))
+	}
+}
+
+// HasEdge reports whether the edge from→to is present, with its labels.
+func (pg *ParentGraph) HasEdge(from, to tname.TxID) (EdgeKind, bool) {
+	f, okF := pg.index[from]
+	t, okT := pg.index[to]
+	if !okF || !okT {
+		return 0, false
+	}
+	k, ok := pg.Kinds[[2]int32{int32(f), int32(t)}]
+	return k, ok
+}
+
+// SG is the serialization graph SG(β): the union of the disjoint graphs
+// SG(β, T) over transactions T visible to T0 in β.
+type SG struct {
+	tr      *tname.Tree
+	parents map[tname.TxID]*ParentGraph
+	// VisibleOps is operations(visible(β, T0)) in β order; reused by the
+	// view computation.
+	VisibleOps []event.AccessOp
+}
+
+// Parents returns the per-parent graphs, keyed by parent name.
+func (sg *SG) Parents() map[tname.TxID]*ParentGraph { return sg.parents }
+
+// Parent returns SG(β, T), or nil if T contributed no edges.
+func (sg *SG) Parent(t tname.TxID) *ParentGraph { return sg.parents[t] }
+
+// NumEdges returns the total number of distinct edges in SG(β).
+func (sg *SG) NumEdges() int {
+	n := 0
+	for _, pg := range sg.parents {
+		n += len(pg.Kinds)
+	}
+	return n
+}
+
+// Build constructs SG(β) from the serial actions of b, with the paper's
+// full conflict relation: every pair of conflicting visible operations
+// contributes an edge. Inform events are ignored, so callers may pass
+// generic behaviors directly.
+//
+// Cost: the precedes scan is linear plus one edge per (reported sibling,
+// later request) pair; the conflict scan compares each visible access
+// against the earlier visible accesses on the same object, so it is
+// quadratic in the per-object access count in the worst case (benchmarked
+// as experiment E5).
+func Build(tr *tname.Tree, b event.Behavior) *SG {
+	return build(tr, b, false)
+}
+
+// BuildReduced constructs a transitively-reduced variant for read/write
+// objects: a read takes an edge from the latest preceding write only, and
+// a write from the operations since (and including) the latest write. The
+// omitted edges are implied within each SG(β, T) whenever the full graph
+// is acyclic, so acyclicity verdicts and derived orders stay valid —
+// TestFastPathEquivalence pins verdict equivalence, and experiment E5
+// reports the cost difference as an ablation. Non-register objects always
+// use the full pairwise scan (their conflicts depend on values).
+func BuildReduced(tr *tname.Tree, b event.Behavior) *SG {
+	return build(tr, b, true)
+}
+
+func build(tr *tname.Tree, b event.Behavior, reduced bool) *SG {
+	serial := b.Serial()
+	vis := simple.NewVis(tr, serial, tname.Root)
+	sg := &SG{tr: tr, parents: make(map[tname.TxID]*ParentGraph)}
+
+	pg := func(parent tname.TxID) *ParentGraph {
+		g, ok := sg.parents[parent]
+		if !ok {
+			g = newParentGraph(parent)
+			sg.parents[parent] = g
+		}
+		return g
+	}
+
+	// conflict(β): scan access REQUEST_COMMITs visible to T0, per object,
+	// and relate each new operation to earlier conflicting ones — all of
+	// them in faithful mode, or the transitive-reduction window for
+	// registers in reduced mode.
+	perObj := make(map[tname.ObjID][]event.AccessOp)
+	regWindow := make(map[tname.ObjID][]event.AccessOp)
+	// precedes(β): per parent, the children reported so far in β order.
+	reported := make(map[tname.TxID][]tname.TxID)
+
+	addConflict := func(prev, cur event.AccessOp) {
+		if prev.Tx == cur.Tx {
+			return
+		}
+		lca := tr.LCA(prev.Tx, cur.Tx)
+		u := tr.ChildAncestor(lca, prev.Tx)
+		u2 := tr.ChildAncestor(lca, cur.Tx)
+		if u != u2 {
+			pg(lca).addEdge(u, u2, EdgeConflict)
+		}
+	}
+
+	for _, e := range serial {
+		switch e.Kind {
+		case event.RequestCommit:
+			if !tr.IsAccess(e.Tx) || !vis.Visible(e.Tx) {
+				continue
+			}
+			x := tr.AccessObject(e.Tx)
+			cur := event.AccessOp{Tx: e.Tx, Obj: x,
+				OV: spec.OpVal{Op: tr.AccessOp(e.Tx), Val: e.Val}}
+			sp := tr.Spec(x)
+			if reduced && sp.Name() == "register" {
+				// Fast path: a read conflicts with the last write only; a
+				// write conflicts with everything since (and including)
+				// the last write. The window holds the last write (at
+				// index 0, if any) and the reads after it.
+				win := regWindow[x]
+				if spec.IsRead(cur.OV.Op) {
+					if len(win) > 0 && spec.IsWrite(win[0].OV.Op) {
+						addConflict(win[0], cur)
+					}
+					regWindow[x] = append(win, cur)
+				} else {
+					for _, prev := range win {
+						addConflict(prev, cur)
+					}
+					regWindow[x] = append(regWindow[x][:0:0], cur)
+				}
+			} else {
+				for _, prev := range perObj[x] {
+					if sp.Conflicts(prev.OV, cur.OV) {
+						addConflict(prev, cur)
+					}
+				}
+				perObj[x] = append(perObj[x], cur)
+			}
+			sg.VisibleOps = append(sg.VisibleOps, cur)
+
+		case event.ReportCommit, event.ReportAbort:
+			p := tr.Parent(e.Tx)
+			reported[p] = append(reported[p], e.Tx)
+
+		case event.RequestCreate:
+			p := tr.Parent(e.Tx)
+			if !vis.Visible(p) {
+				continue
+			}
+			for _, t := range reported[p] {
+				if t != e.Tx {
+					pg(p).addEdge(t, e.Tx, EdgePrecedes)
+				}
+			}
+		}
+	}
+	for _, g := range sg.parents {
+		g.build()
+	}
+	return sg
+}
+
+// Cycle describes a directed cycle found in one SG(β, T).
+type Cycle struct {
+	// Parent is the transaction whose sibling graph contains the cycle.
+	Parent tname.TxID
+	// Nodes are the children of Parent forming the cycle, in edge order;
+	// the edge Nodes[len-1] → Nodes[0] closes it.
+	Nodes []tname.TxID
+	// Kinds labels the consecutive edges of the cycle.
+	Kinds []EdgeKind
+}
+
+// Format renders the cycle with full names.
+func (c *Cycle) Format(tr *tname.Tree) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycle in SG(β, %s): ", tr.Name(c.Parent))
+	for i, n := range c.Nodes {
+		if i > 0 {
+			fmt.Fprintf(&sb, " -[%s]-> ", c.Kinds[i-1])
+		}
+		sb.WriteString(tr.Label(n))
+	}
+	fmt.Fprintf(&sb, " -[%s]-> %s", c.Kinds[len(c.Kinds)-1], tr.Label(c.Nodes[0]))
+	return sb.String()
+}
+
+// SiblingOrder is the certificate produced by an acyclic SG(β): for each
+// transaction visible to T0 that has ordered children, a total order (a
+// topological sort of SG(β, T)) on the children that occur in β. It
+// realizes the paper's suitable sibling order R.
+type SiblingOrder struct {
+	tr *tname.Tree
+	// ByParent maps each parent to its ordered children.
+	ByParent map[tname.TxID][]tname.TxID
+	// rank[t] is t's position among its ordered siblings.
+	rank map[tname.TxID]int
+}
+
+// Rank returns the position of t in its sibling order and whether t is
+// ordered at all.
+func (r *SiblingOrder) Rank(t tname.TxID) (int, bool) {
+	n, ok := r.rank[t]
+	return n, ok
+}
+
+// CompareSiblings is a deterministic total order on siblings that extends
+// R: siblings ranked by the topological sorts come first in rank order, and
+// unranked siblings (which have no conflict or precedes constraints, hence
+// may be placed anywhere) follow in name order. Using one shared total
+// order for both the view computation and the serial-witness replay keeps
+// the two consistent.
+func (r *SiblingOrder) CompareSiblings(a, b tname.TxID) bool {
+	if a == b {
+		return false
+	}
+	ra, okA := r.rank[a]
+	rb, okB := r.rank[b]
+	switch {
+	case okA && okB:
+		return ra < rb
+	case okA:
+		return true
+	case okB:
+		return false
+	default:
+		return a < b
+	}
+}
+
+// Less reports whether (a, b) ∈ the total extension of R_trans: a and b are
+// ordered by CompareSiblings on the children of lca(a, b) they descend
+// from. It panics when a and b are related by ancestry (R_trans never
+// orders such pairs).
+func (r *SiblingOrder) Less(a, b tname.TxID) bool {
+	if r.tr.IsOrdered(a, b) {
+		panic("core: SiblingOrder.Less on ancestrally related names")
+	}
+	lca := r.tr.LCA(a, b)
+	u := r.tr.ChildAncestor(lca, a)
+	u2 := r.tr.ChildAncestor(lca, b)
+	return r.CompareSiblings(u, u2)
+}
+
+// SortSiblings returns the given sibling transactions in the certificate's
+// total order (constrained children first in topological order, then
+// unconstrained ones). The input is not modified.
+func (r *SiblingOrder) SortSiblings(ts []tname.TxID) []tname.TxID {
+	out := make([]tname.TxID, len(ts))
+	copy(out, ts)
+	sort.Slice(out, func(i, j int) bool { return r.CompareSiblings(out[i], out[j]) })
+	return out
+}
+
+// SortOps sorts access operations by R_trans on their transaction
+// components. The order is total on the operations of one behavior because
+// R orders all sibling pairs that occur in it (Theorem 8's construction
+// totally orders the children of every visible parent).
+func (r *SiblingOrder) SortOps(ops []event.AccessOp) []event.AccessOp {
+	out := make([]event.AccessOp, len(ops))
+	copy(out, ops)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tx == out[j].Tx {
+			return false
+		}
+		return r.Less(out[i].Tx, out[j].Tx)
+	})
+	return out
+}
+
+// ForgeOrderForTest builds a SiblingOrder from explicit per-parent child
+// orders, bypassing the graph construction. It exists so tests can hand the
+// witness machinery a *wrong* order and watch it refuse; production code
+// must obtain orders from Acyclicity.
+func ForgeOrderForTest(tr *tname.Tree, byParent map[tname.TxID][]tname.TxID) *SiblingOrder {
+	order := &SiblingOrder{tr: tr, ByParent: byParent, rank: make(map[tname.TxID]int)}
+	for _, kids := range byParent {
+		for i, k := range kids {
+			order.rank[k] = i
+		}
+	}
+	return order
+}
+
+// Acyclicity checks SG(β) and, when it is acyclic, derives the sibling
+// order certificate. On failure it returns the concrete cycle.
+func (sg *SG) Acyclicity() (*SiblingOrder, *Cycle) {
+	order := &SiblingOrder{tr: sg.tr, ByParent: make(map[tname.TxID][]tname.TxID), rank: make(map[tname.TxID]int)}
+	// Deterministic parent processing order for reproducible certificates.
+	parents := make([]tname.TxID, 0, len(sg.parents))
+	for p := range sg.parents {
+		parents = append(parents, p)
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+
+	for _, p := range parents {
+		pgr := sg.parents[p]
+		topo, cyc := pgr.G.TopoSort()
+		if cyc != nil {
+			c := &Cycle{Parent: p}
+			for _, n := range cyc {
+				c.Nodes = append(c.Nodes, pgr.Children[n])
+			}
+			for i := range cyc {
+				j := (i + 1) % len(cyc)
+				c.Kinds = append(c.Kinds, pgr.Kinds[[2]int32{int32(cyc[i]), int32(cyc[j])}])
+			}
+			return nil, c
+		}
+		kids := make([]tname.TxID, len(topo))
+		for i, n := range topo {
+			kids[i] = pgr.Children[n]
+			order.rank[pgr.Children[n]] = i
+		}
+		order.ByParent[p] = kids
+	}
+	return order, nil
+}
+
+// DOT renders every non-trivial SG(β, T) as one DOT digraph per parent,
+// concatenated.
+func (sg *SG) DOT() string {
+	parents := make([]tname.TxID, 0, len(sg.parents))
+	for p := range sg.parents {
+		parents = append(parents, p)
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+	var sb strings.Builder
+	for _, p := range parents {
+		pgr := sg.parents[p]
+		name := fmt.Sprintf("SG_%s", sg.tr.Name(p))
+		sb.WriteString(pgr.G.DOT(name, func(v int) string { return sg.tr.Label(pgr.Children[v]) }))
+	}
+	return sb.String()
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/graph"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/tname"
+)
+
+// AuditSuitability verifies, directly against the definitions of §2.3.2,
+// that the sibling order produced by Acyclicity is suitable for β and T0:
+//
+//  1. R orders every pair of sibling transactions that are lowtransactions
+//     of events in visible(β, T0);
+//  2. R_event(β) and affects(β) are consistent partial orders on the events
+//     of visible(β, T0) — checked by confirming that the union of the
+//     directly-affects edges and the R_event edges is acyclic.
+//
+// The Theorem 8 proof establishes suitability once and for all; this audit
+// re-derives it per trace and is quadratic in the trace length, so it is
+// used by the test suite (and cmd/sgcheck -deep) rather than the hot path.
+func AuditSuitability(tr *tname.Tree, b event.Behavior, order *SiblingOrder) error {
+	vis := simple.VisibleTo(tr, b.Serial(), tname.Root)
+
+	// Condition 1: all sibling lowtransaction pairs ordered.
+	lowSet := make(map[tname.TxID]bool)
+	for _, e := range vis {
+		lowSet[e.LowTransaction(tr)] = true
+	}
+	lows := make([]tname.TxID, 0, len(lowSet))
+	for t := range lowSet {
+		lows = append(lows, t)
+	}
+	// R is realized as the total extension CompareSiblings (ranked children
+	// in topological order, unconstrained children after them); verify it
+	// is a strict total order on each sibling pair.
+	for i := 0; i < len(lows); i++ {
+		for j := i + 1; j < len(lows); j++ {
+			a, bb := lows[i], lows[j]
+			if a == bb || tr.Parent(a) != tr.Parent(bb) {
+				continue
+			}
+			if order.CompareSiblings(a, bb) == order.CompareSiblings(bb, a) {
+				return fmt.Errorf("suitability: siblings %s and %s are lowtransactions in visible(β,T0) but R does not strictly order them",
+					tr.Name(a), tr.Name(bb))
+			}
+		}
+	}
+
+	// Condition 2: union of directly-affects and R_event edges acyclic.
+	g := graph.New(len(vis))
+
+	// directly-affects: same-transaction program order (chain suffices for
+	// reachability) ...
+	lastByTx := make(map[tname.TxID]int)
+	// ... plus the request/decision/report causal pairs.
+	reqCreateIdx := make(map[tname.TxID]int)
+	reqCommitIdx := make(map[tname.TxID]int)
+	completionIdx := make(map[tname.TxID]int)
+	for i, e := range vis {
+		if !e.Kind.IsCompletion() {
+			t := e.Transaction(tr)
+			if prev, ok := lastByTx[t]; ok {
+				g.AddEdge(prev, i)
+			}
+			lastByTx[t] = i
+		}
+		switch e.Kind {
+		case event.RequestCreate:
+			reqCreateIdx[e.Tx] = i
+		case event.Create:
+			if j, ok := reqCreateIdx[e.Tx]; ok {
+				g.AddEdge(j, i)
+			}
+		case event.RequestCommit:
+			reqCommitIdx[e.Tx] = i
+		case event.Commit:
+			if j, ok := reqCommitIdx[e.Tx]; ok {
+				g.AddEdge(j, i)
+			}
+			completionIdx[e.Tx] = i
+		case event.Abort:
+			if j, ok := reqCreateIdx[e.Tx]; ok {
+				g.AddEdge(j, i)
+			}
+			completionIdx[e.Tx] = i
+		case event.ReportCommit, event.ReportAbort:
+			if j, ok := completionIdx[e.Tx]; ok {
+				g.AddEdge(j, i)
+			}
+		}
+	}
+
+	// R_event(β): (φ, π) when lowtransactions are distinct, unrelated by
+	// ancestry, and ordered by R_trans.
+	for i := 0; i < len(vis); i++ {
+		ti := vis[i].LowTransaction(tr)
+		for j := 0; j < len(vis); j++ {
+			if i == j {
+				continue
+			}
+			tj := vis[j].LowTransaction(tr)
+			if ti == tj || tr.IsOrdered(ti, tj) {
+				continue
+			}
+			if order.Less(ti, tj) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+
+	if _, cyc := g.TopoSort(); cyc != nil {
+		return fmt.Errorf("suitability: R_event(β) and affects(β) are inconsistent: cycle through events %v", cyc)
+	}
+	return nil
+}

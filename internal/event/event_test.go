@@ -1,0 +1,283 @@
+package event
+
+import (
+	"testing"
+
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// fixture builds a two-level system and a hand-written behavior:
+//
+//	T0 requests t1 and t2; t1 has accesses w (write x=5) and r (read x);
+//	t2 aborts before creation.
+func fixture(t *testing.T) (*tname.Tree, map[string]tname.TxID, Behavior) {
+	t.Helper()
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	t1 := tr.Child(tname.Root, "t1")
+	t2 := tr.Child(tname.Root, "t2")
+	w := tr.Access(t1, "w", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(5)})
+	r := tr.Access(t1, "r", x, spec.Op{Kind: spec.OpRead})
+	ids := map[string]tname.TxID{"t1": t1, "t2": t2, "w": w, "r": r}
+
+	b := Behavior{
+		NewEvent(Create, tname.Root),
+		NewEvent(RequestCreate, t1),
+		NewEvent(RequestCreate, t2),
+		NewEvent(Create, t1),
+		NewEvent(Abort, t2),
+		NewEvent(RequestCreate, w),
+		NewEvent(Create, w),
+		NewValEvent(RequestCommit, w, spec.OK),
+		NewEvent(Commit, w),
+		NewInform(InformCommit, w, x),
+		NewValEvent(ReportCommit, w, spec.OK),
+		NewEvent(RequestCreate, r),
+		NewEvent(Create, r),
+		NewValEvent(RequestCommit, r, spec.Int(5)),
+		NewEvent(Commit, r),
+		NewValEvent(ReportCommit, r, spec.Int(5)),
+		NewValEvent(RequestCommit, t1, spec.Nil),
+		NewEvent(Commit, t1),
+		NewValEvent(ReportCommit, t1, spec.Nil),
+		NewEvent(ReportAbort, t2),
+	}
+	return tr, ids, b
+}
+
+func TestKindClassification(t *testing.T) {
+	serialKinds := []Kind{Create, RequestCreate, RequestCommit, Commit, Abort, ReportCommit, ReportAbort}
+	for _, k := range serialKinds {
+		if !k.IsSerial() {
+			t.Errorf("%v must be serial", k)
+		}
+	}
+	for _, k := range []Kind{InformCommit, InformAbort, KindInvalid} {
+		if k.IsSerial() {
+			t.Errorf("%v must not be serial", k)
+		}
+	}
+	if !Commit.IsCompletion() || !Abort.IsCompletion() || Create.IsCompletion() {
+		t.Error("completion classification wrong")
+	}
+	if !ReportCommit.IsReport() || !ReportAbort.IsReport() || Commit.IsReport() {
+		t.Error("report classification wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Create.String() != "CREATE" || RequestCommit.String() != "REQUEST_COMMIT" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must render something")
+	}
+}
+
+func TestTransactionFunctions(t *testing.T) {
+	tr, ids, _ := fixture(t)
+	cases := []struct {
+		e          Event
+		tx, hi, lo tname.TxID
+	}{
+		{NewEvent(Create, ids["t1"]), ids["t1"], ids["t1"], ids["t1"]},
+		{NewEvent(RequestCreate, ids["t1"]), tname.Root, tname.Root, tname.Root},
+		{NewValEvent(RequestCommit, ids["t1"], spec.Nil), ids["t1"], ids["t1"], ids["t1"]},
+		{NewValEvent(ReportCommit, ids["w"], spec.OK), ids["t1"], ids["t1"], ids["t1"]},
+		{NewEvent(ReportAbort, ids["t2"]), tname.Root, tname.Root, tname.Root},
+		// Completion actions: hightransaction is the parent, lowtransaction
+		// the transaction itself.
+		{NewEvent(Commit, ids["t1"]), ids["t1"], tname.Root, ids["t1"]},
+		{NewEvent(Abort, ids["t2"]), ids["t2"], tname.Root, ids["t2"]},
+	}
+	for i, c := range cases {
+		if got := c.e.Transaction(tr); got != c.tx {
+			t.Errorf("case %d: Transaction = %s, want %s", i, tr.Name(got), tr.Name(c.tx))
+		}
+		if got := c.e.HighTransaction(tr); got != c.hi {
+			t.Errorf("case %d: HighTransaction = %s, want %s", i, tr.Name(got), tr.Name(c.hi))
+		}
+		if got := c.e.LowTransaction(tr); got != c.lo {
+			t.Errorf("case %d: LowTransaction = %s, want %s", i, tr.Name(got), tr.Name(c.lo))
+		}
+	}
+}
+
+func TestObjectFunction(t *testing.T) {
+	tr, ids, _ := fixture(t)
+	x := tr.Object("x")
+	if got := NewEvent(Create, ids["w"]).Object(tr); got != x {
+		t.Errorf("Object(CREATE(w)) = %d", got)
+	}
+	if got := NewValEvent(RequestCommit, ids["w"], spec.OK).Object(tr); got != x {
+		t.Errorf("Object(REQUEST_COMMIT(w)) = %d", got)
+	}
+	if got := NewEvent(Commit, ids["w"]).Object(tr); got != tname.NoObj {
+		t.Error("completion events have no object")
+	}
+	if got := NewEvent(Create, ids["t1"]).Object(tr); got != tname.NoObj {
+		t.Error("non-access CREATE has no object")
+	}
+}
+
+func TestSerialProjection(t *testing.T) {
+	_, _, b := fixture(t)
+	s := b.Serial()
+	if len(s) != len(b)-1 { // exactly one inform in the fixture
+		t.Errorf("serial(β) has %d events, want %d", len(s), len(b)-1)
+	}
+	for _, e := range s {
+		if !e.Kind.IsSerial() {
+			t.Errorf("serial(β) contains %v", e.Kind)
+		}
+	}
+}
+
+func TestProjectTx(t *testing.T) {
+	tr, ids, b := fixture(t)
+	b0 := b.ProjectTx(tr, tname.Root)
+	wantKinds := []Kind{Create, RequestCreate, RequestCreate, ReportCommit, ReportAbort}
+	if len(b0) != len(wantKinds) {
+		t.Fatalf("β|T0 = %d events, want %d:\n%s", len(b0), len(wantKinds), b0.Format(tr))
+	}
+	for i, k := range wantKinds {
+		if b0[i].Kind != k {
+			t.Errorf("β|T0[%d] = %v, want %v", i, b0[i].Kind, k)
+		}
+	}
+	b1 := b.ProjectTx(tr, ids["t1"])
+	// CREATE(t1), RC(w), REPORT(w), RC(r), REPORT(r), REQUEST_COMMIT(t1).
+	if len(b1) != 6 {
+		t.Fatalf("β|t1 = %d events:\n%s", len(b1), b1.Format(tr))
+	}
+}
+
+func TestProjectObj(t *testing.T) {
+	tr, _, b := fixture(t)
+	x := tr.Object("x")
+	bx := b.ProjectObj(tr, x)
+	// CREATE(w), REQUEST_COMMIT(w), CREATE(r), REQUEST_COMMIT(r).
+	if len(bx) != 4 {
+		t.Fatalf("β|x = %d events:\n%s", len(bx), bx.Format(tr))
+	}
+}
+
+func TestCommitAbortSets(t *testing.T) {
+	tr, ids, b := fixture(t)
+	cs := b.CommitSet()
+	if !cs[ids["t1"]] || !cs[ids["w"]] || cs[ids["t2"]] {
+		t.Error("commit set wrong")
+	}
+	as := b.AbortSet()
+	if !as[ids["t2"]] || as[ids["t1"]] {
+		t.Error("abort set wrong")
+	}
+	_ = tr
+}
+
+func TestOrphanAndLive(t *testing.T) {
+	tr, ids, b := fixture(t)
+	aborted := b.AbortSet()
+	if !IsOrphan(tr, aborted, ids["t2"]) {
+		t.Error("t2 is an orphan")
+	}
+	if IsOrphan(tr, aborted, ids["t1"]) || IsOrphan(tr, aborted, ids["r"]) {
+		t.Error("t1 subtree is not orphaned")
+	}
+	if b.IsLive(ids["t1"]) {
+		t.Error("t1 completed, not live")
+	}
+	half := b[:7] // through CREATE(w)
+	if !half.IsLive(ids["t1"]) || !half.IsLive(ids["w"]) {
+		t.Error("t1 and w are live mid-trace")
+	}
+	if half.IsLive(ids["t2"]) {
+		t.Error("t2 was never created")
+	}
+}
+
+func TestOperations(t *testing.T) {
+	tr, ids, b := fixture(t)
+	ops := b.Operations(tr)
+	if len(ops) != 2 {
+		t.Fatalf("got %d operations", len(ops))
+	}
+	if ops[0].Tx != ids["w"] || ops[0].OV.Val != spec.OK {
+		t.Errorf("op 0 = %+v", ops[0])
+	}
+	if ops[1].Tx != ids["r"] || ops[1].OV.Val != spec.Int(5) {
+		t.Errorf("op 1 = %+v", ops[1])
+	}
+}
+
+func TestBehaviorEqual(t *testing.T) {
+	_, _, b := fixture(t)
+	c := make(Behavior, len(b))
+	copy(c, b)
+	if !b.Equal(c) {
+		t.Error("copies must be equal")
+	}
+	c[3].Tx++
+	if b.Equal(c) {
+		t.Error("modified copy must differ")
+	}
+	if b.Equal(b[:len(b)-1]) {
+		t.Error("prefixes must differ")
+	}
+}
+
+func TestEventFormat(t *testing.T) {
+	tr, ids, _ := fixture(t)
+	x := tr.Object("x")
+	if got := NewValEvent(RequestCommit, ids["r"], spec.Int(5)).Format(tr); got != "REQUEST_COMMIT(T0/t1/r[x read], 5)" {
+		t.Errorf("format = %q", got)
+	}
+	if got := NewInform(InformAbort, ids["t2"], x).Format(tr); got != "INFORM_ABORT_AT(x)OF(T0/t2)" {
+		t.Errorf("format = %q", got)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr, _, b := fixture(t)
+	enc := EncodeTrace(tr, b)
+	tr2, b2, err := DecodeTrace(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.NumTx() != tr.NumTx() || tr2.NumObjects() != tr.NumObjects() {
+		t.Fatal("tree shape changed in round trip")
+	}
+	if !b.Equal(b2) {
+		t.Fatalf("behavior changed in round trip:\nwant\n%s\ngot\n%s", b.Format(tr), b2.Format(tr2))
+	}
+	for id := tname.TxID(0); int(id) < tr.NumTx(); id++ {
+		if tr.Name(id) != tr2.Name(id) {
+			t.Fatalf("name %d changed: %s vs %s", id, tr.Name(id), tr2.Name(id))
+		}
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	tr, _, b := fixture(t)
+	enc := EncodeTrace(tr, b)
+	enc.Events[0].Kind = "NOPE"
+	if _, _, err := DecodeTrace(enc); err == nil {
+		t.Error("unknown event kind must fail")
+	}
+	enc = EncodeTrace(tr, b)
+	enc.Events[0].Tx = 999
+	if _, _, err := DecodeTrace(enc); err == nil {
+		t.Error("out-of-range tx must fail")
+	}
+	enc = EncodeTrace(tr, b)
+	enc.Objects[0].Spec = "martian"
+	if _, _, err := DecodeTrace(enc); err == nil {
+		t.Error("unknown spec must fail")
+	}
+	enc = EncodeTrace(tr, b)
+	enc.Tx[1].Parent = 42
+	if _, _, err := DecodeTrace(enc); err == nil {
+		t.Error("bad parent must fail")
+	}
+}

@@ -1,0 +1,89 @@
+package event_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/generic"
+	"nestedsg/internal/locking"
+	"nestedsg/internal/tname"
+	"nestedsg/internal/undolog"
+	"nestedsg/internal/workload"
+)
+
+// TestTraceRoundTripProperty: encode→decode is the identity on generated
+// traces (tree names, access metadata and every event), across protocols
+// and failure injection.
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: seed, TopLevel: 4, Depth: 2,
+			Fanout: 3, Objects: 3, SpecName: "mixed", ParProb: 0.6, RetryProb: 0.4})
+		proto := generic.Options{Seed: seed * 3, AbortProb: 0.03, MaxAborts: 4}
+		if seed%2 == 0 {
+			proto.Protocol = locking.Protocol{}
+		} else {
+			proto.Protocol = undolog.Protocol{}
+		}
+		b, _, err := generic.Run(tr, root, proto)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := event.WriteTrace(&buf, tr, b); err != nil {
+			return false
+		}
+		tr2, b2, err := event.ReadTrace(&buf)
+		if err != nil {
+			t.Logf("seed %d: decode: %v", seed, err)
+			return false
+		}
+		if tr2.NumTx() != tr.NumTx() || tr2.NumObjects() != tr.NumObjects() {
+			return false
+		}
+		for id := tname.TxID(0); int(id) < tr.NumTx(); id++ {
+			if tr.Name(id) != tr2.Name(id) {
+				return false
+			}
+			if tr.IsAccess(id) != tr2.IsAccess(id) {
+				return false
+			}
+			if tr.IsAccess(id) && tr.AccessOp(id) != tr2.AccessOp(id) {
+				return false
+			}
+		}
+		return b.Equal(b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProjectionsPartitionSerialEvents: every serial non-completion event
+// belongs to exactly one β|T (its transaction), and serial(β) is closed
+// under projection.
+func TestProjectionsPartitionSerialEvents(t *testing.T) {
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 5, TopLevel: 4, Depth: 2,
+		Fanout: 3, Objects: 2, ParProb: 0.7})
+	b, _, err := generic.Run(tr, root, generic.Options{Seed: 9, Protocol: locking.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialB := b.Serial()
+	total := 0
+	for id := tname.TxID(0); int(id) < tr.NumTx(); id++ {
+		total += len(serialB.ProjectTx(tr, id))
+	}
+	nonCompletion := 0
+	for _, e := range serialB {
+		if !e.Kind.IsCompletion() {
+			nonCompletion++
+		}
+	}
+	if total != nonCompletion {
+		t.Fatalf("projections cover %d events, serial has %d non-completion events", total, nonCompletion)
+	}
+}

@@ -1,0 +1,195 @@
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// Trace is the on-disk form of a behavior together with the system type it
+// was recorded against. cmd/nestedrun writes traces; cmd/sgcheck reads them.
+type Trace struct {
+	// Objects lists object names and their specification names, indexed by
+	// ObjID.
+	Objects []TraceObject `json:"objects"`
+	// Tx lists transaction names indexed by TxID; entry 0 is T0.
+	Tx []TraceTx `json:"tx"`
+	// Events is the recorded behavior.
+	Events []TraceEvent `json:"events"`
+}
+
+// TraceObject is one object name in a trace.
+type TraceObject struct {
+	Label string `json:"label"`
+	Spec  string `json:"spec"`
+}
+
+// TraceTx is one transaction name in a trace.
+type TraceTx struct {
+	Parent int32       `json:"parent"` // -1 for T0
+	Label  string      `json:"label"`
+	Obj    int32       `json:"obj"` // -1 for non-accesses
+	Op     string      `json:"op,omitempty"`
+	OpArg  *TraceValue `json:"oparg,omitempty"`
+}
+
+// TraceEvent is one event in a trace.
+type TraceEvent struct {
+	Kind string      `json:"kind"`
+	Tx   int32       `json:"tx"`
+	Val  *TraceValue `json:"val,omitempty"`
+	Obj  int32       `json:"obj,omitempty"`
+}
+
+// TraceValue is the JSON form of a spec.Value.
+type TraceValue struct {
+	Kind string `json:"kind"`
+	Int  int64  `json:"int,omitempty"`
+	Str  string `json:"str,omitempty"`
+}
+
+var valueKindNames = map[spec.ValueKind]string{
+	spec.VNil: "nil", spec.VOK: "ok", spec.VInt: "int", spec.VBool: "bool", spec.VStr: "str",
+}
+
+func encodeValue(v spec.Value) *TraceValue {
+	return &TraceValue{Kind: valueKindNames[v.Kind], Int: v.Int, Str: v.Str}
+}
+
+func decodeValue(tv *TraceValue) (spec.Value, error) {
+	if tv == nil {
+		return spec.Nil, nil
+	}
+	for k, name := range valueKindNames {
+		if name == tv.Kind {
+			return spec.Value{Kind: k, Int: tv.Int, Str: tv.Str}, nil
+		}
+	}
+	return spec.Value{}, fmt.Errorf("trace: unknown value kind %q", tv.Kind)
+}
+
+var opKindByName = func() map[string]spec.OpKind {
+	m := make(map[string]spec.OpKind)
+	for k := spec.OpKind(1); k <= spec.OpDeq; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+var eventKindByName = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := Create; k <= InformAbort; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// EncodeTrace converts a tree and behavior into a serializable Trace.
+func EncodeTrace(tr *tname.Tree, b Behavior) *Trace {
+	t := &Trace{}
+	for x := tname.ObjID(0); int(x) < tr.NumObjects(); x++ {
+		t.Objects = append(t.Objects, TraceObject{Label: tr.ObjectLabel(x), Spec: tr.Spec(x).Name()})
+	}
+	for id := tname.TxID(0); int(id) < tr.NumTx(); id++ {
+		tt := TraceTx{Parent: int32(tr.Parent(id)), Label: tr.Label(id), Obj: int32(tname.NoObj)}
+		if tr.IsAccess(id) {
+			op := tr.AccessOp(id)
+			tt.Obj = int32(tr.AccessObject(id))
+			tt.Op = op.Kind.String()
+			if op.Arg.Kind != spec.VNil {
+				tt.OpArg = encodeValue(op.Arg)
+			}
+		}
+		t.Tx = append(t.Tx, tt)
+	}
+	for _, e := range b {
+		te := TraceEvent{Kind: e.Kind.String(), Tx: int32(e.Tx), Obj: int32(e.Obj)}
+		if e.Kind == RequestCommit || e.Kind == ReportCommit {
+			te.Val = encodeValue(e.Val)
+		}
+		t.Events = append(t.Events, te)
+	}
+	return t
+}
+
+// DecodeTrace reconstructs the tree and behavior from a Trace.
+func DecodeTrace(t *Trace) (*tname.Tree, Behavior, error) {
+	tr := tname.NewTree()
+	for _, to := range t.Objects {
+		sp := spec.ByName(to.Spec)
+		if sp == nil {
+			return nil, nil, fmt.Errorf("trace: unknown spec %q", to.Spec)
+		}
+		tr.AddObject(to.Label, sp)
+	}
+	for i, tt := range t.Tx {
+		if i == 0 {
+			if tt.Parent != -1 {
+				return nil, nil, fmt.Errorf("trace: entry 0 must be T0")
+			}
+			continue
+		}
+		parent := tname.TxID(tt.Parent)
+		if parent < 0 || int(parent) >= i {
+			return nil, nil, fmt.Errorf("trace: tx %d has bad parent %d", i, tt.Parent)
+		}
+		var id tname.TxID
+		if tt.Obj >= 0 {
+			kind, ok := opKindByName[tt.Op]
+			if !ok {
+				return nil, nil, fmt.Errorf("trace: tx %d has unknown op %q", i, tt.Op)
+			}
+			arg, err := decodeValue(tt.OpArg)
+			if err != nil {
+				return nil, nil, err
+			}
+			id = tr.Access(parent, tt.Label, tname.ObjID(tt.Obj), spec.Op{Kind: kind, Arg: arg})
+		} else {
+			id = tr.Child(parent, tt.Label)
+		}
+		if id != tname.TxID(i) {
+			return nil, nil, fmt.Errorf("trace: tx %d interned out of order (got %d); duplicate name?", i, id)
+		}
+	}
+	var b Behavior
+	for i, te := range t.Events {
+		kind, ok := eventKindByName[te.Kind]
+		if !ok {
+			return nil, nil, fmt.Errorf("trace: event %d has unknown kind %q", i, te.Kind)
+		}
+		if te.Tx < 0 || int(te.Tx) >= tr.NumTx() {
+			return nil, nil, fmt.Errorf("trace: event %d names unknown tx %d", i, te.Tx)
+		}
+		val, err := decodeValue(te.Val)
+		if err != nil {
+			return nil, nil, err
+		}
+		e := Event{Kind: kind, Tx: tname.TxID(te.Tx), Val: val, Obj: tname.ObjID(te.Obj)}
+		if kind != InformCommit && kind != InformAbort {
+			e.Obj = tname.NoObj
+		} else if te.Obj < 0 || int(te.Obj) >= tr.NumObjects() {
+			return nil, nil, fmt.Errorf("trace: event %d informs unknown object %d", i, te.Obj)
+		}
+		b = append(b, e)
+	}
+	return tr, b, nil
+}
+
+// WriteTrace writes the behavior as indented JSON.
+func WriteTrace(w io.Writer, tr *tname.Tree, b Behavior) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(EncodeTrace(tr, b))
+}
+
+// ReadTrace parses a JSON trace.
+func ReadTrace(r io.Reader) (*tname.Tree, Behavior, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return DecodeTrace(&t)
+}

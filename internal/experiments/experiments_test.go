@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs the entire suite at Smoke scale: every
+// theorem experiment must report zero violations, every table must render.
+func TestAllExperimentsSmoke(t *testing.T) {
+	results := All(Smoke)
+	if len(results) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		out := r.Table.String()
+		if !strings.Contains(out, r.ID+" ") && !strings.Contains(out, r.ID+"—") && !strings.Contains(out, r.ID+" —") {
+			t.Errorf("%s: table title should carry the id:\n%s", r.ID, out)
+		}
+		if r.Violations != 0 {
+			t.Errorf("%s: %d violations; notes: %v", r.ID, r.Violations, r.Notes)
+		}
+	}
+}
+
+func TestScaleSeeds(t *testing.T) {
+	if Smoke.seeds() >= Standard.seeds() || Standard.seeds() >= Full.seeds() {
+		t.Error("scales must be ordered")
+	}
+}

@@ -1,0 +1,574 @@
+// Package generic implements generic systems (§5.1): the composition of
+// transaction programs, generic object automata (Moss locking, undo
+// logging, or broken variants) and the generic controller, driven by a
+// seeded scheduler that picks uniformly among the enabled actions.
+//
+// Unlike the serial scheduler, the generic controller runs sibling
+// transactions concurrently and can abort transactions that have already
+// performed work; recovery is the generic objects' problem. The runner
+// restricts the paper's controller in two ways, both of which select a
+// subset of its nondeterministic behaviors (so every trace produced is a
+// generic behavior):
+//
+//   - orphans are frozen by default: once a transaction aborts, no
+//     descendant takes further steps (Options.AllowOrphans restores the
+//     paper's full nondeterminism; orphan management is a separate line of
+//     work it cites);
+//   - INFORM events for each object are delivered in completion order,
+//     which yields the ascending ("leaf-to-root") commit-inform order the
+//     lock-visibility notion of §5.3 relies on.
+//
+// Blocking protocols can deadlock; the runner aborts a blocking
+// transaction (the timeout analogue, always safe in this model) either at
+// quiescence or, with Options.EagerDeadlock, as soon as a waits-for cycle
+// appears. Protocols that abort rather than block (object.Aborter, e.g.
+// MVTO) have their restarts executed by the runner as well.
+package generic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/graph"
+	"nestedsg/internal/object"
+	"nestedsg/internal/program"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// Options configures a run.
+type Options struct {
+	// Seed drives every scheduling decision; equal seeds and inputs give
+	// identical traces.
+	Seed int64
+	// Protocol chooses the generic object automaton.
+	Protocol object.Protocol
+	// AbortProb is a per-step probability of spontaneously aborting one
+	// live transaction (crash/failure injection).
+	AbortProb float64
+	// MaxAborts bounds spontaneous aborts; 0 means none are injected even
+	// if AbortProb is set.
+	MaxAborts int
+	// MaxSteps bounds the scheduler loop; 0 selects a generous default
+	// proportional to the program size.
+	MaxSteps int
+	// AuditObjects asks every object implementing object.Auditor to check
+	// its invariants after each step; a failure aborts the run with an
+	// error. Used by the property tests (it is O(state) per step).
+	AuditObjects bool
+	// EagerDeadlock turns on periodic waits-for cycle detection between
+	// top-level transactions: every 32 steps the runner builds the
+	// waits-for graph from the objects' Blockers and aborts one member of
+	// each cycle immediately, instead of waiting for global quiescence.
+	// Quiescence-based resolution remains as the safety net (it also
+	// catches intra-transaction cycles the top-level graph cannot see).
+	// This is the deadlock-policy ablation of experiment E9.
+	EagerDeadlock bool
+	// AllowOrphans lets descendants of aborted transactions keep running
+	// (the paper's generic controller permits this; orphan management is
+	// the separate line of work it cites as [8]). Orphan activity is never
+	// visible to T0, so serial correctness for T0 must still hold — the
+	// orphan property tests exercise exactly that. The default freezes
+	// orphans, which restricts the controller's nondeterminism.
+	AllowOrphans bool
+}
+
+// Stats summarizes a run for the benchmark harness.
+type Stats struct {
+	// Steps is the number of scheduler decisions taken.
+	Steps int
+	// Events is the number of trace events emitted.
+	Events int
+	// Commits and Aborts count completion events.
+	Commits, Aborts int
+	// SpontaneousAborts counts failure-injected aborts; DeadlockVictims
+	// counts aborts issued to break deadlocks; ProtocolAborts counts
+	// restarts demanded by the protocol itself (object.Aborter).
+	SpontaneousAborts, DeadlockVictims, ProtocolAborts int
+	// Accesses counts access REQUEST_COMMITs granted; Blocked counts
+	// scheduler polls that found an access waiting for locks or
+	// commutativity.
+	Accesses, Blocked int
+}
+
+type status uint8
+
+const (
+	stRequested status = iota
+	stCreated
+	stCommitRequested
+	stCommitted
+	stAborted
+)
+
+type txState struct {
+	id     tname.TxID
+	node   *program.Node
+	status status
+	// dead marks descendants of aborted transactions: frozen.
+	dead     bool
+	reported bool
+	value    spec.Value
+	exec     *program.Exec
+	// pendingRequests are children the program has requested but whose
+	// REQUEST_CREATE the controller has not yet emitted.
+	pendingRequests []*program.Node
+	// touched is the set of objects accessed in this transaction's subtree
+	// so far; informs about this transaction go to exactly these objects.
+	touched map[tname.ObjID]bool
+}
+
+type informMsg struct {
+	commit bool
+	tx     tname.TxID
+}
+
+// Runner holds the mutable state of one generic-system execution.
+type Runner struct {
+	tr      *tname.Tree
+	opts    Options
+	rng     *rand.Rand
+	objects map[tname.ObjID]object.Generic
+	informQ map[tname.ObjID][]informMsg
+	objIDs  []tname.ObjID
+
+	txs   map[tname.TxID]*txState
+	order []tname.TxID // stable enumeration order of known transactions
+
+	trace event.Behavior
+	stats Stats
+}
+
+// Run executes the program of T0 under the generic controller and returns
+// the recorded behavior (serial actions plus informs).
+func Run(tr *tname.Tree, root *program.Node, opts Options) (event.Behavior, Stats, error) {
+	if err := program.Validate(root); err != nil {
+		return nil, Stats{}, err
+	}
+	if opts.Protocol == nil {
+		return nil, Stats{}, fmt.Errorf("generic: Options.Protocol is required")
+	}
+	r := &Runner{
+		tr:      tr,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		objects: make(map[tname.ObjID]object.Generic),
+		informQ: make(map[tname.ObjID][]informMsg),
+		txs:     make(map[tname.TxID]*txState),
+	}
+	for x := tname.ObjID(0); int(x) < tr.NumObjects(); x++ {
+		r.objects[x] = opts.Protocol.New(tr, x)
+		r.objIDs = append(r.objIDs, x)
+	}
+
+	// CREATE(T0) and start its program.
+	rootState := &txState{id: tname.Root, node: root, status: stCreated, touched: make(map[tname.ObjID]bool)}
+	rootState.exec = program.NewExec(root)
+	rootState.pendingRequests = rootState.exec.Start()
+	r.txs[tname.Root] = rootState
+	r.order = append(r.order, tname.Root)
+	r.emit(event.NewEvent(event.Create, tname.Root))
+
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 200*program.CountNodes(root) + 10000
+	}
+
+	for ; r.stats.Steps < maxSteps; r.stats.Steps++ {
+		if r.maybeInjectAbort() {
+			continue
+		}
+		if opts.EagerDeadlock && r.stats.Steps%32 == 31 && r.breakWaitsForCycle() {
+			continue
+		}
+		acts := r.enabledActions()
+		if len(acts) == 0 {
+			if r.breakDeadlock() {
+				continue
+			}
+			// Quiescent.
+			r.stats.Events = len(r.trace)
+			return r.trace, r.stats, nil
+		}
+		acts[r.rng.Intn(len(acts))]()
+		if opts.AuditObjects {
+			for _, x := range r.objIDs {
+				if a, ok := r.objects[x].(object.Auditor); ok {
+					if err := a.Audit(); err != nil {
+						return nil, r.stats, fmt.Errorf("generic: object %s invariant violated at step %d: %w",
+							tr.ObjectLabel(x), r.stats.Steps, err)
+					}
+				}
+			}
+		}
+	}
+	return nil, r.stats, fmt.Errorf("generic: no quiescence after %d steps", maxSteps)
+}
+
+func (r *Runner) emit(e event.Event) { r.trace = append(r.trace, e) }
+
+// action is one enabled controller/object/transaction step.
+type action func()
+
+// enabledActions enumerates every enabled action of the composed system.
+func (r *Runner) enabledActions() []action {
+	var acts []action
+	for _, id := range r.order {
+		ts := r.txs[id]
+		if ts.dead {
+			continue
+		}
+		switch ts.status {
+		case stRequested:
+			acts = append(acts, r.actCreate(ts))
+			// The controller may also abort any requested, uncompleted
+			// transaction; that nondeterminism is exercised through
+			// failure injection rather than the uniform pick, so that
+			// abort rates are a workload parameter.
+		case stCreated:
+			if ts.node.IsAccess {
+				x := ts.node.Obj
+				if ab, ok := r.objects[x].(object.Aborter); ok && ab.ShouldAbort(ts.id) {
+					// The protocol demands a restart (e.g. an MVTO write
+					// that arrived too late): abort the classical
+					// transaction the access belongs to.
+					acts = append(acts, r.actProtocolAbort(ts))
+				} else if len(r.objects[x].Blockers(ts.id)) == 0 {
+					acts = append(acts, r.actRespond(ts))
+				} else {
+					r.stats.Blocked++
+				}
+			} else {
+				if len(ts.pendingRequests) > 0 {
+					acts = append(acts, r.actIssueRequest(ts))
+				}
+				if ts.exec.Ready() && len(ts.pendingRequests) == 0 && ts.id != tname.Root {
+					acts = append(acts, r.actRequestCommit(ts))
+				}
+			}
+		case stCommitRequested:
+			acts = append(acts, r.actCommit(ts))
+		case stCommitted:
+			if !ts.reported {
+				if p := r.txs[r.tr.Parent(ts.id)]; p != nil && !p.dead && p.status == stCreated {
+					acts = append(acts, r.actReportCommit(ts))
+				}
+			}
+		case stAborted:
+			if !ts.reported {
+				if p := r.txs[r.tr.Parent(ts.id)]; p != nil && !p.dead && p.status == stCreated {
+					acts = append(acts, r.actReportAbort(ts))
+				}
+			}
+		}
+	}
+	for _, x := range r.objIDs {
+		if len(r.informQ[x]) > 0 {
+			acts = append(acts, r.actInform(x))
+		}
+	}
+	return acts
+}
+
+func (r *Runner) actCreate(ts *txState) action {
+	return func() {
+		ts.status = stCreated
+		r.emit(event.NewEvent(event.Create, ts.id))
+		if ts.node.IsAccess {
+			x := ts.node.Obj
+			r.objects[x].Create(ts.id)
+			r.markTouched(ts.id, x)
+			return
+		}
+		ts.exec = program.NewExec(ts.node)
+		ts.pendingRequests = ts.exec.Start()
+	}
+}
+
+// markTouched records that x was accessed in the subtree of every ancestor
+// of the access.
+func (r *Runner) markTouched(acc tname.TxID, x tname.ObjID) {
+	for u := acc; u != tname.None; u = r.tr.Parent(u) {
+		if ts := r.txs[u]; ts != nil {
+			ts.touched[x] = true
+		}
+	}
+}
+
+func (r *Runner) actIssueRequest(ts *txState) action {
+	return func() {
+		child := ts.pendingRequests[0]
+		ts.pendingRequests = ts.pendingRequests[1:]
+		var childID tname.TxID
+		if child.IsAccess {
+			childID = r.tr.Access(ts.id, child.Label, child.Obj, child.Op)
+		} else {
+			childID = r.tr.Child(ts.id, child.Label)
+		}
+		if _, ok := r.txs[childID]; ok {
+			panic(fmt.Sprintf("generic: duplicate child %s", r.tr.Name(childID)))
+		}
+		cs := &txState{id: childID, node: child, status: stRequested, touched: make(map[tname.ObjID]bool)}
+		r.txs[childID] = cs
+		r.order = append(r.order, childID)
+		r.emit(event.NewEvent(event.RequestCreate, childID))
+	}
+}
+
+func (r *Runner) actRespond(ts *txState) action {
+	return func() {
+		x := ts.node.Obj
+		v, ok := r.objects[x].TryRequestCommit(ts.id)
+		if !ok {
+			// Blockers said it was enabled; a protocol for which that is
+			// not equivalent would simply lose a step.
+			r.stats.Blocked++
+			return
+		}
+		ts.status = stCommitRequested
+		ts.value = v
+		r.stats.Accesses++
+		r.emit(event.NewValEvent(event.RequestCommit, ts.id, v))
+	}
+}
+
+func (r *Runner) actRequestCommit(ts *txState) action {
+	return func() {
+		ts.status = stCommitRequested
+		ts.value = ts.exec.Value()
+		r.emit(event.NewValEvent(event.RequestCommit, ts.id, ts.value))
+	}
+}
+
+func (r *Runner) actCommit(ts *txState) action {
+	return func() {
+		ts.status = stCommitted
+		r.stats.Commits++
+		r.emit(event.NewEvent(event.Commit, ts.id))
+		// When orphans run, a committing orphan's locks/log entries would
+		// otherwise be inherited past an ancestor whose abort the objects
+		// have already been informed of, and stick there; re-informing the
+		// abort right after the commit keeps recovery exact (inform
+		// handlers are idempotent).
+		var orphanOf tname.TxID = tname.None
+		if r.opts.AllowOrphans {
+			for u := r.tr.Parent(ts.id); u != tname.None; u = r.tr.Parent(u) {
+				if p := r.txs[u]; p != nil && p.status == stAborted {
+					orphanOf = u
+					break
+				}
+			}
+		}
+		for x := range ts.touched {
+			r.informQ[x] = append(r.informQ[x], informMsg{commit: true, tx: ts.id})
+			if orphanOf != tname.None {
+				r.informQ[x] = append(r.informQ[x], informMsg{commit: false, tx: orphanOf})
+			}
+		}
+	}
+}
+
+// abortTx aborts a requested-or-created transaction and, unless orphan
+// activity is allowed, freezes its subtree.
+func (r *Runner) abortTx(ts *txState) {
+	ts.status = stAborted
+	r.stats.Aborts++
+	r.emit(event.NewEvent(event.Abort, ts.id))
+	for x := range ts.touched {
+		r.informQ[x] = append(r.informQ[x], informMsg{commit: false, tx: ts.id})
+	}
+	if r.opts.AllowOrphans {
+		return
+	}
+	// Freeze descendants.
+	for _, id := range r.order {
+		if id != ts.id && r.tr.IsDescendant(id, ts.id) {
+			r.txs[id].dead = true
+		}
+	}
+}
+
+// actProtocolAbort aborts the top-level ancestor of an access the protocol
+// says can never be granted.
+func (r *Runner) actProtocolAbort(ts *txState) action {
+	return func() {
+		top := r.tr.ChildAncestor(tname.Root, ts.id)
+		vs := r.txs[top]
+		if vs == nil || vs.dead || vs.status >= stCommitted {
+			return
+		}
+		r.stats.ProtocolAborts++
+		r.abortTx(vs)
+	}
+}
+
+func (r *Runner) actReportCommit(ts *txState) action {
+	return func() {
+		ts.reported = true
+		r.emit(event.NewValEvent(event.ReportCommit, ts.id, ts.value))
+		r.deliverOutcome(ts, program.Outcome{Committed: true, Val: ts.value})
+	}
+}
+
+func (r *Runner) actReportAbort(ts *txState) action {
+	return func() {
+		ts.reported = true
+		r.emit(event.NewEvent(event.ReportAbort, ts.id))
+		r.deliverOutcome(ts, program.Outcome{Committed: false})
+	}
+}
+
+func (r *Runner) deliverOutcome(child *txState, oc program.Outcome) {
+	parent := r.txs[r.tr.Parent(child.id)]
+	idx := parent.exec.RequestIndex(child.node.Label)
+	more := parent.exec.OnReport(idx, oc)
+	parent.pendingRequests = append(parent.pendingRequests, more...)
+}
+
+func (r *Runner) actInform(x tname.ObjID) action {
+	return func() {
+		q := r.informQ[x]
+		msg := q[0]
+		r.informQ[x] = q[1:]
+		if msg.commit {
+			r.objects[x].InformCommit(msg.tx)
+			r.emit(event.NewInform(event.InformCommit, msg.tx, x))
+		} else {
+			r.objects[x].InformAbort(msg.tx)
+			r.emit(event.NewInform(event.InformAbort, msg.tx, x))
+		}
+	}
+}
+
+// maybeInjectAbort flips the failure-injection coin and aborts one random
+// abortable transaction.
+func (r *Runner) maybeInjectAbort() bool {
+	if r.opts.MaxAborts <= 0 || r.stats.SpontaneousAborts >= r.opts.MaxAborts || r.opts.AbortProb <= 0 {
+		return false
+	}
+	if r.rng.Float64() >= r.opts.AbortProb {
+		return false
+	}
+	var candidates []*txState
+	for _, id := range r.order {
+		ts := r.txs[id]
+		if id != tname.Root && !ts.dead && ts.status < stCommitted {
+			candidates = append(candidates, ts)
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	r.stats.SpontaneousAborts++
+	r.abortTx(candidates[r.rng.Intn(len(candidates))])
+	return true
+}
+
+// breakDeadlock fires when no action is enabled: if blocked accesses
+// remain, abort a transaction whose activity blocks one of them.
+//
+// A blocker reported by an object may itself have committed already (an
+// undo-log entry whose owning access committed while an enclosing
+// subtransaction has not); aborting it is impossible, but aborting its
+// lowest uncommitted ancestor releases the same resources — the object is
+// informed of the abort and discards the whole subtree's locks or log
+// entries.
+func (r *Runner) breakDeadlock() bool {
+	var blockers []tname.TxID
+	for _, id := range r.order {
+		ts := r.txs[id]
+		if ts.dead || ts.status != stCreated || !ts.node.IsAccess {
+			continue
+		}
+		blockers = append(blockers, r.objects[ts.node.Obj].Blockers(ts.id)...)
+	}
+	var victims []*txState
+	seen := make(map[tname.TxID]bool)
+	for _, blk := range blockers {
+		for u := blk; u != tname.Root && u != tname.None; u = r.tr.Parent(u) {
+			ts := r.txs[u]
+			if ts == nil || ts.dead {
+				break
+			}
+			if ts.status < stCommitted {
+				if !seen[u] {
+					seen[u] = true
+					victims = append(victims, ts)
+				}
+				break
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return false
+	}
+	// Objects may report blockers in map order; sort so the victim choice
+	// is a pure function of the seed.
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	r.stats.DeadlockVictims++
+	r.abortTx(victims[r.rng.Intn(len(victims))])
+	return true
+}
+
+// breakWaitsForCycle builds the waits-for graph between top-level
+// transactions (an edge from the waiter's classical transaction to each
+// blocker's) and, if it contains a cycle, aborts one cycle member. It
+// returns whether a victim was aborted.
+func (r *Runner) breakWaitsForCycle() bool {
+	index := make(map[tname.TxID]int)
+	var tops []tname.TxID
+	node := func(t tname.TxID) int {
+		if i, ok := index[t]; ok {
+			return i
+		}
+		i := len(tops)
+		index[t] = i
+		tops = append(tops, t)
+		return i
+	}
+	type edge struct{ from, to tname.TxID }
+	var edges []edge
+	for _, id := range r.order {
+		ts := r.txs[id]
+		if ts.dead || ts.status != stCreated || !ts.node.IsAccess {
+			continue
+		}
+		waiter := r.tr.ChildAncestor(tname.Root, id)
+		for _, blk := range r.objects[ts.node.Obj].Blockers(id) {
+			holder := r.tr.ChildAncestor(tname.Root, blk)
+			if holder != waiter {
+				node(waiter)
+				node(holder)
+				edges = append(edges, edge{waiter, holder})
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return false
+	}
+	g := graph.New(len(tops))
+	for _, e := range edges {
+		g.AddEdge(index[e.from], index[e.to])
+	}
+	_, cyc := g.TopoSort()
+	if cyc == nil {
+		return false
+	}
+	// Abort one cycle member that is still abortable.
+	var victims []*txState
+	for _, n := range cyc {
+		ts := r.txs[tops[n]]
+		if ts != nil && !ts.dead && ts.status < stCommitted {
+			victims = append(victims, ts)
+		}
+	}
+	if len(victims) == 0 {
+		return false
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	r.stats.DeadlockVictims++
+	r.abortTx(victims[r.rng.Intn(len(victims))])
+	return true
+}

@@ -1,0 +1,257 @@
+// Package graph provides the small directed-graph substrate used by the
+// serialization-graph construction: cycle detection, topological sorting,
+// strongly connected components and DOT export.
+//
+// Nodes are dense small integers supplied by the caller (the checker maps
+// transaction names to node indices). The implementation is iterative —
+// histories can contain very long sibling chains and Go stacks, while
+// growable, are better left out of complexity arguments.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is a directed graph over nodes 0..n-1 with deduplicated edges.
+type Graph struct {
+	n     int
+	adj   [][]int32
+	edges map[edge]bool
+}
+
+type edge struct{ from, to int32 }
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int32, n), edges: make(map[edge]bool)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// NumEdges returns the number of distinct edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts the edge from→to, ignoring duplicates and panicking on
+// out-of-range nodes. Self-loops are recorded (they are cycles).
+func (g *Graph) AddEdge(from, to int) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.n))
+	}
+	e := edge{int32(from), int32(to)}
+	if g.edges[e] {
+		return
+	}
+	g.edges[e] = true
+	g.adj[from] = append(g.adj[from], int32(to))
+}
+
+// HasEdge reports whether from→to is present.
+func (g *Graph) HasEdge(from, to int) bool {
+	return g.edges[edge{int32(from), int32(to)}]
+}
+
+// Succ returns the successors of node v; the slice is owned by the graph.
+func (g *Graph) Succ(v int) []int32 { return g.adj[v] }
+
+// TopoSort returns a topological order of the nodes, or (nil, cycle) where
+// cycle is a list of nodes forming a directed cycle. Kahn's algorithm with a
+// deterministic (ascending node index) tie-break, so certificates are
+// reproducible.
+func (g *Graph) TopoSort() (order []int, cycle []int) {
+	indeg := make([]int, g.n)
+	for e := range g.edges {
+		indeg[e.to]++
+	}
+	// Min-heap behavior via sorted frontier: frontier kept sorted descending
+	// so pop from the end yields the smallest.
+	frontier := make([]int, 0, g.n)
+	for v := g.n - 1; v >= 0; v-- {
+		if indeg[v] == 0 {
+			frontier = append(frontier, v)
+		}
+	}
+	order = make([]int, 0, g.n)
+	for len(frontier) > 0 {
+		v := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		order = append(order, v)
+		var added bool
+		for _, w := range g.adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				frontier = append(frontier, int(w))
+				added = true
+			}
+		}
+		if added {
+			sort.Sort(sort.Reverse(sort.IntSlice(frontier)))
+		}
+	}
+	if len(order) == g.n {
+		return order, nil
+	}
+	return nil, g.findCycle()
+}
+
+// Acyclic reports whether the graph has no directed cycle.
+func (g *Graph) Acyclic() bool {
+	_, cycle := g.TopoSort()
+	return cycle == nil
+}
+
+// findCycle returns some directed cycle; it must only be called when one
+// exists. Iterative DFS with an explicit stack, tracking the path.
+func (g *Graph) findCycle() []int {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]byte, g.n)
+	parent := make([]int32, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	type frame struct {
+		v    int32
+		next int
+	}
+	for start := 0; start < g.n; start++ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{v: int32(start)}}
+		color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.next]
+				f.next++
+				switch color[w] {
+				case white:
+					color[w] = grey
+					parent[w] = f.v
+					stack = append(stack, frame{v: w})
+				case grey:
+					// Found a back edge f.v -> w; walk parents from f.v to w.
+					cyc := []int{int(w)}
+					for u := f.v; u != w; u = parent[u] {
+						cyc = append(cyc, int(u))
+					}
+					// Reverse so the cycle reads in edge direction.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// SCCs returns the strongly connected components in reverse topological
+// order (Tarjan, iterative). Components are sorted internally by node index.
+func (g *Graph) SCCs() [][]int {
+	index := make([]int32, g.n)
+	low := make([]int32, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		counter int32
+		stack   []int32
+		out     [][]int
+	)
+	type frame struct {
+		v    int32
+		next int
+	}
+	for start := 0; start < g.n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		call := []frame{{v: int32(start)}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, int32(start))
+		onStack[start] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.next < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.next]
+				f.next++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			} else {
+				if len(call) > 1 {
+					p := call[len(call)-2].v
+					if low[f.v] < low[p] {
+						low[p] = low[f.v]
+					}
+				}
+				if low[f.v] == index[f.v] {
+					var comp []int
+					for {
+						w := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						onStack[w] = false
+						comp = append(comp, int(w))
+						if w == f.v {
+							break
+						}
+					}
+					sort.Ints(comp)
+					out = append(out, comp)
+				}
+				call = call[:len(call)-1]
+			}
+		}
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz DOT syntax. label maps node indices to
+// display names; nil uses the index.
+func (g *Graph) DOT(name string, label func(int) string) string {
+	if label == nil {
+		label = func(v int) string { return fmt.Sprintf("%d", v) }
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	for v := 0; v < g.n; v++ {
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", v, label(v))
+	}
+	// Deterministic edge order.
+	es := make([]edge, 0, len(g.edges))
+	for e := range g.edges {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].from != es[j].from {
+			return es[i].from < es[j].from
+		}
+		return es[i].to < es[j].to
+	})
+	for _, e := range es {
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", e.from, e.to)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	order, cycle := g.TopoSort()
+	if cycle != nil || len(order) != 0 {
+		t.Error("empty graph must sort trivially")
+	}
+	if !g.Acyclic() {
+		t.Error("empty graph is acyclic")
+	}
+}
+
+func TestEdgeBookkeeping(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // duplicate
+	g.AddEdge(1, 2)
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("HasEdge wrong")
+	}
+	if len(g.Succ(0)) != 1 {
+		t.Error("duplicate edges must not duplicate adjacency")
+	}
+}
+
+func TestAddEdgeOutOfRange(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.AddEdge(0, 5)
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(1, 0)
+	order, cycle := g.TopoSort()
+	if cycle != nil {
+		t.Fatal("chain is acyclic")
+	}
+	want := []int{3, 2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTopoSortDeterministicTieBreak(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 3)
+	order, cycle := g.TopoSort()
+	if cycle != nil {
+		t.Fatal("acyclic")
+	}
+	// Unconstrained nodes come in ascending index order.
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(1, 1)
+	if g.Acyclic() {
+		t.Error("self-loop is a cycle")
+	}
+	_, cycle := g.TopoSort()
+	if len(cycle) != 1 || cycle[0] != 1 {
+		t.Errorf("cycle = %v", cycle)
+	}
+}
+
+func TestFindCycleValid(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1) // cycle 1→2→3→1
+	g.AddEdge(3, 4)
+	_, cycle := g.TopoSort()
+	if cycle == nil {
+		t.Fatal("expected a cycle")
+	}
+	assertIsCycle(t, g, cycle)
+}
+
+func assertIsCycle(t *testing.T, g *Graph, cycle []int) {
+	t.Helper()
+	if len(cycle) == 0 {
+		t.Fatal("empty cycle")
+	}
+	for i := range cycle {
+		j := (i + 1) % len(cycle)
+		if !g.HasEdge(cycle[i], cycle[j]) {
+			t.Fatalf("cycle %v: missing edge %d->%d", cycle, cycle[i], cycle[j])
+		}
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	g := New(6)
+	// Component {0,1,2}, component {3,4}, singleton {5}.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 3)
+	g.AddEdge(4, 5)
+	comps := g.SCCs()
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Fatalf("components = %v", comps)
+	}
+	// Reverse topological order: {5} first, then {3,4}, then {0,1,2}.
+	if len(comps[0]) != 1 || comps[0][0] != 5 {
+		t.Errorf("first component = %v, want [5]", comps[0])
+	}
+	if len(comps[2]) != 3 {
+		t.Errorf("last component = %v, want the 3-cycle", comps[2])
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	dot := g.DOT("g", func(v int) string { return "N" + string(rune('A'+v)) })
+	for _, frag := range []string{"digraph", "NA", "NB", "n0 -> n1"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+// randomDAG builds a DAG by only adding forward edges under a random
+// permutation, returning the graph and the hidden order.
+func randomDAG(rng *rand.Rand, n, m int) *Graph {
+	perm := rng.Perm(n)
+	g := New(n)
+	for k := 0; k < m; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if perm[i] > perm[j] {
+			i, j = j, i
+		}
+		g.AddEdge(i, j)
+	}
+	return g
+}
+
+// TestTopoSortProperty: on random DAGs, TopoSort must return a permutation
+// consistent with every edge; on graphs with a planted cycle, it must
+// report a genuine cycle.
+func TestTopoSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomDAG(rng, n, n*2)
+		order, cycle := g.TopoSort()
+		if cycle != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for v := 0; v < n; v++ {
+			for _, w := range g.Succ(v) {
+				if pos[v] >= pos[int(w)] {
+					return false
+				}
+			}
+		}
+		// Plant a guaranteed 2-cycle; TopoSort is pure so re-running the
+		// mutated graph is fine.
+		if n >= 2 {
+			g.AddEdge(order[0], order[1])
+			g.AddEdge(order[1], order[0])
+			cyc2, cyc := g.TopoSort()
+			if cyc == nil {
+				_ = cyc2
+				return false
+			}
+			for i := range cyc {
+				if !g.HasEdge(cyc[i], cyc[(i+1)%len(cyc)]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCCsAgreeWithAcyclicity: a graph is acyclic iff every SCC is a
+// singleton without a self-loop.
+func TestSCCsAgreeWithAcyclicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		m := rng.Intn(3 * n)
+		for k := 0; k < m; k++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		allSingle := true
+		for _, c := range g.SCCs() {
+			if len(c) > 1 {
+				allSingle = false
+			} else if g.HasEdge(c[0], c[0]) {
+				allSingle = false
+			}
+		}
+		return g.Acyclic() == allSingle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

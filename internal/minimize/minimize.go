@@ -1,0 +1,149 @@
+// Package minimize shrinks behaviors that fail the serialization-graph
+// check to smaller ones that still fail the same way — delta debugging for
+// traces. Given a trace flagged with a cycle or a value violation, the
+// minimizer greedily removes whole transaction subtrees (all events naming
+// a descendant) while the failure class persists, until no single subtree
+// can be removed. The result is typically a handful of transactions that
+// exhibit the anomaly, small enough to read or to feed to the exhaustive
+// oracle.
+package minimize
+
+import (
+	"sort"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/tname"
+)
+
+// FailureClass is what kind of rejection the minimizer preserves.
+type FailureClass uint8
+
+// Failure classes.
+const (
+	// NotFailing: the input passes the checker; there is nothing to
+	// minimize.
+	NotFailing FailureClass = iota
+	// Malformed: rejected by the well-formedness axioms.
+	Malformed
+	// BadValues: rejected by the appropriate-return-values audit.
+	BadValues
+	// Cyclic: rejected by a serialization-graph cycle.
+	Cyclic
+)
+
+// String names the class.
+func (c FailureClass) String() string {
+	switch c {
+	case NotFailing:
+		return "not-failing"
+	case Malformed:
+		return "malformed"
+	case BadValues:
+		return "bad-values"
+	case Cyclic:
+		return "cyclic"
+	}
+	return "unknown"
+}
+
+// Classify runs the checker and reports the failure class.
+func Classify(tr *tname.Tree, b event.Behavior) FailureClass {
+	res := core.Check(tr, b)
+	switch {
+	case res.OK:
+		return NotFailing
+	case res.WFErr != nil:
+		return Malformed
+	case len(res.ValueViolations) > 0:
+		return BadValues
+	case res.Cycle != nil:
+		return Cyclic
+	}
+	return Malformed
+}
+
+// Stats reports what the minimizer did.
+type Stats struct {
+	// Class is the preserved failure class.
+	Class FailureClass
+	// EventsBefore/EventsAfter are trace sizes.
+	EventsBefore, EventsAfter int
+	// Removed counts removed subtrees; Attempts counts checker runs.
+	Removed, Attempts int
+}
+
+// Minimize returns a 1-minimal (no single remaining candidate subtree can
+// be removed) sub-behavior failing with the same class, together with
+// statistics. Behaviors that pass the checker are returned unchanged with
+// Class NotFailing.
+func Minimize(tr *tname.Tree, b event.Behavior) (event.Behavior, Stats) {
+	st := Stats{EventsBefore: len(b)}
+	st.Class = Classify(tr, b)
+	st.Attempts++
+	if st.Class == NotFailing {
+		st.EventsAfter = len(b)
+		return b, st
+	}
+
+	cur := b
+	for {
+		removedAny := false
+		for _, sub := range candidates(tr, cur) {
+			trial := removeSubtree(tr, cur, sub)
+			if len(trial) == len(cur) {
+				continue
+			}
+			st.Attempts++
+			if Classify(tr, trial) == st.Class {
+				cur = trial
+				st.Removed++
+				removedAny = true
+			}
+		}
+		if !removedAny {
+			break
+		}
+	}
+	st.EventsAfter = len(cur)
+	return cur, st
+}
+
+// candidates lists the transaction subtrees appearing in the behavior,
+// largest first (removing big subtrees early shrinks fastest): first the
+// children of T0, then deeper non-access transactions, then accesses.
+func candidates(tr *tname.Tree, b event.Behavior) []tname.TxID {
+	seen := map[tname.TxID]bool{}
+	var out []tname.TxID
+	for _, e := range b {
+		if e.Tx == tname.Root || seen[e.Tx] {
+			continue
+		}
+		seen[e.Tx] = true
+		out = append(out, e.Tx)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := tr.Depth(out[i]), tr.Depth(out[j])
+		if di != dj {
+			return di < dj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// removeSubtree drops every event that names a descendant of sub
+// (including informs about them).
+func removeSubtree(tr *tname.Tree, b event.Behavior, sub tname.TxID) event.Behavior {
+	out := make(event.Behavior, 0, len(b))
+	for _, e := range b {
+		if tr.IsDescendant(e.Tx, sub) {
+			continue
+		}
+		out = append(out, e)
+	}
+	if len(out) == len(b) {
+		return b
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package minimize
+
+import (
+	"testing"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/generic"
+	"nestedsg/internal/locking"
+	"nestedsg/internal/tname"
+	"nestedsg/internal/undolog"
+	"nestedsg/internal/workload"
+)
+
+// failingTrace produces a trace the checker rejects (broken protocol on a
+// hot object; scanning seeds guarantees one).
+func failingTrace(t *testing.T) (*tname.Tree, event.Behavior, FailureClass) {
+	t.Helper()
+	for seed := int64(0); seed < 30; seed++ {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: seed, TopLevel: 8, Depth: 1,
+			Fanout: 3, Objects: 1, HotProb: 1, ParProb: 0.9, ReadRatio: 0.5})
+		b, _, err := generic.Run(tr, root, generic.Options{Seed: seed * 11,
+			Protocol: undolog.BrokenProtocol{Mode: undolog.SkipCommute}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := Classify(tr, b); c != NotFailing {
+			return tr, b, c
+		}
+	}
+	t.Fatal("no failing trace found in 30 seeds")
+	return nil, nil, NotFailing
+}
+
+func TestMinimizeShrinksAndPreservesClass(t *testing.T) {
+	tr, b, class := failingTrace(t)
+	small, st := Minimize(tr, b)
+	if st.Class != class {
+		t.Fatalf("class drifted: %s vs %s", st.Class, class)
+	}
+	if Classify(tr, small) != class {
+		t.Fatalf("minimized trace no longer fails with %s", class)
+	}
+	if len(small) >= len(b) {
+		t.Fatalf("no shrinkage: %d -> %d events", len(b), len(small))
+	}
+	if st.EventsBefore != len(b) || st.EventsAfter != len(small) {
+		t.Errorf("stats sizes wrong: %+v", st)
+	}
+	t.Logf("minimized %d -> %d events (%d subtrees removed, %d checker runs)",
+		len(b), len(small), st.Removed, st.Attempts)
+}
+
+func TestMinimizeIsOneMinimalOverTopLevels(t *testing.T) {
+	tr, b, class := failingTrace(t)
+	small, _ := Minimize(tr, b)
+	// Removing any remaining top-level subtree must change the verdict.
+	seen := map[tname.TxID]bool{}
+	for _, e := range small {
+		if e.Tx == tname.Root {
+			continue
+		}
+		top := tr.ChildAncestor(tname.Root, e.Tx)
+		if seen[top] {
+			continue
+		}
+		seen[top] = true
+		trial := removeSubtree(tr, small, top)
+		if Classify(tr, trial) == class {
+			t.Fatalf("removing %s still fails with %s — not 1-minimal", tr.Name(top), class)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("a %s anomaly needs at least two transactions, got %d", class, len(seen))
+	}
+}
+
+func TestMinimizePassingTraceIsIdentity(t *testing.T) {
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 1, TopLevel: 4, Depth: 1, Fanout: 3, Objects: 2})
+	b, _, err := generic.Run(tr, root, generic.Options{Seed: 2, Protocol: locking.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, st := Minimize(tr, b)
+	if st.Class != NotFailing || !small.Equal(b) {
+		t.Fatalf("passing trace must be returned unchanged (%s)", st.Class)
+	}
+}
+
+func TestMinimizePreservesWellFormedness(t *testing.T) {
+	tr, b, _ := failingTrace(t)
+	small, st := Minimize(tr, b)
+	// The input was well-formed (it came from the runner), so subtree
+	// removal must keep it well-formed: the failure class cannot decay to
+	// Malformed.
+	if st.Class == Malformed {
+		t.Skip("input already malformed")
+	}
+	if res := core.Check(tr, small); res.WFErr != nil {
+		t.Fatalf("minimization broke well-formedness: %v", res.WFErr)
+	}
+}
+
+func TestClassifyClasses(t *testing.T) {
+	tr := tname.NewTree()
+	// Malformed: CREATE without request.
+	t1 := tr.Child(tname.Root, "t1")
+	bad := event.Behavior{event.NewEvent(event.Create, t1)}
+	if c := Classify(tr, bad); c != Malformed {
+		t.Errorf("class = %s, want malformed", c)
+	}
+	if NotFailing.String() != "not-failing" || Cyclic.String() != "cyclic" ||
+		BadValues.String() != "bad-values" || Malformed.String() != "malformed" {
+		t.Error("class names wrong")
+	}
+}

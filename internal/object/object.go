@@ -1,0 +1,69 @@
+// Package object defines the generic object automaton interface of §5.1:
+// the contract between the generic controller and the per-object
+// concurrency-control/recovery automata (Moss locking, undo logging, and
+// the deliberately broken variants used as negative controls).
+//
+// A generic object for X has CREATE(T) and the INFORM inputs, and decides
+// when a REQUEST_COMMIT(T, v) output is enabled and what v is. The runner
+// in internal/generic drives implementations through this interface.
+package object
+
+import (
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// Generic is one generic object automaton G_X. Implementations are not
+// required to be safe for concurrent use: the generic controller serializes
+// all calls (the paper's automata take atomic steps).
+type Generic interface {
+	// Create handles the CREATE(T) input for an access T to this object.
+	Create(t tname.TxID)
+
+	// InformCommit handles INFORM_COMMIT_AT(X)OF(T). The controller
+	// delivers informs for each object in completion order, so commit
+	// informs arrive leaf-to-root (ascending), matching the lock-visibility
+	// premises of §5.3.
+	InformCommit(t tname.TxID)
+
+	// InformAbort handles INFORM_ABORT_AT(X)OF(T).
+	InformAbort(t tname.TxID)
+
+	// TryRequestCommit attempts the REQUEST_COMMIT(T, v) output for a
+	// created, unresponded access T. If the action is enabled it is
+	// performed and (v, true) is returned; otherwise the state is unchanged
+	// and ok is false.
+	TryRequestCommit(t tname.TxID) (v spec.Value, ok bool)
+
+	// Blockers returns the transactions whose activity currently disables
+	// REQUEST_COMMIT for access t (lock holders that are not ancestors of
+	// t, or uncommitted non-commuting operations). The runner uses this for
+	// deadlock victim selection; it must not change state.
+	Blockers(t tname.TxID) []tname.TxID
+}
+
+// Aborter is optionally implemented by generic objects whose protocol
+// aborts transactions instead of (only) blocking them — e.g. multiversion
+// timestamp ordering, where a write that arrives "too late" can never be
+// granted. When ShouldAbort reports true for a pending access, the runner
+// aborts the access's top-level transaction (the classical restart).
+// ShouldAbort must not change state.
+type Aborter interface {
+	ShouldAbort(t tname.TxID) bool
+}
+
+// Auditor is optionally implemented by generic objects that can check
+// their own invariants (e.g. the lock-chain invariant of Lemma 9). The
+// runner calls Audit after every step when invariant auditing is enabled.
+type Auditor interface {
+	Audit() error
+}
+
+// Protocol constructs the generic object automaton for each object of a
+// system — one concurrency-control/recovery algorithm.
+type Protocol interface {
+	// Name identifies the protocol ("moss", "undolog", ...).
+	Name() string
+	// New builds the generic object for x.
+	New(tr *tname.Tree, x tname.ObjID) Generic
+}

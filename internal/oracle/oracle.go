@@ -1,0 +1,210 @@
+// Package oracle implements an independent, brute-force decision procedure
+// for the hypothesis of the Serializability Theorem (Theorem 2): does
+// *any* suitable sibling order R exist whose per-object views are legal
+// serial behaviors?
+//
+// The serialization-graph checker (internal/core) answers this question
+// constructively but conservatively — acyclicity of SG(β) is sufficient,
+// not necessary (§1: "the acyclicity of the graphs we construct is merely
+// a sufficient condition"). The oracle enumerates candidate sibling orders
+// outright, so on small behaviors it can
+//
+//   - cross-validate the checker's soundness (checker OK ⇒ oracle finds an
+//     order — indeed the checker's own certificate), and
+//   - measure the checker's conservatism on flagged traces: a cyclic SG(β)
+//     whose behavior still admits a suitable order is a conservative
+//     rejection (experiment E11).
+//
+// The search space is the product of permutations of each parent's
+// relevant children, so it explodes quickly; Search enforces an explicit
+// budget and reports exhaustion distinctly from "no order exists".
+package oracle
+
+import (
+	"sort"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// Outcome classifies a search result.
+type Outcome uint8
+
+// Search outcomes.
+const (
+	// Found: a suitable sibling order with legal views exists; the
+	// behavior is serially correct for T0 by Theorem 2.
+	Found Outcome = iota
+	// NoOrder: the search space was exhausted without success — no
+	// suitable order exists, so this proof technique cannot certify the
+	// behavior (it may still be serially correct for other reasons; the
+	// paper's condition is sufficient only).
+	NoOrder
+	// BudgetExceeded: the candidate budget ran out before exhaustion.
+	BudgetExceeded
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Found:
+		return "found"
+	case NoOrder:
+		return "no-order"
+	case BudgetExceeded:
+		return "budget-exceeded"
+	}
+	return "unknown"
+}
+
+// Result carries the search outcome and statistics.
+type Result struct {
+	Outcome Outcome
+	// Tried is the number of candidate orders evaluated.
+	Tried int
+	// Order is a witness order when Outcome == Found.
+	Order *core.SiblingOrder
+}
+
+// Search enumerates sibling orders for the serial actions of b, bounded by
+// budget candidate evaluations (0 means 10000).
+func Search(tr *tname.Tree, b event.Behavior, budget int) *Result {
+	if budget <= 0 {
+		budget = 10000
+	}
+	serialB := b.Serial()
+	vis := simple.VisibleTo(tr, serialB, tname.Root)
+
+	// Gather, per parent, the children that must be ordered: the low
+	// transactions of visible events, grouped by parent.
+	childSet := make(map[tname.TxID]map[tname.TxID]bool)
+	for _, e := range vis {
+		low := e.LowTransaction(tr)
+		if low == tname.Root {
+			continue
+		}
+		p := tr.Parent(low)
+		if childSet[p] == nil {
+			childSet[p] = make(map[tname.TxID]bool)
+		}
+		childSet[p][low] = true
+	}
+	var parents []tname.TxID
+	groups := make([][]tname.TxID, 0, len(childSet))
+	for p, kids := range childSet {
+		if len(kids) < 2 {
+			continue // a single child needs no ordering decision
+		}
+		list := make([]tname.TxID, 0, len(kids))
+		for k := range kids {
+			list = append(list, k)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		parents = append(parents, p)
+		groups = append(groups, list)
+	}
+	// Deterministic parent order.
+	idx := make([]int, len(parents))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return parents[idx[i]] < parents[idx[j]] })
+
+	// Visible operations per object, in β order (the view reorders them).
+	visibleOps := visibleOperations(tr, serialB, vis)
+
+	res := &Result{}
+	assignment := make(map[tname.TxID][]tname.TxID, len(parents))
+
+	var rec func(level int) bool
+	rec = func(level int) bool {
+		if res.Tried >= budget {
+			return false
+		}
+		if level == len(idx) {
+			res.Tried++
+			order := core.ForgeOrderForTest(tr, cloneAssignment(assignment))
+			if candidateWorks(tr, serialB, vis, visibleOps, order) {
+				res.Order = order
+				return true
+			}
+			return false
+		}
+		g := idx[level]
+		perm := make([]tname.TxID, len(groups[g]))
+		copy(perm, groups[g])
+		var permute func(k int) bool
+		permute = func(k int) bool {
+			if k == len(perm) {
+				assignment[parents[g]] = append([]tname.TxID(nil), perm...)
+				return rec(level + 1)
+			}
+			for i := k; i < len(perm); i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				if permute(k + 1) {
+					return true
+				}
+				perm[k], perm[i] = perm[i], perm[k]
+				if res.Tried >= budget {
+					return false
+				}
+			}
+			return false
+		}
+		return permute(0)
+	}
+
+	if rec(0) {
+		res.Outcome = Found
+		return res
+	}
+	if res.Tried >= budget {
+		res.Outcome = BudgetExceeded
+		return res
+	}
+	res.Outcome = NoOrder
+	return res
+}
+
+func cloneAssignment(a map[tname.TxID][]tname.TxID) map[tname.TxID][]tname.TxID {
+	out := make(map[tname.TxID][]tname.TxID, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// visibleOperations groups the visible access operations by object.
+func visibleOperations(tr *tname.Tree, serialB, vis event.Behavior) map[tname.ObjID][]event.AccessOp {
+	out := make(map[tname.ObjID][]event.AccessOp)
+	for _, e := range vis {
+		if e.Kind == event.RequestCommit && tr.IsAccess(e.Tx) {
+			x := tr.AccessObject(e.Tx)
+			out[x] = append(out[x], event.AccessOp{Tx: e.Tx, Obj: x,
+				OV: spec.OpVal{Op: tr.AccessOp(e.Tx), Val: e.Val}})
+		}
+	}
+	return out
+}
+
+// candidateWorks tests one order against Theorem 2's hypotheses:
+// suitability (via the §2.3.2 audit) and per-object view legality.
+func candidateWorks(tr *tname.Tree, serialB, vis event.Behavior,
+	visibleOps map[tname.ObjID][]event.AccessOp, order *core.SiblingOrder) bool {
+	for x, ops := range visibleOps {
+		sorted := order.SortOps(ops)
+		xi := make([]spec.OpVal, len(sorted))
+		for i, op := range sorted {
+			xi[i] = op.OV
+		}
+		if ok, _ := spec.IsBehavior(tr.Spec(x), xi); !ok {
+			return false
+		}
+	}
+	// Check view legality first (cheap); the suitability audit is
+	// quadratic.
+	return core.AuditSuitability(tr, serialB, order) == nil
+}

@@ -1,0 +1,233 @@
+// Package program models the paper's transaction automata (§2.2.1) as
+// deterministic, replayable programs.
+//
+// The paper leaves transactions as arbitrary I/O automata constrained only
+// by transaction well-formedness. The runners in this module need one extra
+// property the paper does not: to materialize an explicit serial witness γ
+// for a concurrent behavior β, the same transaction must be re-runnable
+// under the serial scheduler. We therefore restrict programs to be
+// deterministic functions of the *outcomes of their children* (keyed by
+// child identity, not by report arrival order). Every such program is a
+// valid transaction automaton, so the theorems apply unchanged; the
+// restriction only strengthens what the test suite can verify.
+//
+// A program is a tree of Nodes. Composite nodes request their children
+// sequentially (Seq) or all at once (Par), may request further children
+// when an outcome arrives (OnOutcome — retries, conditional accesses), and
+// compute their REQUEST_COMMIT value from the keyed outcomes (Result).
+package program
+
+import (
+	"fmt"
+
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// Mode says how a composite node schedules its static children.
+type Mode uint8
+
+// Scheduling modes.
+const (
+	// Seq requests child i+1 only after child i's outcome arrives.
+	Seq Mode = iota
+	// Par requests all static children immediately on creation.
+	Par
+)
+
+// Outcome is what a parent learns about a child: whether it committed and,
+// if so, the reported value.
+type Outcome struct {
+	Committed bool
+	Val       spec.Value
+}
+
+// Node describes the program of one transaction name. Exactly one of
+// (IsAccess) or (composite fields) is meaningful.
+type Node struct {
+	// Label is the child's name relative to its parent; it must be unique
+	// among the children a parent ever requests.
+	Label string
+
+	// IsAccess marks a leaf that performs Op on Obj.
+	IsAccess bool
+	Obj      tname.ObjID
+	Op       spec.Op
+
+	// Mode schedules the static Children.
+	Mode     Mode
+	Children []*Node
+
+	// OnOutcome, if non-nil, is consulted when any child's outcome arrives
+	// (index is the child's position in the full request sequence so far).
+	// It may return additional nodes to request; their labels must be
+	// deterministic and unique. It must be a pure function of its
+	// arguments and the node's immutable configuration.
+	OnOutcome func(index int, child *Node, oc Outcome) []*Node
+
+	// Result computes the node's REQUEST_COMMIT value from all outcomes,
+	// keyed by request index. If nil, the value is spec.Nil.
+	Result func(ocs []Outcome) spec.Value
+}
+
+// Access builds an access leaf.
+func Access(label string, obj tname.ObjID, op spec.Op) *Node {
+	return &Node{Label: label, IsAccess: true, Obj: obj, Op: op}
+}
+
+// SeqNode builds a sequential composite.
+func SeqNode(label string, children ...*Node) *Node {
+	return &Node{Label: label, Mode: Seq, Children: children}
+}
+
+// ParNode builds a parallel composite.
+func ParNode(label string, children ...*Node) *Node {
+	return &Node{Label: label, Mode: Par, Children: children}
+}
+
+// Exec is the live execution state of one composite node: the paper's
+// transaction automaton A_T between CREATE(T) and REQUEST_COMMIT(T, v).
+// The runner drives it; it never sees the scheduler.
+type Exec struct {
+	node       *Node
+	requested  []*Node   // request sequence so far (index = request index)
+	outcomes   []Outcome // outcome per request index
+	pending    int       // requests without an outcome yet
+	nextStatic int       // next static child to request (Seq)
+	started    bool
+	done       bool
+}
+
+// NewExec prepares the execution of a composite node. It panics on access
+// nodes: accesses are executed by objects, not by programs.
+func NewExec(n *Node) *Exec {
+	if n.IsAccess {
+		panic("program: NewExec on an access node")
+	}
+	return &Exec{node: n}
+}
+
+// Node returns the node being executed.
+func (e *Exec) Node() *Node { return e.node }
+
+// Start is called at CREATE(T); it returns the first batch of children to
+// request (possibly empty, in which case the transaction is immediately
+// ready to request commit).
+func (e *Exec) Start() []*Node {
+	if e.started {
+		panic("program: Start called twice")
+	}
+	e.started = true
+	var batch []*Node
+	switch e.node.Mode {
+	case Par:
+		batch = append(batch, e.node.Children...)
+		e.nextStatic = len(e.node.Children)
+	case Seq:
+		if len(e.node.Children) > 0 {
+			batch = append(batch, e.node.Children[0])
+			e.nextStatic = 1
+		}
+	}
+	e.admit(batch)
+	return batch
+}
+
+// admit records a batch as requested.
+func (e *Exec) admit(batch []*Node) {
+	for _, c := range batch {
+		e.requested = append(e.requested, c)
+		e.outcomes = append(e.outcomes, Outcome{})
+		e.pending++
+	}
+}
+
+// RequestIndex returns the request index of the child with the given label,
+// or -1. Linear scan: fan-out per node is small in every workload here.
+func (e *Exec) RequestIndex(label string) int {
+	for i, c := range e.requested {
+		if c.Label == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// Requested returns the nodes requested so far, in request order.
+func (e *Exec) Requested() []*Node { return e.requested }
+
+// OnReport delivers the outcome for request index i and returns the next
+// batch of children to request. The runner must deliver each index exactly
+// once.
+func (e *Exec) OnReport(i int, oc Outcome) []*Node {
+	if i < 0 || i >= len(e.requested) {
+		panic(fmt.Sprintf("program: OnReport index %d out of range", i))
+	}
+	if e.pending <= 0 {
+		panic("program: OnReport with no pending requests")
+	}
+	e.outcomes[i] = oc
+	e.pending--
+
+	var batch []*Node
+	if e.node.Mode == Seq && e.nextStatic < len(e.node.Children) {
+		batch = append(batch, e.node.Children[e.nextStatic])
+		e.nextStatic++
+	}
+	if e.node.OnOutcome != nil {
+		batch = append(batch, e.node.OnOutcome(i, e.requested[i], oc)...)
+	}
+	e.admit(batch)
+	return batch
+}
+
+// Ready reports whether every requested child has an outcome, i.e. the
+// transaction may request commit (transaction well-formedness requires all
+// reports before REQUEST_COMMIT).
+func (e *Exec) Ready() bool { return e.started && e.pending == 0 }
+
+// Value computes the REQUEST_COMMIT value. It panics unless Ready.
+func (e *Exec) Value() spec.Value {
+	if !e.Ready() {
+		panic("program: Value before all children reported")
+	}
+	if e.node.Result == nil {
+		return spec.Nil
+	}
+	return e.node.Result(e.outcomes)
+}
+
+// Validate checks static properties of a program tree: labels unique among
+// static siblings, access nodes childless, composite leaves allowed.
+func Validate(n *Node) error {
+	if n.IsAccess {
+		if len(n.Children) > 0 || n.OnOutcome != nil || n.Result != nil {
+			return fmt.Errorf("program: access node %q has composite fields", n.Label)
+		}
+		return nil
+	}
+	seen := make(map[string]bool, len(n.Children))
+	for _, c := range n.Children {
+		if c.Label == "" {
+			return fmt.Errorf("program: child of %q has empty label", n.Label)
+		}
+		if seen[c.Label] {
+			return fmt.Errorf("program: duplicate child label %q under %q", c.Label, n.Label)
+		}
+		seen[c.Label] = true
+		if err := Validate(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountNodes returns the number of nodes in the static tree (dynamic
+// OnOutcome children are not counted).
+func CountNodes(n *Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += CountNodes(c)
+	}
+	return total
+}

@@ -1,0 +1,192 @@
+package program
+
+import (
+	"testing"
+
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+func accessNode(label string) *Node {
+	return Access(label, tname.ObjID(0), spec.Op{Kind: spec.OpRead})
+}
+
+func TestValidateAcceptsTree(t *testing.T) {
+	n := SeqNode("t", accessNode("a"), ParNode("p", accessNode("b"), accessNode("c")))
+	if err := Validate(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsDuplicateLabels(t *testing.T) {
+	n := SeqNode("t", accessNode("a"), accessNode("a"))
+	if err := Validate(n); err == nil {
+		t.Fatal("duplicate labels must be rejected")
+	}
+}
+
+func TestValidateRejectsEmptyLabel(t *testing.T) {
+	n := SeqNode("t", accessNode(""))
+	if err := Validate(n); err == nil {
+		t.Fatal("empty label must be rejected")
+	}
+}
+
+func TestValidateRejectsAccessWithChildren(t *testing.T) {
+	bad := accessNode("a")
+	bad.Children = []*Node{accessNode("b")}
+	if err := Validate(SeqNode("t", bad)); err == nil {
+		t.Fatal("access with children must be rejected")
+	}
+}
+
+func TestNewExecPanicsOnAccess(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewExec(accessNode("a"))
+}
+
+func TestSeqIssuesOneAtATime(t *testing.T) {
+	n := SeqNode("t", accessNode("a"), accessNode("b"), accessNode("c"))
+	e := NewExec(n)
+	batch := e.Start()
+	if len(batch) != 1 || batch[0].Label != "a" {
+		t.Fatalf("Start = %v", batch)
+	}
+	if e.Ready() {
+		t.Fatal("not ready with pending child")
+	}
+	batch = e.OnReport(e.RequestIndex("a"), Outcome{Committed: true})
+	if len(batch) != 1 || batch[0].Label != "b" {
+		t.Fatalf("after a: %v", batch)
+	}
+	batch = e.OnReport(e.RequestIndex("b"), Outcome{Committed: false})
+	if len(batch) != 1 || batch[0].Label != "c" {
+		t.Fatalf("after b: %v", batch)
+	}
+	if e.Ready() {
+		t.Fatal("c still pending")
+	}
+	if batch = e.OnReport(e.RequestIndex("c"), Outcome{Committed: true}); len(batch) != 0 {
+		t.Fatalf("after c: %v", batch)
+	}
+	if !e.Ready() {
+		t.Fatal("ready after all children reported")
+	}
+}
+
+func TestParIssuesAllAtOnce(t *testing.T) {
+	n := ParNode("t", accessNode("a"), accessNode("b"))
+	e := NewExec(n)
+	batch := e.Start()
+	if len(batch) != 2 {
+		t.Fatalf("Start = %v", batch)
+	}
+	// Reports may arrive in any order.
+	e.OnReport(e.RequestIndex("b"), Outcome{Committed: true, Val: spec.Int(2)})
+	if e.Ready() {
+		t.Fatal("a pending")
+	}
+	e.OnReport(e.RequestIndex("a"), Outcome{Committed: true, Val: spec.Int(1)})
+	if !e.Ready() {
+		t.Fatal("ready")
+	}
+}
+
+func TestEmptyCompositeImmediatelyReady(t *testing.T) {
+	e := NewExec(SeqNode("t"))
+	if batch := e.Start(); len(batch) != 0 {
+		t.Fatal("no children to request")
+	}
+	if !e.Ready() {
+		t.Fatal("empty composite is ready at once")
+	}
+	if v := e.Value(); v != spec.Nil {
+		t.Errorf("default value = %s", v)
+	}
+}
+
+func TestResultAggregatesOutcomes(t *testing.T) {
+	n := ParNode("t", accessNode("a"), accessNode("b"))
+	n.Result = func(ocs []Outcome) spec.Value {
+		var sum int64
+		for _, oc := range ocs {
+			if oc.Committed {
+				sum += oc.Val.Int
+			}
+		}
+		return spec.Int(sum)
+	}
+	e := NewExec(n)
+	e.Start()
+	e.OnReport(0, Outcome{Committed: true, Val: spec.Int(3)})
+	e.OnReport(1, Outcome{Committed: false, Val: spec.Int(100)})
+	if v := e.Value(); v != spec.Int(3) {
+		t.Errorf("value = %s", v)
+	}
+}
+
+func TestOnOutcomeDynamicChildren(t *testing.T) {
+	retry := accessNode("a~r")
+	n := SeqNode("t", accessNode("a"))
+	n.OnOutcome = func(i int, child *Node, oc Outcome) []*Node {
+		if !oc.Committed && child.Label == "a" {
+			return []*Node{retry}
+		}
+		return nil
+	}
+	e := NewExec(n)
+	e.Start()
+	batch := e.OnReport(0, Outcome{Committed: false})
+	if len(batch) != 1 || batch[0] != retry {
+		t.Fatalf("expected retry, got %v", batch)
+	}
+	if e.Ready() {
+		t.Fatal("retry pending")
+	}
+	e.OnReport(e.RequestIndex("a~r"), Outcome{Committed: true})
+	if !e.Ready() {
+		t.Fatal("ready after retry")
+	}
+	if got := len(e.Requested()); got != 2 {
+		t.Errorf("requested = %d", got)
+	}
+}
+
+func TestExecPanics(t *testing.T) {
+	e := NewExec(SeqNode("t", accessNode("a")))
+	e.Start()
+	assertPanics(t, "double start", func() { e.Start() })
+	assertPanics(t, "bad index", func() { e.OnReport(7, Outcome{}) })
+	assertPanics(t, "value before ready", func() { e.Value() })
+	e.OnReport(0, Outcome{Committed: true})
+	assertPanics(t, "report with none pending", func() { e.OnReport(0, Outcome{}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestRequestIndexUnknownLabel(t *testing.T) {
+	e := NewExec(SeqNode("t", accessNode("a")))
+	e.Start()
+	if i := e.RequestIndex("zz"); i != -1 {
+		t.Errorf("RequestIndex(zz) = %d", i)
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	n := SeqNode("t", accessNode("a"), ParNode("p", accessNode("b"), accessNode("c")))
+	if got := CountNodes(n); got != 5 {
+		t.Errorf("CountNodes = %d, want 5", got)
+	}
+}

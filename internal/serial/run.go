@@ -1,0 +1,165 @@
+// Package serial implements the paper's serial systems (§2.2): serial
+// object automata, the serial scheduler that runs sibling transactions one
+// at a time and aborts only transactions that were never created, and —
+// the executable content of Theorem 8/19 — the construction of an explicit
+// serial witness behavior γ with γ|T0 = β|T0 from a checker certificate.
+package serial
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/program"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// Objects tracks the serial object automata S_X: one deterministic state
+// per object, advanced by perform(T, v) pairs.
+type Objects struct {
+	tr     *tname.Tree
+	states map[tname.ObjID]spec.State
+}
+
+// NewObjects initializes every object of the tree to its initial state.
+func NewObjects(tr *tname.Tree) *Objects {
+	return &Objects{tr: tr, states: make(map[tname.ObjID]spec.State)}
+}
+
+// Perform executes one access against S_X and returns the value of its
+// REQUEST_COMMIT.
+func (o *Objects) Perform(x tname.ObjID, op spec.Op) spec.Value {
+	sp := o.tr.Spec(x)
+	st, ok := o.states[x]
+	if !ok {
+		st = sp.Init()
+	}
+	st, v := sp.Apply(st, op)
+	o.states[x] = st
+	return v
+}
+
+// Options configures the plain serial runner.
+type Options struct {
+	// Seed drives the scheduler's only nondeterministic choice: aborting a
+	// requested-but-not-created transaction.
+	Seed int64
+	// AbortProb is the probability that a requested child is aborted
+	// instead of created. Zero runs everything to commit.
+	AbortProb float64
+	// MaxAborts bounds the total number of scheduler-chosen aborts (so
+	// retry loops in programs terminate); ignored if zero.
+	MaxAborts int
+}
+
+// Runner executes a program tree under the serial scheduler.
+type Runner struct {
+	tr      *tname.Tree
+	objects *Objects
+	rng     *rand.Rand
+	opts    Options
+	aborts  int
+	trace   event.Behavior
+}
+
+// Run executes root — the program of T0, whose children are the top-level
+// transactions — under the serial scheduler and returns the recorded serial
+// behavior. Programs are executed depth-first; each requested child either
+// runs to commitment with no overlapping siblings or is aborted without
+// being created.
+func Run(tr *tname.Tree, root *program.Node, opts Options) (event.Behavior, error) {
+	if err := program.Validate(root); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		tr:      tr,
+		objects: NewObjects(tr),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		opts:    opts,
+	}
+	r.emit(event.NewEvent(event.Create, tname.Root))
+	if _, err := r.runComposite(tname.Root, root); err != nil {
+		return nil, err
+	}
+	return r.trace, nil
+}
+
+func (r *Runner) emit(e event.Event) { r.trace = append(r.trace, e) }
+
+func (r *Runner) chooseAbort() bool {
+	if r.opts.AbortProb <= 0 {
+		return false
+	}
+	if r.opts.MaxAborts > 0 && r.aborts >= r.opts.MaxAborts {
+		return false
+	}
+	if r.rng.Float64() < r.opts.AbortProb {
+		r.aborts++
+		return true
+	}
+	return false
+}
+
+// runComposite drives the program of tx after CREATE(tx) until it is ready
+// to request commit; for T0 it stops there (T0 never commits). It returns
+// the REQUEST_COMMIT value.
+func (r *Runner) runComposite(tx tname.TxID, node *program.Node) (spec.Value, error) {
+	exec := program.NewExec(node)
+	pending := exec.Start()
+	for len(pending) > 0 {
+		child := pending[0]
+		pending = pending[1:]
+		childTx, err := r.internChild(tx, child)
+		if err != nil {
+			return spec.Nil, err
+		}
+		r.emit(event.NewEvent(event.RequestCreate, childTx))
+		idx := exec.RequestIndex(child.Label)
+
+		var oc program.Outcome
+		if r.chooseAbort() {
+			r.emit(event.NewEvent(event.Abort, childTx))
+			r.emit(event.NewEvent(event.ReportAbort, childTx))
+			oc = program.Outcome{Committed: false}
+		} else {
+			v, err := r.runChild(childTx, child)
+			if err != nil {
+				return spec.Nil, err
+			}
+			r.emit(event.NewEvent(event.Commit, childTx))
+			r.emit(event.NewValEvent(event.ReportCommit, childTx, v))
+			oc = program.Outcome{Committed: true, Val: v}
+		}
+		pending = append(pending, exec.OnReport(idx, oc)...)
+	}
+	if !exec.Ready() {
+		return spec.Nil, fmt.Errorf("serial: program of %s not ready after all children completed", r.tr.Name(tx))
+	}
+	v := exec.Value()
+	if tx != tname.Root {
+		r.emit(event.NewValEvent(event.RequestCommit, tx, v))
+	}
+	return v, nil
+}
+
+// runChild creates and fully executes one child transaction.
+func (r *Runner) runChild(childTx tname.TxID, child *program.Node) (spec.Value, error) {
+	r.emit(event.NewEvent(event.Create, childTx))
+	if child.IsAccess {
+		v := r.objects.Perform(child.Obj, child.Op)
+		r.emit(event.NewValEvent(event.RequestCommit, childTx, v))
+		return v, nil
+	}
+	return r.runComposite(childTx, child)
+}
+
+func (r *Runner) internChild(parent tname.TxID, n *program.Node) (tname.TxID, error) {
+	if n.Label == "" {
+		return tname.None, fmt.Errorf("serial: child of %s has empty label", r.tr.Name(parent))
+	}
+	if n.IsAccess {
+		return r.tr.Access(parent, n.Label, n.Obj, n.Op), nil
+	}
+	return r.tr.Child(parent, n.Label), nil
+}

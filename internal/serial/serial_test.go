@@ -1,0 +1,210 @@
+package serial
+
+import (
+	"testing"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/program"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// bankRoot builds a small deterministic program:
+//
+//	T0 ── xfer (Seq): w (write x=10), r (read x), t (Par): a,b (counter incs)
+func bankRoot(tr *tname.Tree) *program.Node {
+	x := tr.AddObject("x", spec.Register{})
+	c := tr.AddObject("c", spec.Counter{})
+	xfer := program.SeqNode("xfer",
+		program.Access("w", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(10)}),
+		program.Access("r", x, spec.Op{Kind: spec.OpRead}),
+		program.ParNode("t",
+			program.Access("a", c, spec.Op{Kind: spec.OpIncrement, Arg: spec.Int(1)}),
+			program.Access("b", c, spec.Op{Kind: spec.OpIncrement, Arg: spec.Int(2)}),
+		),
+	)
+	xfer.Result = func(ocs []program.Outcome) spec.Value {
+		var sum int64
+		for _, oc := range ocs {
+			if oc.Committed && oc.Val.Kind == spec.VInt {
+				sum += oc.Val.Int
+			}
+		}
+		return spec.Int(sum)
+	}
+	root := &program.Node{Label: "T0", Mode: program.Par, Children: []*program.Node{xfer}}
+	return root
+}
+
+func TestRunProducesSerialBehavior(t *testing.T) {
+	tr := tname.NewTree()
+	root := bankRoot(tr)
+	b, err := Run(tr, root, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tr, b); err != nil {
+		t.Fatalf("serial runner output invalid: %v\n%s", err, b.Format(tr))
+	}
+	if err := simple.CheckWellFormed(tr, b); err != nil {
+		t.Fatal(err)
+	}
+	// The read must see the just-written 10.
+	for _, e := range b {
+		if e.Kind == event.RequestCommit && tr.IsAccess(e.Tx) && tr.Label(e.Tx) == "r" {
+			if e.Val != spec.Int(10) {
+				t.Errorf("serial read = %s, want 10", e.Val)
+			}
+		}
+	}
+	// The composite's REQUEST_COMMIT value: read 10 (int).
+	for _, e := range b {
+		if e.Kind == event.RequestCommit && tr.Label(e.Tx) == "xfer" {
+			if e.Val != spec.Int(10) {
+				t.Errorf("xfer value = %s, want 10", e.Val)
+			}
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	tr1 := tname.NewTree()
+	b1, err := Run(tr1, bankRoot(tr1), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := tname.NewTree()
+	b2, err := Run(tr2, bankRoot(tr2), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b1.Equal(b2) {
+		t.Fatal("equal seeds must give equal serial behaviors")
+	}
+}
+
+func TestRunWithAborts(t *testing.T) {
+	tr := tname.NewTree()
+	root := bankRoot(tr)
+	b, err := Run(tr, root, Options{Seed: 3, AbortProb: 0.5, MaxAborts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tr, b); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, b.Format(tr))
+	}
+	// Aborted transactions must never have CREATE events.
+	created := make(map[tname.TxID]bool)
+	for _, e := range b {
+		if e.Kind == event.Create {
+			created[e.Tx] = true
+		}
+	}
+	for tx := range b.AbortSet() {
+		if created[tx] {
+			t.Errorf("aborted %s was created", tr.Name(tx))
+		}
+	}
+}
+
+func TestRunSerialBehaviorPassesChecker(t *testing.T) {
+	// A serial behavior trivially satisfies the checker (Theorem 8's
+	// hypotheses hold: values are appropriate by construction and the
+	// depth-first order leaves no cycles).
+	tr := tname.NewTree()
+	root := bankRoot(tr)
+	b, err := Run(tr, root, Options{Seed: 7, AbortProb: 0.3, MaxAborts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Check(tr, b)
+	if !res.OK {
+		t.Fatalf("checker rejected a serial behavior: %s", res.Summary(tr))
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	t1 := tr.Child(tname.Root, "t1")
+	t2 := tr.Child(tname.Root, "t2")
+	w1 := tr.Access(t1, "w1", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(5)})
+
+	ev := event.NewEvent
+	evv := event.NewValEvent
+
+	t.Run("abort after create", func(t *testing.T) {
+		b := event.Behavior{
+			ev(event.Create, tname.Root),
+			ev(event.RequestCreate, t1),
+			ev(event.Create, t1),
+			ev(event.Abort, t1),
+		}
+		if err := Validate(tr, b); err == nil {
+			t.Fatal("serial scheduler never aborts created transactions")
+		}
+	})
+	t.Run("concurrent siblings", func(t *testing.T) {
+		b := event.Behavior{
+			ev(event.Create, tname.Root),
+			ev(event.RequestCreate, t1),
+			ev(event.RequestCreate, t2),
+			ev(event.Create, t1),
+			ev(event.Create, t2), // t1 still active
+		}
+		if err := Validate(tr, b); err == nil {
+			t.Fatal("siblings must not overlap")
+		}
+	})
+	t.Run("wrong access value", func(t *testing.T) {
+		b := event.Behavior{
+			ev(event.Create, tname.Root),
+			ev(event.RequestCreate, t1),
+			ev(event.Create, t1),
+			ev(event.RequestCreate, w1),
+			ev(event.Create, w1),
+			evv(event.RequestCommit, w1, spec.Int(3)), // writes return OK
+		}
+		if err := Validate(tr, b); err == nil {
+			t.Fatal("wrong access value must be rejected")
+		}
+	})
+	t.Run("create under inactive parent", func(t *testing.T) {
+		b := event.Behavior{
+			ev(event.Create, tname.Root),
+			ev(event.RequestCreate, t1),
+			ev(event.RequestCreate, w1), // t1 not created yet: not wf either
+		}
+		if err := Validate(tr, b); err == nil {
+			t.Fatal("request by uncreated parent must be rejected")
+		}
+	})
+}
+
+func TestObjectsPerform(t *testing.T) {
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	o := NewObjects(tr)
+	if v := o.Perform(x, spec.Op{Kind: spec.OpRead}); v != spec.Int(0) {
+		t.Errorf("initial read = %s", v)
+	}
+	if v := o.Perform(x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(4)}); v != spec.OK {
+		t.Errorf("write = %s", v)
+	}
+	if v := o.Perform(x, spec.Op{Kind: spec.OpRead}); v != spec.Int(4) {
+		t.Errorf("read = %s", v)
+	}
+}
+
+func TestRunRejectsInvalidProgram(t *testing.T) {
+	tr := tname.NewTree()
+	tr.AddObject("x", spec.Register{})
+	bad := program.SeqNode("T0",
+		program.SeqNode("t", program.Access("a", 0, spec.Op{Kind: spec.OpRead}),
+			program.Access("a", 0, spec.Op{Kind: spec.OpRead})))
+	if _, err := Run(tr, bad, Options{}); err == nil {
+		t.Fatal("duplicate labels must fail")
+	}
+}

@@ -1,0 +1,80 @@
+package serial
+
+import (
+	"fmt"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/tname"
+)
+
+// Validate checks that γ is a behavior the serial system could produce
+// (§2.2.3–2.2.4), independently of how it was constructed:
+//
+//  1. it satisfies the simple-system axioms;
+//  2. no aborted transaction was ever created (the serial scheduler aborts
+//     only requested-but-not-created transactions);
+//  3. no two sibling transactions are concurrently active: the set of
+//     live transactions always forms a single ancestor chain;
+//  4. every access returns exactly the value the serial object automaton
+//     S_X produces when the accesses are applied in γ order.
+//
+// It is used by the test suite to certify witnesses produced by Witness and
+// behaviors produced by Run.
+func Validate(tr *tname.Tree, g event.Behavior) error {
+	if err := simple.CheckWellFormed(tr, g); err != nil {
+		return err
+	}
+
+	created := make(map[tname.TxID]bool)
+	completed := make(map[tname.TxID]bool)
+	// Chain of currently active (created, not completed) transactions,
+	// innermost last.
+	var active []tname.TxID
+	objects := NewObjects(tr)
+
+	for i, e := range g {
+		switch e.Kind {
+		case event.Create:
+			created[e.Tx] = true
+			if e.Tx == tname.Root {
+				if len(active) != 0 {
+					return fmt.Errorf("serial: event %d: CREATE(T0) with active transactions", i)
+				}
+				active = append(active, e.Tx)
+				continue
+			}
+			if len(active) == 0 || active[len(active)-1] != tr.Parent(e.Tx) {
+				return fmt.Errorf("serial: event %d: CREATE(%s) while parent is not the innermost active transaction",
+					i, tr.Name(e.Tx))
+			}
+			active = append(active, e.Tx)
+
+		case event.Abort:
+			if created[e.Tx] {
+				return fmt.Errorf("serial: event %d: ABORT(%s) after it was created", i, tr.Name(e.Tx))
+			}
+			completed[e.Tx] = true
+
+		case event.Commit:
+			completed[e.Tx] = true
+
+		case event.RequestCommit:
+			if tr.IsAccess(e.Tx) {
+				want := objects.Perform(tr.AccessObject(e.Tx), tr.AccessOp(e.Tx))
+				if want != e.Val {
+					return fmt.Errorf("serial: event %d: access %s returned %s, S_X requires %s",
+						i, tr.Name(e.Tx), e.Val, want)
+				}
+			}
+			// A transaction that has requested commit is no longer active:
+			// pop it (it must be innermost).
+			if len(active) == 0 || active[len(active)-1] != e.Tx {
+				return fmt.Errorf("serial: event %d: REQUEST_COMMIT(%s) while it is not the innermost active transaction",
+					i, tr.Name(e.Tx))
+			}
+			active = active[:len(active)-1]
+		}
+	}
+	return nil
+}

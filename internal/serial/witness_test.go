@@ -1,0 +1,301 @@
+package serial
+
+import (
+	"strings"
+	"testing"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/generic"
+	"nestedsg/internal/locking"
+	"nestedsg/internal/program"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+	"nestedsg/internal/undolog"
+	"nestedsg/internal/workload"
+)
+
+// runAndCertify produces a concurrent Moss trace and its certificate.
+func runAndCertify(t *testing.T, tr *tname.Tree, root *program.Node, seed int64, opts generic.Options) (event.Behavior, *core.SiblingOrder) {
+	t.Helper()
+	opts.Seed = seed
+	if opts.Protocol == nil {
+		opts.Protocol = locking.Protocol{}
+	}
+	b, _, err := generic.Run(tr, root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Check(tr, b)
+	if !res.OK {
+		t.Fatalf("check failed: %s", res.Summary(tr))
+	}
+	return b, res.Certificate.Order
+}
+
+func TestWitnessProjectionEquality(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: seed, TopLevel: 5, Depth: 2,
+			Fanout: 3, Objects: 3, ParProb: 0.7, HotProb: 0.5})
+		b, order := runAndCertify(t, tr, root, seed*3+1, generic.Options{})
+		gamma, err := Witness(tr, root, b, order)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := Validate(tr, gamma); err != nil {
+			t.Fatalf("seed %d: witness not serial: %v", seed, err)
+		}
+		g0 := gamma.ProjectTx(tr, tname.Root)
+		b0 := b.Serial().ProjectTx(tr, tname.Root)
+		if !g0.Equal(b0) {
+			t.Fatalf("seed %d: γ|T0 ≠ β|T0", seed)
+		}
+	}
+}
+
+// TestWitnessWithRetriesAndConditionals stresses the dynamic-program paths:
+// OnOutcome children (retries after aborts, value-dependent accesses) must
+// replay identically.
+func TestWitnessWithRetriesAndConditionals(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: seed, TopLevel: 4, Depth: 2,
+			Fanout: 3, Objects: 2, ParProb: 0.5, RetryProb: 0.8, CondProb: 0.8, HotProb: 0.5})
+		b, order := runAndCertify(t, tr, root, seed*7+3,
+			generic.Options{AbortProb: 0.04, MaxAborts: 6})
+		gamma, err := Witness(tr, root, b, order)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := Validate(tr, gamma); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestWitnessAbortedNeverCreated: in γ, transactions aborted in β must be
+// aborted without CREATE and without any descendant activity.
+func TestWitnessAbortedNeverCreated(t *testing.T) {
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 5, TopLevel: 5, Depth: 1,
+		Fanout: 3, Objects: 2, HotProb: 0.8, ParProb: 0.8})
+	b, order := runAndCertify(t, tr, root, 77, generic.Options{AbortProb: 0.05, MaxAborts: 5})
+	gamma, err := Witness(tr, root, b, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abortedInGamma := gamma.AbortSet()
+	if len(abortedInGamma) == 0 {
+		t.Skip("no aborts occurred for this seed")
+	}
+	for _, e := range gamma {
+		if e.Kind == event.Create {
+			for u := e.Tx; u != tname.None; u = tr.Parent(u) {
+				if abortedInGamma[u] {
+					t.Fatalf("γ creates %s under aborted %s", tr.Name(e.Tx), tr.Name(u))
+				}
+			}
+		}
+	}
+}
+
+// TestWitnessValuesAreSerial: every access value in γ must re-derive from
+// the serial objects in γ order (this is what Validate checks; here we
+// additionally compare γ's operation multiset with the certificate views).
+func TestWitnessValuesMatchViews(t *testing.T) {
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 8, TopLevel: 5, Depth: 1,
+		Fanout: 3, Objects: 2, HotProb: 0.7})
+	b, _, err := generic.Run(tr, root, generic.Options{Seed: 21, Protocol: locking.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Check(tr, b)
+	if !res.OK {
+		t.Fatal(res.Summary(tr))
+	}
+	gamma, err := Witness(tr, root, b, res.Certificate.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// γ's per-object operation sequences must equal the certificate views.
+	gops := gamma.Operations(tr)
+	byObj := map[tname.ObjID][]event.AccessOp{}
+	for _, op := range gops {
+		byObj[op.Obj] = append(byObj[op.Obj], op)
+	}
+	for _, view := range res.Certificate.Views {
+		got := byObj[view.Obj]
+		if len(got) != len(view.Ops) {
+			t.Fatalf("object %s: γ has %d ops, view has %d", tr.ObjectLabel(view.Obj), len(got), len(view.Ops))
+		}
+		for i := range got {
+			if got[i].Tx != view.Ops[i].Tx || got[i].OV != view.Ops[i].OV {
+				t.Fatalf("object %s: op %d differs: γ %v view %v",
+					tr.ObjectLabel(view.Obj), i, got[i], view.Ops[i])
+			}
+		}
+	}
+}
+
+// TestWitnessDetectsTamperedValues: corrupting a committed read's value in
+// β (and in the report) past the checker is not possible — but corrupting
+// the *certificate order* so views no longer match must make the witness
+// fail rather than silently produce a wrong γ.
+func TestWitnessDetectsTamperedOrder(t *testing.T) {
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	// Order-sensitive pair: t1 writes, t2 only reads — swapping them makes
+	// the reader observe the initial value instead of the write.
+	root := &program.Node{Label: "T0", Mode: program.Par, Children: []*program.Node{
+		program.SeqNode("t1", program.Access("w", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(1)})),
+		program.SeqNode("t2", program.Access("r", x, spec.Op{Kind: spec.OpRead})),
+	}}
+	b, _, err := generic.Run(tr, root, generic.Options{Seed: 3, Protocol: locking.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Check(tr, b)
+	if !res.OK {
+		t.Fatal(res.Summary(tr))
+	}
+	order := res.Certificate.Order
+	t1 := tr.Child(tname.Root, "t1")
+	t2 := tr.Child(tname.Root, "t2")
+	// There must be a conflict edge between the two; forge the reverse
+	// order.
+	first, second := t1, t2
+	if order.CompareSiblings(t2, t1) {
+		first, second = t2, t1
+	}
+	forged := core.ForgeOrderForTest(tr, map[tname.TxID][]tname.TxID{
+		tname.Root: {second, first},
+	})
+	if _, err := Witness(tr, root, b, forged); err == nil {
+		t.Fatal("witness must reject a forged sibling order")
+	} else if !strings.Contains(err.Error(), "mismatch") && !strings.Contains(err.Error(), "not executed") {
+		t.Logf("rejection reason: %v", err)
+	}
+}
+
+// TestWitnessMissingProgramFails: a trace whose top-level transaction has
+// no corresponding program child must be rejected.
+func TestWitnessMissingProgramFails(t *testing.T) {
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	root := &program.Node{Label: "T0", Mode: program.Par, Children: []*program.Node{
+		program.SeqNode("t1", program.Access("w", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(1)})),
+	}}
+	b, _, err := generic.Run(tr, root, generic.Options{Seed: 1, Protocol: locking.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Check(tr, b)
+	if !res.OK {
+		t.Fatal(res.Summary(tr))
+	}
+	// Replay against a DIFFERENT root missing "t1".
+	otherRoot := &program.Node{Label: "T0", Mode: program.Par, Children: []*program.Node{
+		program.SeqNode("zz", program.Access("w", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(1)})),
+	}}
+	if _, err := Witness(tr, otherRoot, b, res.Certificate.Order); err == nil {
+		t.Fatal("witness must fail when the program lacks the transaction")
+	}
+}
+
+// TestWitnessUnreportedCommittedChildren: a trace that ends after COMMIT
+// but before REPORT_COMMIT of a top-level transaction still witnesses (the
+// scheduler may delay reports indefinitely), and the unreported child's
+// effects are in γ.
+func TestWitnessUnreportedCommittedChildren(t *testing.T) {
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	t1 := tr.Child(tname.Root, "t1")
+	w := tr.Access(t1, "w", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(5)})
+	b := event.Behavior{
+		event.NewEvent(event.Create, tname.Root),
+		event.NewEvent(event.RequestCreate, t1),
+		event.NewEvent(event.Create, t1),
+		event.NewEvent(event.RequestCreate, w),
+		event.NewEvent(event.Create, w),
+		event.NewValEvent(event.RequestCommit, w, spec.OK),
+		event.NewEvent(event.Commit, w),
+		event.NewValEvent(event.ReportCommit, w, spec.OK),
+		event.NewValEvent(event.RequestCommit, t1, spec.Nil),
+		event.NewEvent(event.Commit, t1),
+		// No REPORT_COMMIT(t1): the trace ends here.
+	}
+	res := core.Check(tr, b)
+	if !res.OK {
+		t.Fatal(res.Summary(tr))
+	}
+	root := &program.Node{Label: "T0", Mode: program.Par, Children: []*program.Node{
+		program.SeqNode("t1", program.Access("w", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(5)})),
+	}}
+	gamma, err := Witness(tr, root, b, res.Certificate.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tr, gamma); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range gamma {
+		if e.Kind == event.RequestCommit && e.Tx == w {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("γ must include the unreported committed child's execution")
+	}
+}
+
+// TestWitnessLiveChildrenOmitted: children requested but never completed
+// in β appear in γ only as REQUEST_CREATE events.
+func TestWitnessLiveChildrenOmitted(t *testing.T) {
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	t1 := tr.Child(tname.Root, "t1")
+	b := event.Behavior{
+		event.NewEvent(event.Create, tname.Root),
+		event.NewEvent(event.RequestCreate, t1),
+		event.NewEvent(event.Create, t1),
+		// t1 is live at trace end.
+	}
+	res := core.Check(tr, b)
+	if !res.OK {
+		t.Fatal(res.Summary(tr))
+	}
+	root := &program.Node{Label: "T0", Mode: program.Par, Children: []*program.Node{
+		program.SeqNode("t1", program.Access("w", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(5)})),
+	}}
+	gamma, err := Witness(tr, root, b, res.Certificate.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range gamma {
+		if e.Tx == t1 && e.Kind != event.RequestCreate {
+			t.Fatalf("live child contributed %v to γ", e.Format(tr))
+		}
+	}
+}
+
+// TestWitnessManySeedsUndolog mirrors the main property under the other
+// protocol and mixed types, where values matter more (accounts, sets).
+func TestWitnessManySeedsUndolog(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: seed, TopLevel: 4, Depth: 2,
+			Fanout: 3, Objects: 6, SpecName: "mixed", ParProb: 0.6, CondProb: 0.4})
+		b, order := runAndCertify(t, tr, root, seed+100, generic.Options{
+			Protocol: undolog.Protocol{}, AbortProb: 0.02, MaxAborts: 4})
+		gamma, err := Witness(tr, root, b, order)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := Validate(tr, gamma); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

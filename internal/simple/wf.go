@@ -1,0 +1,165 @@
+package simple
+
+import (
+	"fmt"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/tname"
+)
+
+// WFError reports the first violation of the simple-database axioms found
+// in a behavior, with the index of the offending event.
+type WFError struct {
+	Index int
+	Event event.Event
+	Msg   string
+}
+
+func (e *WFError) Error() string {
+	return fmt.Sprintf("well-formedness violated at event %d (%v %d): %s", e.Index, e.Event.Kind, e.Event.Tx, e.Msg)
+}
+
+// txWFState tracks the lifecycle facts the axioms mention.
+type txWFState struct {
+	requested       bool
+	created         bool
+	commitRequested bool
+	commitVal       bool // commitRequested carries a value
+	committed       bool
+	aborted         bool
+	reported        bool
+	pendingReports  int // children completed but not yet reported to this tx
+	openChildren    int // children whose creation was requested but not yet reported
+}
+
+// CheckWellFormed verifies that serial(β) satisfies the simple-database
+// constraints of §2.3.1 together with transaction and serial-object
+// well-formedness syntax:
+//
+//   - CREATE(T) (T ≠ T0) only after REQUEST_CREATE(T), and at most once;
+//   - REQUEST_CREATE(T) only by a created, non-commit-requested parent, at
+//     most once;
+//   - REQUEST_COMMIT(T, v) only after CREATE(T), at most once, and for
+//     non-access T only when every requested child has been reported;
+//   - COMMIT(T) only after REQUEST_COMMIT(T, ·); ABORT(T) only after
+//     REQUEST_CREATE(T); at most one completion event per transaction;
+//   - REPORT_COMMIT(T, v) only after COMMIT(T) with v equal to the
+//     requested value; REPORT_ABORT(T) only after ABORT(T); at most one
+//     report per transaction.
+//
+// INFORM events are ignored here (they are generic-system actions checked
+// by the generic runner). The values map records each REQUEST_COMMIT value
+// so that report values can be matched.
+func CheckWellFormed(tr *tname.Tree, b event.Behavior) error {
+	st := make(map[tname.TxID]*txWFState)
+	vals := make(map[tname.TxID]event.Event)
+	get := func(t tname.TxID) *txWFState {
+		s, ok := st[t]
+		if !ok {
+			s = &txWFState{}
+			st[t] = s
+		}
+		return s
+	}
+	fail := func(i int, e event.Event, format string, args ...any) error {
+		return &WFError{Index: i, Event: e, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	for i, e := range b {
+		if !e.Kind.IsSerial() {
+			continue
+		}
+		s := get(e.Tx)
+		switch e.Kind {
+		case event.Create:
+			if e.Tx != tname.Root && !s.requested {
+				return fail(i, e, "CREATE without prior REQUEST_CREATE")
+			}
+			if s.created {
+				return fail(i, e, "second CREATE")
+			}
+			if s.aborted || s.committed {
+				return fail(i, e, "CREATE after completion")
+			}
+			s.created = true
+
+		case event.RequestCreate:
+			if e.Tx == tname.Root {
+				return fail(i, e, "REQUEST_CREATE of T0")
+			}
+			if s.requested {
+				return fail(i, e, "second REQUEST_CREATE")
+			}
+			p := get(tr.Parent(e.Tx))
+			if !p.created {
+				return fail(i, e, "parent not created")
+			}
+			if p.commitRequested {
+				return fail(i, e, "parent already requested commit")
+			}
+			s.requested = true
+			p.openChildren++
+
+		case event.RequestCommit:
+			if !s.created {
+				return fail(i, e, "REQUEST_COMMIT without CREATE")
+			}
+			if s.commitRequested {
+				return fail(i, e, "second REQUEST_COMMIT")
+			}
+			if !tr.IsAccess(e.Tx) && e.Tx != tname.Root && s.openChildren > 0 {
+				return fail(i, e, "REQUEST_COMMIT with %d unreported children", s.openChildren)
+			}
+			s.commitRequested = true
+			vals[e.Tx] = e
+
+		case event.Commit:
+			if e.Tx == tname.Root {
+				return fail(i, e, "COMMIT of T0")
+			}
+			if !s.commitRequested {
+				return fail(i, e, "COMMIT without REQUEST_COMMIT")
+			}
+			if s.committed || s.aborted {
+				return fail(i, e, "second completion event")
+			}
+			s.committed = true
+
+		case event.Abort:
+			if e.Tx == tname.Root {
+				return fail(i, e, "ABORT of T0")
+			}
+			if !s.requested {
+				return fail(i, e, "ABORT without REQUEST_CREATE")
+			}
+			if s.committed || s.aborted {
+				return fail(i, e, "second completion event")
+			}
+			s.aborted = true
+
+		case event.ReportCommit:
+			if !s.committed {
+				return fail(i, e, "REPORT_COMMIT without COMMIT")
+			}
+			if s.reported {
+				return fail(i, e, "second report")
+			}
+			if rc, ok := vals[e.Tx]; !ok || rc.Val != e.Val {
+				return fail(i, e, "REPORT_COMMIT value %s does not match requested %s", e.Val, rc.Val)
+			}
+			s.reported = true
+			get(tr.Parent(e.Tx)).openChildren--
+
+		case event.ReportAbort:
+			if !s.aborted {
+				return fail(i, e, "REPORT_ABORT without ABORT")
+			}
+			if s.reported {
+				return fail(i, e, "second report")
+			}
+			s.reported = true
+			get(tr.Parent(e.Tx)).openChildren--
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package spec
+
+// This file provides executable approximations of the paper's §6.1
+// definitions — equieffectiveness and backward commutativity — used by the
+// test suite to validate each Spec's Conflicts table against its Apply
+// semantics.
+//
+// Equieffectiveness of two finite behaviors is, in general, a quantification
+// over all continuations. For the deterministic specifications in this
+// package, equality of canonically encoded states implies equieffectiveness
+// (Apply is a function of the state), which is the direction soundness
+// needs: if Conflicts reports "commute" the swapped sequence must be a
+// behavior ending in an equal state.
+
+// CommuteVerdict is the outcome of checking backward commutativity of a
+// pair of operations in one particular context.
+type CommuteVerdict uint8
+
+// Verdicts of CommuteBackwardIn.
+const (
+	// Vacuous: perform(ξ a b) is not a behavior, so the definition's
+	// hypothesis fails and this context says nothing.
+	Vacuous CommuteVerdict = iota
+	// Commutes: perform(ξ b a) is a behavior equieffective to
+	// perform(ξ a b) (equal canonical final states).
+	Commutes
+	// Violates: perform(ξ a b) is a behavior but perform(ξ b a) either is
+	// not a behavior or ends in a different state.
+	Violates
+)
+
+// CommuteBackwardIn checks the backward-commutativity condition for the
+// ordered pair (a, b) in the specific context ξ: if perform(ξ a b) is a
+// behavior of sp, then perform(ξ b a) must be a behavior ending in an
+// equieffective state.
+func CommuteBackwardIn(sp Spec, xi []Op, a, b OpVal) CommuteVerdict {
+	s, _ := Replay(sp, xi)
+
+	s1, va := sp.Apply(s, a.Op)
+	if va != a.Val {
+		return Vacuous
+	}
+	s1, vb := sp.Apply(s1, b.Op)
+	if vb != b.Val {
+		return Vacuous
+	}
+
+	s2, vb2 := sp.Apply(s, b.Op)
+	if vb2 != b.Val {
+		return Violates
+	}
+	s2, va2 := sp.Apply(s2, a.Op)
+	if va2 != a.Val {
+		return Violates
+	}
+	if sp.Encode(s1) != sp.Encode(s2) {
+		return Violates
+	}
+	return Commutes
+}
+
+// LegalOpVals returns every OpVal that op can produce when applied in the
+// state reached by replaying ξ. For deterministic specs that is exactly one
+// value.
+func LegalOpVal(sp Spec, xi []Op, op Op) OpVal {
+	s, _ := Replay(sp, xi)
+	_, v := sp.Apply(s, op)
+	return OpVal{Op: op, Val: v}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty is 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("stddev of singleton is 0")
+	}
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2.138089935299395) {
+		t.Errorf("stddev = %v", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {150, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("percentile of empty is 0")
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 25); !almost(got, 2.5) {
+		t.Errorf("P25 of {0,10} = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile must not sort its input in place")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		p = math.Mod(math.Abs(p), 100)
+		got := Percentile(raw, p)
+		lo, hi := raw[0], raw[0]
+		for _, x := range raw {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E1: example", "name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "E1: example") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "a-much-longer-name") || !strings.Contains(out, "2.50") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and separator have the same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("misaligned header/separator:\n%s", out)
+	}
+}

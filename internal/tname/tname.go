@@ -1,0 +1,299 @@
+// Package tname implements the system type of Fekete, Lynch & Weihl (1990):
+// the tree of transaction names, rooted at T0, whose leaves below the root
+// may be designated as accesses to named objects.
+//
+// The paper treats the name tree as infinite and "known in advance by all
+// components of a system"; we realize it lazily, interning each name the
+// first time a component mentions it. Interned names are small integer IDs
+// (TxID), so ancestor/descendant/lca queries are cheap pointer-free walks.
+package tname
+
+import (
+	"fmt"
+	"strings"
+
+	"nestedsg/internal/spec"
+)
+
+// TxID identifies an interned transaction name. The root T0 is always ID 0.
+// The zero value therefore denotes T0; callers that need "no transaction"
+// should use None.
+type TxID int32
+
+// None is a sentinel TxID meaning "no transaction". It is never a valid name.
+const None TxID = -1
+
+// Root is the transaction name T0, the "mythical" root of the transaction
+// tree that models the environment of the system.
+const Root TxID = 0
+
+// ObjID identifies an interned object name X.
+type ObjID int32
+
+// NoObj is a sentinel ObjID meaning "no object".
+const NoObj ObjID = -1
+
+// node is the interned record for one transaction name.
+type node struct {
+	parent TxID
+	depth  int32 // depth of T0 is 0
+	label  string
+	// Access metadata; obj == NoObj for non-access names.
+	obj ObjID
+	op  spec.Op
+}
+
+// object is the interned record for one object name.
+type object struct {
+	label string
+	sp    spec.Spec
+}
+
+// Tree is a system type: the set of interned transaction names organized
+// into a tree by parent, together with the set of object names and, for each
+// access name, the object it accesses and the operation it performs.
+//
+// A Tree is not safe for concurrent mutation; the runners in this module
+// intern all names they need before or while holding their own locks.
+type Tree struct {
+	nodes   []node
+	objects []object
+	// children holds the interned children of each name in creation order;
+	// used by pretty-printers and generators, not by the checkers.
+	children [][]TxID
+	// byLabel resolves "parentID/label" for idempotent interning.
+	byLabel    map[childKey]TxID
+	objByLabel map[string]ObjID
+}
+
+type childKey struct {
+	parent TxID
+	label  string
+}
+
+// NewTree returns a system type containing only T0 and no objects.
+func NewTree() *Tree {
+	t := &Tree{
+		byLabel:    make(map[childKey]TxID),
+		objByLabel: make(map[string]ObjID),
+	}
+	t.nodes = append(t.nodes, node{parent: None, depth: 0, label: "T0", obj: NoObj})
+	t.children = append(t.children, nil)
+	return t
+}
+
+// NumTx reports how many transaction names have been interned.
+func (t *Tree) NumTx() int { return len(t.nodes) }
+
+// NumObjects reports how many object names have been interned.
+func (t *Tree) NumObjects() int { return len(t.objects) }
+
+// AddObject interns an object name with the given serial specification.
+// Interning the same label twice returns the original ID; the specification
+// must match.
+func (t *Tree) AddObject(label string, sp spec.Spec) ObjID {
+	if id, ok := t.objByLabel[label]; ok {
+		if t.objects[id].sp.Name() != sp.Name() {
+			panic(fmt.Sprintf("tname: object %q re-interned with different spec %q (was %q)",
+				label, sp.Name(), t.objects[id].sp.Name()))
+		}
+		return id
+	}
+	id := ObjID(len(t.objects))
+	t.objects = append(t.objects, object{label: label, sp: sp})
+	t.objByLabel[label] = id
+	return id
+}
+
+// Object returns the interned ID for an object label, or NoObj.
+func (t *Tree) Object(label string) ObjID {
+	if id, ok := t.objByLabel[label]; ok {
+		return id
+	}
+	return NoObj
+}
+
+// ObjectLabel returns the label an object was interned under.
+func (t *Tree) ObjectLabel(x ObjID) string { return t.objects[x].label }
+
+// Spec returns the serial specification of object x.
+func (t *Tree) Spec(x ObjID) spec.Spec { return t.objects[x].sp }
+
+// Child interns (or resolves) the non-access child of parent with the given
+// label. It panics if parent is an access: accesses are leaves.
+func (t *Tree) Child(parent TxID, label string) TxID {
+	return t.intern(parent, label, NoObj, spec.Op{})
+}
+
+// Access interns (or resolves) an access child of parent: a leaf that
+// performs op on object x. The paper regards all parameters of an access as
+// encoded in its name, so (x, op) is part of the identity of the name.
+func (t *Tree) Access(parent TxID, label string, x ObjID, op spec.Op) TxID {
+	if x < 0 || int(x) >= len(t.objects) {
+		panic(fmt.Sprintf("tname: access %q to unknown object %d", label, x))
+	}
+	id := t.intern(parent, label, x, op)
+	return id
+}
+
+func (t *Tree) intern(parent TxID, label string, x ObjID, op spec.Op) TxID {
+	if t.IsAccess(parent) {
+		panic(fmt.Sprintf("tname: %s is an access and cannot have children", t.Name(parent)))
+	}
+	key := childKey{parent, label}
+	if id, ok := t.byLabel[key]; ok {
+		n := t.nodes[id]
+		if n.obj != x || n.op != op {
+			panic(fmt.Sprintf("tname: name %s re-interned with different access metadata", t.Name(id)))
+		}
+		return id
+	}
+	id := TxID(len(t.nodes))
+	t.nodes = append(t.nodes, node{parent: parent, depth: t.nodes[parent].depth + 1, label: label, obj: x, op: op})
+	t.children = append(t.children, nil)
+	t.children[parent] = append(t.children[parent], id)
+	t.byLabel[key] = id
+	return id
+}
+
+// Parent returns the parent of tx, or None for T0.
+func (t *Tree) Parent(tx TxID) TxID { return t.nodes[tx].parent }
+
+// Depth returns the depth of tx (T0 has depth 0).
+func (t *Tree) Depth(tx TxID) int { return int(t.nodes[tx].depth) }
+
+// Label returns the local label tx was interned under.
+func (t *Tree) Label(tx TxID) string { return t.nodes[tx].label }
+
+// Children returns the children of tx interned so far, in creation order.
+// The returned slice is owned by the tree and must not be mutated.
+func (t *Tree) Children(tx TxID) []TxID { return t.children[tx] }
+
+// IsAccess reports whether tx is an access (a leaf that operates on data).
+func (t *Tree) IsAccess(tx TxID) bool { return t.nodes[tx].obj != NoObj }
+
+// AccessObject returns the object accessed by tx, or NoObj if tx is not an
+// access.
+func (t *Tree) AccessObject(tx TxID) ObjID { return t.nodes[tx].obj }
+
+// AccessOp returns the operation performed by access tx. It panics if tx is
+// not an access.
+func (t *Tree) AccessOp(tx TxID) spec.Op {
+	if !t.IsAccess(tx) {
+		panic(fmt.Sprintf("tname: %s is not an access", t.Name(tx)))
+	}
+	return t.nodes[tx].op
+}
+
+// IsAncestor reports whether a is an ancestor of b. Following the paper, a
+// transaction is an ancestor (and descendant) of itself.
+func (t *Tree) IsAncestor(a, b TxID) bool {
+	da, db := t.nodes[a].depth, t.nodes[b].depth
+	if da > db {
+		return false
+	}
+	for db > da {
+		b = t.nodes[b].parent
+		db--
+	}
+	return a == b
+}
+
+// IsDescendant reports whether a is a descendant of b.
+func (t *Tree) IsDescendant(a, b TxID) bool { return t.IsAncestor(b, a) }
+
+// IsOrdered reports whether a and b lie on a common root-to-leaf path, i.e.
+// one is an ancestor of the other.
+func (t *Tree) IsOrdered(a, b TxID) bool {
+	return t.IsAncestor(a, b) || t.IsAncestor(b, a)
+}
+
+// LCA returns the least common ancestor of a and b.
+func (t *Tree) LCA(a, b TxID) TxID {
+	da, db := t.nodes[a].depth, t.nodes[b].depth
+	for da > db {
+		a = t.nodes[a].parent
+		da--
+	}
+	for db > da {
+		b = t.nodes[b].parent
+		db--
+	}
+	for a != b {
+		a = t.nodes[a].parent
+		b = t.nodes[b].parent
+	}
+	return a
+}
+
+// ChildAncestor returns the child of anc that is an ancestor of desc.
+// It panics unless anc is a proper ancestor of desc.
+func (t *Tree) ChildAncestor(anc, desc TxID) TxID {
+	dAnc, d := t.nodes[anc].depth, t.nodes[desc].depth
+	if d <= dAnc {
+		panic("tname: ChildAncestor requires a proper ancestor")
+	}
+	for d > dAnc+1 {
+		desc = t.nodes[desc].parent
+		d--
+	}
+	if t.nodes[desc].parent != anc {
+		panic("tname: ChildAncestor: not an ancestor")
+	}
+	return desc
+}
+
+// Ancestors returns the ancestors of tx from tx up to and including T0.
+func (t *Tree) Ancestors(tx TxID) []TxID {
+	out := make([]TxID, 0, t.nodes[tx].depth+1)
+	for u := tx; u != None; u = t.nodes[u].parent {
+		out = append(out, u)
+	}
+	return out
+}
+
+// Name returns the fully qualified, slash-separated name of tx, e.g.
+// "T0/1/2.read(x)".
+func (t *Tree) Name(tx TxID) string {
+	if tx == None {
+		return "<none>"
+	}
+	var parts []string
+	for u := tx; u != None; u = t.nodes[u].parent {
+		parts = append(parts, t.nodes[u].label)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	s := strings.Join(parts, "/")
+	if t.IsAccess(tx) {
+		s += fmt.Sprintf("[%s %s]", t.objects[t.nodes[tx].obj].label, t.nodes[tx].op)
+	}
+	return s
+}
+
+// Validate checks internal invariants of the tree; it is used by tests.
+func (t *Tree) Validate() error {
+	if len(t.nodes) == 0 || t.nodes[0].parent != None || t.nodes[0].depth != 0 {
+		return fmt.Errorf("tname: malformed root")
+	}
+	for id := 1; id < len(t.nodes); id++ {
+		n := t.nodes[id]
+		if n.parent < 0 || int(n.parent) >= len(t.nodes) {
+			return fmt.Errorf("tname: node %d has out-of-range parent %d", id, n.parent)
+		}
+		if n.parent >= TxID(id) {
+			return fmt.Errorf("tname: node %d has non-topological parent %d", id, n.parent)
+		}
+		if n.depth != t.nodes[n.parent].depth+1 {
+			return fmt.Errorf("tname: node %d has wrong depth", id)
+		}
+		if t.nodes[n.parent].obj != NoObj {
+			return fmt.Errorf("tname: node %d is a child of an access", id)
+		}
+		if n.obj != NoObj && int(n.obj) >= len(t.objects) {
+			return fmt.Errorf("tname: node %d accesses unknown object %d", id, n.obj)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package tname
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nestedsg/internal/spec"
+)
+
+// buildSample interns a small fixed tree:
+//
+//	T0
+//	├── a        (composite)
+//	│   ├── a1   (composite)
+//	│   │   └── r (access: read x)
+//	│   └── a2   (access: write x)
+//	└── b        (composite)
+//	    └── b1   (access: read y)
+func buildSample(t *testing.T) (*Tree, map[string]TxID, map[string]ObjID) {
+	t.Helper()
+	tr := NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	y := tr.AddObject("y", spec.Register{})
+	a := tr.Child(Root, "a")
+	a1 := tr.Child(a, "a1")
+	r := tr.Access(a1, "r", x, spec.Op{Kind: spec.OpRead})
+	a2 := tr.Access(a, "a2", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(7)})
+	b := tr.Child(Root, "b")
+	b1 := tr.Access(b, "b1", y, spec.Op{Kind: spec.OpRead})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr,
+		map[string]TxID{"a": a, "a1": a1, "r": r, "a2": a2, "b": b, "b1": b1},
+		map[string]ObjID{"x": x, "y": y}
+}
+
+func TestRootProperties(t *testing.T) {
+	tr := NewTree()
+	if tr.Parent(Root) != None {
+		t.Error("T0 must have no parent")
+	}
+	if tr.Depth(Root) != 0 {
+		t.Error("T0 must have depth 0")
+	}
+	if tr.IsAccess(Root) {
+		t.Error("T0 must not be an access")
+	}
+	if got := tr.Name(Root); got != "T0" {
+		t.Errorf("Name(T0) = %q", got)
+	}
+	if tr.NumTx() != 1 {
+		t.Errorf("fresh tree has %d names", tr.NumTx())
+	}
+}
+
+func TestInterningIsIdempotent(t *testing.T) {
+	tr, ids, objs := buildSample(t)
+	if got := tr.Child(Root, "a"); got != ids["a"] {
+		t.Errorf("re-interning a gave %d, want %d", got, ids["a"])
+	}
+	if got := tr.Access(ids["a"], "a2", objs["x"], spec.Op{Kind: spec.OpWrite, Arg: spec.Int(7)}); got != ids["a2"] {
+		t.Errorf("re-interning a2 gave %d, want %d", got, ids["a2"])
+	}
+	n := tr.NumTx()
+	tr.Child(Root, "a")
+	if tr.NumTx() != n {
+		t.Error("idempotent interning must not grow the tree")
+	}
+}
+
+func TestInterningConflictsPanic(t *testing.T) {
+	tr, ids, objs := buildSample(t)
+	assertPanics(t, "access metadata change", func() {
+		tr.Access(ids["a"], "a2", objs["x"], spec.Op{Kind: spec.OpWrite, Arg: spec.Int(8)})
+	})
+	assertPanics(t, "child of access", func() {
+		tr.Child(ids["a2"], "sub")
+	})
+	assertPanics(t, "access with unknown object", func() {
+		tr.Access(ids["a"], "zz", ObjID(99), spec.Op{Kind: spec.OpRead})
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestAncestry(t *testing.T) {
+	tr, ids, _ := buildSample(t)
+	cases := []struct {
+		anc, desc string
+		want      bool
+	}{
+		{"a", "r", true},
+		{"a1", "r", true},
+		{"r", "r", true}, // a transaction is its own ancestor
+		{"a", "a", true},
+		{"r", "a", false},
+		{"a", "b1", false},
+		{"b", "r", false},
+	}
+	for _, c := range cases {
+		if got := tr.IsAncestor(ids[c.anc], ids[c.desc]); got != c.want {
+			t.Errorf("IsAncestor(%s, %s) = %v, want %v", c.anc, c.desc, got, c.want)
+		}
+	}
+	for name, id := range ids {
+		if !tr.IsAncestor(Root, id) {
+			t.Errorf("T0 must be an ancestor of %s", name)
+		}
+		if !tr.IsDescendant(id, Root) {
+			t.Errorf("%s must be a descendant of T0", name)
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tr, ids, _ := buildSample(t)
+	cases := []struct{ a, b, want string }{
+		{"r", "a2", "a"},
+		{"r", "b1", ""},
+		{"a1", "a2", "a"},
+		{"r", "r", "r"},
+		{"a", "r", "a"},
+	}
+	for _, c := range cases {
+		want := Root
+		if c.want != "" {
+			want = ids[c.want]
+		}
+		if c.a == c.want {
+			want = ids[c.a]
+		}
+		if got := tr.LCA(ids[c.a], ids[c.b]); got != want {
+			t.Errorf("LCA(%s, %s) = %s, want %s", c.a, c.b, tr.Name(got), tr.Name(want))
+		}
+	}
+}
+
+func TestChildAncestor(t *testing.T) {
+	tr, ids, _ := buildSample(t)
+	if got := tr.ChildAncestor(Root, ids["r"]); got != ids["a"] {
+		t.Errorf("ChildAncestor(T0, r) = %s", tr.Name(got))
+	}
+	if got := tr.ChildAncestor(ids["a"], ids["r"]); got != ids["a1"] {
+		t.Errorf("ChildAncestor(a, r) = %s", tr.Name(got))
+	}
+	assertPanics(t, "non-ancestor", func() { tr.ChildAncestor(ids["b"], ids["r"]) })
+	assertPanics(t, "equal names", func() { tr.ChildAncestor(ids["r"], ids["r"]) })
+}
+
+func TestAncestors(t *testing.T) {
+	tr, ids, _ := buildSample(t)
+	anc := tr.Ancestors(ids["r"])
+	want := []TxID{ids["r"], ids["a1"], ids["a"], Root}
+	if len(anc) != len(want) {
+		t.Fatalf("Ancestors(r) = %v", anc)
+	}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Fatalf("Ancestors(r)[%d] = %s, want %s", i, tr.Name(anc[i]), tr.Name(want[i]))
+		}
+	}
+}
+
+func TestAccessMetadata(t *testing.T) {
+	tr, ids, objs := buildSample(t)
+	if !tr.IsAccess(ids["a2"]) || tr.IsAccess(ids["a"]) {
+		t.Fatal("access classification wrong")
+	}
+	if tr.AccessObject(ids["a2"]) != objs["x"] {
+		t.Error("a2 accesses x")
+	}
+	if tr.AccessObject(ids["a"]) != NoObj {
+		t.Error("composite must report NoObj")
+	}
+	op := tr.AccessOp(ids["a2"])
+	if op.Kind != spec.OpWrite || op.Arg != spec.Int(7) {
+		t.Errorf("AccessOp(a2) = %v", op)
+	}
+	assertPanics(t, "AccessOp on composite", func() { tr.AccessOp(ids["a"]) })
+}
+
+func TestObjects(t *testing.T) {
+	tr, _, objs := buildSample(t)
+	if tr.NumObjects() != 2 {
+		t.Fatalf("NumObjects = %d", tr.NumObjects())
+	}
+	if tr.Object("x") != objs["x"] || tr.Object("nope") != NoObj {
+		t.Error("Object lookup wrong")
+	}
+	if tr.ObjectLabel(objs["y"]) != "y" {
+		t.Error("ObjectLabel wrong")
+	}
+	if tr.Spec(objs["x"]).Name() != "register" {
+		t.Error("Spec wrong")
+	}
+	if got := tr.AddObject("x", spec.Register{}); got != objs["x"] {
+		t.Error("re-adding object must return the same ID")
+	}
+	assertPanics(t, "respec object", func() { tr.AddObject("x", spec.Counter{}) })
+}
+
+func TestChildrenOrder(t *testing.T) {
+	tr, ids, _ := buildSample(t)
+	kids := tr.Children(Root)
+	if len(kids) != 2 || kids[0] != ids["a"] || kids[1] != ids["b"] {
+		t.Errorf("Children(T0) = %v", kids)
+	}
+}
+
+func TestNameRendering(t *testing.T) {
+	tr, ids, _ := buildSample(t)
+	if got := tr.Name(ids["a1"]); got != "T0/a/a1" {
+		t.Errorf("Name(a1) = %q", got)
+	}
+	if got := tr.Name(None); got != "<none>" {
+		t.Errorf("Name(None) = %q", got)
+	}
+	// Access names embed object and operation.
+	got := tr.Name(ids["b1"])
+	if got != "T0/b/b1[y read]" {
+		t.Errorf("Name(b1) = %q", got)
+	}
+}
+
+// randomTree interns a pseudo-random tree and returns all names.
+func randomTree(seed int64, n int) (*Tree, []TxID) {
+	tr := NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	rng := rand.New(rand.NewSource(seed))
+	names := []TxID{Root}
+	for i := 0; i < n; i++ {
+		parent := names[rng.Intn(len(names))]
+		if tr.IsAccess(parent) {
+			continue
+		}
+		var id TxID
+		if rng.Intn(4) == 0 {
+			id = tr.Access(parent, label(i), x, spec.Op{Kind: spec.OpRead})
+		} else {
+			id = tr.Child(parent, label(i))
+		}
+		names = append(names, id)
+	}
+	return tr, names
+}
+
+func label(i int) string {
+	return "n" + string(rune('A'+i%26)) + string(rune('0'+i/26%10)) + string(rune('a'+i/260%26))
+}
+
+// TestLCAProperties checks algebraic properties of LCA/ancestry on random
+// trees: symmetry, idempotence, and that LCA is the deepest common
+// ancestor.
+func TestLCAProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, names := randomTree(seed, 60)
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		for k := 0; k < 200; k++ {
+			a := names[rng.Intn(len(names))]
+			b := names[rng.Intn(len(names))]
+			l := tr.LCA(a, b)
+			if l != tr.LCA(b, a) {
+				return false
+			}
+			if !tr.IsAncestor(l, a) || !tr.IsAncestor(l, b) {
+				return false
+			}
+			// No child of l that is an ancestor of both.
+			for _, c := range tr.Children(l) {
+				if tr.IsAncestor(c, a) && tr.IsAncestor(c, b) {
+					return false
+				}
+			}
+			if tr.LCA(a, a) != a {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAncestryViaAncestors cross-checks IsAncestor against the explicit
+// ancestor list.
+func TestAncestryViaAncestors(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, names := randomTree(seed, 40)
+		rng := rand.New(rand.NewSource(seed ^ 0x1234))
+		for k := 0; k < 100; k++ {
+			a := names[rng.Intn(len(names))]
+			b := names[rng.Intn(len(names))]
+			inList := false
+			for _, u := range tr.Ancestors(b) {
+				if u == a {
+					inList = true
+					break
+				}
+			}
+			if tr.IsAncestor(a, b) != inList {
+				return false
+			}
+			if tr.IsOrdered(a, b) != (tr.IsAncestor(a, b) || tr.IsAncestor(b, a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

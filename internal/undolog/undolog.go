@@ -1,0 +1,254 @@
+// Package undolog implements the undo logging object automaton U_X of §6.2
+// — the generalization to nested transactions of Weihl's undo-logging
+// algorithm — for objects of arbitrary data type.
+//
+// The automaton keeps the object state as a log of operations (T, v). A
+// REQUEST_COMMIT(T, v) is enabled only when
+//
+//   - perform(operations · (T, v)) is a behavior of S_X (v is obtained by
+//     replaying the log and applying the access's operation), and
+//   - (T, v) commutes backward with every logged operation (T', v') that
+//     has an uncommitted ancestor outside ancestors(T).
+//
+// INFORM_ABORT removes all operations of descendants of the aborted
+// transaction from the log — the "undo". INFORM_COMMIT merely records the
+// commit, enlarging the set of operations later accesses need not commute
+// with.
+package undolog
+
+import (
+	"fmt"
+
+	"nestedsg/internal/object"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// entry is one logged operation.
+type entry struct {
+	tx tname.TxID
+	ov spec.OpVal
+}
+
+// Undo is the undo logging generic object automaton U_X.
+type Undo struct {
+	tr *tname.Tree
+	x  tname.ObjID
+	sp spec.Spec
+
+	created         map[tname.TxID]bool
+	commitRequested map[tname.TxID]bool
+	committed       map[tname.TxID]bool
+	operations      []entry
+
+	// cache of the state reached by replaying operations; invalidated when
+	// the log shrinks on INFORM_ABORT.
+	cache      spec.State
+	cacheValid bool
+
+	// brokenNoUndo disables log erasure on abort (negative control).
+	brokenNoUndo bool
+	// brokenSkipCommute disables the commutativity gate (negative
+	// control): any access whose value replays legally is admitted.
+	brokenSkipCommute bool
+}
+
+// New builds the faithful U_X automaton for object x.
+func New(tr *tname.Tree, x tname.ObjID) *Undo {
+	return &Undo{
+		tr:              tr,
+		x:               x,
+		sp:              tr.Spec(x),
+		created:         make(map[tname.TxID]bool),
+		commitRequested: make(map[tname.TxID]bool),
+		committed:       make(map[tname.TxID]bool),
+	}
+}
+
+// Create implements object.Generic.
+func (u *Undo) Create(t tname.TxID) { u.created[t] = true }
+
+// InformCommit implements object.Generic.
+func (u *Undo) InformCommit(t tname.TxID) { u.committed[t] = true }
+
+// InformAbort implements object.Generic.
+func (u *Undo) InformAbort(t tname.TxID) {
+	if u.brokenNoUndo {
+		// Negative control: recovery misreads the abort record as a group
+		// commit — the aborted subtree's operations stay in the log and
+		// every owner on the path is marked committed, so later accesses
+		// unblock into the corrupted state.
+		u.committed[t] = true
+		for _, e := range u.operations {
+			if !u.tr.IsDescendant(e.tx, t) {
+				continue
+			}
+			for a := e.tx; a != t; a = u.tr.Parent(a) {
+				u.committed[a] = true
+			}
+		}
+		return
+	}
+	kept := u.operations[:0]
+	removed := false
+	for _, e := range u.operations {
+		if u.tr.IsDescendant(e.tx, t) {
+			removed = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	u.operations = kept
+	if removed {
+		u.cacheValid = false
+	}
+}
+
+// state replays the log (cached).
+func (u *Undo) state() spec.State {
+	if !u.cacheValid {
+		st := u.sp.Init()
+		for _, e := range u.operations {
+			st, _ = u.sp.Apply(st, e.ov.Op)
+		}
+		u.cache, u.cacheValid = st, true
+	}
+	return u.cache
+}
+
+// uncommittedOutside reports whether some ancestor of t2 outside
+// ancestors(t) is not in committed — i.e. whether the logged operation of
+// t2 still belongs to a transaction whose fate t cannot rely on.
+func (u *Undo) uncommittedOutside(t2, t tname.TxID) bool {
+	lca := u.tr.LCA(t2, t)
+	for a := t2; a != lca; a = u.tr.Parent(a) {
+		if !u.committed[a] {
+			return true
+		}
+	}
+	return false
+}
+
+// TryRequestCommit implements object.Generic.
+func (u *Undo) TryRequestCommit(t tname.TxID) (spec.Value, bool) {
+	if !u.created[t] || u.commitRequested[t] {
+		return spec.Nil, false
+	}
+	op := u.tr.AccessOp(t)
+	st, v := u.sp.Apply(u.state(), op)
+	ov := spec.OpVal{Op: op, Val: v}
+	if !u.brokenSkipCommute {
+		for _, e := range u.operations {
+			if u.uncommittedOutside(e.tx, t) && u.sp.Conflicts(ov, e.ov) {
+				return spec.Nil, false
+			}
+		}
+	}
+	u.operations = append(u.operations, entry{tx: t, ov: ov})
+	u.cache, u.cacheValid = st, true
+	u.commitRequested[t] = true
+	return v, true
+}
+
+// Blockers implements object.Generic.
+func (u *Undo) Blockers(t tname.TxID) []tname.TxID {
+	if !u.created[t] || u.commitRequested[t] || u.brokenSkipCommute {
+		return nil
+	}
+	op := u.tr.AccessOp(t)
+	_, v := u.sp.Apply(u.state(), op)
+	ov := spec.OpVal{Op: op, Val: v}
+	var out []tname.TxID
+	for _, e := range u.operations {
+		if u.uncommittedOutside(e.tx, t) && u.sp.Conflicts(ov, e.ov) {
+			out = append(out, e.tx)
+		}
+	}
+	return out
+}
+
+// Audit implements object.Auditor: the cached state must match a fresh
+// replay of the log, and perform(operations) must be a behavior of S_X
+// (Lemma 21(2) with the empty removal set, a consequence of the
+// commutativity gate). Broken variants are exempt.
+func (u *Undo) Audit() error {
+	if u.brokenNoUndo || u.brokenSkipCommute {
+		return nil
+	}
+	st := u.sp.Init()
+	for i, e := range u.operations {
+		var v spec.Value
+		st, v = u.sp.Apply(st, e.ov.Op)
+		if v != e.ov.Val {
+			return fmt.Errorf("undolog: log entry %d (%s) is not legal under replay", i, e.ov)
+		}
+	}
+	if u.cacheValid && u.sp.Encode(st) != u.sp.Encode(u.cache) {
+		return fmt.Errorf("undolog: cached state diverged from log replay")
+	}
+	return nil
+}
+
+// Log returns a copy of the current operation log; used by tests to check
+// Lemmas 20–21.
+func (u *Undo) Log() []spec.OpVal {
+	out := make([]spec.OpVal, len(u.operations))
+	for i, e := range u.operations {
+		out[i] = e.ov
+	}
+	return out
+}
+
+// LogTx returns the transactions of the logged operations, in log order.
+func (u *Undo) LogTx() []tname.TxID {
+	out := make([]tname.TxID, len(u.operations))
+	for i, e := range u.operations {
+		out[i] = e.tx
+	}
+	return out
+}
+
+// Protocol implements object.Protocol for the faithful undo-log automaton.
+type Protocol struct{}
+
+// Name implements object.Protocol.
+func (Protocol) Name() string { return "undolog" }
+
+// New implements object.Protocol.
+func (Protocol) New(tr *tname.Tree, x tname.ObjID) object.Generic { return New(tr, x) }
+
+// BrokenMode selects a deliberately incorrect variant for experiment E3.
+type BrokenMode uint8
+
+// Broken modes.
+const (
+	// NoUndo records aborts as commits: aborted transactions' effects
+	// survive in the log and unblock (and corrupt) later accesses.
+	NoUndo BrokenMode = iota
+	// SkipCommute admits any access without the backward-commutativity
+	// gate: concurrent non-commuting operations interleave freely.
+	SkipCommute
+)
+
+// BrokenProtocol implements object.Protocol for broken variants.
+type BrokenProtocol struct{ Mode BrokenMode }
+
+// Name implements object.Protocol.
+func (p BrokenProtocol) Name() string {
+	if p.Mode == NoUndo {
+		return "undolog-broken-noundo"
+	}
+	return "undolog-broken-commute"
+}
+
+// New implements object.Protocol.
+func (p BrokenProtocol) New(tr *tname.Tree, x tname.ObjID) object.Generic {
+	u := New(tr, x)
+	switch p.Mode {
+	case NoUndo:
+		u.brokenNoUndo = true
+	case SkipCommute:
+		u.brokenSkipCommute = true
+	}
+	return u
+}

@@ -1,0 +1,288 @@
+// Package workload generates seeded, parameterized nested-transaction
+// programs: the inputs of every experiment in EXPERIMENTS.md.
+//
+// A workload is a program tree for T0 whose top-level children are the
+// classical transactions. Shape (top-level count, nesting depth, fanout),
+// data (object count, specification, hot-spot skew, read ratio) and
+// behavior (sequential vs parallel children, retry of aborted children,
+// value-dependent accesses) are all knobs. Generation is deterministic in
+// the seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nestedsg/internal/program"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// Config parameterizes a workload.
+type Config struct {
+	// Seed drives generation.
+	Seed int64
+	// TopLevel is the number of T0 children (classical transactions).
+	TopLevel int
+	// Depth is the maximum nesting depth below the top level; 0 makes
+	// top-level transactions flat sequences of accesses.
+	Depth int
+	// Fanout is the number of children per composite node.
+	Fanout int
+	// Objects is the number of objects.
+	Objects int
+	// SpecName selects the data type for every object ("register",
+	// "counter", "account", "set", "appendlog", "queue") or "mixed" to
+	// cycle through all of them.
+	SpecName string
+	// ReadRatio, for register objects, is the fraction of read accesses;
+	// other specs use their own operation mix. Negative means default 0.5.
+	ReadRatio float64
+	// HotProb is the probability that an access targets object 0 instead
+	// of a uniformly random object — the contention knob.
+	HotProb float64
+	// ParProb is the probability that a composite requests its children in
+	// parallel rather than sequentially.
+	ParProb float64
+	// SubProb is the probability that a child of a composite above the
+	// depth limit is itself a composite rather than an access.
+	SubProb float64
+	// RetryProb is the probability that a composite retries an aborted
+	// child once.
+	RetryProb float64
+	// CondProb is the probability that a sequential composite adds a
+	// value-dependent access (read something, then write a function of the
+	// value) — these make witness replay sensitive to any value drift.
+	CondProb float64
+	// UpdateOnly restricts accesses to blind updates (writes, inc/dec,
+	// deposits, inserts, appends, enqueues) — the pure commuting-update
+	// workloads of experiment E4.
+	UpdateOnly bool
+}
+
+// Default fills zero fields with sensible defaults.
+func (c Config) withDefaults() Config {
+	if c.TopLevel == 0 {
+		c.TopLevel = 6
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 3
+	}
+	if c.Objects == 0 {
+		c.Objects = 4
+	}
+	if c.SpecName == "" {
+		c.SpecName = "register"
+	}
+	if c.ReadRatio == 0 {
+		c.ReadRatio = 0.5
+	}
+	if c.SubProb == 0 {
+		c.SubProb = 0.5
+	}
+	return c
+}
+
+// Build interns the workload's objects into tr and returns the program of
+// T0. The same (tr fresh, cfg) pair always yields the same program.
+func Build(tr *tname.Tree, cfg Config) *program.Node {
+	cfg = cfg.withDefaults()
+	g := &gen{tr: tr, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.internObjects()
+	root := &program.Node{Label: "T0", Mode: program.Par}
+	for i := 0; i < cfg.TopLevel; i++ {
+		root.Children = append(root.Children, g.composite(fmt.Sprintf("t%d", i), cfg.Depth))
+	}
+	return root
+}
+
+type gen struct {
+	tr   *tname.Tree
+	cfg  Config
+	rng  *rand.Rand
+	objs []tname.ObjID
+}
+
+func (g *gen) internObjects() {
+	for i := 0; i < g.cfg.Objects; i++ {
+		name := g.cfg.SpecName
+		if name == "mixed" {
+			all := spec.All()
+			name = all[i%len(all)].Name()
+		}
+		sp := spec.ByName(name)
+		if sp == nil {
+			panic(fmt.Sprintf("workload: unknown spec %q", g.cfg.SpecName))
+		}
+		g.objs = append(g.objs, g.tr.AddObject(fmt.Sprintf("%s%d", name, i), sp))
+	}
+}
+
+// pickObj applies the hot-spot skew.
+func (g *gen) pickObj() tname.ObjID {
+	if g.cfg.HotProb > 0 && g.rng.Float64() < g.cfg.HotProb {
+		return g.objs[0]
+	}
+	return g.objs[g.rng.Intn(len(g.objs))]
+}
+
+// pickOp draws an operation for object x, honoring ReadRatio on registers
+// and the UpdateOnly restriction everywhere.
+func (g *gen) pickOp(x tname.ObjID) spec.Op {
+	sp := g.tr.Spec(x)
+	if g.cfg.UpdateOnly {
+		return updateOp(sp, g.rng.Int63n(8)+1)
+	}
+	if sp.Name() == "register" {
+		if g.rng.Float64() < g.cfg.ReadRatio {
+			return spec.Op{Kind: spec.OpRead}
+		}
+		return spec.Op{Kind: spec.OpWrite, Arg: spec.Int(int64(g.rng.Intn(64)))}
+	}
+	return sp.RandOp(g.rng)
+}
+
+// updateOp returns a blind update for the specification.
+func updateOp(sp spec.Spec, arg int64) spec.Op {
+	switch sp.Name() {
+	case "register":
+		return spec.Op{Kind: spec.OpWrite, Arg: spec.Int(arg)}
+	case "counter":
+		return spec.Op{Kind: spec.OpIncrement, Arg: spec.Int(arg)}
+	case "account":
+		return spec.Op{Kind: spec.OpDeposit, Arg: spec.Int(arg)}
+	case "set":
+		return spec.Op{Kind: spec.OpInsert, Arg: spec.Int(arg % 6)}
+	case "appendlog":
+		return spec.Op{Kind: spec.OpAppend, Arg: spec.Int(arg % 4)}
+	case "queue":
+		return spec.Op{Kind: spec.OpEnq, Arg: spec.Int(arg % 4)}
+	}
+	panic("workload: unknown spec " + sp.Name())
+}
+
+// composite builds one composite node with depth levels of nesting below.
+func (g *gen) composite(label string, depth int) *program.Node {
+	mode := program.Seq
+	if g.rng.Float64() < g.cfg.ParProb {
+		mode = program.Par
+	}
+	n := &program.Node{Label: label, Mode: mode}
+	for i := 0; i < g.cfg.Fanout; i++ {
+		childLabel := fmt.Sprintf("%s.%d", label, i)
+		if depth > 0 && g.rng.Float64() < g.cfg.SubProb {
+			n.Children = append(n.Children, g.composite(childLabel, depth-1))
+		} else {
+			n.Children = append(n.Children, g.access(childLabel))
+		}
+	}
+	if mode == program.Seq && g.cfg.CondProb > 0 && g.rng.Float64() < g.cfg.CondProb {
+		g.addConditional(n, label)
+	}
+	if g.cfg.RetryProb > 0 && g.rng.Float64() < g.cfg.RetryProb {
+		addRetry(n)
+	}
+	// Commit value: the sum of the integer outcomes of committed children —
+	// a symmetric aggregate, so it is independent of report arrival order.
+	n.Result = sumOutcomes
+	return n
+}
+
+func sumOutcomes(ocs []program.Outcome) spec.Value {
+	var total int64
+	for _, oc := range ocs {
+		if oc.Committed && (oc.Val.Kind == spec.VInt || oc.Val.Kind == spec.VBool) {
+			total += oc.Val.Int
+		}
+	}
+	return spec.Int(total)
+}
+
+// access builds one access leaf.
+func (g *gen) access(label string) *program.Node {
+	x := g.pickObj()
+	return program.Access(label, x, g.pickOp(x))
+}
+
+// addConditional appends a read-like access and a dependent follow-up: the
+// follow-up's operation argument is computed from the observed value, so a
+// single wrong return value anywhere upstream derails the serial witness.
+func (g *gen) addConditional(n *program.Node, label string) {
+	x := g.pickObj()
+	sp := g.tr.Spec(x)
+	var probe spec.Op
+	switch sp.Name() {
+	case "register":
+		probe = spec.Op{Kind: spec.OpRead}
+	case "counter":
+		probe = spec.Op{Kind: spec.OpGet}
+	case "account":
+		probe = spec.Op{Kind: spec.OpBalance}
+	case "set":
+		probe = spec.Op{Kind: spec.OpSize}
+	case "appendlog":
+		probe = spec.Op{Kind: spec.OpLen}
+	default:
+		return // queue: no read-only probe
+	}
+	probeNode := program.Access(label+".probe", x, probe)
+	n.Children = append(n.Children, probeNode)
+
+	prev := n.OnOutcome
+	n.OnOutcome = func(idx int, child *program.Node, oc program.Outcome) []*program.Node {
+		var out []*program.Node
+		if prev != nil {
+			out = prev(idx, child, oc)
+		}
+		if child == probeNode && oc.Committed {
+			arg := oc.Val.Int%16 + 1
+			var op spec.Op
+			switch sp.Name() {
+			case "register":
+				op = spec.Op{Kind: spec.OpWrite, Arg: spec.Int(arg)}
+			case "counter":
+				op = spec.Op{Kind: spec.OpIncrement, Arg: spec.Int(arg)}
+			case "account":
+				op = spec.Op{Kind: spec.OpDeposit, Arg: spec.Int(arg)}
+			case "set":
+				op = spec.Op{Kind: spec.OpInsert, Arg: spec.Int(arg % 6)}
+			case "appendlog":
+				op = spec.Op{Kind: spec.OpAppend, Arg: spec.Int(arg % 4)}
+			}
+			out = append(out, program.Access(fmt.Sprintf("%s.dep%d", label, arg), x, op))
+		}
+		return out
+	}
+}
+
+// addRetry wraps the node's OnOutcome so each statically declared child
+// that aborts is retried exactly once under a derived label.
+func addRetry(n *program.Node) {
+	static := make(map[*program.Node]bool, len(n.Children))
+	for _, c := range n.Children {
+		static[c] = true
+	}
+	prev := n.OnOutcome
+	n.OnOutcome = func(idx int, child *program.Node, oc program.Outcome) []*program.Node {
+		var out []*program.Node
+		if prev != nil {
+			out = prev(idx, child, oc)
+		}
+		if !oc.Committed && static[child] {
+			retry := cloneWithLabel(child, child.Label+"~r")
+			out = append(out, retry)
+		}
+		return out
+	}
+}
+
+// cloneWithLabel deep-copies a node tree, relabeling the root.
+func cloneWithLabel(n *program.Node, label string) *program.Node {
+	c := *n
+	c.Label = label
+	c.Children = make([]*program.Node, len(n.Children))
+	for i, ch := range n.Children {
+		c.Children[i] = cloneWithLabel(ch, ch.Label)
+	}
+	return &c
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"nestedsg/internal/program"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+func TestBuildIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 9, TopLevel: 5, Depth: 2, Fanout: 3, Objects: 3, ParProb: 0.5, SpecName: "mixed"}
+	tr1 := tname.NewTree()
+	r1 := Build(tr1, cfg)
+	tr2 := tname.NewTree()
+	r2 := Build(tr2, cfg)
+	if !sameShape(r1, r2) {
+		t.Fatal("same config must build the same program")
+	}
+	if tr1.NumObjects() != tr2.NumObjects() {
+		t.Fatal("object counts differ")
+	}
+}
+
+func sameShape(a, b *program.Node) bool {
+	if a.Label != b.Label || a.IsAccess != b.IsAccess || a.Mode != b.Mode ||
+		a.Obj != b.Obj || a.Op != b.Op || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !sameShape(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildValidates(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tr := tname.NewTree()
+		root := Build(tr, Config{Seed: seed, TopLevel: 4, Depth: 3, Fanout: 3,
+			Objects: 3, ParProb: 0.5, RetryProb: 0.5, CondProb: 0.5, SpecName: "mixed"})
+		if err := program.Validate(root); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestTopLevelCount(t *testing.T) {
+	tr := tname.NewTree()
+	root := Build(tr, Config{Seed: 1, TopLevel: 7})
+	if len(root.Children) != 7 {
+		t.Fatalf("top-level = %d", len(root.Children))
+	}
+	if root.Mode != program.Par {
+		t.Error("T0 requests top-level transactions in parallel")
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	tr := tname.NewTree()
+	root := Build(tr, Config{Seed: 3, TopLevel: 3, Depth: 2, Fanout: 3, SubProb: 1})
+	var maxDepth func(n *program.Node) int
+	maxDepth = func(n *program.Node) int {
+		d := 0
+		for _, c := range n.Children {
+			if dc := maxDepth(c) + 1; dc > d {
+				d = dc
+			}
+		}
+		return d
+	}
+	// Root → top-level → up to Depth more levels of composites → access.
+	if got := maxDepth(root); got > 2+2+1 {
+		t.Errorf("tree too deep: %d", got)
+	}
+}
+
+func TestDepthZeroIsFlat(t *testing.T) {
+	tr := tname.NewTree()
+	root := Build(tr, Config{Seed: 2, TopLevel: 3, Depth: 0, Fanout: 4})
+	for _, tl := range root.Children {
+		for _, c := range tl.Children {
+			if !c.IsAccess {
+				t.Fatalf("depth 0 must yield flat transactions; %s is composite", c.Label)
+			}
+		}
+	}
+}
+
+func TestHotSpotSkew(t *testing.T) {
+	tr := tname.NewTree()
+	root := Build(tr, Config{Seed: 4, TopLevel: 20, Depth: 0, Fanout: 5, Objects: 8, HotProb: 0.9})
+	counts := map[tname.ObjID]int{}
+	total := 0
+	var walk func(n *program.Node)
+	walk = func(n *program.Node) {
+		if n.IsAccess {
+			counts[n.Obj]++
+			total++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if total == 0 {
+		t.Fatal("no accesses generated")
+	}
+	if frac := float64(counts[0]) / float64(total); frac < 0.7 {
+		t.Errorf("hot object got %.2f of accesses, want most", frac)
+	}
+}
+
+func TestReadRatio(t *testing.T) {
+	tr := tname.NewTree()
+	root := Build(tr, Config{Seed: 5, TopLevel: 30, Depth: 0, Fanout: 5, ReadRatio: 0.9})
+	reads, writes := 0, 0
+	var walk func(n *program.Node)
+	walk = func(n *program.Node) {
+		if n.IsAccess {
+			if n.Op.Kind == spec.OpRead {
+				reads++
+			} else {
+				writes++
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if reads <= writes*3 {
+		t.Errorf("reads=%d writes=%d with ReadRatio 0.9", reads, writes)
+	}
+}
+
+func TestMixedSpecsCycleThroughAll(t *testing.T) {
+	tr := tname.NewTree()
+	Build(tr, Config{Seed: 6, Objects: 6, SpecName: "mixed"})
+	seen := map[string]bool{}
+	for x := tname.ObjID(0); int(x) < tr.NumObjects(); x++ {
+		seen[tr.Spec(x).Name()] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("mixed objects cover %d specs, want 6", len(seen))
+	}
+}
+
+func TestUnknownSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr := tname.NewTree()
+	Build(tr, Config{Seed: 1, SpecName: "martian"})
+}
+
+func TestSumOutcomesSymmetric(t *testing.T) {
+	ocs := []program.Outcome{
+		{Committed: true, Val: spec.Int(3)},
+		{Committed: false, Val: spec.Int(100)},
+		{Committed: true, Val: spec.Bool(true)},
+		{Committed: true, Val: spec.OK},
+	}
+	want := sumOutcomes(ocs)
+	// Any permutation gives the same value.
+	perm := []program.Outcome{ocs[2], ocs[0], ocs[3], ocs[1]}
+	if got := sumOutcomes(perm); got != want {
+		t.Errorf("sumOutcomes not symmetric: %s vs %s", got, want)
+	}
+	if want != spec.Int(4) {
+		t.Errorf("sumOutcomes = %s, want 4", want)
+	}
+}
+
+func TestCloneWithLabel(t *testing.T) {
+	orig := program.SeqNode("t", program.Access("a", 0, spec.Op{Kind: spec.OpRead}))
+	c := cloneWithLabel(orig, "t~r")
+	if c.Label != "t~r" || len(c.Children) != 1 || c.Children[0] == orig.Children[0] {
+		t.Error("clone must relabel the root and deep-copy children")
+	}
+	if c.Children[0].Label != "a" {
+		t.Error("child labels preserved")
+	}
+}
+
+func TestLargeConfigBuilds(t *testing.T) {
+	tr := tname.NewTree()
+	root := Build(tr, Config{Seed: 7, TopLevel: 50, Depth: 3, Fanout: 4, Objects: 10,
+		ParProb: 0.5, SubProb: 0.6, SpecName: "mixed"})
+	n := program.CountNodes(root)
+	if n < 200 {
+		t.Errorf("large config built only %d nodes", n)
+	}
+	if err := program.Validate(root); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	shapes := map[string]bool{}
+	for seed := int64(0); seed < 5; seed++ {
+		tr := tname.NewTree()
+		root := Build(tr, Config{Seed: seed, TopLevel: 3, Depth: 2, Fanout: 3})
+		shapes[fingerprint(root)] = true
+	}
+	if len(shapes) < 2 {
+		t.Error("different seeds should usually build different programs")
+	}
+}
+
+func fingerprint(n *program.Node) string {
+	s := fmt.Sprintf("%s/%v/%d/%v(", n.Label, n.IsAccess, n.Mode, n.Op)
+	for _, c := range n.Children {
+		s += fingerprint(c) + ","
+	}
+	return s + ")"
+}
+
+// TestUpdateOnly restricts every access to blind updates across all specs.
+func TestUpdateOnly(t *testing.T) {
+	tr := tname.NewTree()
+	root := Build(tr, Config{Seed: 9, TopLevel: 10, Depth: 1, Fanout: 4, Objects: 6,
+		SpecName: "mixed", UpdateOnly: true, SubProb: 0.5})
+	var walk func(n *program.Node)
+	walk = func(n *program.Node) {
+		if n.IsAccess {
+			sp := tr.Spec(n.Obj)
+			if sp.ReadOnly(n.Op) {
+				t.Fatalf("UpdateOnly produced read-only op %s on %s", n.Op, sp.Name())
+			}
+			switch n.Op.Kind {
+			case spec.OpWrite, spec.OpIncrement, spec.OpDeposit, spec.OpInsert, spec.OpAppend, spec.OpEnq:
+			default:
+				t.Fatalf("unexpected update kind %s", n.Op.Kind)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
