@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet sgvet race fuzz-short ci
+
+all: build test vet sgvet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The repo's own analyzers (exhaustivekind, noeventliteral, checkederr,
+# tnamecompare, behaviorimmutable); see internal/analysis/README.md.
+sgvet:
+	$(GO) run ./cmd/sgvet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the trace codec round-trip property. The committed
+# seeds live in internal/event/testdata/fuzz/FuzzTraceRoundTrip/.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/event
+
+# Everything CI runs, in order.
+ci: build vet sgvet race

@@ -1,0 +1,65 @@
+// Command sgvet runs the repo's custom static analyzers over the given
+// package patterns (default ./...) and reports every violation of the
+// invariants they enforce; see internal/analysis/README.md for the
+// catalogue.
+//
+// Usage:
+//
+//	go run ./cmd/sgvet [-list] [packages]
+//
+// sgvet is the static half of the correctness story: the runtime checkers
+// (core.Check, simple.CheckWellFormed, Moss.CheckChainInvariant, ...)
+// verify recorded behaviors, while sgvet verifies that the code feeding
+// them cannot drift out of the model — no enum switch silently ignoring a
+// new kind, no hand-assembled event, no discarded checker verdict, no
+// string-compared transaction name, no mutated recording.
+//
+// The exit code follows go vet: 0 when clean, 1 on operational errors,
+// 2 when findings were reported. CI runs it alongside `go vet` (see the
+// Makefile's vet and sgvet targets); the standard vet passes are left to
+// the standard tool rather than re-driven from here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nestedsg/internal/analysis"
+)
+
+func main() {
+	os.Exit(sgvet(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// sgvet is main with injectable streams; it returns the process exit code.
+func sgvet(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", "", "change to this directory before loading packages")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := analysis.Vet(stdout, analysis.LoadConfig{Dir: *dir}, patterns, analysis.All())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if n > 0 {
+		fmt.Fprintf(stderr, "sgvet: %d finding(s)\n", n)
+		return 2
+	}
+	return 0
+}

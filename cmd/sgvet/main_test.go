@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nestedsg/internal/analysis"
+)
+
+// TestBadPackageFiresEachAnalyzerOnce runs the full suite against the
+// known-bad fixture and asserts every analyzer fires exactly once — no
+// analyzer is dead, and none misfires on the others' bait.
+func TestBadPackageFiresEachAnalyzerOnce(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := sgvet([]string{"./testdata/src/badpkg"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (findings); stderr: %s", code, stderr.String())
+	}
+
+	tagRE := regexp.MustCompile(`\[(\w+)\]$`)
+	counts := make(map[string]int)
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		m := tagRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("finding line without analyzer tag: %q", line)
+			continue
+		}
+		counts[m[1]]++
+	}
+	for _, a := range analysis.All() {
+		if counts[a.Name] != 1 {
+			t.Errorf("analyzer %s fired %d times on badpkg, want exactly 1", a.Name, counts[a.Name])
+		}
+	}
+	if len(counts) != len(analysis.All()) {
+		t.Errorf("findings from %d analyzers, want %d; got %v", len(counts), len(analysis.All()), counts)
+	}
+}
+
+// TestCleanPackageExitsZero pins the go-vet-style exit contract on a
+// violation-free package.
+func TestCleanPackageExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := sgvet([]string{"nestedsg/internal/graph"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected findings on clean package: %s", stdout.String())
+	}
+}
+
+// TestListFlag pins the -list inventory so that adding an analyzer without
+// registering it in All() is caught.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := sgvet([]string{"-list"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+// TestBadPatternExitsOne pins the operational-error exit code.
+func TestBadPatternExitsOne(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := sgvet([]string{"./does-not-exist"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+}

@@ -1,0 +1,38 @@
+// Package badpkg violates each sgvet analyzer exactly once; cmd/sgvet's
+// tests assert one finding per analyzer against it.
+package badpkg
+
+import (
+	"nestedsg/internal/event"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/tname"
+)
+
+// nonExhaustive trips exhaustivekind: no default, eight kinds missing.
+func nonExhaustive(k event.Kind) bool {
+	switch k {
+	case event.Create:
+		return true
+	}
+	return false
+}
+
+// literalEvent trips noeventliteral: hand-assembled event.Event.
+func literalEvent(tx tname.TxID) event.Event {
+	return event.Event{Kind: event.Create, Tx: tx}
+}
+
+// droppedCheck trips checkederr: the well-formedness verdict is discarded.
+func droppedCheck(tr *tname.Tree, b event.Behavior) {
+	simple.CheckWellFormed(tr, b)
+}
+
+// nameCompare trips tnamecompare: identity via rendered names.
+func nameCompare(tr *tname.Tree, a, b tname.TxID) bool {
+	return tr.Name(a) == tr.Name(b)
+}
+
+// mutate trips behaviorimmutable: writes into a recorded behavior.
+func mutate(b event.Behavior) {
+	b[0] = event.NewEvent(event.Abort, tname.Root)
+}

@@ -149,6 +149,8 @@ func summarize(w io.Writer, tr *tname.Tree, b event.Behavior) {
 			if createdBefore(b, e.Tx) {
 				liveNow--
 			}
+		default:
+			// Requests and reports do not change the live count.
 		}
 		if liveNow > maxLive {
 			maxLive = liveNow

@@ -1,0 +1,120 @@
+// Package analysis implements a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis together with the sgvet analyzer suite.
+//
+// The repo's correctness story (Theorem 8/19, Lemmas 9–13 and 20–22 of
+// Fekete, Lynch & Weihl) is enforced at runtime by checkers such as
+// core.Check, simple.CheckWellFormed and Moss.CheckChainInvariant. Nothing
+// in the type system, however, stops a future change from adding an event
+// Kind without updating every switch, hand-assembling an event.Event that
+// no constructor would produce, or silently dropping the error returned by
+// an invariant checker. The analyzers in this package push those
+// well-formedness obligations to build time; cmd/sgvet runs them over the
+// whole module as part of tier-1 verification.
+//
+// The module has no third-party dependencies, so instead of importing
+// golang.org/x/tools this package re-implements the small slice of its API
+// that the analyzers need: an Analyzer/Pass/Diagnostic triple (analysis.go),
+// a package loader built on `go list -export` plus the standard library's
+// gc export-data importer (load.go), a driver that runs analyzers over
+// loaded packages (run.go), and a `// want`-comment test harness
+// (analysistest/). Each analyzer lives in its own file and documents the
+// invariant it enforces; internal/analysis/README.md is the catalogue.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects a single type-checked
+// package and reports diagnostics through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and test assertions. It
+	// must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package and
+// a sink for diagnostics.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax.
+	Files []*ast.File
+	// Pkg is the package's type information.
+	Pkg *types.Package
+	// TypesInfo holds type and object resolution for Files.
+	TypesInfo *types.Info
+	// Module is the module path the package belongs to ("nestedsg").
+	// Analyzers use it to restrict themselves to first-party types.
+	Module string
+
+	report func(Diagnostic)
+}
+
+// Report emits one diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// InModule reports whether pkgPath is a package of the module under
+// analysis (as opposed to the standard library or, hypothetically, a
+// third-party dependency).
+func (p *Pass) InModule(pkgPath string) bool {
+	return pkgPath == p.Module || strings.HasPrefix(pkgPath, p.Module+"/")
+}
+
+// Preorder calls f for every node of every file in the pass, in depth-first
+// preorder.
+func (p *Pass) Preorder(f func(ast.Node)) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n != nil {
+				f(n)
+			}
+			return true
+		})
+	}
+}
+
+// A Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	// Pos is the position of the offending syntax.
+	Pos token.Pos
+	// Message describes the finding. By convention it is lowercase and has
+	// no trailing period.
+	Message string
+}
+
+// All returns the sgvet analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ExhaustiveKind,
+		NoEventLiteral,
+		CheckedErr,
+		TnameCompare,
+		BehaviorImmutable,
+	}
+}

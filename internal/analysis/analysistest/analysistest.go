@@ -1,0 +1,135 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want` comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest on the standard library only.
+//
+// A fixture file marks each line on which a diagnostic is expected:
+//
+//	bad := event.Event{Kind: event.Create} // want `composite literal`
+//
+// The argument of want is a regular expression (backquoted or
+// double-quoted; several may follow one want) that must match the message
+// of exactly one diagnostic reported on that line. Unmatched expectations
+// and unexpected diagnostics both fail the test. Fixture packages live
+// under testdata/src/<analyzer>/ so that `./...` builds never see them,
+// and are loaded by explicit path; they must type-check.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nestedsg/internal/analysis"
+)
+
+// expectation is one want directive: a position plus a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each pattern (a go-list package pattern, resolved relative to
+// dir) and checks a's diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: dir}, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					ws, err := parseWant(c.Text)
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					for _, re := range ws {
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+				continue
+			}
+			if w.pattern.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseWant extracts the regexps of a `// want "re" `+"`re`"+` ...`
+// comment, or nil if the comment carries no want directive.
+func parseWant(comment string) ([]*regexp.Regexp, error) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var raw, remainder string
+		switch rest[0] {
+		case '"':
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", rest)
+			}
+			var err error
+			raw, err = strconv.Unquote(rest[:end+2])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %q: %v", rest[:end+2], err)
+			}
+			remainder = rest[end+2:]
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", rest)
+			}
+			raw = rest[1 : end+1]
+			remainder = rest[end+2:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted: %q", rest)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", raw, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(remainder)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want directive with no pattern")
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BehaviorImmutable forbids mutating a recorded behavior received as a
+// parameter.
+//
+// Every checker in the module consumes an event.Behavior that some runner
+// recorded; the paper's operators (serial(β), β|T, visible(β, T)) are all
+// defined as projections that leave β itself untouched, and the Behavior
+// methods honor that by returning fresh slices. A function that writes
+// through a Behavior parameter — assigning to b[i] or a field of b[i],
+// sorting it in place, or copying over it — corrupts the caller's recording
+// and every other alias of it, typically long after the fact. The analyzer
+// flags element writes, in-place reordering (sort.Slice and friends) and
+// copy-into for parameters (and receivers, and closure captures of either)
+// whose type is event.Behavior or []event.Event. Functions that need a
+// variant of a behavior must build a new slice, as Serial and ProjectTx do.
+var BehaviorImmutable = &Analyzer{
+	Name: "behaviorimmutable",
+	Doc:  "recorded behaviors passed as parameters must not be mutated in place",
+	Run:  runBehaviorImmutable,
+}
+
+const eventPkgPath = "nestedsg/internal/event"
+
+func runBehaviorImmutable(pass *Pass) error {
+	// Collect every parameter and receiver of behavior type declared in
+	// this package. Matching by object identity means writes inside nested
+	// closures that capture the parameter are caught too.
+	params := make(map[*types.Var]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && isBehaviorType(v.Type()) {
+					params[v] = true
+				}
+			}
+		}
+	}
+	pass.Preorder(func(n ast.Node) {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			addFields(fn.Recv)
+			addFields(fn.Type.Params)
+		case *ast.FuncLit:
+			addFields(fn.Type.Params)
+		}
+	})
+	if len(params) == 0 {
+		return nil
+	}
+
+	behaviorParamRoot := func(e ast.Expr) *types.Var {
+		// Strip selector/index chains down to the root identifier and
+		// require at least one index step: b[i] = ..., b[i].Kind = ...
+		indexed := false
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.IndexExpr:
+				indexed = true
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.Ident:
+				if !indexed {
+					return nil
+				}
+				if v, ok := pass.ObjectOf(x).(*types.Var); ok && params[v] {
+					return v
+				}
+				return nil
+			default:
+				return nil
+			}
+		}
+	}
+
+	pass.Preorder(func(n ast.Node) {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				if v := behaviorParamRoot(lhs); v != nil {
+					pass.Reportf(lhs.Pos(), "write into element of behavior parameter %s; recorded behaviors are immutable — build a new slice", v.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := behaviorParamRoot(stmt.X); v != nil {
+				pass.Reportf(stmt.X.Pos(), "write into element of behavior parameter %s; recorded behaviors are immutable — build a new slice", v.Name())
+			}
+		case *ast.CallExpr:
+			reportInPlaceCall(pass, params, stmt)
+		}
+	})
+	return nil
+}
+
+// reportInPlaceCall flags calls that reorder or overwrite a behavior
+// parameter through a well-known in-place API.
+func reportInPlaceCall(pass *Pass, params map[*types.Var]bool, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	argParam := func(i int) *types.Var {
+		if i >= len(call.Args) {
+			return nil
+		}
+		id, ok := ast.Unparen(call.Args[i]).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, _ := pass.ObjectOf(id).(*types.Var)
+		if v != nil && params[v] {
+			return v
+		}
+		return nil
+	}
+
+	// copy(b, ...) writes through its first argument.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, okb := pass.ObjectOf(id).(*types.Builtin); okb && b.Name() == "copy" {
+			if v := argParam(0); v != nil {
+				pass.Reportf(call.Pos(), "copy into behavior parameter %s; recorded behaviors are immutable — build a new slice", v.Name())
+			}
+			return
+		}
+	}
+
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	inPlace := map[string]map[string]bool{
+		"sort":   {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+		"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true, "Reverse": true},
+	}
+	if names, ok := inPlace[fn.Pkg().Path()]; ok && names[fn.Name()] {
+		if v := argParam(0); v != nil {
+			pass.Reportf(call.Pos(), "%s.%s reorders behavior parameter %s in place; recorded behaviors are immutable — sort a copy", fn.Pkg().Name(), fn.Name(), v.Name())
+		}
+	}
+}
+
+// isBehaviorType reports whether t is event.Behavior, []event.Event, or a
+// named type with one of those underlying.
+func isBehaviorType(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == eventPkgPath && obj.Name() == "Behavior" {
+			return true
+		}
+		t = named.Underlying()
+	}
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem, ok := sl.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := elem.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == eventPkgPath && obj.Name() == "Event"
+}

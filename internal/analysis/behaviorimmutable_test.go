@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedsg/internal/analysis"
+	"nestedsg/internal/analysis/analysistest"
+)
+
+// TestBehaviorImmutable checks that element writes, in-place sorts and
+// copy-into on behavior parameters (including receivers and closure
+// captures) are flagged, while copy-then-mutate and the event package's
+// own projection operators pass.
+func TestBehaviorImmutable(t *testing.T) {
+	for _, pattern := range []string{
+		"./testdata/src/behaviorimmutable",
+		"nestedsg/internal/event",
+		"nestedsg/internal/minimize",
+	} {
+		t.Run(pattern, func(t *testing.T) {
+			analysistest.Run(t, ".", analysis.BehaviorImmutable, pattern)
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// CheckedErr forbids discarding the result of an invariant checker.
+//
+// The runtime halves of the paper's lemmas are functions like
+// simple.CheckWellFormed (simple-system axioms), core.Check (Theorem 8/19),
+// Moss.CheckChainInvariant (Lemma 9), serial.Validate and tname.Validate.
+// Calling one and ignoring its result turns a correctness check into dead
+// code while still reading as if the property were verified. The analyzer
+// flags any statement that calls a first-party function or method whose
+// name begins with Check, Verify or Validate and drops every result —
+// whether as a bare expression statement, via blank assignments, or behind
+// defer/go.
+var CheckedErr = &Analyzer{
+	Name: "checkederr",
+	Doc:  "results of Check*/Verify*/Validate* invariant functions must not be discarded",
+	Run:  runCheckedErr,
+}
+
+var checkerNameRE = regexp.MustCompile(`^(Check|Verify|Validate)([A-Z0-9_].*)?$`)
+
+func runCheckedErr(pass *Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		var call *ast.CallExpr
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = stmt.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = stmt.Call
+		case *ast.GoStmt:
+			call = stmt.Call
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) != 1 || !allBlank(stmt.Lhs) {
+				return
+			}
+			call, _ = stmt.Rhs[0].(*ast.CallExpr)
+		default:
+			return
+		}
+		if call == nil {
+			return
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || !pass.InModule(fn.Pkg().Path()) {
+			return
+		}
+		if !checkerNameRE.MatchString(fn.Name()) {
+			return
+		}
+		if fn.Type().(*types.Signature).Results().Len() == 0 {
+			return
+		}
+		pass.Reportf(call.Pos(), "result of %s is discarded; invariant checks must be acted on", fn.Name())
+	})
+	return nil
+}
+
+// allBlank reports whether every expression is the blank identifier.
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// calleeFunc resolves the static callee of a call, or nil for indirect or
+// built-in calls.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}

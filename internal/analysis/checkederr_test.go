@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedsg/internal/analysis"
+	"nestedsg/internal/analysis/analysistest"
+)
+
+// TestCheckedErr checks that discarded Check*/Verify*/Validate* results are
+// flagged in every statement form (expression, blank assign, defer, go)
+// and that consumed results — and the real core checker package — pass.
+func TestCheckedErr(t *testing.T) {
+	for _, pattern := range []string{
+		"./testdata/src/checkederr",
+		"nestedsg/internal/core",
+		"nestedsg/internal/locking",
+	} {
+		t.Run(pattern, func(t *testing.T) {
+			analysistest.Run(t, ".", analysis.CheckedErr, pattern)
+		})
+	}
+}

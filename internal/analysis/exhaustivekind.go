@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveKind enforces exhaustive switches over the module's enum types.
+//
+// The event loop of every checker dispatches on enum-like discriminators:
+// event.Kind (the paper's seven serial actions plus the two INFORM inputs),
+// core.EdgeKind, spec.OpKind, spec.ValueKind. Adding a constant to one of
+// those enumerations must force a revisit of every switch, otherwise the
+// new kind silently falls through — the exact failure mode that would let a
+// new action slip past CheckWellFormed or the SG construction unnoticed.
+//
+// A type is treated as enum-like when it is a defined type of this module
+// whose underlying type is an unsigned integer and whose home package
+// declares at least two constants of the type. (The signed index types
+// tname.TxID and tname.ObjID are identifiers with an open domain, not
+// enumerations, and are deliberately excluded by the signedness rule.)
+// Every switch on such a type must either list a case for every declared
+// constant value or carry an explicit default clause — even an empty
+// default, which documents that ignoring the remaining kinds is a decision
+// rather than an accident.
+var ExhaustiveKind = &Analyzer{
+	Name: "exhaustivekind",
+	Doc:  "switches on module enum types must cover every constant or have an explicit default",
+	Run:  runExhaustiveKind,
+}
+
+func runExhaustiveKind(pass *Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return
+		}
+		tagType := pass.TypeOf(sw.Tag)
+		named := enumLikeType(pass, tagType)
+		if named == nil {
+			return
+		}
+		consts := enumConstants(named)
+		if len(consts) < 2 {
+			return
+		}
+
+		covered := make(map[string]bool)
+		hasDefault := false
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+				continue
+			}
+			for _, e := range cc.List {
+				if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+					covered[tv.Value.ExactString()] = true
+				}
+			}
+		}
+		if hasDefault {
+			return
+		}
+
+		var missing []string
+		seen := make(map[string]bool)
+		for _, c := range consts {
+			key := c.Val().ExactString()
+			if covered[key] || seen[key] {
+				continue
+			}
+			seen[key] = true
+			missing = append(missing, c.Name())
+		}
+		if len(missing) == 0 {
+			return
+		}
+		typeName := named.Obj().Name()
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg != pass.Pkg {
+			typeName = pkg.Name() + "." + typeName
+		}
+		pass.Reportf(sw.Pos(), "non-exhaustive switch on %s: missing %s (add the cases or an explicit default)",
+			typeName, strings.Join(missing, ", "))
+	})
+	return nil
+}
+
+// enumLikeType returns t as a defined module type with unsigned-integer
+// underlying type, or nil.
+func enumLikeType(pass *Pass, t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsUnsigned == 0 || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || !pass.InModule(pkg.Path()) {
+		return nil
+	}
+	return named
+}
+
+// enumConstants returns the package-level constants declared with exactly
+// the given type, sorted by value then name.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := out[i].Val(), out[j].Val()
+		if cmp := constant.Compare(vi, token.LSS, vj); cmp {
+			return true
+		}
+		if constant.Compare(vi, token.EQL, vj) {
+			return out[i].Name() < out[j].Name()
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedsg/internal/analysis"
+	"nestedsg/internal/analysis/analysistest"
+)
+
+// TestExhaustiveKind checks that the analyzer fires on non-exhaustive
+// switches over enum-like module types and stays silent on exhaustive or
+// defaulted ones — including the real spec package, whose OpKind/ValueKind
+// switches were made explicitly exhaustive and must stay that way.
+func TestExhaustiveKind(t *testing.T) {
+	for _, pattern := range []string{
+		"./testdata/src/exhaustivekind",
+		"nestedsg/internal/spec",
+		"nestedsg/internal/event",
+	} {
+		t.Run(pattern, func(t *testing.T) {
+			analysistest.Run(t, ".", analysis.ExhaustiveKind, pattern)
+		})
+	}
+}

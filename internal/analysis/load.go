@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, parsed and type-checked package, ready to be
+// analyzed.
+type Package struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset maps positions; it is shared by all packages of one Load call.
+	Fset *token.FileSet
+	// Syntax is the parsed source files, in GoFiles order.
+	Syntax []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo is the resolution produced by the type checker.
+	TypesInfo *types.Info
+	// Module is the module path the package belongs to.
+	Module string
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is the working directory for the underlying `go list` invocation;
+	// it must lie inside the module. Empty means the current directory.
+	Dir string
+}
+
+// Load resolves the go-list patterns to packages, builds export data for
+// their dependencies, and parses and type-checks each matched package from
+// source.
+//
+// The loader shells out to `go list -export -deps -json`, which compiles
+// (or reuses from the build cache) export data for every dependency, then
+// type-checks each target package with go/types, resolving imports through
+// the standard library's gc export-data importer. This works fully offline
+// and needs nothing beyond the Go toolchain: it is a miniature, two-pass
+// replacement for golang.org/x/tools/go/packages.
+//
+// Packages in directories named "testdata" are never matched by `...`
+// patterns but may be named explicitly, which is how the analysis tests
+// load their fixtures. _test.go files are not loaded; sgvet analyzes
+// shipped code only (test sources deliberately build malformed values to
+// exercise the runtime checkers).
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	listed, err := goList(cfg.Dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every dependency (and target), keyed by import path.
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: load %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, lp := range targets {
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", lp.ImportPath, err)
+		}
+		mod := ""
+		if lp.Module != nil {
+			mod = lp.Module.Path
+		}
+		out = append(out, &Package{
+			PkgPath:   lp.ImportPath,
+			Dir:       lp.Dir,
+			Fset:      fset,
+			Syntax:    files,
+			Types:     tpkg,
+			TypesInfo: info,
+			Module:    mod,
+		})
+	}
+	return out, nil
+}
+
+// goList runs `go list -export -deps -json` on the patterns and decodes the
+// JSON stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		out = append(out, &lp)
+	}
+	return out, nil
+}

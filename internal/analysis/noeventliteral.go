@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// protectedStruct is a struct type whose invariants are established by its
+// constructor functions; composite literals outside the home package bypass
+// them.
+type protectedStruct struct {
+	pkgPath string
+	name    string
+	// hint names the constructors to use instead.
+	hint string
+}
+
+// protectedStructs lists the invariant-carrying value types of the model
+// packages. Extend this table when a new package grows a constructor-guarded
+// type.
+var protectedStructs = []protectedStruct{
+	// Event's Obj field must be NoObj for every kind except the INFORM
+	// inputs (event.Event doc); the constructors maintain that pairing.
+	{"nestedsg/internal/event", "Event", "event.NewEvent, event.NewValEvent or event.NewInform"},
+	// Value is a discriminated union: only the fields selected by Kind are
+	// meaningful, and the constructors never set the others.
+	{"nestedsg/internal/spec", "Value", "spec.Nil, spec.OK, spec.Int, spec.Bool or spec.Str"},
+}
+
+// NoEventLiteral forbids composite literals of constructor-guarded structs
+// outside their home package.
+//
+// event.Event couples its Kind to its Obj field (only INFORM events carry
+// an object); spec.Value is a sum type whose non-selected fields must stay
+// zero so that == comparison and map-key use remain meaningful. The
+// constructors (NewEvent/NewValEvent/NewInform, spec.Int/Bool/Str/...)
+// maintain those couplings; a struct literal in a client package can
+// produce values no constructor would, which then flow into checkers that
+// assume the invariant (Behavior.Equal, trace encoding, conflict tables).
+var NoEventLiteral = &Analyzer{
+	Name: "noeventliteral",
+	Doc:  "invariant-carrying structs must be built with their constructors outside their home package",
+	Run:  runNoEventLiteral,
+}
+
+func runNoEventLiteral(pass *Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return
+		}
+		t := pass.TypeOf(lit)
+		if t == nil {
+			return
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() == pass.Pkg.Path() {
+			return
+		}
+		for _, ps := range protectedStructs {
+			if obj.Pkg().Path() == ps.pkgPath && obj.Name() == ps.name {
+				pass.Reportf(lit.Pos(), "composite literal of %s.%s bypasses its constructors; use %s",
+					obj.Pkg().Name(), obj.Name(), ps.hint)
+				return
+			}
+		}
+	})
+	return nil
+}

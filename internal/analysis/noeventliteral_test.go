@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedsg/internal/analysis"
+	"nestedsg/internal/analysis/analysistest"
+)
+
+// TestNoEventLiteral checks that foreign composite literals of the
+// protected structs are flagged while constructor calls — and the home
+// packages event and spec themselves — stay silent.
+func TestNoEventLiteral(t *testing.T) {
+	for _, pattern := range []string{
+		"./testdata/src/noeventliteral",
+		"nestedsg/internal/event",
+		"nestedsg/internal/spec",
+	} {
+		t.Run(pattern, func(t *testing.T) {
+			analysistest.Run(t, ".", analysis.NoEventLiteral, pattern)
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// A Finding is a positioned diagnostic attributed to an analyzer, as
+// produced by running a suite over loaded packages.
+type Finding struct {
+	// Analyzer is the name of the analyzer that fired.
+	Analyzer string
+	// Position is the resolved source position.
+	Position token.Position
+	// Message is the diagnostic text.
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// findings sorted by file, line, column and analyzer name. A nil analyzer
+// error list means the run itself succeeded; individual findings are not
+// errors.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Module:    pkg.Module,
+			}
+			pass.report = func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// Vet loads the patterns, runs the full suite, and writes one line per
+// finding to w. It returns the number of findings; a non-nil error means
+// loading or an analyzer failed, not that findings exist.
+func Vet(w io.Writer, cfg LoadConfig, patterns []string, analyzers []*Analyzer) (int, error) {
+	pkgs, err := Load(cfg, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	findings, err := RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	return len(findings), nil
+}

@@ -1,0 +1,89 @@
+// Package behaviorimmutable is a fixture for the behaviorimmutable
+// analyzer.
+package behaviorimmutable
+
+import (
+	"sort"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/tname"
+)
+
+// Recorded is a locally named behavior type; its underlying []event.Event
+// makes it a recorded behavior too.
+type Recorded []event.Event
+
+// OverwriteElement assigns through the parameter.
+func OverwriteElement(b event.Behavior, e event.Event) {
+	b[0] = e // want `write into element of behavior parameter b`
+}
+
+// OverwriteField mutates one field of an element in place.
+func OverwriteField(b event.Behavior, tx tname.TxID) {
+	b[0].Tx = tx // want `write into element of behavior parameter b`
+}
+
+// CompoundAndIncDec also write through the parameter.
+func CompoundAndIncDec(b []event.Event) {
+	b[1].Val.Int += 2 // want `write into element of behavior parameter b`
+	b[1].Val.Int++    // want `write into element of behavior parameter b`
+}
+
+// SortInPlace reorders the recording itself.
+func SortInPlace(b event.Behavior) {
+	sort.Slice(b, func(i, j int) bool { return b[i].Tx < b[j].Tx }) // want `sort\.Slice reorders behavior parameter b in place`
+}
+
+// CopyInto overwrites the recording wholesale.
+func CopyInto(b event.Behavior, src event.Behavior) {
+	copy(b, src) // want `copy into behavior parameter b`
+}
+
+// ClosureCapture mutates a captured parameter from a nested function.
+func ClosureCapture(b Recorded) func() {
+	return func() {
+		b[0].Kind = event.Abort // want `write into element of behavior parameter b`
+	}
+}
+
+// MethodReceiver mutates through a behavior-typed receiver.
+type Wrapper event.Behavior
+
+// Zap writes through the receiver.
+func (w Wrapper) Zap() {
+	w[0].Val = w[1].Val // want `write into element of behavior parameter w`
+}
+
+// CopyThenMutate takes a private copy first; mutating the copy is fine.
+func CopyThenMutate(b event.Behavior, e event.Event) event.Behavior {
+	out := make(event.Behavior, len(b))
+	copy(out, b)
+	out[0] = e
+	return out
+}
+
+// ProjectionStyle builds a new slice, as the event package's own operators
+// do; reading b[i] is of course fine.
+func ProjectionStyle(b event.Behavior) event.Behavior {
+	var out event.Behavior
+	for i := range b {
+		if b[i].Kind.IsSerial() {
+			out = append(out, b[i])
+		}
+	}
+	return out
+}
+
+// LocalMutation writes into a slice the function itself built.
+func LocalMutation(e event.Event) event.Behavior {
+	local := make(event.Behavior, 1)
+	local[0] = e
+	return local
+}
+
+// SortCopy sorts a copy, never the parameter.
+func SortCopy(b event.Behavior) event.Behavior {
+	out := append(event.Behavior(nil), b...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Tx < out[j].Tx })
+	return out
+}

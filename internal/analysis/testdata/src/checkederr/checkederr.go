@@ -1,0 +1,51 @@
+// Package checkederr is a fixture for the checkederr analyzer.
+package checkederr
+
+import (
+	"fmt"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/simple"
+	"nestedsg/internal/tname"
+)
+
+// Gadget carries checker-shaped methods for the fixture.
+type Gadget struct{}
+
+// CheckChainInvariant mimics the Moss lock-chain checker.
+func (Gadget) CheckChainInvariant() error { return nil }
+
+// VerifyAll returns a verdict.
+func (Gadget) VerifyAll() (int, error) { return 0, nil }
+
+// Restore returns an error but is not named like an invariant checker;
+// discarding its result is outside this analyzer's scope.
+func (Gadget) Restore() error { return nil }
+
+// Discarded drops checker results in every flagged form.
+func Discarded(g Gadget, tr *tname.Tree, b event.Behavior) {
+	g.CheckChainInvariant()              // want `result of CheckChainInvariant is discarded`
+	simple.CheckWellFormed(tr, b)        // want `result of CheckWellFormed is discarded`
+	_ = g.CheckChainInvariant()          // want `result of CheckChainInvariant is discarded`
+	_, _ = g.VerifyAll()                 // want `result of VerifyAll is discarded`
+	defer g.CheckChainInvariant()        // want `result of CheckChainInvariant is discarded`
+	go g.CheckChainInvariant()           // want `result of CheckChainInvariant is discarded`
+}
+
+// Handled consumes every result; nothing is flagged.
+func Handled(g Gadget, tr *tname.Tree, b event.Behavior) error {
+	if err := g.CheckChainInvariant(); err != nil {
+		return err
+	}
+	if err := simple.CheckWellFormed(tr, b); err != nil {
+		return fmt.Errorf("ill-formed: %w", err)
+	}
+	n, err := g.VerifyAll()
+	if err != nil || n > 0 {
+		return err
+	}
+	// Restore is not a Check*/Verify*/Validate* function; discarding its
+	// error is errcheck's business, not this analyzer's.
+	g.Restore()
+	return g.CheckChainInvariant()
+}

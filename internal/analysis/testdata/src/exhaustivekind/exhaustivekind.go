@@ -1,0 +1,86 @@
+// Package exhaustivekind is a fixture for the exhaustivekind analyzer.
+package exhaustivekind
+
+import "nestedsg/internal/event"
+
+// Color is an enum-like type local to the fixture.
+type Color uint8
+
+// Color constants.
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Handle is a non-enum signed type; switches on it are never flagged.
+type Handle int32
+
+// MissingCases lacks Blue and has no default.
+func MissingCases(c Color) int {
+	switch c { // want `non-exhaustive switch on Color: missing Blue`
+	case Red:
+		return 1
+	case Green:
+		return 2
+	}
+	return 0
+}
+
+// CoversAll lists every constant; no default needed.
+func CoversAll(c Color) int {
+	switch c {
+	case Red, Green:
+		return 1
+	case Blue:
+		return 2
+	}
+	return 0
+}
+
+// HasDefault documents the ignored kinds explicitly.
+func HasDefault(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ImportedEnum switches on event.Kind from another module package.
+func ImportedEnum(k event.Kind) bool {
+	switch k { // want `non-exhaustive switch on event\.Kind: missing KindInvalid, RequestCreate, RequestCommit, Abort, ReportCommit, ReportAbort, InformCommit, InformAbort`
+	case event.Create, event.Commit:
+		return true
+	}
+	return false
+}
+
+// ImportedEnumDefault is the fixed form of ImportedEnum.
+func ImportedEnumDefault(k event.Kind) bool {
+	switch k {
+	case event.Create, event.Commit:
+		return true
+	default:
+		return false
+	}
+}
+
+// SignedNotEnum switches on a signed index type; not enum-like.
+func SignedNotEnum(h Handle) bool {
+	switch h {
+	case 0:
+		return true
+	}
+	return false
+}
+
+// Untagged switches carry no discriminator and are ignored.
+func Untagged(c Color) int {
+	switch {
+	case c == Red:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,49 @@
+// Package noeventliteral is a fixture for the noeventliteral analyzer.
+package noeventliteral
+
+import (
+	"nestedsg/internal/event"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// BadEvent hand-assembles an event, bypassing the Kind/Obj coupling.
+func BadEvent(tx tname.TxID) event.Event {
+	return event.Event{Kind: event.Create, Tx: tx} // want `composite literal of event\.Event bypasses its constructors`
+}
+
+// BadEventPtr does the same through a pointer literal.
+func BadEventPtr(tx tname.TxID) *event.Event {
+	return &event.Event{Kind: event.Abort, Tx: tx} // want `composite literal of event\.Event bypasses its constructors`
+}
+
+// BadValue builds a union value without a constructor.
+func BadValue() spec.Value {
+	return spec.Value{Kind: spec.VInt, Int: 7, Str: "junk"} // want `composite literal of spec\.Value bypasses its constructors`
+}
+
+// GoodEvent uses the constructors.
+func GoodEvent(tx tname.TxID) event.Event {
+	return event.NewValEvent(event.RequestCommit, tx, spec.Int(7))
+}
+
+// GoodInform uses the inform constructor.
+func GoodInform(tx tname.TxID, x tname.ObjID) event.Event {
+	return event.NewInform(event.InformCommit, tx, x)
+}
+
+// GoodValue uses the value constructors.
+func GoodValue() []spec.Value {
+	return []spec.Value{spec.Nil, spec.OK, spec.Int(1), spec.Bool(true), spec.Str("s")}
+}
+
+// UnprotectedLiteral builds a type outside the protected table; fine.
+func UnprotectedLiteral() spec.Op {
+	return spec.Op{Kind: spec.OpRead}
+}
+
+// BehaviorLiteral builds the slice type, not the struct; the slice itself
+// is not constructor-guarded (its elements are).
+func BehaviorLiteral(tx tname.TxID) event.Behavior {
+	return event.Behavior{event.NewEvent(event.Create, tx)}
+}

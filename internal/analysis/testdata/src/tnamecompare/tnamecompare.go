@@ -1,0 +1,52 @@
+// Package tnamecompare is a fixture for the tnamecompare analyzer.
+package tnamecompare
+
+import "nestedsg/internal/tname"
+
+// StringCompare compares rendered names instead of interned IDs.
+func StringCompare(tr *tname.Tree, a, b tname.TxID) bool {
+	return tr.Name(a) == tr.Name(b) // want `comparing rendered transaction names`
+}
+
+// LabelCompare compares local labels of two names.
+func LabelCompare(tr *tname.Tree, a, b tname.TxID) bool {
+	return tr.Label(a) != tr.Label(b) // want `comparing rendered transaction names`
+}
+
+// ObjectLabelCompare compares rendered object names.
+func ObjectLabelCompare(tr *tname.Tree, x, y tname.ObjID) bool {
+	return tr.ObjectLabel(x) == tr.ObjectLabel(y) // want `comparing rendered transaction names`
+}
+
+// MagicLiteral compares IDs against bare integers.
+func MagicLiteral(tx tname.TxID, obj tname.ObjID) bool {
+	if tx == 3 { // want `comparing an interned tname ID against a bare literal`
+		return true
+	}
+	return obj != -1 // want `comparing an interned tname ID against a bare literal`
+}
+
+// IDCompare is the canonical comparison: interned IDs with ==.
+func IDCompare(a, b tname.TxID) bool { return a == b }
+
+// SentinelCompare names the declared constants; fine.
+func SentinelCompare(tx tname.TxID, obj tname.ObjID) bool {
+	return tx == tname.Root || tx != tname.None || obj == tname.NoObj
+}
+
+// LabelFilter compares one label against a string constant — a filter on
+// the label text, not an identity comparison between two names.
+func LabelFilter(tr *tname.Tree, tx tname.TxID) bool {
+	return tr.Label(tx) == "read"
+}
+
+// ConvertedIndex compares against a converted loop index, which is how the
+// trace decoder checks interning order; conversions are not bare literals.
+func ConvertedIndex(tx tname.TxID, i int) bool {
+	return tx == tname.TxID(i)
+}
+
+// AncestryHelpers answer tree questions through the helpers.
+func AncestryHelpers(tr *tname.Tree, a, b tname.TxID) bool {
+	return tr.IsAncestor(a, b) || tr.IsOrdered(a, b)
+}

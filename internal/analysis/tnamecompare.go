@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TnameCompare forbids comparing transaction names by anything other than
+// their interned identity.
+//
+// The tname package interns every transaction and object name exactly once,
+// so TxID/ObjID equality (==) IS name equality — that is the whole point of
+// interning (tname package doc). Two anti-patterns defeat it:
+//
+//   - comparing rendered names, e.g. tr.Name(a) == tr.Name(b) or
+//     tr.Label(a) != tr.Label(b): the string forms are for humans and
+//     traces; labels are not unique across parents, and Name() is O(depth).
+//     Compare the IDs, or use Tree.IsAncestor/IsOrdered for tree questions.
+//   - comparing an ID against a bare integer literal, e.g. tx == 3 or
+//     obj != -1: interned IDs are allocation-order artifacts with no stable
+//     meaning across trees. The only IDs with fixed values are the declared
+//     constants tname.Root, tname.None and tname.NoObj — name them.
+var TnameCompare = &Analyzer{
+	Name: "tnamecompare",
+	Doc:  "transaction names must be compared by interned ID, not rendered string or magic literal",
+	Run:  runTnameCompare,
+}
+
+const tnamePkgPath = "nestedsg/internal/tname"
+
+// renderMethods are the (*tname.Tree) methods that render a name to a
+// human-readable string.
+var renderMethods = map[string]bool{"Name": true, "Label": true, "ObjectLabel": true}
+
+func runTnameCompare(pass *Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return
+		}
+		if isNameRendering(pass, bin.X) && isNameRendering(pass, bin.Y) {
+			pass.Reportf(bin.Pos(), "comparing rendered transaction names; compare interned IDs with == or use Tree.IsAncestor/IsOrdered")
+			return
+		}
+		if (isInternedID(pass, bin.X) && isBareIntLiteral(bin.Y)) ||
+			(isInternedID(pass, bin.Y) && isBareIntLiteral(bin.X)) {
+			pass.Reportf(bin.Pos(), "comparing an interned tname ID against a bare literal; use tname.Root, tname.None or tname.NoObj")
+		}
+	})
+	return nil
+}
+
+// isNameRendering reports whether e is a call to a name-rendering method of
+// *tname.Tree.
+func isNameRendering(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != tnamePkgPath {
+		return false
+	}
+	if !renderMethods[fn.Name()] {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil
+}
+
+// isInternedID reports whether e has type tname.TxID or tname.ObjID.
+func isInternedID(pass *Pass, e ast.Expr) bool {
+	named, ok := pass.TypeOf(e).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != tnamePkgPath {
+		return false
+	}
+	return obj.Name() == "TxID" || obj.Name() == "ObjID"
+}
+
+// isBareIntLiteral reports whether e is an integer literal, possibly
+// negated, that is not spelled as a named constant.
+func isBareIntLiteral(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedsg/internal/analysis"
+	"nestedsg/internal/analysis/analysistest"
+)
+
+// TestTnameCompare checks that rendered-name and magic-literal comparisons
+// are flagged while interned-ID comparison, sentinel constants, label
+// filters against string constants, and the tname package itself pass.
+func TestTnameCompare(t *testing.T) {
+	for _, pattern := range []string{
+		"./testdata/src/tnamecompare",
+		"nestedsg/internal/tname",
+	} {
+		t.Run(pattern, func(t *testing.T) {
+			analysistest.Run(t, ".", analysis.TnameCompare, pattern)
+		})
+	}
+}

@@ -254,6 +254,11 @@ func build(tr *tname.Tree, b event.Behavior, reduced bool) *SG {
 					pg(p).addEdge(t, e.Tx, EdgePrecedes)
 				}
 			}
+
+		default:
+			// CREATE, COMMIT and ABORT contribute no edges: conflict(β) is
+			// defined on REQUEST_COMMITs and precedes(β) on report/request
+			// pairs. Inform kinds cannot appear in a serial projection.
 		}
 	}
 	for _, g := range sg.parents {

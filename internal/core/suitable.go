@@ -90,6 +90,8 @@ func AuditSuitability(tr *tname.Tree, b event.Behavior, order *SiblingOrder) err
 			if j, ok := completionIdx[e.Tx]; ok {
 				g.AddEdge(j, i)
 			}
+		default:
+			// Inform kinds never occur in visible serial actions.
 		}
 	}
 

@@ -234,6 +234,8 @@ func (b Behavior) IsLive(t tname.TxID) bool {
 			created = true
 		case Commit, Abort:
 			completed = true
+		default:
+			// Requests, reports and informs do not affect liveness.
 		}
 	}
 	return created && !completed

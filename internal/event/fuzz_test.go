@@ -1,0 +1,93 @@
+package event
+
+import (
+	"bytes"
+	"testing"
+
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// seedTrace builds a small two-object behavior exercising accesses with
+// arguments, values of several kinds, aborts and informs, and returns its
+// JSON encoding.
+func seedTrace(t testing.TB) []byte {
+	t.Helper()
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	c := tr.AddObject("c", spec.Counter{})
+	t1 := tr.Child(tname.Root, "T1")
+	t2 := tr.Child(tname.Root, "T2")
+	w := tr.Access(t1, "w", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(7)})
+	inc := tr.Access(t2, "inc", c, spec.Op{Kind: spec.OpIncrement, Arg: spec.Int(1)})
+	b := Behavior{
+		NewEvent(Create, tname.Root),
+		NewEvent(RequestCreate, t1),
+		NewEvent(Create, t1),
+		NewEvent(RequestCreate, w),
+		NewEvent(Create, w),
+		NewValEvent(RequestCommit, w, spec.OK),
+		NewEvent(Commit, w),
+		NewValEvent(ReportCommit, w, spec.OK),
+		NewValEvent(RequestCommit, t1, spec.Nil),
+		NewEvent(Commit, t1),
+		NewInform(InformCommit, t1, x),
+		NewEvent(RequestCreate, t2),
+		NewEvent(Create, t2),
+		NewEvent(RequestCreate, inc),
+		NewEvent(Abort, inc),
+		NewInform(InformAbort, inc, c),
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr, b); err != nil {
+		t.Fatalf("encoding seed trace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzTraceRoundTrip checks that for any input the trace codec either
+// rejects it with an error or settles after one round trip: if data parses
+// to (tr, b), then render(tr, b) must itself parse, and rendering the
+// reparsed trace must reproduce it byte for byte (parse ∘ render = id on
+// rendered traces). Decoding must never panic — DecodeTrace validates
+// every entry before handing it to the tname interner, whose panics mean
+// programming errors, not bad input.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(seedTrace(f))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"objects":[{"label":"x","spec":"register"}],"tx":[{"parent":-1,"label":"T0","obj":-1}],"events":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, b, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected; all we require is no panic
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace yields invalid tree: %v", err)
+		}
+
+		var r1 bytes.Buffer
+		if err := WriteTrace(&r1, tr, b); err != nil {
+			t.Fatalf("rendering accepted trace: %v", err)
+		}
+		tr2, b2, err := ReadTrace(bytes.NewReader(r1.Bytes()))
+		if err != nil {
+			t.Fatalf("reparsing rendered trace: %v\nrendered:\n%s", err, r1.String())
+		}
+		if !b2.Equal(b) {
+			t.Fatalf("behavior changed across round trip:\nbefore:\n%s\nafter:\n%s", b.Format(tr), b2.Format(tr2))
+		}
+		if tr2.NumTx() != tr.NumTx() || tr2.NumObjects() != tr.NumObjects() {
+			t.Fatalf("tree changed across round trip: %d/%d tx, %d/%d objects",
+				tr.NumTx(), tr2.NumTx(), tr.NumObjects(), tr2.NumObjects())
+		}
+
+		var r2 bytes.Buffer
+		if err := WriteTrace(&r2, tr2, b2); err != nil {
+			t.Fatalf("re-rendering: %v", err)
+		}
+		if !bytes.Equal(r1.Bytes(), r2.Bytes()) {
+			t.Fatalf("render is not a fixed point:\nfirst:\n%s\nsecond:\n%s", r1.String(), r2.String())
+		}
+	})
+}

@@ -63,12 +63,24 @@ func decodeValue(tv *TraceValue) (spec.Value, error) {
 	if tv == nil {
 		return spec.Nil, nil
 	}
-	for k, name := range valueKindNames {
-		if name == tv.Kind {
-			return spec.Value{Kind: k, Int: tv.Int, Str: tv.Str}, nil
-		}
+	// Rebuild through the spec constructors so that decoded values carry
+	// exactly the fields their kind selects (a hand-rolled struct literal
+	// here could smuggle, say, a Str payload into a VInt value, breaking
+	// == comparison downstream).
+	switch tv.Kind {
+	case "nil":
+		return spec.Nil, nil
+	case "ok":
+		return spec.OK, nil
+	case "int":
+		return spec.Int(tv.Int), nil
+	case "bool":
+		return spec.Bool(tv.Int != 0), nil
+	case "str":
+		return spec.Str(tv.Str), nil
+	default:
+		return spec.Nil, fmt.Errorf("trace: unknown value kind %q", tv.Kind)
 	}
-	return spec.Value{}, fmt.Errorf("trace: unknown value kind %q", tv.Kind)
 }
 
 var opKindByName = func() map[string]spec.OpKind {
@@ -116,15 +128,29 @@ func EncodeTrace(tr *tname.Tree, b Behavior) *Trace {
 }
 
 // DecodeTrace reconstructs the tree and behavior from a Trace.
+//
+// Every malformed input must surface as an error, never as a panic: the
+// tname interner panics on programming errors (re-interning a name with
+// different metadata, giving an access a child), so the decoder validates
+// each entry before handing it over. FuzzTraceRoundTrip drives this
+// contract with arbitrary inputs.
 func DecodeTrace(t *Trace) (*tname.Tree, Behavior, error) {
 	tr := tname.NewTree()
-	for _, to := range t.Objects {
+	for i, to := range t.Objects {
 		sp := spec.ByName(to.Spec)
 		if sp == nil {
 			return nil, nil, fmt.Errorf("trace: unknown spec %q", to.Spec)
 		}
+		if tr.Object(to.Label) != tname.NoObj {
+			return nil, nil, fmt.Errorf("trace: object %d reuses label %q", i, to.Label)
+		}
 		tr.AddObject(to.Label, sp)
 	}
+	type nameKey struct {
+		parent int32
+		label  string
+	}
+	seen := make(map[nameKey]bool)
 	for i, tt := range t.Tx {
 		if i == 0 {
 			if tt.Parent != -1 {
@@ -136,8 +162,19 @@ func DecodeTrace(t *Trace) (*tname.Tree, Behavior, error) {
 		if parent < 0 || int(parent) >= i {
 			return nil, nil, fmt.Errorf("trace: tx %d has bad parent %d", i, tt.Parent)
 		}
+		if tr.IsAccess(parent) {
+			return nil, nil, fmt.Errorf("trace: tx %d is a child of access %d", i, tt.Parent)
+		}
+		key := nameKey{tt.Parent, tt.Label}
+		if seen[key] {
+			return nil, nil, fmt.Errorf("trace: tx %d duplicates name %q under parent %d", i, tt.Label, tt.Parent)
+		}
+		seen[key] = true
 		var id tname.TxID
 		if tt.Obj >= 0 {
+			if int(tt.Obj) >= tr.NumObjects() {
+				return nil, nil, fmt.Errorf("trace: tx %d accesses unknown object %d", i, tt.Obj)
+			}
 			kind, ok := opKindByName[tt.Op]
 			if !ok {
 				return nil, nil, fmt.Errorf("trace: tx %d has unknown op %q", i, tt.Op)

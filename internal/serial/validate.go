@@ -74,6 +74,12 @@ func Validate(tr *tname.Tree, g event.Behavior) error {
 					i, tr.Name(e.Tx))
 			}
 			active = active[:len(active)-1]
+
+		default:
+			// REQUEST_CREATE and the reports carry no obligations a serial
+			// behavior could violate beyond well-formedness, which
+			// CheckWellFormed established above; informs never appear in a
+			// serial witness.
 		}
 	}
 	return nil

@@ -57,6 +57,8 @@ func Witness(tr *tname.Tree, root *program.Node, b event.Behavior, order *core.S
 			w.fate[e.Tx] = abortedFate
 		case event.RequestCommit:
 			w.values[e.Tx] = e.Val
+		default:
+			// CREATE and the reports add nothing the fate/value maps need.
 		}
 	}
 	if err := w.replayRoot(serialB.ProjectTx(tr, tname.Root)); err != nil {

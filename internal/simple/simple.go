@@ -230,6 +230,9 @@ func AuditCurrentSafe(tr *tname.Tree, b event.Behavior) (reads []CurrentSafeRepo
 
 	for _, e := range serial {
 		switch e.Kind {
+		default:
+			// Only ABORT (orphan tracking) and access REQUEST_COMMITs
+			// (read/write classification) matter to this audit.
 		case event.Abort:
 			abortedSoFar[e.Tx] = true
 		case event.RequestCommit:

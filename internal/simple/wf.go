@@ -159,6 +159,12 @@ func CheckWellFormed(tr *tname.Tree, b event.Behavior) error {
 			}
 			s.reported = true
 			get(tr.Parent(e.Tx)).openChildren--
+
+		default:
+			// Unreachable: the IsSerial filter above admits exactly the
+			// seven kinds handled here. Fail loudly if the enumeration and
+			// the filter ever drift apart.
+			return fail(i, e, "unhandled serial kind %s", e.Kind)
 		}
 	}
 	return nil

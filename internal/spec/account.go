@@ -45,8 +45,9 @@ func (Account) Apply(s State, op Op) (State, Value) {
 		return bal, Bool(false)
 	case OpBalance:
 		return bal, Int(bal)
+	default:
+		panic(fmt.Sprintf("account: unsupported op %s", op))
 	}
-	panic(fmt.Sprintf("account: unsupported op %s", op))
 }
 
 // Conflicts implements Spec; see the type comment for the derivation.
@@ -69,8 +70,9 @@ func accountConflict(a, b OpVal) bool {
 				return !b.Val.AsBool()
 			case OpBalance:
 				return true
+			default:
+				return false
 			}
-			return false
 		}
 		// Failed withdrawal: state unchanged; commutes with failed
 		// withdrawals and balance, conflicts with everything that can
@@ -78,21 +80,20 @@ func accountConflict(a, b OpVal) bool {
 		switch b.Op.Kind {
 		case OpWithdraw:
 			return b.Val.AsBool()
-		case OpBalance:
+		default:
 			return false
 		}
-		return false
 	case OpBalance:
 		// Balance commutes with balance and failed withdrawals.
 		switch b.Op.Kind {
-		case OpBalance:
-			return false
 		case OpWithdraw:
 			return b.Val.AsBool()
+		default:
+			return false
 		}
-		return false
+	default:
+		return true
 	}
-	return true
 }
 
 // Encode implements Spec.

@@ -32,8 +32,9 @@ func (AppendLog) Apply(s State, op Op) (State, Value) {
 		return out, OK
 	case OpLen:
 		return st, Int(int64(len(st)))
+	default:
+		panic(fmt.Sprintf("appendlog: unsupported op %s", op))
 	}
-	panic(fmt.Sprintf("appendlog: unsupported op %s", op))
 }
 
 // Conflicts implements Spec.

@@ -27,8 +27,9 @@ func (Counter) Apply(s State, op Op) (State, Value) {
 		return cur - op.Arg.Int, OK
 	case OpGet:
 		return cur, Int(cur)
+	default:
+		panic(fmt.Sprintf("counter: unsupported op %s", op))
 	}
-	panic(fmt.Sprintf("counter: unsupported op %s", op))
 }
 
 // Conflicts implements Spec.

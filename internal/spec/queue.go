@@ -36,8 +36,9 @@ func (Queue) Apply(s State, op Op) (State, Value) {
 		out := make(queueState, len(st)-1)
 		copy(out, st[1:])
 		return out, Int(st[0])
+	default:
+		panic(fmt.Sprintf("queue: unsupported op %s", op))
 	}
-	panic(fmt.Sprintf("queue: unsupported op %s", op))
 }
 
 // Conflicts implements Spec.

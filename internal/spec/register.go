@@ -36,8 +36,9 @@ func (Register) Apply(s State, op Op) (State, Value) {
 		return cur, cur
 	case OpWrite:
 		return op.Arg, OK
+	default:
+		panic(fmt.Sprintf("register: unsupported op %s", op))
 	}
-	panic(fmt.Sprintf("register: unsupported op %s", op))
 }
 
 // Conflicts implements Spec: conflict unless both operations are reads.

@@ -40,8 +40,9 @@ func (IntSet) Apply(s State, op Op) (State, Value) {
 		return st, Bool(st.has(op.Arg.Int))
 	case OpSize:
 		return st, Int(int64(len(st)))
+	default:
+		panic(fmt.Sprintf("set: unsupported op %s", op))
 	}
-	panic(fmt.Sprintf("set: unsupported op %s", op))
 }
 
 func (st setState) has(v int64) bool {
@@ -93,8 +94,9 @@ func setConflict(a, b OpVal) bool {
 			return a.Op.Arg == b.Op.Arg
 		case OpSize:
 			return true
+		default:
+			return false
 		}
-		return false
 	case OpMember:
 		if isSetUpdate(b.Op.Kind) {
 			return a.Op.Arg == b.Op.Arg
@@ -102,8 +104,9 @@ func setConflict(a, b OpVal) bool {
 		return false
 	case OpSize:
 		return isSetUpdate(b.Op.Kind)
+	default:
+		return true
 	}
-	return true
 }
 
 // Encode implements Spec.
