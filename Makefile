@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet sgvet race fuzz-short ci
+.PHONY: all build test vet sgvet race fuzz-short bench-smoke ci
 
 all: build test vet sgvet
 
@@ -26,5 +26,10 @@ race:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/event
 
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or fail their correctness assertions, without measuring anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
 # Everything CI runs, in order.
-ci: build vet sgvet race
+ci: build vet sgvet race bench-smoke

@@ -38,6 +38,18 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 			if !res.OK {
 				t.Fatalf("check failed: %s", res.Summary(tr))
 			}
+			if pres := nestedsg.CheckParallel(tr, trace, 4); !pres.OK {
+				t.Fatalf("parallel check disagrees: %s", pres.Summary(tr))
+			}
+			if at, cyc := nestedsg.StreamCheck(tr, trace); at >= 0 {
+				t.Fatalf("streaming check rejected a certified trace at %d: %v", at, cyc)
+			}
+			inc := nestedsg.NewIncrementalChecker(tr)
+			for _, e := range trace {
+				if cyc := inc.Append(e); cyc != nil {
+					t.Fatalf("incremental checker rejected a certified trace: %s", cyc.Format(tr))
+				}
+			}
 			gamma, err := nestedsg.SerialWitness(tr, root, trace, res.Certificate)
 			if err != nil {
 				t.Fatal(err)

@@ -1,4 +1,4 @@
-// Benchmarks: one per experiment table of EXPERIMENTS.md (E1–E12). Each
+// Benchmarks: one per experiment table of EXPERIMENTS.md (E1–E15). Each
 // benchmark exercises the hot path of its experiment under testing.B so
 // the tables' cost columns can be regenerated with:
 //
@@ -422,5 +422,76 @@ func BenchmarkE14ReplicatedData(b *testing.B) {
 			Protocol: proto, AbortProb: 0.02, MaxAborts: 4}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// contendedTrace generates the E15 workload: deep nesting over several
+// objects so the parallel conflict scan has independent work to fan out.
+func contendedTrace(b *testing.B, topLevel int) (*tname.Tree, event.Behavior) {
+	b.Helper()
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 42, TopLevel: topLevel, Depth: 2,
+		Fanout: 3, Objects: 8, HotProb: 0.3, ParProb: 0.7})
+	trace, _, err := generic.Run(tr, root, generic.Options{Seed: 99, Protocol: locking.Protocol{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, trace
+}
+
+// BenchmarkE15StreamingCheck measures the incremental checker's replay of a
+// clean trace; the ns/event metric is the streaming cost per event.
+func BenchmarkE15StreamingCheck(b *testing.B) {
+	for _, topLevel := range []int{8, 32} {
+		topLevel := topLevel
+		b.Run(fmt.Sprintf("toplevel=%d", topLevel), func(b *testing.B) {
+			tr, trace := contendedTrace(b, topLevel)
+			b.ReportMetric(float64(len(trace)), "events")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if at, _ := core.StreamPrefix(tr, trace); at >= 0 {
+					b.Fatalf("clean Moss trace rejected at %d", at)
+				}
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(trace)), "ns/event")
+			}
+		})
+	}
+}
+
+// denseTrace generates the E15 scan-bound workload: the serial scheduler
+// commits every access, so the quadratic per-object conflict scan — the
+// phase BuildParallel fans out — dominates construction cost.
+func denseTrace(b *testing.B, topLevel int) (*tname.Tree, event.Behavior) {
+	b.Helper()
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 42, TopLevel: topLevel, Depth: 1,
+		Fanout: 4, Objects: 8, ParProb: 0.5})
+	trace, err := serial.Run(tr, root, serial.Options{Seed: 99})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, trace
+}
+
+// BenchmarkE15ParallelBuild measures the batch SG construction at several
+// worker counts on one scan-bound trace; workers=1 is the sequential
+// baseline the speedup column of EXPERIMENTS.md is computed against.
+// Speedup is hardware-dependent: on a single-core host every worker count
+// collapses to ~1×.
+func BenchmarkE15ParallelBuild(b *testing.B) {
+	tr, trace := denseTrace(b, 128)
+	want := core.Build(tr, trace).NumEdges()
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := core.BuildParallel(tr, trace, workers).NumEdges(); got != want {
+					b.Fatalf("edges = %d, want %d", got, want)
+				}
+			}
+		})
 	}
 }

@@ -148,22 +148,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *out != "" {
-		w := io.Writer(stdout)
-		if *out != "-" {
+		if *out == "-" {
+			if err := event.WriteTrace(stdout, tr, trace); err != nil {
+				fmt.Fprintln(stderr, "nestedrun:", err)
+				return 2
+			}
+		} else {
 			f, err := os.Create(*out)
 			if err != nil {
 				fmt.Fprintln(stderr, "nestedrun:", err)
 				return 2
 			}
-			defer f.Close()
-			w = f
-		}
-		if err := event.WriteTrace(w, tr, trace); err != nil {
-			fmt.Fprintln(stderr, "nestedrun:", err)
-			return 2
-		}
-		if *out != "-" && !*quiet {
-			fmt.Fprintf(stdout, "wrote trace to %s\n", *out)
+			werr := event.WriteTrace(f, tr, trace)
+			// The close flushes buffered data; dropping its error would
+			// report success for a trace that never reached the disk.
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(stderr, "nestedrun:", werr)
+				return 2
+			}
+			if !*quiet {
+				fmt.Fprintf(stdout, "wrote trace to %s\n", *out)
+			}
 		}
 	}
 

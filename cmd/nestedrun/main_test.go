@@ -133,3 +133,25 @@ func TestRunReplica(t *testing.T) {
 		t.Fatalf("code=%d", code)
 	}
 }
+
+func TestRunOutWriteErrorExits2(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	code, out, errOut := runCmd(t, "-protocol", "moss", "-seed", "3", "-toplevel", "4", "-out", "/dev/full", "-q")
+	if code != 2 || errOut == "" {
+		t.Fatalf("write failure must exit 2 with a message; code=%d stderr=%q out=%q", code, errOut, out)
+	}
+	if strings.Contains(out, "wrote trace") {
+		t.Fatalf("must not claim success: %q", out)
+	}
+}
+
+func TestRunOutToUnwritableDirExits2(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "missing")
+	code, _, errOut := runCmd(t, "-protocol", "moss", "-seed", "3", "-toplevel", "4",
+		"-out", filepath.Join(dir, "trace.json"), "-q")
+	if code != 2 || errOut == "" {
+		t.Fatalf("create failure must exit 2; code=%d stderr=%q", code, errOut)
+	}
+}

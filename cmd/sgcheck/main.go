@@ -8,6 +8,8 @@
 //
 //	nestedrun -seed 7 -out trace.json
 //	sgcheck -in trace.json -cert -dot sg.dot
+//	sgcheck -in trace.json -stream          # report the shortest bad prefix
+//	sgcheck -in trace.json -workers 0       # parallel SG construction
 //
 // Exit status is 0 when the trace is certified serially correct for T0, 1
 // on a check failure and 2 on usage or I/O errors.
@@ -43,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		oracleBudget = fs.Int("oraclebudget", 200000, "candidate budget for -oracle")
 		minimizeOut  = fs.String("minimize", "", "on failure, shrink the trace to a 1-minimal failing core and write it here")
 		audit        = fs.Bool("currentsafe", false, "also audit the Lemma 6 current/safe conditions (read/write objects only)")
+		stream       = fs.Bool("stream", false, "replay the trace through the incremental checker first and report the shortest prefix with a cyclic SG")
+		workers      = fs.Int("workers", 1, "worker count for the parallel SG construction (0 = all cores, 1 = sequential)")
 		verbose      = fs.Bool("v", false, "print the trace as it is read")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,8 +72,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, b.Format(tr))
 	}
 
-	res := core.Check(tr, b)
 	fmt.Fprintf(stdout, "trace: %d events, %d transactions, %d objects\n", len(b), tr.NumTx(), tr.NumObjects())
+	if *stream {
+		if at, cyc := core.StreamPrefix(tr, b); at >= 0 {
+			fmt.Fprintf(stdout, "stream: rejected at event %d/%d — %s\n", at, len(b), cyc.Format(tr))
+			return 1
+		}
+		fmt.Fprintf(stdout, "stream: all %d prefixes have acyclic SGs\n", len(b))
+	}
+
+	var res *core.Result
+	if *workers == 1 {
+		res = core.Check(tr, b)
+	} else {
+		res = core.CheckParallel(tr, b, *workers)
+	}
 	fmt.Fprintln(stdout, "verdict:", res.Summary(tr))
 
 	if res.SG != nil && *dotOut != "" {
@@ -90,7 +107,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			werr := event.WriteTrace(f, tr, small)
-			f.Close()
+			// A buffered flush can fail at close; losing that error would
+			// break the exit-status contract.
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
 			if werr != nil {
 				fmt.Fprintln(stderr, "sgcheck:", werr)
 				return 2

@@ -203,3 +203,81 @@ func TestMinimizeFlag(t *testing.T) {
 		t.Fatalf("minimized trace exit %d", code)
 	}
 }
+
+func TestStreamFlagGoodTrace(t *testing.T) {
+	path := writeTrace(t, false)
+	code, out, errOut := runCmd(t, "-in", path, "-stream")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr=%s out=%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "prefixes have acyclic SGs") || !strings.Contains(out, "verdict:") {
+		t.Fatalf("stream output wrong:\n%s", out)
+	}
+}
+
+func TestStreamFlagRejectsAtPrefix(t *testing.T) {
+	// Scan seeds for a trace the checker rejects with a cycle, then confirm
+	// -stream reports a prefix index and exits 1 without a verdict line.
+	for seed := int64(0); seed < 30; seed++ {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: seed, TopLevel: 8, Depth: 1,
+			Fanout: 3, Objects: 1, HotProb: 1, ParProb: 0.9})
+		b, _, err := generic.Run(tr, root, generic.Options{Seed: seed * 11,
+			Protocol: undolog.BrokenProtocol{Mode: undolog.SkipCommute}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := event.WriteTrace(&buf, tr, b); err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), "fail.json")
+		if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, out, _ := runCmd(t, "-in", p)
+		if code != 1 || !strings.Contains(out, "cycle in SG") {
+			continue // need an SG cycle specifically, not a value violation
+		}
+		code, out, _ = runCmd(t, "-in", p, "-stream")
+		if code != 1 {
+			t.Fatalf("stream exit %d:\n%s", code, out)
+		}
+		if !strings.Contains(out, "stream: rejected at event") || !strings.Contains(out, "cycle in SG") {
+			t.Fatalf("stream rejection output wrong:\n%s", out)
+		}
+		if strings.Contains(out, "verdict:") {
+			t.Fatalf("stream rejection must short-circuit the offline check:\n%s", out)
+		}
+		return
+	}
+	t.Fatal("no cyclic trace found")
+}
+
+func TestWorkersFlagMatchesSequential(t *testing.T) {
+	path := writeTrace(t, false)
+	_, seqOut, _ := runCmd(t, "-in", path, "-cert")
+	for _, w := range []string{"0", "4"} {
+		code, out, errOut := runCmd(t, "-in", path, "-cert", "-workers", w)
+		if code != 0 {
+			t.Fatalf("workers=%s exit %d: %s", w, code, errOut)
+		}
+		if out != seqOut {
+			t.Fatalf("workers=%s output differs:\n%s\nvs\n%s", w, out, seqOut)
+		}
+	}
+}
+
+func TestMinimizeWriteErrorExits2(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	path := writeTrace(t, true)
+	if code, _, _ := runCmd(t, "-in", path); code != 1 {
+		t.Skip("seed did not produce a failing trace")
+	}
+	code, _, errOut := runCmd(t, "-in", path, "-minimize", "/dev/full")
+	if code != 2 || errOut == "" {
+		t.Fatalf("write failure must exit 2 with a message; code=%d stderr=%q", code, errOut)
+	}
+}

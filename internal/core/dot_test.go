@@ -1,0 +1,83 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestSGDOTGolden pins the DOT rendering of a multi-parent SG(β): conflicts
+// under a subtransaction (SG(β, p)) and under the root (SG(β, T0)), with a
+// precedes edge merged onto the root-level conflict. Every materialized
+// parent must appear, in ascending parent order, with canonical node
+// numbering.
+func TestSGDOTGolden(t *testing.T) {
+	tr := tname.NewTree()
+	x := tr.AddObject("x", spec.Register{})
+	p := tr.Child(tname.Root, "p")
+	c1 := tr.Child(p, "c1")
+	c2 := tr.Child(p, "c2")
+	a1 := tr.Access(c1, "a1", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(1)})
+	a2 := tr.Access(c2, "a2", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(2)})
+	t2 := tr.Child(tname.Root, "t2")
+	a3 := tr.Access(t2, "a3", x, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(3)})
+
+	access := func(a tname.TxID) event.Behavior {
+		return event.Behavior{
+			ev(event.RequestCreate, a), ev(event.Create, a),
+			evv(event.RequestCommit, a, spec.OK), ev(event.Commit, a),
+			evv(event.ReportCommit, a, spec.OK),
+		}
+	}
+	closeTx := func(tx tname.TxID) event.Behavior {
+		return event.Behavior{
+			evv(event.RequestCommit, tx, spec.Nil), ev(event.Commit, tx),
+			evv(event.ReportCommit, tx, spec.Nil),
+		}
+	}
+	var b event.Behavior
+	b = append(b, ev(event.Create, tname.Root))
+	b = append(b, ev(event.RequestCreate, p), ev(event.Create, p))
+	b = append(b, ev(event.RequestCreate, c1), ev(event.Create, c1))
+	b = append(b, access(a1)...)
+	b = append(b, closeTx(c1)...)
+	b = append(b, ev(event.RequestCreate, c2), ev(event.Create, c2))
+	b = append(b, access(a2)...)
+	b = append(b, closeTx(c2)...)
+	b = append(b, closeTx(p)...)
+	// t2 is requested after p's report: precedes(β) adds p → t2 at the
+	// root, merging with the conflict edge from the x accesses.
+	b = append(b, ev(event.RequestCreate, t2), ev(event.Create, t2))
+	b = append(b, access(a3)...)
+	b = append(b, closeTx(t2)...)
+
+	sg := Build(tr, b)
+	if n := len(sg.Parents()); n != 2 {
+		t.Fatalf("materialized parents = %d, want 2 (T0 and p)", n)
+	}
+	if k, ok := sg.Parent(tname.Root).HasEdge(p, t2); !ok || k != EdgeConflict|EdgePrecedes {
+		t.Fatalf("root edge p->t2 = %v, %v", k, ok)
+	}
+	got := sg.DOT()
+
+	golden := filepath.Join("testdata", "golden_multiparent.dot")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("DOT drifted from golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/graph"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// Incremental maintains SG(β) online: Append consumes one event at a time
+// and after the i-th call the internal state describes SG(β[:i]) exactly as
+// Build(tr, β[:i]) would construct it. Cycle detection is per appended edge
+// (Pearce–Kelly order maintenance in internal/graph), so a violating trace
+// is rejected at its shortest bad prefix — the first i at which SG(β[:i])
+// acquires a cycle — with the same certificate Build would produce there.
+//
+// Soundness of prefix verdicts rests on monotonicity: commits only
+// accumulate, so visibility to T0 is monotone over prefixes, and with it
+// both edge sources — a conflict edge needs its two accesses visible, a
+// precedes edge needs the requesting parent visible, and the report/request
+// position data it depends on is fixed at request time. Hence
+// SG(β[:i]) ⊆ SG(β[:j]) edge-wise for i ≤ j: a cycle never dissolves, and
+// rejecting at the first cycle agrees with the offline verdict on every
+// extension. (The reduced register edge set is *not* prefix-monotone — a
+// late-visible write can retroactively shrink earlier reads' windows — so
+// the streaming checker always maintains the full conflict relation.)
+//
+// Events whose transactions are not yet visible are parked on their lowest
+// uncommitted ancestor and admitted when a COMMIT releases them; each parked
+// item re-walks only the suffix of its ancestor path above the released
+// blocker, so admission costs amortized O(depth) per item.
+type Incremental struct {
+	tr  *tname.Tree
+	seq int // raw events consumed
+
+	committed map[tname.TxID]bool
+	// parkedOps and parkedReqs key pending items by their blocker: the
+	// lowest uncommitted ancestor (≠ Root) of the access / requesting
+	// parent.
+	parkedOps  map[tname.TxID][]pendingOp
+	parkedReqs map[tname.TxID][]pendingReq
+
+	// byObj holds the admitted (visible) operations per object, ascending
+	// by seq; visOps holds all of them, ascending by seq — exactly
+	// operations(visible(β-prefix, T0)) in β order.
+	byObj  map[tname.ObjID][]pendingOp
+	visOps []pendingOp
+
+	// reported accumulates, per parent, the children reported so far —
+	// visibility-independent, exactly as in the offline pass.
+	reported map[tname.TxID][]tname.TxID
+
+	parents map[tname.TxID]*ParentGraph
+	// dyn mirrors each parent's edge structure in a Pearce–Kelly maintained
+	// order; a non-nil AddEdge result is the cycle signal.
+	dyn map[tname.TxID]*graph.Incremental
+
+	cyclic     bool
+	rejected   *Cycle
+	rejectedAt int
+}
+
+// pendingOp is a visible-or-parked access operation tagged with the raw
+// stream position of its REQUEST_COMMIT, which fixes its place in the
+// chronological conflict order however late it becomes visible.
+type pendingOp struct {
+	op  event.AccessOp
+	seq int
+}
+
+// pendingReq is a REQUEST_CREATE awaiting its parent's visibility. n is the
+// length of reported[parent] at request time: precedes(β) relates only the
+// siblings reported before the request, however late the edges materialize.
+type pendingReq struct {
+	parent tname.TxID
+	child  tname.TxID
+	n      int
+}
+
+// NewIncremental returns an empty streaming checker for the given system.
+func NewIncremental(tr *tname.Tree) *Incremental {
+	return &Incremental{
+		tr:         tr,
+		committed:  make(map[tname.TxID]bool),
+		parkedOps:  make(map[tname.TxID][]pendingOp),
+		parkedReqs: make(map[tname.TxID][]pendingReq),
+		byObj:      make(map[tname.ObjID][]pendingOp),
+		reported:   make(map[tname.TxID][]tname.TxID),
+		parents:    make(map[tname.TxID]*ParentGraph),
+		dyn:        make(map[tname.TxID]*graph.Incremental),
+		rejectedAt: -1,
+	}
+}
+
+// EventsSeen returns how many events have been appended.
+func (inc *Incremental) EventsSeen() int { return inc.seq }
+
+// Rejected returns the sticky verdict: the cycle certificate and the raw
+// index of the event whose prefix first made SG cyclic, or (nil, -1) while
+// every prefix so far is acyclic.
+func (inc *Incremental) Rejected() (*Cycle, int) { return inc.rejected, inc.rejectedAt }
+
+// Append consumes the next event of β. It returns nil while SG of the
+// consumed prefix stays acyclic, and the cycle certificate — identical to
+// Build(prefix).Acyclicity()'s — from the first violating prefix onward.
+// Once non-nil the verdict is sticky: further events still maintain the
+// bookkeeping cheaply but the certificate no longer changes.
+func (inc *Incremental) Append(e event.Event) *Cycle {
+	i := inc.seq
+	inc.seq++
+	switch e.Kind {
+	case event.RequestCommit:
+		if inc.tr.IsAccess(e.Tx) {
+			x := inc.tr.AccessObject(e.Tx)
+			op := pendingOp{op: event.AccessOp{Tx: e.Tx, Obj: x,
+				OV: spec.OpVal{Op: inc.tr.AccessOp(e.Tx), Val: e.Val}}, seq: i}
+			if blk, vis := inc.blocker(e.Tx); vis {
+				inc.admitOp(op)
+			} else {
+				inc.parkedOps[blk] = append(inc.parkedOps[blk], op)
+			}
+		}
+
+	case event.ReportCommit, event.ReportAbort:
+		p := inc.tr.Parent(e.Tx)
+		inc.reported[p] = append(inc.reported[p], e.Tx)
+
+	case event.RequestCreate:
+		p := inc.tr.Parent(e.Tx)
+		req := pendingReq{parent: p, child: e.Tx, n: len(inc.reported[p])}
+		if blk, vis := inc.blocker(p); vis {
+			inc.admitReq(req)
+		} else {
+			inc.parkedReqs[blk] = append(inc.parkedReqs[blk], req)
+		}
+
+	case event.Commit:
+		inc.commit(e.Tx)
+
+	case event.Create, event.Abort, event.InformCommit, event.InformAbort, event.KindInvalid:
+		// CREATE and ABORT contribute no edges (conflict(β) is defined on
+		// REQUEST_COMMITs, precedes(β) on report/request pairs, and
+		// visibility only consults commits); Inform kinds and invalid
+		// events are not serial actions, so Build ignores them too.
+	}
+
+	if inc.cyclic && inc.rejected == nil {
+		// First violating prefix: freeze the verdict. The event's effects
+		// were applied in full above, so the snapshot is exactly
+		// Build(β[:i+1]) and yields the identical certificate.
+		_, cyc := inc.Snapshot().Acyclicity()
+		if cyc == nil {
+			panic("core: incremental cycle signal with acyclic snapshot")
+		}
+		inc.rejected, inc.rejectedAt = cyc, i
+	}
+	return inc.rejected
+}
+
+// blocker walks start's ancestor path toward the root and returns either
+// (_, true) when every ancestor strictly below Root is committed — i.e. the
+// transaction is visible to T0 — or the lowest uncommitted ancestor. The
+// walk mirrors simple.Vis for the T0 oracle, including the trivial
+// visibility of None (the parent of Root).
+func (inc *Incremental) blocker(start tname.TxID) (tname.TxID, bool) {
+	for u := start; u != tname.None; u = inc.tr.Parent(u) {
+		if u == tname.Root {
+			return tname.None, true
+		}
+		if !inc.committed[u] {
+			return u, false
+		}
+	}
+	return tname.None, true
+}
+
+// commit records COMMIT(t) and releases everything parked on t. Released
+// items resume their ancestor walk above t; items still blocked re-park on
+// the new blocker, so each item pays each ancestor edge at most once.
+func (inc *Incremental) commit(t tname.TxID) {
+	if inc.committed[t] {
+		return
+	}
+	inc.committed[t] = true
+	ops := inc.parkedOps[t]
+	reqs := inc.parkedReqs[t]
+	delete(inc.parkedOps, t)
+	delete(inc.parkedReqs, t)
+	next := inc.tr.Parent(t)
+	blk, vis := inc.blocker(next)
+	for _, op := range ops {
+		if vis {
+			inc.admitOp(op)
+		} else {
+			inc.parkedOps[blk] = append(inc.parkedOps[blk], op)
+		}
+	}
+	for _, req := range reqs {
+		if vis {
+			inc.admitReq(req)
+		} else {
+			inc.parkedReqs[blk] = append(inc.parkedReqs[blk], req)
+		}
+	}
+}
+
+// admitOp splices a now-visible operation into its object's chronological
+// list and relates it to every other visible operation on the object, in
+// both directions: ops that became visible earlier may carry later stream
+// positions, so the new arrival can be the chronological predecessor of
+// some and the successor of others.
+func (inc *Incremental) admitOp(op pendingOp) {
+	x := op.op.Obj
+	sp := inc.tr.Spec(x)
+	list := inc.byObj[x]
+	for _, other := range list {
+		prev, cur := other, op
+		if op.seq < other.seq {
+			prev, cur = op, other
+		}
+		if sp.Conflicts(prev.op.OV, cur.op.OV) {
+			if p, u, u2, ok := conflictEdge(inc.tr, prev.op, cur.op); ok {
+				inc.addEdge(p, u, u2, EdgeConflict)
+			}
+		}
+	}
+	inc.byObj[x] = spliceBySeq(list, op)
+	inc.visOps = spliceBySeq(inc.visOps, op)
+}
+
+// spliceBySeq inserts op into a seq-ascending list. Late admissions are
+// commits of deep ancestors releasing old operations, so the insertion
+// point is found from the back.
+func spliceBySeq(list []pendingOp, op pendingOp) []pendingOp {
+	i := len(list)
+	for i > 0 && list[i-1].seq > op.seq {
+		i--
+	}
+	list = append(list, pendingOp{})
+	copy(list[i+1:], list[i:])
+	list[i] = op
+	return list
+}
+
+// admitReq materializes the precedes edges of one REQUEST_CREATE whose
+// parent is now visible: from each sibling reported before the request to
+// the requested child.
+func (inc *Incremental) admitReq(req pendingReq) {
+	for _, t := range inc.reported[req.parent][:req.n] {
+		if t != req.child {
+			inc.addEdge(req.parent, t, req.child, EdgePrecedes)
+		}
+	}
+}
+
+// addEdge records from→to in SG(β, parent) and feeds any new edge to the
+// parent's Pearce–Kelly order, flagging the first cycle.
+func (inc *Incremental) addEdge(parent, from, to tname.TxID, kind EdgeKind) {
+	pg, ok := inc.parents[parent]
+	if !ok {
+		pg = newParentGraph(parent)
+		inc.parents[parent] = pg
+		inc.dyn[parent] = graph.NewIncremental(0)
+	}
+	d := inc.dyn[parent]
+	f, t := pg.node(from), pg.node(to)
+	for d.Len() < len(pg.Children) {
+		d.AddNode()
+	}
+	key := [2]int32{int32(f), int32(t)}
+	if _, dup := pg.Kinds[key]; dup {
+		pg.Kinds[key] |= kind
+		return
+	}
+	pg.Kinds[key] = kind
+	if inc.cyclic {
+		// Already rejected: keep the edge bookkeeping (Snapshot stays
+		// truthful) but the stale order cannot answer further queries.
+		return
+	}
+	if cyc := d.AddEdge(f, t); cyc != nil {
+		inc.cyclic = true
+	}
+}
+
+// Snapshot materializes SG of the consumed prefix; the result is
+// structurally identical to Build(tr, prefix) and independent of the live
+// state, which continues to accept Appends.
+func (inc *Incremental) Snapshot() *SG {
+	sg := &SG{tr: inc.tr, parents: make(map[tname.TxID]*ParentGraph, len(inc.parents))}
+	for p, pg := range inc.parents {
+		c := pg.clone()
+		c.build()
+		sg.parents[p] = c
+	}
+	for _, r := range inc.visOps {
+		sg.VisibleOps = append(sg.VisibleOps, r.op)
+	}
+	return sg
+}
+
+// StreamPrefix feeds b's events through an Incremental and returns the raw
+// index of the first event whose prefix has a cyclic SG, with the cycle
+// certificate, or (-1, nil) when every prefix — hence b itself — has an
+// acyclic SG. Note that acyclicity is one hypothesis of Theorem 8/19, not
+// the whole check; callers wanting the full verdict run Check afterwards.
+func StreamPrefix(tr *tname.Tree, b event.Behavior) (int, *Cycle) {
+	inc := NewIncremental(tr)
+	for _, e := range b {
+		if cyc := inc.Append(e); cyc != nil {
+			_, at := inc.Rejected()
+			return at, cyc
+		}
+	}
+	return -1, nil
+}
+
+// String summarizes the checker state for diagnostics.
+func (inc *Incremental) String() string {
+	if inc.rejected != nil {
+		return fmt.Sprintf("incremental: rejected at event %d after %d events", inc.rejectedAt, inc.seq)
+	}
+	return fmt.Sprintf("incremental: %d events, %d parents, acyclic", inc.seq, len(inc.parents))
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nestedsg/internal/tname"
+)
+
+// TestParallelBuildMatchesSequential: for every worker count the parallel
+// construction must be structurally identical to the sequential one —
+// graphs, certificates and views — on correct and violating traces.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	for _, name := range []string{"moss", "broken"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				tr := tname.NewTree()
+				b := protocolTrace(t, name, seed, tr)
+				want := Build(tr, b)
+				wantRed := BuildReduced(tr, b)
+				for _, workers := range []int{1, 2, 4, 8} {
+					got := BuildParallel(tr, b, workers)
+					sgEqual(t, name, got, want)
+					gotRed := BuildReducedParallel(tr, b, workers)
+					sgEqual(t, name+" reduced", gotRed, wantRed)
+
+					wantOrder, wantCyc := want.Acyclicity()
+					gotOrder, gotCyc := got.Acyclicity()
+					if (wantCyc == nil) != (gotCyc == nil) {
+						t.Fatalf("seed %d workers %d: verdicts differ", seed, workers)
+					}
+					if wantCyc != nil {
+						cycleEqual(t, name, gotCyc, wantCyc)
+						continue
+					}
+					if !reflect.DeepEqual(gotOrder.ByParent, wantOrder.ByParent) {
+						t.Fatalf("seed %d workers %d: orders differ", seed, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckParallelMatchesCheck compares the end-to-end checkers, including
+// the certificate views.
+func TestCheckParallelMatchesCheck(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		tr := tname.NewTree()
+		b := protocolTrace(t, "moss", seed, tr)
+		want := Check(tr, b)
+		got := CheckParallel(tr, b, 4)
+		if got.OK != want.OK {
+			t.Fatalf("seed %d: OK differs", seed)
+		}
+		if !want.OK {
+			continue
+		}
+		if !reflect.DeepEqual(got.Certificate.Order.ByParent, want.Certificate.Order.ByParent) {
+			t.Fatalf("seed %d: orders differ", seed)
+		}
+		if !reflect.DeepEqual(got.Certificate.Views, want.Certificate.Views) {
+			t.Fatalf("seed %d: views differ", seed)
+		}
+	}
+}
+
+// TestParallelBuildOnGarbage: worker fan-out must not disturb the
+// construction on arbitrary event soup either.
+func TestParallelBuildOnGarbage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, names := randomSystem(rng)
+		b := randomEvents(rng, tr, names, 1+rng.Intn(60))
+		want := Build(tr, b)
+		got := BuildParallel(tr, b, 1+rng.Intn(8))
+		if !reflect.DeepEqual(got.VisibleOps, want.VisibleOps) {
+			return false
+		}
+		if len(got.Parents()) != len(want.Parents()) {
+			return false
+		}
+		for p, wpg := range want.Parents() {
+			gpg := got.Parent(p)
+			if gpg == nil || !reflect.DeepEqual(gpg.Children, wpg.Children) ||
+				!reflect.DeepEqual(gpg.Kinds, wpg.Kinds) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -99,11 +99,60 @@ func (pg *ParentGraph) addEdge(from, to tname.TxID, kind EdgeKind) {
 	pg.Kinds[key] |= kind
 }
 
+// build freezes the accumulated edge map into the graph structure, first
+// renumbering children in ascending name order. Node indices — and hence
+// topological sorts, cycle certificates and DOT output — then depend only
+// on the edge *set*, not on the order edges were discovered, which is what
+// lets the sequential, parallel and streaming constructions certify
+// identically.
 func (pg *ParentGraph) build() {
-	pg.G = graph.New(len(pg.Children))
-	for key := range pg.Kinds {
+	old := pg.Children
+	sorted := append([]tname.TxID(nil), old...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	index := make(map[tname.TxID]int, len(sorted))
+	for i, t := range sorted {
+		index[t] = i
+	}
+	perm := make([]int32, len(old))
+	for i, t := range old {
+		perm[i] = int32(index[t])
+	}
+	kinds := make(map[[2]int32]EdgeKind, len(pg.Kinds))
+	for key, k := range pg.Kinds {
+		kinds[[2]int32{perm[key[0]], perm[key[1]]}] = k
+	}
+	pg.Children, pg.index, pg.Kinds = sorted, index, kinds
+	// Insert edges in sorted order: adjacency-list order feeds the cycle
+	// certificate's DFS, so it must not inherit map iteration order.
+	keys := make([][2]int32, 0, len(kinds))
+	for key := range kinds {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	pg.G = graph.New(len(sorted))
+	for _, key := range keys {
 		pg.G.AddEdge(int(key[0]), int(key[1]))
 	}
+}
+
+// clone copies the accumulating fields (not G); callers freeze the copy with
+// build(). The streaming checker uses this to snapshot SG(β-prefix) without
+// disturbing its live state.
+func (pg *ParentGraph) clone() *ParentGraph {
+	c := newParentGraph(pg.Parent)
+	c.Children = append([]tname.TxID(nil), pg.Children...)
+	for t, i := range pg.index {
+		c.index[t] = i
+	}
+	for k, v := range pg.Kinds {
+		c.Kinds[k] = v
+	}
+	return c
 }
 
 // HasEdge reports whether the edge from→to is present, with its labels.
@@ -168,40 +217,40 @@ func BuildReduced(tr *tname.Tree, b event.Behavior) *SG {
 	return build(tr, b, true)
 }
 
-func build(tr *tname.Tree, b event.Behavior, reduced bool) *SG {
+// buildState is the outcome of the sequential first pass over β: the SG
+// with its precedes(β) edges already present, plus the per-object lists of
+// visible access operations (in β order) still awaiting the conflict scan.
+// The conflict scan over distinct objects is embarrassingly parallel, which
+// is what BuildParallel exploits; the sequential builder runs the very same
+// scan inline.
+type buildState struct {
+	sg *SG
+	// objs is the object discovery order; byObj holds each object's visible
+	// operations in β order.
+	objs  []tname.ObjID
+	byObj map[tname.ObjID][]event.AccessOp
+}
+
+func (st *buildState) pg(parent tname.TxID) *ParentGraph {
+	g, ok := st.sg.parents[parent]
+	if !ok {
+		g = newParentGraph(parent)
+		st.sg.parents[parent] = g
+	}
+	return g
+}
+
+// prepare runs the linear pass: visibility, operations(visible(β, T0)) per
+// object, and the precedes(β) edges.
+func prepare(tr *tname.Tree, b event.Behavior) *buildState {
 	serial := b.Serial()
 	vis := simple.NewVis(tr, serial, tname.Root)
-	sg := &SG{tr: tr, parents: make(map[tname.TxID]*ParentGraph)}
-
-	pg := func(parent tname.TxID) *ParentGraph {
-		g, ok := sg.parents[parent]
-		if !ok {
-			g = newParentGraph(parent)
-			sg.parents[parent] = g
-		}
-		return g
+	st := &buildState{
+		sg:    &SG{tr: tr, parents: make(map[tname.TxID]*ParentGraph)},
+		byObj: make(map[tname.ObjID][]event.AccessOp),
 	}
-
-	// conflict(β): scan access REQUEST_COMMITs visible to T0, per object,
-	// and relate each new operation to earlier conflicting ones — all of
-	// them in faithful mode, or the transitive-reduction window for
-	// registers in reduced mode.
-	perObj := make(map[tname.ObjID][]event.AccessOp)
-	regWindow := make(map[tname.ObjID][]event.AccessOp)
 	// precedes(β): per parent, the children reported so far in β order.
 	reported := make(map[tname.TxID][]tname.TxID)
-
-	addConflict := func(prev, cur event.AccessOp) {
-		if prev.Tx == cur.Tx {
-			return
-		}
-		lca := tr.LCA(prev.Tx, cur.Tx)
-		u := tr.ChildAncestor(lca, prev.Tx)
-		u2 := tr.ChildAncestor(lca, cur.Tx)
-		if u != u2 {
-			pg(lca).addEdge(u, u2, EdgeConflict)
-		}
-	}
 
 	for _, e := range serial {
 		switch e.Kind {
@@ -212,33 +261,11 @@ func build(tr *tname.Tree, b event.Behavior, reduced bool) *SG {
 			x := tr.AccessObject(e.Tx)
 			cur := event.AccessOp{Tx: e.Tx, Obj: x,
 				OV: spec.OpVal{Op: tr.AccessOp(e.Tx), Val: e.Val}}
-			sp := tr.Spec(x)
-			if reduced && sp.Name() == "register" {
-				// Fast path: a read conflicts with the last write only; a
-				// write conflicts with everything since (and including)
-				// the last write. The window holds the last write (at
-				// index 0, if any) and the reads after it.
-				win := regWindow[x]
-				if spec.IsRead(cur.OV.Op) {
-					if len(win) > 0 && spec.IsWrite(win[0].OV.Op) {
-						addConflict(win[0], cur)
-					}
-					regWindow[x] = append(win, cur)
-				} else {
-					for _, prev := range win {
-						addConflict(prev, cur)
-					}
-					regWindow[x] = append(regWindow[x][:0:0], cur)
-				}
-			} else {
-				for _, prev := range perObj[x] {
-					if sp.Conflicts(prev.OV, cur.OV) {
-						addConflict(prev, cur)
-					}
-				}
-				perObj[x] = append(perObj[x], cur)
+			if _, ok := st.byObj[x]; !ok {
+				st.objs = append(st.objs, x)
 			}
-			sg.VisibleOps = append(sg.VisibleOps, cur)
+			st.byObj[x] = append(st.byObj[x], cur)
+			st.sg.VisibleOps = append(st.sg.VisibleOps, cur)
 
 		case event.ReportCommit, event.ReportAbort:
 			p := tr.Parent(e.Tx)
@@ -251,7 +278,7 @@ func build(tr *tname.Tree, b event.Behavior, reduced bool) *SG {
 			}
 			for _, t := range reported[p] {
 				if t != e.Tx {
-					pg(p).addEdge(t, e.Tx, EdgePrecedes)
+					st.pg(p).addEdge(t, e.Tx, EdgePrecedes)
 				}
 			}
 
@@ -261,10 +288,74 @@ func build(tr *tname.Tree, b event.Behavior, reduced bool) *SG {
 			// pairs. Inform kinds cannot appear in a serial projection.
 		}
 	}
-	for _, g := range sg.parents {
+	return st
+}
+
+// scanObjectConflicts relates each operation of one object to the earlier
+// conflicting ones, emitting the chronologically ordered pair — all pairs in
+// faithful mode, or the transitive-reduction window for registers in reduced
+// mode. ops must be in β order. It reads only the spec, so distinct objects
+// can be scanned concurrently as long as emit is safe.
+func scanObjectConflicts(sp spec.Spec, ops []event.AccessOp, reduced bool, emit func(prev, cur event.AccessOp)) {
+	if reduced && sp.Name() == "register" {
+		// Fast path: a read conflicts with the last write only; a write
+		// conflicts with everything since (and including) the last write.
+		// The window holds the last write (at index 0, if any) and the
+		// reads after it.
+		var win []event.AccessOp
+		for _, cur := range ops {
+			if spec.IsRead(cur.OV.Op) {
+				if len(win) > 0 && spec.IsWrite(win[0].OV.Op) {
+					emit(win[0], cur)
+				}
+				win = append(win, cur)
+			} else {
+				for _, prev := range win {
+					emit(prev, cur)
+				}
+				win = append(win[:0:0], cur)
+			}
+		}
+		return
+	}
+	for i, cur := range ops {
+		for _, prev := range ops[:i] {
+			if sp.Conflicts(prev.OV, cur.OV) {
+				emit(prev, cur)
+			}
+		}
+	}
+}
+
+// conflictEdge maps a conflicting operation pair to its SG edge: at the
+// children of the least common ancestor of the two accesses. The edge is
+// degenerate (ok=false) when both accesses descend from the same child.
+func conflictEdge(tr *tname.Tree, prev, cur event.AccessOp) (parent, from, to tname.TxID, ok bool) {
+	if prev.Tx == cur.Tx {
+		return 0, 0, 0, false
+	}
+	lca := tr.LCA(prev.Tx, cur.Tx)
+	u := tr.ChildAncestor(lca, prev.Tx)
+	u2 := tr.ChildAncestor(lca, cur.Tx)
+	if u == u2 {
+		return 0, 0, 0, false
+	}
+	return lca, u, u2, true
+}
+
+func build(tr *tname.Tree, b event.Behavior, reduced bool) *SG {
+	st := prepare(tr, b)
+	for _, x := range st.objs {
+		scanObjectConflicts(tr.Spec(x), st.byObj[x], reduced, func(prev, cur event.AccessOp) {
+			if p, u, u2, ok := conflictEdge(tr, prev, cur); ok {
+				st.pg(p).addEdge(u, u2, EdgeConflict)
+			}
+		})
+	}
+	for _, g := range st.sg.parents {
 		g.build()
 	}
-	return sg
+	return st.sg
 }
 
 // Cycle describes a directed cycle found in one SG(β, T).
@@ -424,8 +515,10 @@ func (sg *SG) Acyclicity() (*SiblingOrder, *Cycle) {
 	return order, nil
 }
 
-// DOT renders every non-trivial SG(β, T) as one DOT digraph per parent,
-// concatenated.
+// DOT renders one digraph per materialized parent graph — every SG(β, T)
+// that acquired at least one edge, in ascending parent order — concatenated.
+// Parents whose children have no conflict or precedes constraints are never
+// materialized and so do not appear.
 func (sg *SG) DOT() string {
 	parents := make([]tname.TxID, 0, len(sg.parents))
 	for p := range sg.parents {

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction suite of EXPERIMENTS.md:
-// one function per experiment (E1–E14), each returning the table it
+// one function per experiment (E1–E15), each returning the table it
 // regenerates. cmd/experiments prints them; bench_test.go wraps them in
 // testing.B benchmarks.
 //
@@ -810,6 +810,115 @@ func (p capturingReplicaProtocol) New(tr *tname.Tree, x tname.ObjID) object.Gene
 	return o
 }
 
+// E15StreamingParallel measures the incremental (streaming) checker and the
+// parallel batch construction on a contended multi-object workload. The
+// streaming replay must agree with the offline SG verdict on every trace —
+// clean Moss rows never reject, broken-protocol rows reject at a strict
+// prefix (the table reports the mean rejection point as a fraction of the
+// trace) — and the parallel construction must produce the same graph while
+// the timing columns record its wall-clock cost per worker count.
+func E15StreamingParallel(scale Scale) *Result {
+	res := &Result{ID: "E15", Table: stats.NewTable(
+		"E15 — streaming check cost per event and parallel SG construction vs workers",
+		"workload", "runs", "events/run", "ns/event stream", "reject frac",
+		"µs w=1", "µs w=2", "µs w=4", "µs w=8", "violations")}
+	topLevel := 16
+	switch scale {
+	case Standard:
+		topLevel = 32
+	case Full:
+		topLevel = 64
+	}
+	mossTrace := func(seed int64, proto object.Protocol) (*tname.Tree, event.Behavior, error) {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: seed, TopLevel: topLevel, Depth: 2,
+			Fanout: 3, Objects: 8, HotProb: 0.3, ParProb: 0.7})
+		b, _, err := generic.Run(tr, root, generic.Options{Seed: seed*19 + 7, Protocol: proto})
+		return tr, b, err
+	}
+	// The serial scheduler commits every access, so its traces maximize
+	// visible operations per event: the quadratic per-object scan dominates
+	// and the parallel timing columns measure the phase that actually fans
+	// out. Lock-protocol traces under contention abort most transactions and
+	// leave the scan with little to do.
+	denseTrace := func(seed int64) (*tname.Tree, event.Behavior, error) {
+		tr := tname.NewTree()
+		root := workload.Build(tr, workload.Config{Seed: seed, TopLevel: topLevel * 4, Depth: 1,
+			Fanout: 4, Objects: 8, ParProb: 0.5})
+		b, err := serial.Run(tr, root, serial.Options{Seed: seed*19 + 7})
+		return tr, b, err
+	}
+	cells := []struct {
+		name  string
+		gen   func(int64) (*tname.Tree, event.Behavior, error)
+		clean bool
+	}{
+		{"moss contended", func(s int64) (*tname.Tree, event.Behavior, error) {
+			return mossTrace(s, locking.Protocol{})
+		}, true},
+		{"moss-broken-readlocks", func(s int64) (*tname.Tree, event.Behavior, error) {
+			return mossTrace(s, locking.BrokenProtocol{Mode: locking.IgnoreReadLocks})
+		}, false},
+		{"serial dense (scan-bound)", denseTrace, true},
+	}
+	const reps = 3
+	for _, c := range cells {
+		var events, nsPerEvent, rejectFrac []float64
+		us := make(map[int][]float64)
+		violations := 0
+		for seed := int64(0); seed < scale.seeds(); seed++ {
+			tr, b, err := c.gen(seed)
+			if err != nil {
+				violations++
+				res.Notes = append(res.Notes, fmt.Sprintf("%s seed %d: %v", c.name, seed, err))
+				continue
+			}
+			events = append(events, float64(len(b)))
+
+			start := time.Now()
+			var at int
+			for i := 0; i < reps; i++ {
+				at, _ = core.StreamPrefix(tr, b)
+			}
+			nsPerEvent = append(nsPerEvent, float64((time.Since(start)/reps).Nanoseconds())/float64(len(b)))
+
+			sg := core.Build(tr, b)
+			_, cyc := sg.Acyclicity()
+			if (at >= 0) != (cyc != nil) {
+				violations++
+				res.Notes = append(res.Notes, fmt.Sprintf("%s seed %d: stream at=%d but offline cyclic=%v",
+					c.name, seed, at, cyc != nil))
+			}
+			if c.clean && at >= 0 {
+				violations++
+				res.Notes = append(res.Notes, fmt.Sprintf("%s seed %d: clean run rejected at %d", c.name, seed, at))
+			}
+			if at >= 0 {
+				rejectFrac = append(rejectFrac, float64(at+1)/float64(len(b)))
+			}
+
+			for _, w := range []int{1, 2, 4, 8} {
+				start := time.Now()
+				var got *core.SG
+				for i := 0; i < reps; i++ {
+					got = core.BuildParallel(tr, b, w)
+				}
+				us[w] = append(us[w], float64((time.Since(start)/reps).Microseconds()))
+				if got.NumEdges() != sg.NumEdges() {
+					violations++
+					res.Notes = append(res.Notes, fmt.Sprintf("%s seed %d: w=%d edges %d != %d",
+						c.name, seed, w, got.NumEdges(), sg.NumEdges()))
+				}
+			}
+		}
+		res.Violations += violations
+		res.Table.AddRow(c.name, scale.seeds(), stats.Mean(events), stats.Mean(nsPerEvent),
+			stats.Mean(rejectFrac), stats.Mean(us[1]), stats.Mean(us[2]), stats.Mean(us[4]),
+			stats.Mean(us[8]), violations)
+	}
+	return res
+}
+
 // All runs every experiment at the given scale, in order.
 func All(scale Scale) []*Result {
 	return []*Result{
@@ -827,5 +936,6 @@ func All(scale Scale) []*Result {
 		E12OrphanActivity(scale),
 		E13MultiversionGap(scale),
 		E14ReplicatedData(scale),
+		E15StreamingParallel(scale),
 	}
 }

@@ -9,8 +9,8 @@ import (
 // theorem experiment must report zero violations, every table must render.
 func TestAllExperimentsSmoke(t *testing.T) {
 	results := All(Smoke)
-	if len(results) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(results))
+	if len(results) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(results))
 	}
 	seen := map[string]bool{}
 	for _, r := range results {

@@ -9,6 +9,7 @@
 package graph
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -56,38 +57,46 @@ func (g *Graph) HasEdge(from, to int) bool {
 // Succ returns the successors of node v; the slice is owned by the graph.
 func (g *Graph) Succ(v int) []int32 { return g.adj[v] }
 
+// nodeHeap is a min-heap of node indices: the TopoSort frontier.
+type nodeHeap []int32
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(int32)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
 // TopoSort returns a topological order of the nodes, or (nil, cycle) where
-// cycle is a list of nodes forming a directed cycle. Kahn's algorithm with a
-// deterministic (ascending node index) tie-break, so certificates are
-// reproducible.
+// cycle is a list of nodes forming a directed cycle. Kahn's algorithm over a
+// min-heap frontier, so ties always break toward the smallest node index
+// and certificates are reproducible regardless of edge insertion order.
 func (g *Graph) TopoSort() (order []int, cycle []int) {
 	indeg := make([]int, g.n)
 	for e := range g.edges {
 		indeg[e.to]++
 	}
-	// Min-heap behavior via sorted frontier: frontier kept sorted descending
-	// so pop from the end yields the smallest.
-	frontier := make([]int, 0, g.n)
-	for v := g.n - 1; v >= 0; v-- {
+	h := make(nodeHeap, 0, g.n)
+	for v := 0; v < g.n; v++ {
 		if indeg[v] == 0 {
-			frontier = append(frontier, v)
+			h = append(h, int32(v))
 		}
 	}
+	// Ascending append order is already a valid min-heap.
 	order = make([]int, 0, g.n)
-	for len(frontier) > 0 {
-		v := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
+	for h.Len() > 0 {
+		v := int(heap.Pop(&h).(int32))
 		order = append(order, v)
-		var added bool
 		for _, w := range g.adj[v] {
 			indeg[w]--
 			if indeg[w] == 0 {
-				frontier = append(frontier, int(w))
-				added = true
+				heap.Push(&h, w)
 			}
-		}
-		if added {
-			sort.Sort(sort.Reverse(sort.IntSlice(frontier)))
 		}
 	}
 	if len(order) == g.n {

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Incremental maintains a topological order of a growing directed acyclic
+// graph under single-edge insertions, using the two-way bounded search of
+// Pearce & Kelly ("A Dynamic Topological Sort Algorithm for Directed
+// Acyclic Graphs", JEA 2006). Inserting an edge that already respects the
+// maintained order costs O(1); otherwise only the nodes whose positions lie
+// in the affected region [pos(to), pos(from)] are searched and reshuffled,
+// which is the region a violating edge can possibly disturb.
+//
+// The online serialization-graph checker uses one Incremental per parent
+// graph SG(β, T): every appended edge either preserves acyclicity (and the
+// order certificate stays valid) or closes a cycle, which AddEdge reports
+// immediately — the checker rejects the trace at that exact prefix instead
+// of re-running a full sort per event.
+type Incremental struct {
+	out, in [][]int32
+	edges   map[edge]bool
+	// pos[v] is v's position in the maintained topological order; positions
+	// always form a permutation of 0..n-1.
+	pos []int32
+}
+
+// NewIncremental returns an incremental DAG with n nodes, no edges, and
+// the identity order.
+func NewIncremental(n int) *Incremental {
+	g := &Incremental{edges: make(map[edge]bool)}
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	return g
+}
+
+// AddNode appends a node at the end of the maintained order and returns
+// its index.
+func (g *Incremental) AddNode() int {
+	v := len(g.pos)
+	g.pos = append(g.pos, int32(v))
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return v
+}
+
+// Len returns the number of nodes.
+func (g *Incremental) Len() int { return len(g.pos) }
+
+// NumEdges returns the number of distinct edges.
+func (g *Incremental) NumEdges() int { return len(g.edges) }
+
+// HasEdge reports whether from→to is present.
+func (g *Incremental) HasEdge(from, to int) bool {
+	return g.edges[edge{int32(from), int32(to)}]
+}
+
+// Pos returns the position of v in the maintained topological order.
+func (g *Incremental) Pos(v int) int { return int(g.pos[v]) }
+
+// AddEdge inserts the edge from→to, maintaining the topological order. It
+// returns nil when the graph stays acyclic, and otherwise a directed cycle
+// the new edge closes, in edge order (the edge from the last node to the
+// first closes it). Duplicate edges are ignored. After a non-nil return the
+// maintained order is stale; the caller is expected to stop feeding edges
+// (the serialization checker rejects the trace at this point).
+func (g *Incremental) AddEdge(from, to int) []int {
+	if from < 0 || from >= len(g.pos) || to < 0 || to >= len(g.pos) {
+		panic(fmt.Sprintf("graph: incremental edge (%d,%d) out of range [0,%d)", from, to, len(g.pos)))
+	}
+	e := edge{int32(from), int32(to)}
+	if g.edges[e] {
+		return nil
+	}
+	g.edges[e] = true
+	g.out[from] = append(g.out[from], int32(to))
+	g.in[to] = append(g.in[to], int32(from))
+	if from == to {
+		return []int{from}
+	}
+	lb, ub := g.pos[to], g.pos[from]
+	if ub < lb {
+		// The edge already agrees with the order: nothing to do.
+		return nil
+	}
+	// Discovery: forward from `to` over nodes positioned ≤ ub. Any path
+	// to→…→from lies entirely inside [lb, ub] (positions increase along
+	// edges of a respected order), so reaching `from` here is the complete
+	// cycle test.
+	parent := map[int32]int32{}
+	deltaF := []int32{int32(to)}
+	onF := map[int32]bool{int32(to): true}
+	stack := []int32{int32(to)}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.out[v] {
+			if int(w) == from {
+				// Cycle: to → … → v → from, closed by the new from→to.
+				cyc := []int{}
+				for u := v; ; u = parent[u] {
+					cyc = append(cyc, int(u))
+					if int(u) == to {
+						break
+					}
+				}
+				// Collected back-to-front; reverse into edge order and
+				// append the far endpoint.
+				for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+					cyc[i], cyc[j] = cyc[j], cyc[i]
+				}
+				return append(cyc, from)
+			}
+			if g.pos[w] < ub && !onF[w] {
+				onF[w] = true
+				parent[w] = v
+				deltaF = append(deltaF, w)
+				stack = append(stack, w)
+			}
+		}
+	}
+	// Backward from `from` over nodes positioned > lb. (`to` cannot be
+	// reached: that would be a to⇒from path, found above.)
+	deltaB := []int32{int32(from)}
+	onB := map[int32]bool{int32(from): true}
+	stack = append(stack[:0], int32(from))
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.in[v] {
+			if g.pos[w] > lb && !onB[w] {
+				onB[w] = true
+				deltaB = append(deltaB, w)
+				stack = append(stack, w)
+			}
+		}
+	}
+	// Reassignment: everything that reaches `from` must precede everything
+	// reachable from `to`. Keep each group's internal order and pour both
+	// into the sorted pool of their old positions.
+	sort.Slice(deltaB, func(i, j int) bool { return g.pos[deltaB[i]] < g.pos[deltaB[j]] })
+	sort.Slice(deltaF, func(i, j int) bool { return g.pos[deltaF[i]] < g.pos[deltaF[j]] })
+	nodes := append(deltaB, deltaF...)
+	slots := make([]int32, len(nodes))
+	for i, v := range nodes {
+		slots[i] = g.pos[v]
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for i, v := range nodes {
+		g.pos[v] = slots[i]
+	}
+	return nil
+}

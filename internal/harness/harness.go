@@ -32,6 +32,11 @@ type Verdict struct {
 	// witnessing was skipped); WitnessErr records a witness failure.
 	Witness    event.Behavior
 	WitnessErr error
+	// StreamRejectedAt is the raw index of the first event whose prefix has
+	// a cyclic SG (-1 when streaming was skipped or every prefix passed);
+	// StreamCycle is that prefix's certificate.
+	StreamRejectedAt int
+	StreamCycle      *core.Cycle
 }
 
 // SeriallyCorrect reports whether the trace passed the checker and, if a
@@ -52,6 +57,12 @@ type Options struct {
 	ValidateWitness bool
 	// AuditSuitability runs the quadratic §2.3.2 suitability audit.
 	AuditSuitability bool
+	// Streaming additionally replays the trace through the incremental
+	// checker, recording the shortest prefix with a cyclic SG.
+	Streaming bool
+	// SGWorkers > 1 fans the SG construction's conflict scan out over that
+	// many workers; 0 or 1 keeps it sequential.
+	SGWorkers int
 }
 
 // RunAndCheck executes the full pipeline. Runner errors (non-quiescence)
@@ -63,8 +74,15 @@ func RunAndCheck(opts Options) (*Verdict, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: generic run: %w", err)
 	}
-	v := &Verdict{Tree: tr, Trace: trace, Root: root, Stats: stats}
-	v.Check = core.Check(tr, trace)
+	v := &Verdict{Tree: tr, Trace: trace, Root: root, Stats: stats, StreamRejectedAt: -1}
+	if opts.Streaming {
+		v.StreamRejectedAt, v.StreamCycle = core.StreamPrefix(tr, trace)
+	}
+	if opts.SGWorkers > 1 {
+		v.Check = core.CheckParallel(tr, trace, opts.SGWorkers)
+	} else {
+		v.Check = core.Check(tr, trace)
+	}
 	if !v.Check.OK {
 		return v, nil
 	}
@@ -101,7 +119,7 @@ func RunSerialAndCheck(cfg workload.Config, seed int64, abortProb float64, maxAb
 	if err != nil {
 		return nil, fmt.Errorf("harness: serial run: %w", err)
 	}
-	v := &Verdict{Tree: tr, Trace: trace, Root: root}
+	v := &Verdict{Tree: tr, Trace: trace, Root: root, StreamRejectedAt: -1}
 	v.Check = core.Check(tr, trace)
 	return v, nil
 }

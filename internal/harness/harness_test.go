@@ -128,3 +128,51 @@ func TestDescribe(t *testing.T) {
 	}
 	t.Log("no failing seed found; describe failure path untested this run")
 }
+
+// TestStreamingAndParallelOptions: the streaming option agrees with the
+// offline verdict and the parallel construction does not change it.
+func TestStreamingAndParallelOptions(t *testing.T) {
+	good, err := RunAndCheck(Options{
+		Workload:    workload.Config{Seed: 5, TopLevel: 5, Depth: 1, Fanout: 3, Objects: 2, HotProb: 0.7, ParProb: 0.7},
+		Generic:     generic.Options{Seed: 9, Protocol: locking.Protocol{}},
+		SkipWitness: true,
+		Streaming:   true,
+		SGWorkers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !good.Check.OK {
+		t.Fatalf("moss run must pass: %s", good.Describe())
+	}
+	if good.StreamRejectedAt != -1 || good.StreamCycle != nil {
+		t.Fatalf("streaming rejected a passing trace at %d", good.StreamRejectedAt)
+	}
+
+	rejected := false
+	for seed := int64(0); seed < 20 && !rejected; seed++ {
+		bad, err := RunAndCheck(Options{
+			Workload:    workload.Config{Seed: seed, TopLevel: 6, Depth: 1, Fanout: 3, Objects: 1, HotProb: 1, ParProb: 0.9},
+			Generic:     generic.Options{Seed: seed * 13, Protocol: undolog.BrokenProtocol{Mode: undolog.SkipCommute}},
+			SkipWitness: true,
+			Streaming:   true,
+			SGWorkers:   4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad.Check.Cycle == nil {
+			continue
+		}
+		rejected = true
+		if bad.StreamRejectedAt < 0 || bad.StreamCycle == nil {
+			t.Fatalf("offline found a cycle but streaming did not: %s", bad.Describe())
+		}
+		if bad.StreamRejectedAt >= len(bad.Trace) {
+			t.Fatalf("rejection index %d out of range", bad.StreamRejectedAt)
+		}
+	}
+	if !rejected {
+		t.Error("no cyclic trace found; the streaming rejection path is untested")
+	}
+}

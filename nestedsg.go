@@ -87,6 +87,11 @@ type (
 	Certificate = core.Certificate
 	// SG is a constructed serialization graph.
 	SG = core.SG
+	// Cycle is the failure certificate of an acyclicity check: the parent
+	// whose SG(β, T) is cyclic and the cycle's transactions.
+	Cycle = core.Cycle
+	// IncrementalChecker maintains SG(β) online, one event at a time.
+	IncrementalChecker = core.Incremental
 )
 
 // Root is the transaction name T0.
@@ -231,6 +236,29 @@ func RunSerial(tr *Tree, root *Node, seed int64) (Behavior, error) {
 // acyclicity of the serialization graph SG(β). On success the result
 // carries a certificate from which serial correctness for T0 follows.
 func Check(tr *Tree, b Behavior) *CheckResult { return core.Check(tr, b) }
+
+// CheckParallel is Check with the SG construction's per-object conflict
+// scans fanned out over a bounded worker pool (workers ≤ 0 means all
+// cores). Verdicts and certificates are identical to Check's.
+func CheckParallel(tr *Tree, b Behavior, workers int) *CheckResult {
+	return core.CheckParallel(tr, b, workers)
+}
+
+// StreamCheck replays a behavior through the incremental checker and
+// returns the index of the first event whose prefix has a cyclic SG,
+// together with that prefix's cycle certificate, or (-1, nil) when every
+// prefix passes. The construction is prefix-monotone, so the reported
+// prefix is the shortest evidence the batch checker would find. For
+// event-at-a-time feeding use NewIncrementalChecker.
+func StreamCheck(tr *Tree, b Behavior) (int, *Cycle) {
+	return core.StreamPrefix(tr, b)
+}
+
+// NewIncrementalChecker returns an online SG(β) maintainer: feed it events
+// with Append, which reports the first cycle as it forms.
+func NewIncrementalChecker(tr *Tree) *IncrementalChecker {
+	return core.NewIncremental(tr)
+}
 
 // SerialWitness materializes the serial behavior γ promised by the
 // theorem: γ|T0 equals the projection of b onto T0, every access value is
