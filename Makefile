@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet sgvet race fuzz-short bench-smoke ci
+.PHONY: all build test vet sgvet race fuzz-short bench-smoke bench-json bench-gate ci
 
 all: build test vet sgvet
 
@@ -21,15 +21,30 @@ sgvet:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the trace codec round-trip property. The committed
-# seeds live in internal/event/testdata/fuzz/FuzzTraceRoundTrip/.
+# Short fuzz pass over both trace codec round-trip properties. The
+# committed seeds live in internal/event/testdata/fuzz/.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/event
+	$(GO) test -run '^$$' -fuzz '^FuzzBinaryTraceRoundTrip$$' -fuzztime 10s ./internal/event
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or fail their correctness assertions, without measuring anything.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Refresh the "current" side of BENCH_PR3.json from a fresh run of the
+# gated checker benchmarks (E1, E15) plus the trace-codec table (E16). The
+# committed "baseline" side (the pre-optimization numbers) is preserved.
+bench-json:
+	$(GO) test -run '^$$' -bench 'E1MossSerialCorrectness|E15|E16' -benchmem -count 1 . \
+		| $(GO) run ./cmd/benchdiff -write-current BENCH_PR3.json
+
+# Fail when the checker benchmarks regress against the committed baseline
+# by more than 25% in allocs/op or B/op (ns/op is reported but never gated
+# — wall-clock timing is hardware noise on shared runners).
+bench-gate: bench-json
+	$(GO) run ./cmd/benchdiff -suite BENCH_PR3.json \
+		-match 'E1MossSerialCorrectness|E15' -max-allocs-regress 25 -max-bytes-regress 25
+
 # Everything CI runs, in order.
-ci: build vet sgvet race bench-smoke
+ci: build vet sgvet race bench-smoke bench-gate

@@ -9,7 +9,9 @@
 package nestedsg_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	"nestedsg/internal/classic"
@@ -447,9 +449,10 @@ func BenchmarkE15StreamingCheck(b *testing.B) {
 		b.Run(fmt.Sprintf("toplevel=%d", topLevel), func(b *testing.B) {
 			tr, trace := contendedTrace(b, topLevel)
 			b.ReportMetric(float64(len(trace)), "events")
+			c := core.NewChecker(tr)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if at, _ := core.StreamPrefix(tr, trace); at >= 0 {
+				if at, _ := c.StreamPrefix(trace); at >= 0 {
 					b.Fatalf("clean Moss trace rejected at %d", at)
 				}
 			}
@@ -487,11 +490,78 @@ func BenchmarkE15ParallelBuild(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := core.NewChecker(tr)
 			for i := 0; i < b.N; i++ {
-				if got := core.BuildParallel(tr, trace, workers).NumEdges(); got != want {
+				if got := c.BuildParallel(trace, workers).NumEdges(); got != want {
 					b.Fatalf("edges = %d, want %d", got, want)
 				}
 			}
 		})
 	}
+}
+
+// BenchmarkE16TraceCodec measures the two trace codecs on one mid-sized
+// trace: encode cost, decode cost, and — for the binary format — streaming
+// decode feeding the incremental checker without materializing a behavior.
+// The encoded sizes are reported as metrics; the rows back the E16 table
+// of EXPERIMENTS.md.
+func BenchmarkE16TraceCodec(b *testing.B) {
+	tr, trace := denseTrace(b, 32)
+	var jbuf bytes.Buffer
+	if err := event.WriteTrace(&jbuf, tr, trace); err != nil {
+		b.Fatal(err)
+	}
+	jsonData := jbuf.Bytes()
+	binData := event.MarshalBinaryTrace(tr, trace)
+
+	b.Run("json-encode", func(b *testing.B) {
+		b.ReportMetric(float64(len(jsonData)), "bytes")
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := event.WriteTrace(&buf, tr, trace); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("json-decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := event.ReadTrace(bytes.NewReader(jsonData)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-encode", func(b *testing.B) {
+		b.ReportMetric(float64(len(binData)), "bytes")
+		for i := 0; i < b.N; i++ {
+			event.MarshalBinaryTrace(tr, trace)
+		}
+	})
+	b.Run("binary-decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := event.ReadBinaryTrace(bytes.NewReader(binData)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-stream-check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := event.NewBinaryDecoder(bytes.NewReader(binData))
+			if err != nil {
+				b.Fatal(err)
+			}
+			inc := core.NewIncremental(d.Tree())
+			for {
+				e, err := d.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cyc := inc.Append(e); cyc != nil {
+					b.Fatal("clean trace rejected")
+				}
+			}
+		}
+	})
 }

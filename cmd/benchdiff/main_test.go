@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+BenchmarkE1MossSerialCorrectness-8   	     100	   1418009 ns/op	  359730 B/op	    5889 allocs/op
+BenchmarkE15StreamingCheck/toplevel=8-8   	   10000	    140505 ns/op	     271 events	   98366 B/op	     844 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	s, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s["BenchmarkE1MossSerialCorrectness"]
+	if !ok {
+		t.Fatalf("E1 not parsed; got %v", s)
+	}
+	if e.NsOp != 1418009 || e.BOp != 359730 || e.AllocsOp != 5889 {
+		t.Fatalf("E1 parsed wrong: %+v", e)
+	}
+	e, ok = s["BenchmarkE15StreamingCheck/toplevel=8"]
+	if !ok || e.AllocsOp != 844 {
+		t.Fatalf("sub-benchmark parsed wrong: %+v (ok=%v)", e, ok)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("expected an error for input without benchmark lines")
+	}
+}
+
+func TestDiffGate(t *testing.T) {
+	oldS := Suite{"BenchmarkX": {NsOp: 100, BOp: 1000, AllocsOp: 10}}
+	improved := Suite{"BenchmarkX": {NsOp: 50, BOp: 500, AllocsOp: 5}}
+	regressed := Suite{"BenchmarkX": {NsOp: 100, BOp: 1000, AllocsOp: 20}}
+
+	var out, errb bytes.Buffer
+	if code := diff(&out, &errb, oldS, improved, "", 25, 25); code != 0 {
+		t.Fatalf("improvement gated: code %d, stderr %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := diff(&out, &errb, oldS, regressed, "", 25, -1); code != 1 {
+		t.Fatalf("100%% allocs regression passed the 25%% gate: code %d", code)
+	}
+	if !strings.Contains(errb.String(), "allocs/op regressed") {
+		t.Fatalf("missing regression message: %s", errb.String())
+	}
+	// The regression is invisible when -match excludes the benchmark...
+	out.Reset()
+	errb.Reset()
+	if code := diff(&out, &errb, oldS, regressed, "NoSuchBenchmark", 25, -1); code != 2 {
+		t.Fatalf("want exit 2 for empty comparison, got %d", code)
+	}
+	// ...and ns/op changes alone never gate (timing is hardware-noise).
+	slower := Suite{"BenchmarkX": {NsOp: 500, BOp: 1000, AllocsOp: 10}}
+	out.Reset()
+	errb.Reset()
+	if code := diff(&out, &errb, oldS, slower, "", 25, 25); code != 0 {
+		t.Fatalf("ns/op slowdown tripped the allocation gate: code %d", code)
+	}
+}
+
+func TestZeroBaseGate(t *testing.T) {
+	oldS := Suite{"BenchmarkX": {AllocsOp: 0}}
+	newS := Suite{"BenchmarkX": {AllocsOp: 3}}
+	var out, errb bytes.Buffer
+	if code := diff(&out, &errb, oldS, newS, "", 25, -1); code != 1 {
+		t.Fatalf("regression from a zero-alloc baseline passed the gate: code %d", code)
+	}
+}
+
+func TestWriteCurrentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "combined.json")
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-write-current", path}, strings.NewReader(sampleBench), &out, &errb)
+	if code != 0 {
+		t.Fatalf("write-current failed: code %d, stderr %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Combined
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Current) != 2 || len(c.Baseline) != 2 {
+		t.Fatalf("first write must seed both sides: %+v", c)
+	}
+
+	// A second write must refresh current but keep the baseline.
+	improved := strings.ReplaceAll(sampleBench, "5889 allocs/op", "100 allocs/op")
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-write-current", path}, strings.NewReader(improved), &out, &errb); code != 0 {
+		t.Fatalf("second write-current failed: code %d, stderr %s", code, errb.String())
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Baseline["BenchmarkE1MossSerialCorrectness"].AllocsOp != 5889 {
+		t.Fatalf("baseline was overwritten: %+v", c.Baseline)
+	}
+	if c.Current["BenchmarkE1MossSerialCorrectness"].AllocsOp != 100 {
+		t.Fatalf("current was not refreshed: %+v", c.Current)
+	}
+
+	// And -suite must gate the combined file end to end.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-suite", path, "-max-allocs-regress", "25"}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("improved suite gated: code %d, stderr %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "E1MossSerialCorrectness") {
+		t.Fatalf("diff table missing benchmark: %s", out.String())
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-parse"}, strings.NewReader(sampleBench), &out, &errb); code != 0 {
+		t.Fatalf("parse mode failed: code %d, stderr %s", code, errb.String())
+	}
+	var s Suite
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("parse mode output is not a suite: %v", err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(s))
+	}
+}

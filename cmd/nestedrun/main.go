@@ -1,11 +1,13 @@
 // Command nestedrun generates a seeded nested-transaction workload, runs it
 // under a chosen concurrency-control protocol, and writes the recorded
-// behavior as a JSON trace (checkable with sgcheck). It can also check the
+// behavior as a trace (JSON by default, or the compact binary format with
+// -format binary; both are checkable with sgcheck). It can also check the
 // trace in-process and print run statistics.
 //
 // Usage:
 //
 //	nestedrun -protocol moss -toplevel 8 -depth 2 -seed 7 -out trace.json
+//	nestedrun -protocol moss -format binary -out trace.bin
 //	nestedrun -protocol undolog -spec counter -hot 0.9 -check
 //	nestedrun -protocol moss-broken-readlocks -check   # watch it get caught
 //
@@ -26,6 +28,7 @@ import (
 	"nestedsg/internal/locking"
 	"nestedsg/internal/mvto"
 	"nestedsg/internal/object"
+	"nestedsg/internal/profiling"
 	"nestedsg/internal/replica"
 	"nestedsg/internal/serial"
 	"nestedsg/internal/tname"
@@ -61,31 +64,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("nestedrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		protocol  = fs.String("protocol", "moss", "protocol: serial, moss, undolog, or a *-broken-* variant")
-		seed      = fs.Int64("seed", 1, "seed for workload generation and scheduling")
-		topLevel  = fs.Int("toplevel", 6, "number of top-level transactions")
-		depth     = fs.Int("depth", 1, "maximum nesting depth below the top level")
-		fanout    = fs.Int("fanout", 3, "children per subtransaction")
-		objects   = fs.Int("objects", 4, "number of objects")
-		specName  = fs.String("spec", "register", "object type: register, counter, account, set, appendlog, queue, mixed")
-		readRatio = fs.Float64("readratio", 0.5, "fraction of reads on register objects")
-		hot       = fs.Float64("hot", 0, "probability an access hits object 0 (contention)")
-		parProb   = fs.Float64("par", 0.5, "probability a subtransaction runs children in parallel")
-		retryProb = fs.Float64("retry", 0, "probability a subtransaction retries an aborted child once")
-		condProb  = fs.Float64("cond", 0, "probability a sequential subtransaction adds a value-dependent access")
-		abortProb = fs.Float64("abortprob", 0, "per-step probability of injecting a spontaneous abort")
-		maxAborts = fs.Int("maxaborts", 0, "budget of injected aborts (0 disables injection)")
-		replicas  = fs.Int("replicas", 3, "replica protocol: number of copies N")
-		readQ     = fs.Int("readq", 2, "replica protocol: read quorum R")
-		writeQ    = fs.Int("writeq", 2, "replica protocol: write quorum W (R+W must exceed N)")
-		unavail   = fs.Float64("unavail", 0, "replica protocol: per-attempt copy unavailability probability")
-		out       = fs.String("out", "", "write the JSON trace here ('-' for stdout)")
-		check     = fs.Bool("check", false, "run the serialization-graph check on the trace")
-		quiet     = fs.Bool("q", false, "suppress the statistics line")
+		protocol   = fs.String("protocol", "moss", "protocol: serial, moss, undolog, or a *-broken-* variant")
+		seed       = fs.Int64("seed", 1, "seed for workload generation and scheduling")
+		topLevel   = fs.Int("toplevel", 6, "number of top-level transactions")
+		depth      = fs.Int("depth", 1, "maximum nesting depth below the top level")
+		fanout     = fs.Int("fanout", 3, "children per subtransaction")
+		objects    = fs.Int("objects", 4, "number of objects")
+		specName   = fs.String("spec", "register", "object type: register, counter, account, set, appendlog, queue, mixed")
+		readRatio  = fs.Float64("readratio", 0.5, "fraction of reads on register objects")
+		hot        = fs.Float64("hot", 0, "probability an access hits object 0 (contention)")
+		parProb    = fs.Float64("par", 0.5, "probability a subtransaction runs children in parallel")
+		retryProb  = fs.Float64("retry", 0, "probability a subtransaction retries an aborted child once")
+		condProb   = fs.Float64("cond", 0, "probability a sequential subtransaction adds a value-dependent access")
+		abortProb  = fs.Float64("abortprob", 0, "per-step probability of injecting a spontaneous abort")
+		maxAborts  = fs.Int("maxaborts", 0, "budget of injected aborts (0 disables injection)")
+		replicas   = fs.Int("replicas", 3, "replica protocol: number of copies N")
+		readQ      = fs.Int("readq", 2, "replica protocol: read quorum R")
+		writeQ     = fs.Int("writeq", 2, "replica protocol: write quorum W (R+W must exceed N)")
+		unavail    = fs.Float64("unavail", 0, "replica protocol: per-attempt copy unavailability probability")
+		out        = fs.String("out", "", "write the trace here ('-' for stdout)")
+		format     = fs.String("format", "json", "trace format for -out: json or binary")
+		check      = fs.Bool("check", false, "run the serialization-graph check on the trace")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		quiet      = fs.Bool("q", false, "suppress the statistics line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	var writeTrace func(io.Writer, *tname.Tree, event.Behavior) error
+	switch *format {
+	case "json":
+		writeTrace = event.WriteTrace
+	case "binary":
+		writeTrace = event.WriteBinaryTrace
+	default:
+		fmt.Fprintf(stderr, "nestedrun: unknown -format %q (want json or binary)\n", *format)
+		return 2
+	}
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(stderr, "nestedrun:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "nestedrun:", err)
+		}
+	}()
 
 	tr := tname.NewTree()
 	cfg := workload.Config{
@@ -98,7 +125,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		trace event.Behavior
 		st    generic.Stats
-		err   error
 	)
 	switch *protocol {
 	case "serial":
@@ -149,7 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *out != "" {
 		if *out == "-" {
-			if err := event.WriteTrace(stdout, tr, trace); err != nil {
+			if err := writeTrace(stdout, tr, trace); err != nil {
 				fmt.Fprintln(stderr, "nestedrun:", err)
 				return 2
 			}
@@ -159,7 +185,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "nestedrun:", err)
 				return 2
 			}
-			werr := event.WriteTrace(f, tr, trace)
+			werr := writeTrace(f, tr, trace)
 			// The close flushes buffered data; dropping its error would
 			// report success for a trace that never reached the disk.
 			if cerr := f.Close(); werr == nil {

@@ -1,8 +1,8 @@
-// Command sgcheck reads a JSON trace (as written by nestedrun) and runs the
-// paper's serialization-graph check on it: well-formedness, appropriate
-// return values, SG(β) acyclicity. It prints the verdict, and optionally
-// the certificate, the graph in DOT form, or the quadratic suitability
-// audit.
+// Command sgcheck reads a trace (as written by nestedrun, JSON or binary)
+// and runs the paper's serialization-graph check on it: well-formedness,
+// appropriate return values, SG(β) acyclicity. It prints the verdict, and
+// optionally the certificate, the graph in DOT form, or the quadratic
+// suitability audit.
 //
 // Usage:
 //
@@ -10,12 +10,18 @@
 //	sgcheck -in trace.json -cert -dot sg.dot
 //	sgcheck -in trace.json -stream          # report the shortest bad prefix
 //	sgcheck -in trace.json -workers 0       # parallel SG construction
+//	sgcheck -in trace.bin                   # binary traces auto-detected
+//
+// When the input is a binary trace file, -stream replays it through the
+// incremental checker straight off the decoder, one event at a time,
+// without ever materializing the behavior in memory.
 //
 // Exit status is 0 when the trace is certified serially correct for T0, 1
 // on a check failure and 2 on usage or I/O errors.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +31,7 @@ import (
 	"nestedsg/internal/event"
 	"nestedsg/internal/minimize"
 	"nestedsg/internal/oracle"
+	"nestedsg/internal/profiling"
 	"nestedsg/internal/simple"
 	"nestedsg/internal/tname"
 )
@@ -47,10 +54,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		audit        = fs.Bool("currentsafe", false, "also audit the Lemma 6 current/safe conditions (read/write objects only)")
 		stream       = fs.Bool("stream", false, "replay the trace through the incremental checker first and report the shortest prefix with a cyclic SG")
 		workers      = fs.Int("workers", 1, "worker count for the parallel SG construction (0 = all cores, 1 = sequential)")
+		format       = fs.String("format", "auto", "trace format: auto, json, binary")
+		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		verbose      = fs.Bool("v", false, "print the trace as it is read")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgcheck:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "sgcheck:", err)
+		}
+	}()
+
+	// Streaming check for a binary trace file: drive the incremental
+	// checker straight off the decoder — no Behavior is ever built.
+	streamed := false
+	if *stream && *in != "" && *in != "-" && *format != "json" && isBinaryFile(*in) {
+		code, ok := streamBinaryFile(*in, stdout, stderr)
+		if !ok {
+			return code
+		}
+		streamed = true
 	}
 
 	r := io.Reader(os.Stdin)
@@ -63,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		r = f
 	}
-	tr, b, err := event.ReadTrace(r)
+	tr, b, err := readTrace(r, *format)
 	if err != nil {
 		fmt.Fprintln(stderr, "sgcheck:", err)
 		return 2
@@ -73,7 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "trace: %d events, %d transactions, %d objects\n", len(b), tr.NumTx(), tr.NumObjects())
-	if *stream {
+	if *stream && !streamed {
 		if at, cyc := core.StreamPrefix(tr, b); at >= 0 {
 			fmt.Fprintf(stdout, "stream: rejected at event %d/%d — %s\n", at, len(b), cyc.Format(tr))
 			return 1
@@ -163,4 +195,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// readTrace dispatches on the -format flag; "auto" sniffs the stream.
+func readTrace(r io.Reader, format string) (*tname.Tree, event.Behavior, error) {
+	switch format {
+	case "json":
+		return event.ReadTrace(r)
+	case "binary":
+		return event.ReadBinaryTrace(r)
+	case "auto":
+		return event.ReadTraceAuto(r)
+	}
+	return nil, nil, fmt.Errorf("unknown -format %q (want auto, json or binary)", format)
+}
+
+// isBinaryFile reports whether the file starts with the binary trace magic.
+func isBinaryFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var head [4]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return false
+	}
+	return bytes.Equal(head[:], []byte("NSGB"))
+}
+
+// streamBinaryFile replays a binary trace file through the incremental
+// checker event-by-event, never holding the behavior in memory. Returns
+// (exitCode, false) to terminate on rejection or I/O error, (0, true) when
+// every prefix was accepted.
+func streamBinaryFile(path string, stdout, stderr io.Writer) (int, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgcheck:", err)
+		return 2, false
+	}
+	defer f.Close()
+	d, err := event.NewBinaryDecoder(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgcheck:", err)
+		return 2, false
+	}
+	total := d.Remaining()
+	inc := core.NewIncremental(d.Tree())
+	for i := 0; ; i++ {
+		e, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "sgcheck:", err)
+			return 2, false
+		}
+		if cyc := inc.Append(e); cyc != nil {
+			fmt.Fprintf(stdout, "stream: rejected at event %d/%d — %s\n", i, total, cyc.Format(d.Tree()))
+			return 1, false
+		}
+	}
+	fmt.Fprintf(stdout, "stream: all %d prefixes have acyclic SGs (binary streaming decode)\n", total)
+	return 0, true
 }

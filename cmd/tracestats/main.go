@@ -1,8 +1,8 @@
-// Command tracestats summarizes a JSON trace (as written by nestedrun):
-// event-kind counts, tree shape, per-object operation mix, completion
-// outcomes and a concurrency profile (how many transactions were live over
-// time) — a quick look at what a run actually did before feeding it to
-// sgcheck.
+// Command tracestats summarizes a trace (as written by nestedrun, JSON or
+// binary): event-kind counts, tree shape, per-object operation mix,
+// completion outcomes and a concurrency profile (how many transactions were
+// live over time) — a quick look at what a run actually did before feeding
+// it to sgcheck.
 //
 // Usage:
 //
@@ -30,6 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tracestats", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "trace file to summarize ('-' or empty for stdin)")
+	format := fs.String("format", "auto", "trace format: auto, json, binary")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,7 +44,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		r = f
 	}
-	tr, b, err := event.ReadTrace(r)
+	var (
+		tr  *tname.Tree
+		b   event.Behavior
+		err error
+	)
+	switch *format {
+	case "json":
+		tr, b, err = event.ReadTrace(r)
+	case "binary":
+		tr, b, err = event.ReadBinaryTrace(r)
+	case "auto":
+		tr, b, err = event.ReadTraceAuto(r)
+	default:
+		fmt.Fprintf(stderr, "tracestats: unknown -format %q (want auto, json or binary)\n", *format)
+		return 2
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "tracestats:", err)
 		return 2

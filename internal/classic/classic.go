@@ -107,11 +107,11 @@ func (s *SGT) CompareWithNested(tr *tname.Tree, sg *core.SG) string {
 	// Collect nested conflict edges between committed top-level names.
 	nested := make(map[Edge]bool)
 	if pg != nil {
-		for key, kind := range pg.Kinds {
-			if kind&core.EdgeConflict == 0 {
+		for _, ce := range pg.Edges() {
+			if ce.Kind&core.EdgeConflict == 0 {
 				continue
 			}
-			e := Edge{From: pg.Children[key[0]], To: pg.Children[key[1]]}
+			e := Edge{From: pg.Children[ce.From], To: pg.Children[ce.To]}
 			nested[e] = true
 		}
 	}

@@ -88,31 +88,11 @@ func (r *Result) Summary(tr *tname.Tree) string {
 //
 // When all hold, the behavior is serially correct for T0 and the
 // certificate allows a serial witness to be constructed.
+//
+// Check is a one-shot wrapper: repeated checks over one system type should
+// share a Checker, whose Check method pools all working memory.
 func Check(tr *tname.Tree, b event.Behavior) *Result {
-	res := &Result{}
-	serial := b.Serial()
-	if err := simple.CheckWellFormed(tr, serial); err != nil {
-		res.WFErr = err
-		return res
-	}
-	res.SG = Build(tr, serial)
-	res.ValueViolations = simple.AppropriateReturnValues(tr, serial)
-	if len(res.ValueViolations) > 0 {
-		return res
-	}
-	order, cycle := res.SG.Acyclicity()
-	if cycle != nil {
-		res.Cycle = cycle
-		return res
-	}
-	views, err := ComputeViews(tr, res.SG, order)
-	if err != nil {
-		res.ViewErr = err
-		return res
-	}
-	res.OK = true
-	res.Certificate = &Certificate{Order: order, Views: views}
-	return res
+	return NewChecker(tr).Check(b)
 }
 
 // ComputeViews orders the visible operations of each object by R_trans and

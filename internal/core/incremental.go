@@ -31,31 +31,42 @@ import (
 // uncommitted ancestor and admitted when a COMMIT releases them; each parked
 // item re-walks only the suffix of its ancestor path above the released
 // blocker, so admission costs amortized O(depth) per item.
+//
+// All bookkeeping is dense, indexed by the interned transaction and object
+// names, and Reset rewinds the checker to the empty prefix while keeping
+// every backing array — a long sequence of stream checks over one system
+// type runs without steady-state allocations.
 type Incremental struct {
 	tr  *tname.Tree
 	seq int // raw events consumed
 
-	committed map[tname.TxID]bool
-	// parkedOps and parkedReqs key pending items by their blocker: the
-	// lowest uncommitted ancestor (≠ Root) of the access / requesting
-	// parent.
-	parkedOps  map[tname.TxID][]pendingOp
-	parkedReqs map[tname.TxID][]pendingReq
+	// Per transaction: the commit flag, the parked items keyed by their
+	// blocker — the lowest uncommitted ancestor (≠ Root) of the access /
+	// requesting parent — the reported children (precedes source), the
+	// node index in the parent's graph (-1 until materialized; every tx
+	// is a child of exactly one parent, so one array serves all graphs),
+	// and the recycled per-parent structures.
+	committed  []bool
+	parkedOps  [][]pendingOp
+	parkedReqs [][]pendingReq
+	reported   [][]tname.TxID
+	nodeOf     []int32
+	pgOf       []*ParentGraph
+	dynOf      []*graph.Incremental
+	active     []bool
 
 	// byObj holds the admitted (visible) operations per object, ascending
 	// by seq; visOps holds all of them, ascending by seq — exactly
 	// operations(visible(β-prefix, T0)) in β order.
-	byObj  map[tname.ObjID][]pendingOp
+	byObj  [][]pendingOp
 	visOps []pendingOp
 
-	// reported accumulates, per parent, the children reported so far —
-	// visibility-independent, exactly as in the offline pass.
-	reported map[tname.TxID][]tname.TxID
+	// parents lists the materialized parent graphs in discovery order;
+	// Snapshot sorts its clone of the list.
+	parents []*ParentGraph
 
-	parents map[tname.TxID]*ParentGraph
-	// dyn mirrors each parent's edge structure in a Pearce–Kelly maintained
-	// order; a non-nil AddEdge result is the cycle signal.
-	dyn map[tname.TxID]*graph.Incremental
+	// seen dedups (pair, kind) edge records, exactly as in Checker.
+	seen map[edgeKey]struct{}
 
 	cyclic     bool
 	rejected   *Cycle
@@ -81,17 +92,67 @@ type pendingReq struct {
 
 // NewIncremental returns an empty streaming checker for the given system.
 func NewIncremental(tr *tname.Tree) *Incremental {
-	return &Incremental{
+	inc := &Incremental{
 		tr:         tr,
-		committed:  make(map[tname.TxID]bool),
-		parkedOps:  make(map[tname.TxID][]pendingOp),
-		parkedReqs: make(map[tname.TxID][]pendingReq),
-		byObj:      make(map[tname.ObjID][]pendingOp),
-		reported:   make(map[tname.TxID][]tname.TxID),
-		parents:    make(map[tname.TxID]*ParentGraph),
-		dyn:        make(map[tname.TxID]*graph.Incremental),
+		seen:       make(map[edgeKey]struct{}),
 		rejectedAt: -1,
 	}
+	inc.grow()
+	return inc
+}
+
+// grow sizes the dense arrays to the current tree. The tree is append-only
+// and may gain names between Appends (a generator interning fresh
+// transactions mid-stream), so Append re-checks on every call.
+func (inc *Incremental) grow() {
+	if n := inc.tr.NumTx(); n > len(inc.committed) {
+		for len(inc.committed) < n {
+			inc.committed = append(inc.committed, false)
+			inc.parkedOps = append(inc.parkedOps, nil)
+			inc.parkedReqs = append(inc.parkedReqs, nil)
+			inc.reported = append(inc.reported, nil)
+			inc.nodeOf = append(inc.nodeOf, -1)
+			inc.pgOf = append(inc.pgOf, nil)
+			inc.dynOf = append(inc.dynOf, nil)
+			inc.active = append(inc.active, false)
+		}
+	}
+	if n := inc.tr.NumObjects(); n > len(inc.byObj) {
+		for len(inc.byObj) < n {
+			inc.byObj = append(inc.byObj, nil)
+		}
+	}
+}
+
+// Reset rewinds the checker to the empty prefix, retaining every backing
+// array (including the recycled per-parent graphs and Pearce–Kelly orders)
+// so the next stream over the same tree allocates nothing.
+func (inc *Incremental) Reset() {
+	inc.seq = 0
+	clear(inc.committed)
+	for i := range inc.parkedOps {
+		inc.parkedOps[i] = inc.parkedOps[i][:0]
+		inc.parkedReqs[i] = inc.parkedReqs[i][:0]
+		inc.reported[i] = inc.reported[i][:0]
+	}
+	for _, pg := range inc.parents {
+		for _, t := range pg.Children {
+			inc.nodeOf[t] = -1
+		}
+		pg.Children = pg.Children[:0]
+		pg.edges = pg.edges[:0]
+		inc.active[pg.Parent] = false
+		inc.dynOf[pg.Parent].Reset()
+	}
+	inc.parents = inc.parents[:0]
+	for i := range inc.byObj {
+		inc.byObj[i] = inc.byObj[i][:0]
+	}
+	inc.visOps = inc.visOps[:0]
+	clear(inc.seen)
+	inc.cyclic = false
+	inc.rejected = nil
+	inc.rejectedAt = -1
 }
 
 // EventsSeen returns how many events have been appended.
@@ -108,6 +169,7 @@ func (inc *Incremental) Rejected() (*Cycle, int) { return inc.rejected, inc.reje
 // Once non-nil the verdict is sticky: further events still maintain the
 // bookkeeping cheaply but the certificate no longer changes.
 func (inc *Incremental) Append(e event.Event) *Cycle {
+	inc.grow()
 	i := inc.seq
 	inc.seq++
 	switch e.Kind {
@@ -124,10 +186,18 @@ func (inc *Incremental) Append(e event.Event) *Cycle {
 		}
 
 	case event.ReportCommit, event.ReportAbort:
+		if e.Tx == tname.Root {
+			// Garbage: Root has no parent to report to; Build skips this
+			// identically (well-formedness would reject the trace).
+			break
+		}
 		p := inc.tr.Parent(e.Tx)
 		inc.reported[p] = append(inc.reported[p], e.Tx)
 
 	case event.RequestCreate:
+		if e.Tx == tname.Root {
+			break
+		}
 		p := inc.tr.Parent(e.Tx)
 		req := pendingReq{parent: p, child: e.Tx, n: len(inc.reported[p])}
 		if blk, vis := inc.blocker(p); vis {
@@ -186,8 +256,10 @@ func (inc *Incremental) commit(t tname.TxID) {
 	inc.committed[t] = true
 	ops := inc.parkedOps[t]
 	reqs := inc.parkedReqs[t]
-	delete(inc.parkedOps, t)
-	delete(inc.parkedReqs, t)
+	// t is committed, so nothing parks on it again: truncating (rather than
+	// nil-ing) keeps the backing arrays for the next Reset+stream.
+	inc.parkedOps[t] = ops[:0]
+	inc.parkedReqs[t] = reqs[:0]
 	next := inc.tr.Parent(t)
 	blk, vis := inc.blocker(next)
 	for _, op := range ops {
@@ -255,46 +327,67 @@ func (inc *Incremental) admitReq(req pendingReq) {
 	}
 }
 
-// addEdge records from→to in SG(β, parent) and feeds any new edge to the
+// addEdge records from→to in SG(β, parent) and feeds any new pair to the
 // parent's Pearce–Kelly order, flagging the first cycle.
 func (inc *Incremental) addEdge(parent, from, to tname.TxID, kind EdgeKind) {
-	pg, ok := inc.parents[parent]
-	if !ok {
-		pg = newParentGraph(parent)
-		inc.parents[parent] = pg
-		inc.dyn[parent] = graph.NewIncremental(0)
+	pg := inc.pgOf[parent]
+	if pg == nil {
+		pg = &ParentGraph{Parent: parent}
+		inc.pgOf[parent] = pg
+		inc.dynOf[parent] = graph.NewIncremental(0)
 	}
-	d := inc.dyn[parent]
-	f, t := pg.node(from), pg.node(to)
+	if !inc.active[parent] {
+		inc.active[parent] = true
+		inc.parents = append(inc.parents, pg)
+	}
+	d := inc.dynOf[parent]
+	f := inc.node(pg, from)
+	t := inc.node(pg, to)
 	for d.Len() < len(pg.Children) {
 		d.AddNode()
 	}
-	key := [2]int32{int32(f), int32(t)}
-	if _, dup := pg.Kinds[key]; dup {
-		pg.Kinds[key] |= kind
+	k := edgeKey{parent: parent, from: f, to: t, kind: kind}
+	if _, dup := inc.seen[k]; dup {
 		return
 	}
-	pg.Kinds[key] = kind
+	inc.seen[k] = struct{}{}
+	pg.edges = append(pg.edges, Edge{From: f, To: t, Kind: kind})
 	if inc.cyclic {
 		// Already rejected: keep the edge bookkeeping (Snapshot stays
 		// truthful) but the stale order cannot answer further queries.
 		return
 	}
-	if cyc := d.AddEdge(f, t); cyc != nil {
+	// The pair may already be in the order under the other kind label;
+	// AddEdge dedups internally, so feeding it again is a cheap no-op scan.
+	if cyc := d.AddEdge(int(f), int(t)); cyc != nil {
 		inc.cyclic = true
 	}
+}
+
+// node returns t's node index in pg, materializing the child on first use.
+// Discovery-order indices; Snapshot's freeze canonicalizes.
+func (inc *Incremental) node(pg *ParentGraph, t tname.TxID) int32 {
+	if i := inc.nodeOf[t]; i >= 0 {
+		return i
+	}
+	i := int32(len(pg.Children))
+	pg.Children = append(pg.Children, t)
+	inc.nodeOf[t] = i
+	return i
 }
 
 // Snapshot materializes SG of the consumed prefix; the result is
 // structurally identical to Build(tr, prefix) and independent of the live
 // state, which continues to accept Appends.
 func (inc *Incremental) Snapshot() *SG {
-	sg := &SG{tr: inc.tr, parents: make(map[tname.TxID]*ParentGraph, len(inc.parents))}
-	for p, pg := range inc.parents {
+	sg := &SG{tr: inc.tr}
+	var fz freezeScratch
+	for _, pg := range inc.parents {
 		c := pg.clone()
-		c.build()
-		sg.parents[p] = c
+		c.build(&fz)
+		sg.parents = append(sg.parents, c)
 	}
+	sg.sortParents()
 	for _, r := range inc.visOps {
 		sg.VisibleOps = append(sg.VisibleOps, r.op)
 	}
@@ -306,15 +399,10 @@ func (inc *Incremental) Snapshot() *SG {
 // certificate, or (-1, nil) when every prefix — hence b itself — has an
 // acyclic SG. Note that acyclicity is one hypothesis of Theorem 8/19, not
 // the whole check; callers wanting the full verdict run Check afterwards.
+// Repeated streams over one tree should share a Checker and use its
+// StreamPrefix method, which pools the Incremental across calls.
 func StreamPrefix(tr *tname.Tree, b event.Behavior) (int, *Cycle) {
-	inc := NewIncremental(tr)
-	for _, e := range b {
-		if cyc := inc.Append(e); cyc != nil {
-			_, at := inc.Rejected()
-			return at, cyc
-		}
-	}
-	return -1, nil
+	return NewChecker(tr).StreamPrefix(b)
 }
 
 // String summarizes the checker state for diagnostics.

@@ -34,8 +34,8 @@ func sgEqual(t *testing.T, ctx string, got, want *SG) {
 		if !reflect.DeepEqual(gpg.Children, wpg.Children) {
 			t.Fatalf("%s: SG(β,%d) children differ:\n got %v\nwant %v", ctx, p, gpg.Children, wpg.Children)
 		}
-		if !reflect.DeepEqual(gpg.Kinds, wpg.Kinds) {
-			t.Fatalf("%s: SG(β,%d) edges differ:\n got %v\nwant %v", ctx, p, gpg.Kinds, wpg.Kinds)
+		if !reflect.DeepEqual(gpg.Edges(), wpg.Edges()) {
+			t.Fatalf("%s: SG(β,%d) edges differ:\n got %v\nwant %v", ctx, p, gpg.Edges(), wpg.Edges())
 		}
 	}
 }

@@ -1,131 +1,26 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"nestedsg/internal/event"
-	"nestedsg/internal/simple"
 	"nestedsg/internal/tname"
 )
 
-// edgeRec is one conflict edge discovered by a scan worker, already mapped
-// to the children of the accesses' least common ancestor.
-type edgeRec struct {
-	parent   tname.TxID
-	from, to tname.TxID
-}
-
 // BuildParallel constructs the same SG(β) as Build, fanning the per-object
-// conflict scans out over a bounded worker pool. The linear pass (visibility,
-// visible-operation collection, precedes(β)) stays sequential — it is cheap
-// and order-sensitive — while the quadratic per-object scans, which dominate
-// on contended workloads and are independent across objects, run
-// concurrently. workers ≤ 0 means GOMAXPROCS.
-//
-// The result is structurally identical to Build's: canonical child
-// numbering makes node indices, certificates and DOT output a function of
-// the edge set alone, and the edge set does not depend on scan order.
+// conflict scans out over a bounded worker pool; workers ≤ 0 means
+// GOMAXPROCS. One-shot wrapper over Checker.BuildParallel, which documents
+// the construction and pools the worker state across calls.
 func BuildParallel(tr *tname.Tree, b event.Behavior, workers int) *SG {
-	return buildParallel(tr, b, false, workers)
+	return NewChecker(tr).BuildParallel(b, workers)
 }
 
 // BuildReducedParallel is BuildParallel with BuildReduced's register
 // transitive-reduction fast path.
 func BuildReducedParallel(tr *tname.Tree, b event.Behavior, workers int) *SG {
-	return buildParallel(tr, b, true, workers)
-}
-
-func buildParallel(tr *tname.Tree, b event.Behavior, reduced bool, workers int) *SG {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	st := prepare(tr, b)
-	if workers > len(st.objs) {
-		workers = len(st.objs)
-	}
-	if workers <= 1 {
-		// Nothing to fan out; run the sequential scan.
-		for _, x := range st.objs {
-			scanObjectConflicts(tr.Spec(x), st.byObj[x], reduced, func(prev, cur event.AccessOp) {
-				if p, u, u2, ok := conflictEdge(tr, prev, cur); ok {
-					st.pg(p).addEdge(u, u2, EdgeConflict)
-				}
-			})
-		}
-		for _, g := range st.sg.parents {
-			g.build()
-		}
-		return st.sg
-	}
-
-	// Each worker dedupes into a private edge set — on contended workloads
-	// the scan emits the same (parent, from, to) triple once per conflicting
-	// pair, so sharing a sink would serialize the workers on its lock and
-	// leave the merge replaying hundreds of thousands of duplicates. The
-	// merge below only ever sees each worker's unique edges. tname.Tree is
-	// read-only during checks, so the LCA queries inside the workers are
-	// safe.
-	locals := make([]map[edgeRec]struct{}, workers)
-	jobs := make(chan tname.ObjID)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			seen := make(map[edgeRec]struct{})
-			locals[w] = seen
-			for x := range jobs {
-				scanObjectConflicts(tr.Spec(x), st.byObj[x], reduced, func(prev, cur event.AccessOp) {
-					if p, u, u2, ok := conflictEdge(tr, prev, cur); ok {
-						seen[edgeRec{parent: p, from: u, to: u2}] = struct{}{}
-					}
-				})
-			}
-		}(w)
-	}
-	for _, x := range st.objs {
-		jobs <- x
-	}
-	close(jobs)
-	wg.Wait()
-
-	for _, seen := range locals {
-		for e := range seen {
-			st.pg(e.parent).addEdge(e.from, e.to, EdgeConflict)
-		}
-	}
-	for _, g := range st.sg.parents {
-		g.build()
-	}
-	return st.sg
+	return NewChecker(tr).BuildReducedParallel(b, workers)
 }
 
 // CheckParallel is Check with the SG construction fanned out over workers
 // (see BuildParallel). Verdicts and certificates are identical to Check's.
 func CheckParallel(tr *tname.Tree, b event.Behavior, workers int) *Result {
-	res := &Result{}
-	serial := b.Serial()
-	if err := simple.CheckWellFormed(tr, serial); err != nil {
-		res.WFErr = err
-		return res
-	}
-	res.SG = BuildParallel(tr, serial, workers)
-	res.ValueViolations = simple.AppropriateReturnValues(tr, serial)
-	if len(res.ValueViolations) > 0 {
-		return res
-	}
-	order, cycle := res.SG.Acyclicity()
-	if cycle != nil {
-		res.Cycle = cycle
-		return res
-	}
-	views, err := ComputeViews(tr, res.SG, order)
-	if err != nil {
-		res.ViewErr = err
-		return res
-	}
-	res.OK = true
-	res.Certificate = &Certificate{Order: order, Views: views}
-	return res
+	return NewChecker(tr).CheckParallel(b, workers)
 }

@@ -86,7 +86,7 @@ func TestParallelBuildOnGarbage(t *testing.T) {
 		for p, wpg := range want.Parents() {
 			gpg := got.Parent(p)
 			if gpg == nil || !reflect.DeepEqual(gpg.Children, wpg.Children) ||
-				!reflect.DeepEqual(gpg.Kinds, wpg.Kinds) {
+				!reflect.DeepEqual(gpg.Edges(), wpg.Edges()) {
 				return false
 			}
 		}

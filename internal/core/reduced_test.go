@@ -66,17 +66,17 @@ func TestFastPathEquivalence(t *testing.T) {
 				_ = fullOrder
 				// The reduced order must respect every FULL edge: for each
 				// full edge (a, b), the reduced order puts a before b.
-				for p, pgr := range full.Parents() {
+				full.ForEachParent(func(p tname.TxID, pgr *ParentGraph) {
 					_ = p
-					for key := range pgr.Kinds {
-						a := pgr.Children[key[0]]
-						bb := pgr.Children[key[1]]
+					for _, e := range pgr.Edges() {
+						a := pgr.Children[e.From]
+						bb := pgr.Children[e.To]
 						if !redOrder.CompareSiblings(a, bb) {
 							t.Fatalf("seed %d: reduced order violates full edge %s -> %s",
 								seed, tr.Name(a), tr.Name(bb))
 						}
 					}
-				}
+				})
 			}
 			if s.name == "broken" && !cyclicSeen {
 				t.Error("broken source produced no cycles; the equivalence is untested on the cyclic side")

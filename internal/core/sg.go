@@ -23,16 +23,20 @@
 // by topologically sorting each SG(β, T) and the per-object views
 // view(β, T0, R, X), which internal/serial replays into an explicit serial
 // witness γ with γ|T0 = β|T0.
+//
+// The hot path is the Checker type: it carries pooled scratch so repeated
+// constructions over one system type amortize to near-zero steady-state
+// allocations. The free functions Build/Check/... are one-shot wrappers.
 package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
 	"nestedsg/internal/event"
 	"nestedsg/internal/graph"
-	"nestedsg/internal/simple"
 	"nestedsg/internal/spec"
 	"nestedsg/internal/tname"
 )
@@ -61,82 +65,132 @@ func (k EdgeKind) String() string {
 	return strings.Join(parts, "+")
 }
 
+// Edge is one labeled edge of a ParentGraph over canonical child indices:
+// Children[From] → Children[To].
+type Edge struct {
+	From, To int32
+	Kind     EdgeKind
+}
+
 // ParentGraph is SG(β, T) for one transaction T visible to T0: the directed
 // graph on the children of T induced by conflict(β) ∪ precedes(β).
+//
+// The representation is dense: children are renumbered canonically
+// (ascending by name) when the graph is frozen, and the labeled edge set is
+// a slice sorted by (From, To) — no maps, so a recycled ParentGraph refills
+// without allocating.
 type ParentGraph struct {
 	// Parent is T.
 	Parent tname.TxID
 	// Children maps node index to child transaction name. Only children
 	// that occur in the behavior are materialized; the paper's graph has a
 	// node per (possibly never-invoked) child, but isolated nodes affect
-	// neither acyclicity nor the derived order.
+	// neither acyclicity nor the derived order. After build the slice is
+	// sorted ascending — the canonical numbering.
 	Children []tname.TxID
 	// G is the edge structure over node indices.
 	G *graph.Graph
-	// Kinds labels each edge.
-	Kinds map[[2]int32]EdgeKind
 
-	index map[tname.TxID]int
+	// edges holds one record per (pair, kind) during accumulation — node
+	// indices are in discovery order and the builder dedups — and the
+	// canonical merged edge set, sorted by (From, To), after build.
+	edges []Edge
 }
 
-func newParentGraph(parent tname.TxID) *ParentGraph {
-	return &ParentGraph{Parent: parent, Kinds: make(map[[2]int32]EdgeKind), index: make(map[tname.TxID]int)}
-}
+// Edges returns the labeled edge set over canonical child indices, sorted
+// by (From, To). The slice is owned by the graph; callers must not modify
+// it. Only valid on a built graph (any SG handed out by the package).
+func (pg *ParentGraph) Edges() []Edge { return pg.edges }
 
-func (pg *ParentGraph) node(t tname.TxID) int {
-	if i, ok := pg.index[t]; ok {
+// nodeIndex returns t's canonical node index, or -1. Built graphs only.
+func (pg *ParentGraph) nodeIndex(t tname.TxID) int {
+	if i, ok := slices.BinarySearch(pg.Children, t); ok {
 		return i
 	}
-	i := len(pg.Children)
-	pg.Children = append(pg.Children, t)
-	pg.index[t] = i
-	return i
+	return -1
 }
 
-func (pg *ParentGraph) addEdge(from, to tname.TxID, kind EdgeKind) {
-	f, t := pg.node(from), pg.node(to)
-	key := [2]int32{int32(f), int32(t)}
-	pg.Kinds[key] |= kind
+// kindAt returns the labels of the edge f→t on a built graph (0 if absent).
+func (pg *ParentGraph) kindAt(f, t int32) EdgeKind {
+	i, ok := slices.BinarySearchFunc(pg.edges, Edge{From: f, To: t}, func(a, b Edge) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
+		}
+		return int(a.To) - int(b.To)
+	})
+	if !ok {
+		return 0
+	}
+	return pg.edges[i].Kind
 }
 
-// build freezes the accumulated edge map into the graph structure, first
+// HasEdge reports whether the edge from→to is present, with its labels.
+// Only valid on a built graph.
+func (pg *ParentGraph) HasEdge(from, to tname.TxID) (EdgeKind, bool) {
+	f := pg.nodeIndex(from)
+	t := pg.nodeIndex(to)
+	if f < 0 || t < 0 {
+		return 0, false
+	}
+	k := pg.kindAt(int32(f), int32(t))
+	return k, k != 0
+}
+
+// freezeScratch is the reusable working memory of ParentGraph.build.
+type freezeScratch struct {
+	perm   []int32
+	sorted []tname.TxID
+}
+
+// build freezes the accumulated edge records into the canonical form, first
 // renumbering children in ascending name order. Node indices — and hence
 // topological sorts, cycle certificates and DOT output — then depend only
 // on the edge *set*, not on the order edges were discovered, which is what
 // lets the sequential, parallel and streaming constructions certify
 // identically.
-func (pg *ParentGraph) build() {
-	old := pg.Children
-	sorted := append([]tname.TxID(nil), old...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	index := make(map[tname.TxID]int, len(sorted))
-	for i, t := range sorted {
-		index[t] = i
+func (pg *ParentGraph) build(fz *freezeScratch) {
+	n := len(pg.Children)
+	sorted := append(fz.sorted[:0], pg.Children...)
+	slices.Sort(sorted)
+	perm := fz.perm[:0]
+	for _, t := range pg.Children {
+		i, _ := slices.BinarySearch(sorted, t)
+		perm = append(perm, int32(i))
 	}
-	perm := make([]int32, len(old))
-	for i, t := range old {
-		perm[i] = int32(index[t])
+	copy(pg.Children, sorted)
+	fz.perm, fz.sorted = perm, sorted
+
+	for i := range pg.edges {
+		e := &pg.edges[i]
+		e.From, e.To = perm[e.From], perm[e.To]
 	}
-	kinds := make(map[[2]int32]EdgeKind, len(pg.Kinds))
-	for key, k := range pg.Kinds {
-		kinds[[2]int32{perm[key[0]], perm[key[1]]}] = k
-	}
-	pg.Children, pg.index, pg.Kinds = sorted, index, kinds
-	// Insert edges in sorted order: adjacency-list order feeds the cycle
-	// certificate's DFS, so it must not inherit map iteration order.
-	keys := make([][2]int32, 0, len(kinds))
-	for key := range kinds {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
+	slices.SortFunc(pg.edges, func(a, b Edge) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
 		}
-		return keys[i][1] < keys[j][1]
+		return int(a.To) - int(b.To)
 	})
-	pg.G = graph.New(len(sorted))
-	for _, key := range keys {
-		pg.G.AddEdge(int(key[0]), int(key[1]))
+	// Merge the per-kind records of one pair into a single labeled edge.
+	out := pg.edges[:0]
+	for _, e := range pg.edges {
+		if k := len(out); k > 0 && out[k-1].From == e.From && out[k-1].To == e.To {
+			out[k-1].Kind |= e.Kind
+		} else {
+			out = append(out, e)
+		}
+	}
+	pg.edges = out
+
+	// Insert edges in sorted order: adjacency-list order feeds the cycle
+	// certificate's DFS, so it must not inherit discovery order. The edge
+	// set is already deduplicated, so the unchecked insert applies.
+	if pg.G == nil {
+		pg.G = graph.New(n)
+	} else {
+		pg.G.Reset(n)
+	}
+	for _, e := range pg.edges {
+		pg.G.AddEdgeUnchecked(int(e.From), int(e.To))
 	}
 }
 
@@ -144,51 +198,71 @@ func (pg *ParentGraph) build() {
 // build(). The streaming checker uses this to snapshot SG(β-prefix) without
 // disturbing its live state.
 func (pg *ParentGraph) clone() *ParentGraph {
-	c := newParentGraph(pg.Parent)
-	c.Children = append([]tname.TxID(nil), pg.Children...)
-	for t, i := range pg.index {
-		c.index[t] = i
+	return &ParentGraph{
+		Parent:   pg.Parent,
+		Children: slices.Clone(pg.Children),
+		edges:    slices.Clone(pg.edges),
 	}
-	for k, v := range pg.Kinds {
-		c.Kinds[k] = v
-	}
-	return c
-}
-
-// HasEdge reports whether the edge from→to is present, with its labels.
-func (pg *ParentGraph) HasEdge(from, to tname.TxID) (EdgeKind, bool) {
-	f, okF := pg.index[from]
-	t, okT := pg.index[to]
-	if !okF || !okT {
-		return 0, false
-	}
-	k, ok := pg.Kinds[[2]int32{int32(f), int32(t)}]
-	return k, ok
 }
 
 // SG is the serialization graph SG(β): the union of the disjoint graphs
 // SG(β, T) over transactions T visible to T0 in β.
 type SG struct {
-	tr      *tname.Tree
-	parents map[tname.TxID]*ParentGraph
+	tr *tname.Tree
+	// parents holds the materialized per-parent graphs in ascending parent
+	// order.
+	parents []*ParentGraph
 	// VisibleOps is operations(visible(β, T0)) in β order; reused by the
 	// view computation.
 	VisibleOps []event.AccessOp
 }
 
-// Parents returns the per-parent graphs, keyed by parent name.
-func (sg *SG) Parents() map[tname.TxID]*ParentGraph { return sg.parents }
+// Parents returns the per-parent graphs, keyed by parent name. The map is
+// a fresh copy on every call — mutating it cannot corrupt the checker's
+// state. Iteration-heavy callers should prefer ForEachParent, which walks
+// the graphs in ascending parent order without allocating.
+func (sg *SG) Parents() map[tname.TxID]*ParentGraph {
+	out := make(map[tname.TxID]*ParentGraph, len(sg.parents))
+	for _, pg := range sg.parents {
+		out[pg.Parent] = pg
+	}
+	return out
+}
+
+// ForEachParent calls f for every materialized SG(β, T) in ascending parent
+// order.
+func (sg *SG) ForEachParent(f func(parent tname.TxID, pg *ParentGraph)) {
+	for _, pg := range sg.parents {
+		f(pg.Parent, pg)
+	}
+}
+
+// NumParents returns the number of materialized parent graphs.
+func (sg *SG) NumParents() int { return len(sg.parents) }
 
 // Parent returns SG(β, T), or nil if T contributed no edges.
-func (sg *SG) Parent(t tname.TxID) *ParentGraph { return sg.parents[t] }
+func (sg *SG) Parent(t tname.TxID) *ParentGraph {
+	i, ok := slices.BinarySearchFunc(sg.parents, t, func(pg *ParentGraph, t tname.TxID) int {
+		return int(pg.Parent) - int(t)
+	})
+	if !ok {
+		return nil
+	}
+	return sg.parents[i]
+}
 
 // NumEdges returns the total number of distinct edges in SG(β).
 func (sg *SG) NumEdges() int {
 	n := 0
 	for _, pg := range sg.parents {
-		n += len(pg.Kinds)
+		n += len(pg.edges)
 	}
 	return n
+}
+
+// sortParents establishes the ascending-parent invariant after accumulation.
+func (sg *SG) sortParents() {
+	slices.SortFunc(sg.parents, func(a, b *ParentGraph) int { return int(a.Parent) - int(b.Parent) })
 }
 
 // Build constructs SG(β) from the serial actions of b, with the paper's
@@ -200,9 +274,10 @@ func (sg *SG) NumEdges() int {
 // later request) pair; the conflict scan compares each visible access
 // against the earlier visible accesses on the same object, so it is
 // quadratic in the per-object access count in the worst case (benchmarked
-// as experiment E5).
+// as experiment E5). Repeated constructions over one tree should share a
+// Checker, which pools all working memory.
 func Build(tr *tname.Tree, b event.Behavior) *SG {
-	return build(tr, b, false)
+	return NewChecker(tr).Build(b)
 }
 
 // BuildReduced constructs a transitively-reduced variant for read/write
@@ -214,117 +289,52 @@ func Build(tr *tname.Tree, b event.Behavior) *SG {
 // reports the cost difference as an ablation. Non-register objects always
 // use the full pairwise scan (their conflicts depend on values).
 func BuildReduced(tr *tname.Tree, b event.Behavior) *SG {
-	return build(tr, b, true)
+	return NewChecker(tr).BuildReduced(b)
 }
 
-// buildState is the outcome of the sequential first pass over β: the SG
-// with its precedes(β) edges already present, plus the per-object lists of
-// visible access operations (in β order) still awaiting the conflict scan.
-// The conflict scan over distinct objects is embarrassingly parallel, which
-// is what BuildParallel exploits; the sequential builder runs the very same
-// scan inline.
-type buildState struct {
-	sg *SG
-	// objs is the object discovery order; byObj holds each object's visible
-	// operations in β order.
-	objs  []tname.ObjID
-	byObj map[tname.ObjID][]event.AccessOp
-}
-
-func (st *buildState) pg(parent tname.TxID) *ParentGraph {
-	g, ok := st.sg.parents[parent]
-	if !ok {
-		g = newParentGraph(parent)
-		st.sg.parents[parent] = g
-	}
-	return g
-}
-
-// prepare runs the linear pass: visibility, operations(visible(β, T0)) per
-// object, and the precedes(β) edges.
-func prepare(tr *tname.Tree, b event.Behavior) *buildState {
-	serial := b.Serial()
-	vis := simple.NewVis(tr, serial, tname.Root)
-	st := &buildState{
-		sg:    &SG{tr: tr, parents: make(map[tname.TxID]*ParentGraph)},
-		byObj: make(map[tname.ObjID][]event.AccessOp),
-	}
-	// precedes(β): per parent, the children reported so far in β order.
-	reported := make(map[tname.TxID][]tname.TxID)
-
-	for _, e := range serial {
-		switch e.Kind {
-		case event.RequestCommit:
-			if !tr.IsAccess(e.Tx) || !vis.Visible(e.Tx) {
-				continue
-			}
-			x := tr.AccessObject(e.Tx)
-			cur := event.AccessOp{Tx: e.Tx, Obj: x,
-				OV: spec.OpVal{Op: tr.AccessOp(e.Tx), Val: e.Val}}
-			if _, ok := st.byObj[x]; !ok {
-				st.objs = append(st.objs, x)
-			}
-			st.byObj[x] = append(st.byObj[x], cur)
-			st.sg.VisibleOps = append(st.sg.VisibleOps, cur)
-
-		case event.ReportCommit, event.ReportAbort:
-			p := tr.Parent(e.Tx)
-			reported[p] = append(reported[p], e.Tx)
-
-		case event.RequestCreate:
-			p := tr.Parent(e.Tx)
-			if !vis.Visible(p) {
-				continue
-			}
-			for _, t := range reported[p] {
-				if t != e.Tx {
-					st.pg(p).addEdge(t, e.Tx, EdgePrecedes)
-				}
-			}
-
-		default:
-			// CREATE, COMMIT and ABORT contribute no edges: conflict(β) is
-			// defined on REQUEST_COMMITs and precedes(β) on report/request
-			// pairs. Inform kinds cannot appear in a serial projection.
-		}
-	}
-	return st
+// conflictSink receives the chronologically ordered conflicting pairs found
+// by scanObjectConflicts. Implementations are pointer-shaped so the
+// interface call does not allocate.
+type conflictSink interface {
+	emit(prev, cur event.AccessOp)
 }
 
 // scanObjectConflicts relates each operation of one object to the earlier
 // conflicting ones, emitting the chronologically ordered pair — all pairs in
 // faithful mode, or the transitive-reduction window for registers in reduced
 // mode. ops must be in β order. It reads only the spec, so distinct objects
-// can be scanned concurrently as long as emit is safe.
-func scanObjectConflicts(sp spec.Spec, ops []event.AccessOp, reduced bool, emit func(prev, cur event.AccessOp)) {
+// can be scanned concurrently as long as sink is private to the caller. win
+// is reusable window scratch; the (possibly grown) buffer is returned.
+func scanObjectConflicts(sp spec.Spec, ops []event.AccessOp, reduced bool, win []event.AccessOp, sink conflictSink) []event.AccessOp {
 	if reduced && sp.Name() == "register" {
 		// Fast path: a read conflicts with the last write only; a write
 		// conflicts with everything since (and including) the last write.
 		// The window holds the last write (at index 0, if any) and the
 		// reads after it.
-		var win []event.AccessOp
+		win = win[:0]
 		for _, cur := range ops {
 			if spec.IsRead(cur.OV.Op) {
 				if len(win) > 0 && spec.IsWrite(win[0].OV.Op) {
-					emit(win[0], cur)
+					sink.emit(win[0], cur)
 				}
 				win = append(win, cur)
 			} else {
 				for _, prev := range win {
-					emit(prev, cur)
+					sink.emit(prev, cur)
 				}
-				win = append(win[:0:0], cur)
+				win = append(win[:0], cur)
 			}
 		}
-		return
+		return win
 	}
 	for i, cur := range ops {
 		for _, prev := range ops[:i] {
 			if sp.Conflicts(prev.OV, cur.OV) {
-				emit(prev, cur)
+				sink.emit(prev, cur)
 			}
 		}
 	}
+	return win
 }
 
 // conflictEdge maps a conflicting operation pair to its SG edge: at the
@@ -341,21 +351,6 @@ func conflictEdge(tr *tname.Tree, prev, cur event.AccessOp) (parent, from, to tn
 		return 0, 0, 0, false
 	}
 	return lca, u, u2, true
-}
-
-func build(tr *tname.Tree, b event.Behavior, reduced bool) *SG {
-	st := prepare(tr, b)
-	for _, x := range st.objs {
-		scanObjectConflicts(tr.Spec(x), st.byObj[x], reduced, func(prev, cur event.AccessOp) {
-			if p, u, u2, ok := conflictEdge(tr, prev, cur); ok {
-				st.pg(p).addEdge(u, u2, EdgeConflict)
-			}
-		})
-	}
-	for _, g := range st.sg.parents {
-		g.build()
-	}
-	return st.sg
 }
 
 // Cycle describes a directed cycle found in one SG(β, T).
@@ -484,24 +479,18 @@ func ForgeOrderForTest(tr *tname.Tree, byParent map[tname.TxID][]tname.TxID) *Si
 // order certificate. On failure it returns the concrete cycle.
 func (sg *SG) Acyclicity() (*SiblingOrder, *Cycle) {
 	order := &SiblingOrder{tr: sg.tr, ByParent: make(map[tname.TxID][]tname.TxID), rank: make(map[tname.TxID]int)}
-	// Deterministic parent processing order for reproducible certificates.
-	parents := make([]tname.TxID, 0, len(sg.parents))
-	for p := range sg.parents {
-		parents = append(parents, p)
-	}
-	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
-
-	for _, p := range parents {
-		pgr := sg.parents[p]
+	// sg.parents is sorted ascending, so parents are processed in a
+	// deterministic order and certificates are reproducible.
+	for _, pgr := range sg.parents {
 		topo, cyc := pgr.G.TopoSort()
 		if cyc != nil {
-			c := &Cycle{Parent: p}
+			c := &Cycle{Parent: pgr.Parent}
 			for _, n := range cyc {
 				c.Nodes = append(c.Nodes, pgr.Children[n])
 			}
 			for i := range cyc {
 				j := (i + 1) % len(cyc)
-				c.Kinds = append(c.Kinds, pgr.Kinds[[2]int32{int32(cyc[i]), int32(cyc[j])}])
+				c.Kinds = append(c.Kinds, pgr.kindAt(int32(cyc[i]), int32(cyc[j])))
 			}
 			return nil, c
 		}
@@ -510,7 +499,7 @@ func (sg *SG) Acyclicity() (*SiblingOrder, *Cycle) {
 			kids[i] = pgr.Children[n]
 			order.rank[pgr.Children[n]] = i
 		}
-		order.ByParent[p] = kids
+		order.ByParent[pgr.Parent] = kids
 	}
 	return order, nil
 }
@@ -520,15 +509,9 @@ func (sg *SG) Acyclicity() (*SiblingOrder, *Cycle) {
 // Parents whose children have no conflict or precedes constraints are never
 // materialized and so do not appear.
 func (sg *SG) DOT() string {
-	parents := make([]tname.TxID, 0, len(sg.parents))
-	for p := range sg.parents {
-		parents = append(parents, p)
-	}
-	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
 	var sb strings.Builder
-	for _, p := range parents {
-		pgr := sg.parents[p]
-		name := fmt.Sprintf("SG_%s", sg.tr.Name(p))
+	for _, pgr := range sg.parents {
+		name := fmt.Sprintf("SG_%s", sg.tr.Name(pgr.Parent))
 		sb.WriteString(pgr.G.DOT(name, func(v int) string { return sg.tr.Label(pgr.Children[v]) }))
 	}
 	return sb.String()

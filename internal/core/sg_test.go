@@ -72,7 +72,7 @@ func TestBuildConflictEdge(t *testing.T) {
 	}
 	kind, ok := pg.HasEdge(f.t1, f.t2)
 	if !ok || kind&EdgeConflict == 0 {
-		t.Fatalf("expected conflict edge t1 -> t2, kinds: %v", pg.Kinds)
+		t.Fatalf("expected conflict edge t1 -> t2, edges: %v", pg.Edges())
 	}
 	if _, ok := pg.HasEdge(f.t2, f.t1); ok {
 		t.Error("no reverse edge expected")
@@ -389,8 +389,8 @@ func TestDeepNestingConflictPlacement(t *testing.T) {
 		if _, ok := pgRoot.HasEdge(p, p); ok {
 			t.Error("no self edge at T0")
 		}
-		for key := range pgRoot.Kinds {
-			if key[0] == key[1] {
+		for _, e := range pgRoot.Edges() {
+			if e.From == e.To {
 				t.Error("self edge recorded")
 			}
 		}
@@ -444,5 +444,38 @@ func TestSortSiblings(t *testing.T) {
 	order.SortSiblings(in)
 	if in[0] != f.t2 {
 		t.Error("SortSiblings mutated its input")
+	}
+}
+
+// TestParentsReturnsDefensiveCopy: the map returned by SG.Parents is a
+// fresh copy on every call, so callers deleting or overwriting entries
+// cannot corrupt the SG — a regression test for the former implementation
+// that leaked the internal index.
+func TestParentsReturnsDefensiveCopy(t *testing.T) {
+	f := newFix(t)
+	sg := Build(f.tr, f.wellFormedRun(spec.Int(5)))
+	if sg.NumParents() == 0 {
+		t.Fatal("expected at least one materialized parent graph")
+	}
+	before := sg.NumEdges()
+
+	m := sg.Parents()
+	for p := range m {
+		delete(m, p)
+	}
+	m[tname.Root] = nil
+
+	if sg.NumParents() == 0 || sg.NumEdges() != before {
+		t.Fatalf("mutating Parents() corrupted the SG: %d parents, %d edges (want %d)",
+			sg.NumParents(), sg.NumEdges(), before)
+	}
+	m2 := sg.Parents()
+	if len(m2) != sg.NumParents() {
+		t.Fatalf("second Parents() call returned %d entries, want %d", len(m2), sg.NumParents())
+	}
+	for p, pg := range m2 {
+		if pg == nil || pg.Parent != p {
+			t.Fatalf("second Parents() call returned corrupted entry for %v", p)
+		}
 	}
 }

@@ -1,0 +1,224 @@
+package event
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"nestedsg/internal/tname"
+)
+
+func TestBinaryRoundTripSeed(t *testing.T) {
+	tr, b, err := ReadTrace(bytes.NewReader(seedTrace(t)))
+	if err != nil {
+		t.Fatalf("reading seed trace: %v", err)
+	}
+	bin := MarshalBinaryTrace(tr, b)
+	tr2, b2, err := ReadBinaryTrace(bytes.NewReader(bin))
+	if err != nil {
+		t.Fatalf("decoding binary trace: %v", err)
+	}
+	if !b2.Equal(b) {
+		t.Fatalf("behavior changed across binary round trip:\nbefore:\n%s\nafter:\n%s", b.Format(tr), b2.Format(tr2))
+	}
+	if tr2.NumTx() != tr.NumTx() || tr2.NumObjects() != tr.NumObjects() {
+		t.Fatalf("system type changed: %d/%d tx, %d/%d objects",
+			tr.NumTx(), tr2.NumTx(), tr.NumObjects(), tr2.NumObjects())
+	}
+	for i := 0; i < tr.NumTx(); i++ {
+		id := tname.TxID(i)
+		if tr.Name(id) != tr2.Name(id) {
+			t.Fatalf("tx %d renamed: %s vs %s", i, tr.Name(id), tr2.Name(id))
+		}
+	}
+	if again := MarshalBinaryTrace(tr2, b2); !bytes.Equal(again, bin) {
+		t.Fatalf("binary encoding is not a fixed point")
+	}
+}
+
+func TestBinaryStreamingMatchesFull(t *testing.T) {
+	tr, b, err := ReadTrace(bytes.NewReader(seedTrace(t)))
+	if err != nil {
+		t.Fatalf("reading seed trace: %v", err)
+	}
+	bin := MarshalBinaryTrace(tr, b)
+	d, err := NewBinaryDecoder(bytes.NewReader(bin))
+	if err != nil {
+		t.Fatalf("NewBinaryDecoder: %v", err)
+	}
+	if d.Tree().NumTx() != tr.NumTx() {
+		t.Fatalf("streamed tree has %d tx, want %d", d.Tree().NumTx(), tr.NumTx())
+	}
+	if d.Remaining() != len(b) {
+		t.Fatalf("Remaining() = %d, want %d", d.Remaining(), len(b))
+	}
+	var streamed Behavior
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		streamed = append(streamed, e)
+	}
+	if !streamed.Equal(b) {
+		t.Fatalf("streamed behavior differs from full decode")
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF = %v, want io.EOF", err)
+	}
+}
+
+func TestReadTraceAuto(t *testing.T) {
+	jsonData := seedTrace(t)
+	tr, b, err := ReadTraceAuto(bytes.NewReader(jsonData))
+	if err != nil {
+		t.Fatalf("auto-reading JSON: %v", err)
+	}
+	bin := MarshalBinaryTrace(tr, b)
+	tr2, b2, err := ReadTraceAuto(bytes.NewReader(bin))
+	if err != nil {
+		t.Fatalf("auto-reading binary: %v", err)
+	}
+	if !b2.Equal(b) || tr2.NumTx() != tr.NumTx() {
+		t.Fatalf("auto-dispatch decoded different traces")
+	}
+	if _, _, err := ReadTraceAuto(bytes.NewReader(nil)); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+}
+
+// TestBinaryRejectsCorruption: every truncation of a valid binary trace and
+// a sample of corruptions must fail with an error, never a panic or a
+// silent success that changes the decoded behavior.
+func TestBinaryRejectsCorruption(t *testing.T) {
+	tr, b, err := ReadTrace(bytes.NewReader(seedTrace(t)))
+	if err != nil {
+		t.Fatalf("reading seed trace: %v", err)
+	}
+	bin := MarshalBinaryTrace(tr, b)
+
+	for n := 0; n < len(bin); n++ {
+		if _, _, err := ReadBinaryTrace(bytes.NewReader(bin[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	bad := append([]byte(nil), bin...)
+	bad[0] = 'X'
+	if _, _, err := ReadBinaryTrace(bytes.NewReader(bad)); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+	bad = append([]byte(nil), bin...)
+	bad[4] = 99 // version
+	if _, _, err := ReadBinaryTrace(bytes.NewReader(bad)); err == nil {
+		t.Fatalf("bad version accepted")
+	}
+	if _, _, err := ReadBinaryTrace(bytes.NewReader(append(bin, 0))); err == nil {
+		t.Fatalf("trailing data accepted")
+	}
+}
+
+// TestRegenerateBinaryFuzzCorpus rewrites the committed seed corpus for
+// FuzzBinaryTraceRoundTrip when UPDATE_FUZZ_CORPUS=1; otherwise it checks
+// the committed files are current.
+func TestRegenerateBinaryFuzzCorpus(t *testing.T) {
+	tr, b, err := ReadTrace(bytes.NewReader(seedTrace(t)))
+	if err != nil {
+		t.Fatalf("reading seed trace: %v", err)
+	}
+	seeds := map[string][]byte{
+		"seed_valid":     MarshalBinaryTrace(tr, b),
+		"seed_empty":     MarshalBinaryTrace(emptyTree(t), nil),
+		"seed_truncated": MarshalBinaryTrace(tr, b)[:20],
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzBinaryTraceRoundTrip")
+	for name, data := range seeds {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		path := filepath.Join(dir, name)
+		if os.Getenv("UPDATE_FUZZ_CORPUS") == "1" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed corpus missing (run with UPDATE_FUZZ_CORPUS=1): %v", err)
+		}
+		if string(got) != content {
+			t.Fatalf("seed corpus %s is stale (run with UPDATE_FUZZ_CORPUS=1)", name)
+		}
+	}
+}
+
+func emptyTree(t testing.TB) *tname.Tree {
+	t.Helper()
+	tr, _, err := ReadTrace(bytes.NewReader([]byte(
+		`{"objects":[],"tx":[{"parent":-1,"label":"T0","obj":-1}],"events":[]}`)))
+	if err != nil {
+		t.Fatalf("building empty tree: %v", err)
+	}
+	return tr
+}
+
+// FuzzBinaryTraceRoundTrip mirrors FuzzTraceRoundTrip for the binary
+// codec: any input is either rejected with an error or settles after one
+// round trip — decode(data) = (tr, b) implies encode(tr, b) decodes to an
+// equal trace and re-encodes byte-identically. Decoding must never panic.
+func FuzzBinaryTraceRoundTrip(f *testing.F) {
+	{
+		tr, b, err := ReadTrace(bytes.NewReader(seedTrace(f)))
+		if err != nil {
+			f.Fatalf("reading seed trace: %v", err)
+		}
+		f.Add(MarshalBinaryTrace(tr, b))
+		f.Add(MarshalBinaryTrace(tr, b)[:20])
+	}
+	f.Add([]byte("NSGB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, b, err := ReadBinaryTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected; all we require is no panic
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted binary trace yields invalid tree: %v", err)
+		}
+		bin := MarshalBinaryTrace(tr, b)
+		tr2, b2, err := ReadBinaryTrace(bytes.NewReader(bin))
+		if err != nil {
+			t.Fatalf("reparsing re-encoded trace: %v", err)
+		}
+		if !b2.Equal(b) {
+			t.Fatalf("behavior changed across binary round trip")
+		}
+		if tr2.NumTx() != tr.NumTx() || tr2.NumObjects() != tr.NumObjects() {
+			t.Fatalf("system type changed across binary round trip")
+		}
+		if again := MarshalBinaryTrace(tr2, b2); !bytes.Equal(again, bin) {
+			t.Fatalf("binary encoding is not a fixed point")
+		}
+		// Cross-codec agreement: the JSON rendering of a binary-decoded
+		// trace must decode to the same behavior.
+		var jbuf bytes.Buffer
+		if err := WriteTrace(&jbuf, tr, b); err != nil {
+			t.Fatalf("JSON-rendering binary-decoded trace: %v", err)
+		}
+		_, b3, err := ReadTrace(&jbuf)
+		if err != nil {
+			t.Fatalf("JSON round trip of binary-decoded trace: %v", err)
+		}
+		if !b3.Equal(b) {
+			t.Fatalf("JSON and binary codecs disagree")
+		}
+	})
+}

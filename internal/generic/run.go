@@ -23,6 +23,14 @@
 // quiescence or, with Options.EagerDeadlock, as soon as a waits-for cycle
 // appears. Protocols that abort rather than block (object.Aborter, e.g.
 // MVTO) have their restarts executed by the runner as well.
+//
+// The scheduler loop is allocation-lean: enabled actions are value structs
+// in a reused slice (not closures), per-object automata and per-transaction
+// states are dense slices indexed by the interned names, and the per-step
+// blocking poll uses the object.BlockChecker fast path when the protocol
+// provides it. The enumeration order and random-number consumption are
+// exactly those of the original closure-based loop, so seeds reproduce the
+// same traces.
 package generic
 
 import (
@@ -116,8 +124,19 @@ type txState struct {
 	// REQUEST_CREATE the controller has not yet emitted.
 	pendingRequests []*program.Node
 	// touched is the set of objects accessed in this transaction's subtree
-	// so far; informs about this transaction go to exactly these objects.
-	touched map[tname.ObjID]bool
+	// so far, in first-touch order; informs about this transaction go to
+	// exactly these objects. Subtrees touch few objects, so a scanned
+	// slice beats a map.
+	touched []tname.ObjID
+}
+
+func (ts *txState) touch(x tname.ObjID) {
+	for _, y := range ts.touched {
+		if y == x {
+			return
+		}
+	}
+	ts.touched = append(ts.touched, x)
 }
 
 type informMsg struct {
@@ -125,20 +144,72 @@ type informMsg struct {
 	tx     tname.TxID
 }
 
-// Runner holds the mutable state of one generic-system execution.
-type Runner struct {
-	tr      *tname.Tree
-	opts    Options
-	rng     *rand.Rand
-	objects map[tname.ObjID]object.Generic
-	informQ map[tname.ObjID][]informMsg
-	objIDs  []tname.ObjID
+// actKind discriminates the enabled-action structs.
+type actKind uint8
 
-	txs   map[tname.TxID]*txState
+const (
+	akCreate actKind = iota
+	akProtocolAbort
+	akRespond
+	akIssueRequest
+	akRequestCommit
+	akCommit
+	akReportCommit
+	akReportAbort
+	akInform
+)
+
+// act is one enabled controller/object/transaction step, as data: the
+// scheduler enumerates these into a reused slice instead of allocating a
+// closure per enabled action per step.
+type act struct {
+	kind actKind
+	ts   *txState    // nil for akInform
+	x    tname.ObjID // akInform only
+}
+
+// Runner holds the mutable state of one generic-system execution. Objects
+// and transaction states are dense slices indexed by the interned names;
+// the optional per-object interfaces (Aborter, BlockChecker, Auditor) are
+// resolved once at startup rather than type-asserted per step.
+type Runner struct {
+	tr       *tname.Tree
+	opts     Options
+	rng      *rand.Rand
+	objects  []object.Generic
+	aborters []object.Aborter
+	checkers []object.BlockChecker
+	auditors []object.Auditor
+	informQ  [][]informMsg
+
+	txs   []*txState   // indexed by TxID; nil for unknown names
 	order []tname.TxID // stable enumeration order of known transactions
+
+	acts  []act      // reused action buffer
+	cands []*txState // reused failure-injection candidate buffer
 
 	trace event.Behavior
 	stats Stats
+}
+
+// tx returns the state of id, or nil if the runner has not seen it.
+func (r *Runner) tx(id tname.TxID) *txState {
+	if int(id) >= len(r.txs) {
+		return nil
+	}
+	return r.txs[id]
+}
+
+// putTx registers a fresh transaction state.
+func (r *Runner) putTx(ts *txState) {
+	for int(ts.id) >= len(r.txs) {
+		r.txs = append(r.txs, nil)
+	}
+	if r.txs[ts.id] != nil {
+		panic(fmt.Sprintf("generic: duplicate child %s", r.tr.Name(ts.id)))
+	}
+	r.txs[ts.id] = ts
+	r.order = append(r.order, ts.id)
 }
 
 // Run executes the program of T0 under the generic controller and returns
@@ -150,25 +221,36 @@ func Run(tr *tname.Tree, root *program.Node, opts Options) (event.Behavior, Stat
 	if opts.Protocol == nil {
 		return nil, Stats{}, fmt.Errorf("generic: Options.Protocol is required")
 	}
+	numObj := tr.NumObjects()
 	r := &Runner{
-		tr:      tr,
-		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		objects: make(map[tname.ObjID]object.Generic),
-		informQ: make(map[tname.ObjID][]informMsg),
-		txs:     make(map[tname.TxID]*txState),
+		tr:       tr,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		objects:  make([]object.Generic, numObj),
+		aborters: make([]object.Aborter, numObj),
+		checkers: make([]object.BlockChecker, numObj),
+		auditors: make([]object.Auditor, numObj),
+		informQ:  make([][]informMsg, numObj),
 	}
-	for x := tname.ObjID(0); int(x) < tr.NumObjects(); x++ {
-		r.objects[x] = opts.Protocol.New(tr, x)
-		r.objIDs = append(r.objIDs, x)
+	for x := tname.ObjID(0); int(x) < numObj; x++ {
+		g := opts.Protocol.New(tr, x)
+		r.objects[x] = g
+		if ab, ok := g.(object.Aborter); ok {
+			r.aborters[x] = ab
+		}
+		if bc, ok := g.(object.BlockChecker); ok {
+			r.checkers[x] = bc
+		}
+		if au, ok := g.(object.Auditor); ok {
+			r.auditors[x] = au
+		}
 	}
 
 	// CREATE(T0) and start its program.
-	rootState := &txState{id: tname.Root, node: root, status: stCreated, touched: make(map[tname.ObjID]bool)}
+	rootState := &txState{id: tname.Root, node: root, status: stCreated}
 	rootState.exec = program.NewExec(root)
 	rootState.pendingRequests = rootState.exec.Start()
-	r.txs[tname.Root] = rootState
-	r.order = append(r.order, tname.Root)
+	r.putTx(rootState)
 	r.emit(event.NewEvent(event.Create, tname.Root))
 
 	maxSteps := opts.MaxSteps
@@ -192,14 +274,15 @@ func Run(tr *tname.Tree, root *program.Node, opts Options) (event.Behavior, Stat
 			r.stats.Events = len(r.trace)
 			return r.trace, r.stats, nil
 		}
-		acts[r.rng.Intn(len(acts))]()
+		r.perform(acts[r.rng.Intn(len(acts))])
 		if opts.AuditObjects {
-			for _, x := range r.objIDs {
-				if a, ok := r.objects[x].(object.Auditor); ok {
-					if err := a.Audit(); err != nil {
-						return nil, r.stats, fmt.Errorf("generic: object %s invariant violated at step %d: %w",
-							tr.ObjectLabel(x), r.stats.Steps, err)
-					}
+			for x, a := range r.auditors {
+				if a == nil {
+					continue
+				}
+				if err := a.Audit(); err != nil {
+					return nil, r.stats, fmt.Errorf("generic: object %s invariant violated at step %d: %w",
+						tr.ObjectLabel(tname.ObjID(x)), r.stats.Steps, err)
 				}
 			}
 		}
@@ -209,12 +292,21 @@ func Run(tr *tname.Tree, root *program.Node, opts Options) (event.Behavior, Stat
 
 func (r *Runner) emit(e event.Event) { r.trace = append(r.trace, e) }
 
-// action is one enabled controller/object/transaction step.
-type action func()
+// blocked reports whether access t at x currently has blockers, via the
+// protocol's fast path when it offers one.
+func (r *Runner) blocked(x tname.ObjID, t tname.TxID) bool {
+	if bc := r.checkers[x]; bc != nil {
+		return bc.Blocked(t)
+	}
+	return len(r.objects[x].Blockers(t)) > 0
+}
 
-// enabledActions enumerates every enabled action of the composed system.
-func (r *Runner) enabledActions() []action {
-	var acts []action
+// enabledActions enumerates every enabled action of the composed system
+// into the reused buffer. The enumeration order is fixed (transactions in
+// creation order, then object inform queues), so the scheduler's uniform
+// pick is a pure function of the seed.
+func (r *Runner) enabledActions() []act {
+	acts := r.acts[:0]
 	for _, id := range r.order {
 		ts := r.txs[id]
 		if ts.dead {
@@ -222,7 +314,7 @@ func (r *Runner) enabledActions() []action {
 		}
 		switch ts.status {
 		case stRequested:
-			acts = append(acts, r.actCreate(ts))
+			acts = append(acts, act{kind: akCreate, ts: ts})
 			// The controller may also abort any requested, uncompleted
 			// transaction; that nondeterminism is exercised through
 			// failure injection rather than the uniform pick, so that
@@ -230,142 +322,153 @@ func (r *Runner) enabledActions() []action {
 		case stCreated:
 			if ts.node.IsAccess {
 				x := ts.node.Obj
-				if ab, ok := r.objects[x].(object.Aborter); ok && ab.ShouldAbort(ts.id) {
+				if ab := r.aborters[x]; ab != nil && ab.ShouldAbort(ts.id) {
 					// The protocol demands a restart (e.g. an MVTO write
 					// that arrived too late): abort the classical
 					// transaction the access belongs to.
-					acts = append(acts, r.actProtocolAbort(ts))
-				} else if len(r.objects[x].Blockers(ts.id)) == 0 {
-					acts = append(acts, r.actRespond(ts))
+					acts = append(acts, act{kind: akProtocolAbort, ts: ts})
+				} else if !r.blocked(x, ts.id) {
+					acts = append(acts, act{kind: akRespond, ts: ts})
 				} else {
 					r.stats.Blocked++
 				}
 			} else {
 				if len(ts.pendingRequests) > 0 {
-					acts = append(acts, r.actIssueRequest(ts))
+					acts = append(acts, act{kind: akIssueRequest, ts: ts})
 				}
 				if ts.exec.Ready() && len(ts.pendingRequests) == 0 && ts.id != tname.Root {
-					acts = append(acts, r.actRequestCommit(ts))
+					acts = append(acts, act{kind: akRequestCommit, ts: ts})
 				}
 			}
 		case stCommitRequested:
-			acts = append(acts, r.actCommit(ts))
+			acts = append(acts, act{kind: akCommit, ts: ts})
 		case stCommitted:
 			if !ts.reported {
-				if p := r.txs[r.tr.Parent(ts.id)]; p != nil && !p.dead && p.status == stCreated {
-					acts = append(acts, r.actReportCommit(ts))
+				if p := r.tx(r.tr.Parent(ts.id)); p != nil && !p.dead && p.status == stCreated {
+					acts = append(acts, act{kind: akReportCommit, ts: ts})
 				}
 			}
 		case stAborted:
 			if !ts.reported {
-				if p := r.txs[r.tr.Parent(ts.id)]; p != nil && !p.dead && p.status == stCreated {
-					acts = append(acts, r.actReportAbort(ts))
+				if p := r.tx(r.tr.Parent(ts.id)); p != nil && !p.dead && p.status == stCreated {
+					acts = append(acts, act{kind: akReportAbort, ts: ts})
 				}
 			}
 		}
 	}
-	for _, x := range r.objIDs {
+	for x := range r.informQ {
 		if len(r.informQ[x]) > 0 {
-			acts = append(acts, r.actInform(x))
+			acts = append(acts, act{kind: akInform, x: tname.ObjID(x)})
 		}
 	}
+	r.acts = acts
 	return acts
 }
 
-func (r *Runner) actCreate(ts *txState) action {
-	return func() {
-		ts.status = stCreated
-		r.emit(event.NewEvent(event.Create, ts.id))
-		if ts.node.IsAccess {
-			x := ts.node.Obj
-			r.objects[x].Create(ts.id)
-			r.markTouched(ts.id, x)
-			return
-		}
-		ts.exec = program.NewExec(ts.node)
-		ts.pendingRequests = ts.exec.Start()
+// perform executes one enabled action.
+func (r *Runner) perform(a act) {
+	switch a.kind {
+	case akCreate:
+		r.doCreate(a.ts)
+	case akProtocolAbort:
+		r.doProtocolAbort(a.ts)
+	case akRespond:
+		r.doRespond(a.ts)
+	case akIssueRequest:
+		r.doIssueRequest(a.ts)
+	case akRequestCommit:
+		r.doRequestCommit(a.ts)
+	case akCommit:
+		r.doCommit(a.ts)
+	case akReportCommit:
+		r.doReportCommit(a.ts)
+	case akReportAbort:
+		r.doReportAbort(a.ts)
+	case akInform:
+		r.doInform(a.x)
 	}
+}
+
+func (r *Runner) doCreate(ts *txState) {
+	ts.status = stCreated
+	r.emit(event.NewEvent(event.Create, ts.id))
+	if ts.node.IsAccess {
+		x := ts.node.Obj
+		r.objects[x].Create(ts.id)
+		r.markTouched(ts.id, x)
+		return
+	}
+	ts.exec = program.NewExec(ts.node)
+	ts.pendingRequests = ts.exec.Start()
 }
 
 // markTouched records that x was accessed in the subtree of every ancestor
 // of the access.
 func (r *Runner) markTouched(acc tname.TxID, x tname.ObjID) {
 	for u := acc; u != tname.None; u = r.tr.Parent(u) {
-		if ts := r.txs[u]; ts != nil {
-			ts.touched[x] = true
+		if ts := r.tx(u); ts != nil {
+			ts.touch(x)
 		}
 	}
 }
 
-func (r *Runner) actIssueRequest(ts *txState) action {
-	return func() {
-		child := ts.pendingRequests[0]
-		ts.pendingRequests = ts.pendingRequests[1:]
-		var childID tname.TxID
-		if child.IsAccess {
-			childID = r.tr.Access(ts.id, child.Label, child.Obj, child.Op)
-		} else {
-			childID = r.tr.Child(ts.id, child.Label)
-		}
-		if _, ok := r.txs[childID]; ok {
-			panic(fmt.Sprintf("generic: duplicate child %s", r.tr.Name(childID)))
-		}
-		cs := &txState{id: childID, node: child, status: stRequested, touched: make(map[tname.ObjID]bool)}
-		r.txs[childID] = cs
-		r.order = append(r.order, childID)
-		r.emit(event.NewEvent(event.RequestCreate, childID))
+func (r *Runner) doIssueRequest(ts *txState) {
+	child := ts.pendingRequests[0]
+	ts.pendingRequests = ts.pendingRequests[1:]
+	var childID tname.TxID
+	if child.IsAccess {
+		childID = r.tr.Access(ts.id, child.Label, child.Obj, child.Op)
+	} else {
+		childID = r.tr.Child(ts.id, child.Label)
 	}
+	cs := &txState{id: childID, node: child, status: stRequested}
+	r.putTx(cs)
+	r.emit(event.NewEvent(event.RequestCreate, childID))
 }
 
-func (r *Runner) actRespond(ts *txState) action {
-	return func() {
-		x := ts.node.Obj
-		v, ok := r.objects[x].TryRequestCommit(ts.id)
-		if !ok {
-			// Blockers said it was enabled; a protocol for which that is
-			// not equivalent would simply lose a step.
-			r.stats.Blocked++
-			return
-		}
-		ts.status = stCommitRequested
-		ts.value = v
-		r.stats.Accesses++
-		r.emit(event.NewValEvent(event.RequestCommit, ts.id, v))
+func (r *Runner) doRespond(ts *txState) {
+	x := ts.node.Obj
+	v, ok := r.objects[x].TryRequestCommit(ts.id)
+	if !ok {
+		// Blockers said it was enabled; a protocol for which that is
+		// not equivalent would simply lose a step.
+		r.stats.Blocked++
+		return
 	}
+	ts.status = stCommitRequested
+	ts.value = v
+	r.stats.Accesses++
+	r.emit(event.NewValEvent(event.RequestCommit, ts.id, v))
 }
 
-func (r *Runner) actRequestCommit(ts *txState) action {
-	return func() {
-		ts.status = stCommitRequested
-		ts.value = ts.exec.Value()
-		r.emit(event.NewValEvent(event.RequestCommit, ts.id, ts.value))
-	}
+func (r *Runner) doRequestCommit(ts *txState) {
+	ts.status = stCommitRequested
+	ts.value = ts.exec.Value()
+	r.emit(event.NewValEvent(event.RequestCommit, ts.id, ts.value))
 }
 
-func (r *Runner) actCommit(ts *txState) action {
-	return func() {
-		ts.status = stCommitted
-		r.stats.Commits++
-		r.emit(event.NewEvent(event.Commit, ts.id))
-		// When orphans run, a committing orphan's locks/log entries would
-		// otherwise be inherited past an ancestor whose abort the objects
-		// have already been informed of, and stick there; re-informing the
-		// abort right after the commit keeps recovery exact (inform
-		// handlers are idempotent).
-		var orphanOf tname.TxID = tname.None
-		if r.opts.AllowOrphans {
-			for u := r.tr.Parent(ts.id); u != tname.None; u = r.tr.Parent(u) {
-				if p := r.txs[u]; p != nil && p.status == stAborted {
-					orphanOf = u
-					break
-				}
+func (r *Runner) doCommit(ts *txState) {
+	ts.status = stCommitted
+	r.stats.Commits++
+	r.emit(event.NewEvent(event.Commit, ts.id))
+	// When orphans run, a committing orphan's locks/log entries would
+	// otherwise be inherited past an ancestor whose abort the objects
+	// have already been informed of, and stick there; re-informing the
+	// abort right after the commit keeps recovery exact (inform
+	// handlers are idempotent).
+	var orphanOf tname.TxID = tname.None
+	if r.opts.AllowOrphans {
+		for u := r.tr.Parent(ts.id); u != tname.None; u = r.tr.Parent(u) {
+			if p := r.tx(u); p != nil && p.status == stAborted {
+				orphanOf = u
+				break
 			}
 		}
-		for x := range ts.touched {
-			r.informQ[x] = append(r.informQ[x], informMsg{commit: true, tx: ts.id})
-			if orphanOf != tname.None {
-				r.informQ[x] = append(r.informQ[x], informMsg{commit: false, tx: orphanOf})
-			}
+	}
+	for _, x := range ts.touched {
+		r.informQ[x] = append(r.informQ[x], informMsg{commit: true, tx: ts.id})
+		if orphanOf != tname.None {
+			r.informQ[x] = append(r.informQ[x], informMsg{commit: false, tx: orphanOf})
 		}
 	}
 }
@@ -376,7 +479,7 @@ func (r *Runner) abortTx(ts *txState) {
 	ts.status = stAborted
 	r.stats.Aborts++
 	r.emit(event.NewEvent(event.Abort, ts.id))
-	for x := range ts.touched {
+	for _, x := range ts.touched {
 		r.informQ[x] = append(r.informQ[x], informMsg{commit: false, tx: ts.id})
 	}
 	if r.opts.AllowOrphans {
@@ -390,55 +493,47 @@ func (r *Runner) abortTx(ts *txState) {
 	}
 }
 
-// actProtocolAbort aborts the top-level ancestor of an access the protocol
+// doProtocolAbort aborts the top-level ancestor of an access the protocol
 // says can never be granted.
-func (r *Runner) actProtocolAbort(ts *txState) action {
-	return func() {
-		top := r.tr.ChildAncestor(tname.Root, ts.id)
-		vs := r.txs[top]
-		if vs == nil || vs.dead || vs.status >= stCommitted {
-			return
-		}
-		r.stats.ProtocolAborts++
-		r.abortTx(vs)
+func (r *Runner) doProtocolAbort(ts *txState) {
+	top := r.tr.ChildAncestor(tname.Root, ts.id)
+	vs := r.tx(top)
+	if vs == nil || vs.dead || vs.status >= stCommitted {
+		return
 	}
+	r.stats.ProtocolAborts++
+	r.abortTx(vs)
 }
 
-func (r *Runner) actReportCommit(ts *txState) action {
-	return func() {
-		ts.reported = true
-		r.emit(event.NewValEvent(event.ReportCommit, ts.id, ts.value))
-		r.deliverOutcome(ts, program.Outcome{Committed: true, Val: ts.value})
-	}
+func (r *Runner) doReportCommit(ts *txState) {
+	ts.reported = true
+	r.emit(event.NewValEvent(event.ReportCommit, ts.id, ts.value))
+	r.deliverOutcome(ts, program.Outcome{Committed: true, Val: ts.value})
 }
 
-func (r *Runner) actReportAbort(ts *txState) action {
-	return func() {
-		ts.reported = true
-		r.emit(event.NewEvent(event.ReportAbort, ts.id))
-		r.deliverOutcome(ts, program.Outcome{Committed: false})
-	}
+func (r *Runner) doReportAbort(ts *txState) {
+	ts.reported = true
+	r.emit(event.NewEvent(event.ReportAbort, ts.id))
+	r.deliverOutcome(ts, program.Outcome{Committed: false})
 }
 
 func (r *Runner) deliverOutcome(child *txState, oc program.Outcome) {
-	parent := r.txs[r.tr.Parent(child.id)]
+	parent := r.tx(r.tr.Parent(child.id))
 	idx := parent.exec.RequestIndex(child.node.Label)
 	more := parent.exec.OnReport(idx, oc)
 	parent.pendingRequests = append(parent.pendingRequests, more...)
 }
 
-func (r *Runner) actInform(x tname.ObjID) action {
-	return func() {
-		q := r.informQ[x]
-		msg := q[0]
-		r.informQ[x] = q[1:]
-		if msg.commit {
-			r.objects[x].InformCommit(msg.tx)
-			r.emit(event.NewInform(event.InformCommit, msg.tx, x))
-		} else {
-			r.objects[x].InformAbort(msg.tx)
-			r.emit(event.NewInform(event.InformAbort, msg.tx, x))
-		}
+func (r *Runner) doInform(x tname.ObjID) {
+	q := r.informQ[x]
+	msg := q[0]
+	r.informQ[x] = q[1:]
+	if msg.commit {
+		r.objects[x].InformCommit(msg.tx)
+		r.emit(event.NewInform(event.InformCommit, msg.tx, x))
+	} else {
+		r.objects[x].InformAbort(msg.tx)
+		r.emit(event.NewInform(event.InformAbort, msg.tx, x))
 	}
 }
 
@@ -451,13 +546,14 @@ func (r *Runner) maybeInjectAbort() bool {
 	if r.rng.Float64() >= r.opts.AbortProb {
 		return false
 	}
-	var candidates []*txState
+	candidates := r.cands[:0]
 	for _, id := range r.order {
 		ts := r.txs[id]
 		if id != tname.Root && !ts.dead && ts.status < stCommitted {
 			candidates = append(candidates, ts)
 		}
 	}
+	r.cands = candidates
 	if len(candidates) == 0 {
 		return false
 	}
@@ -488,7 +584,7 @@ func (r *Runner) breakDeadlock() bool {
 	seen := make(map[tname.TxID]bool)
 	for _, blk := range blockers {
 		for u := blk; u != tname.Root && u != tname.None; u = r.tr.Parent(u) {
-			ts := r.txs[u]
+			ts := r.tx(u)
 			if ts == nil || ts.dead {
 				break
 			}
@@ -559,7 +655,7 @@ func (r *Runner) breakWaitsForCycle() bool {
 	// Abort one cycle member that is still abortable.
 	var victims []*txState
 	for _, n := range cyc {
-		ts := r.txs[tops[n]]
+		ts := r.tx(tops[n])
 		if ts != nil && !ts.dead && ts.status < stCommitted {
 			victims = append(victims, ts)
 		}

@@ -15,43 +15,77 @@ import (
 	"strings"
 )
 
-// Graph is a directed graph over nodes 0..n-1 with deduplicated edges.
+// Graph is a directed graph over nodes 0..n-1 with deduplicated edges. The
+// representation is adjacency lists only — no auxiliary edge set — so a
+// Graph can be Reset and refilled without steady-state allocations.
 type Graph struct {
-	n     int
-	adj   [][]int32
-	edges map[edge]bool
+	n   int
+	m   int
+	adj [][]int32
 }
 
 type edge struct{ from, to int32 }
 
 // New returns an empty graph with n nodes.
 func New(n int) *Graph {
-	return &Graph{n: n, adj: make([][]int32, n), edges: make(map[edge]bool)}
+	return &Graph{n: n, adj: make([][]int32, n)}
+}
+
+// Reset reshapes the graph to n isolated nodes, retaining the adjacency
+// backing arrays so a refill of similar shape allocates nothing.
+func (g *Graph) Reset(n int) {
+	if cap(g.adj) < n {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int32, n-cap(g.adj))...)
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.n = n
+	g.m = 0
 }
 
 // Len returns the number of nodes.
 func (g *Graph) Len() int { return g.n }
 
 // NumEdges returns the number of distinct edges.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return g.m }
 
 // AddEdge inserts the edge from→to, ignoring duplicates and panicking on
-// out-of-range nodes. Self-loops are recorded (they are cycles).
+// out-of-range nodes. Self-loops are recorded (they are cycles). The
+// duplicate check scans from's adjacency list; callers that already
+// deduplicated should use AddEdgeUnchecked.
 func (g *Graph) AddEdge(from, to int) {
 	if from < 0 || from >= g.n || to < 0 || to >= g.n {
 		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.n))
 	}
-	e := edge{int32(from), int32(to)}
-	if g.edges[e] {
-		return
+	for _, w := range g.adj[from] {
+		if int(w) == to {
+			return
+		}
 	}
-	g.edges[e] = true
 	g.adj[from] = append(g.adj[from], int32(to))
+	g.m++
+}
+
+// AddEdgeUnchecked inserts from→to without the duplicate scan; the caller
+// guarantees the edge is in range and not already present.
+func (g *Graph) AddEdgeUnchecked(from, to int) {
+	g.adj[from] = append(g.adj[from], int32(to))
+	g.m++
 }
 
 // HasEdge reports whether from→to is present.
 func (g *Graph) HasEdge(from, to int) bool {
-	return g.edges[edge{int32(from), int32(to)}]
+	if from < 0 || from >= g.n {
+		return false
+	}
+	for _, w := range g.adj[from] {
+		if int(w) == to {
+			return true
+		}
+	}
+	return false
 }
 
 // Succ returns the successors of node v; the slice is owned by the graph.
@@ -78,8 +112,10 @@ func (h *nodeHeap) Pop() interface{} {
 // and certificates are reproducible regardless of edge insertion order.
 func (g *Graph) TopoSort() (order []int, cycle []int) {
 	indeg := make([]int, g.n)
-	for e := range g.edges {
-		indeg[e.to]++
+	for v := range g.adj {
+		for _, w := range g.adj[v] {
+			indeg[w]++
+		}
 	}
 	h := make(nodeHeap, 0, g.n)
 	for v := 0; v < g.n; v++ {
@@ -248,9 +284,11 @@ func (g *Graph) DOT(name string, label func(int) string) string {
 		fmt.Fprintf(&sb, "  n%d [label=%q];\n", v, label(v))
 	}
 	// Deterministic edge order.
-	es := make([]edge, 0, len(g.edges))
-	for e := range g.edges {
-		es = append(es, e)
+	es := make([]edge, 0, g.m)
+	for v := range g.adj {
+		for _, w := range g.adj[v] {
+			es = append(es, edge{int32(v), w})
+		}
 	}
 	sort.Slice(es, func(i, j int) bool {
 		if es[i].from != es[j].from {

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Incremental maintains a topological order of a growing directed acyclic
@@ -18,22 +18,46 @@ import (
 // order certificate stays valid) or closes a cycle, which AddEdge reports
 // immediately — the checker rejects the trace at that exact prefix instead
 // of re-running a full sort per event.
+//
+// All search scratch (visited stamps, discovery buffers, the slot pool) is
+// owned by the struct and epoch-stamped, so a long append sequence — and a
+// Reset followed by a refill — runs without steady-state allocations.
 type Incremental struct {
 	out, in [][]int32
-	edges   map[edge]bool
+	m       int
 	// pos[v] is v's position in the maintained topological order; positions
 	// always form a permutation of 0..n-1.
 	pos []int32
+
+	// Search scratch, reused across AddEdge calls. markF/markB hold the
+	// epoch at which a node was last discovered forward/backward; parent
+	// records the forward search tree for cycle extraction.
+	epoch          uint32
+	markF, markB   []uint32
+	parent         []int32
+	deltaF, deltaB []int32
+	stack          []int32
+	nodes, slots   []int32
 }
 
 // NewIncremental returns an incremental DAG with n nodes, no edges, and
 // the identity order.
 func NewIncremental(n int) *Incremental {
-	g := &Incremental{edges: make(map[edge]bool)}
+	g := &Incremental{}
 	for i := 0; i < n; i++ {
 		g.AddNode()
 	}
 	return g
+}
+
+// Reset empties the graph back to zero nodes, keeping every backing array
+// so a refill of similar shape allocates nothing. The epoch stamps survive,
+// which is what keeps the reused mark arrays valid.
+func (g *Incremental) Reset() {
+	g.pos = g.pos[:0]
+	g.out = g.out[:0]
+	g.in = g.in[:0]
+	g.m = 0
 }
 
 // AddNode appends a node at the end of the maintained order and returns
@@ -41,8 +65,23 @@ func NewIncremental(n int) *Incremental {
 func (g *Incremental) AddNode() int {
 	v := len(g.pos)
 	g.pos = append(g.pos, int32(v))
-	g.out = append(g.out, nil)
-	g.in = append(g.in, nil)
+	if cap(g.out) > v {
+		g.out = g.out[:v+1]
+		g.out[v] = g.out[v][:0]
+	} else {
+		g.out = append(g.out, nil)
+	}
+	if cap(g.in) > v {
+		g.in = g.in[:v+1]
+		g.in[v] = g.in[v][:0]
+	} else {
+		g.in = append(g.in, nil)
+	}
+	if len(g.markF) <= v {
+		g.markF = append(g.markF, 0)
+		g.markB = append(g.markB, 0)
+		g.parent = append(g.parent, 0)
+	}
 	return v
 }
 
@@ -50,15 +89,37 @@ func (g *Incremental) AddNode() int {
 func (g *Incremental) Len() int { return len(g.pos) }
 
 // NumEdges returns the number of distinct edges.
-func (g *Incremental) NumEdges() int { return len(g.edges) }
+func (g *Incremental) NumEdges() int { return g.m }
 
 // HasEdge reports whether from→to is present.
 func (g *Incremental) HasEdge(from, to int) bool {
-	return g.edges[edge{int32(from), int32(to)}]
+	if from < 0 || from >= len(g.out) {
+		return false
+	}
+	for _, w := range g.out[from] {
+		if int(w) == to {
+			return true
+		}
+	}
+	return false
 }
 
 // Pos returns the position of v in the maintained topological order.
 func (g *Incremental) Pos(v int) int { return int(g.pos[v]) }
+
+// bumpEpoch advances the scratch stamp, clearing the mark arrays on the
+// (effectively unreachable) wraparound so stale stamps can never collide.
+func (g *Incremental) bumpEpoch() uint32 {
+	g.epoch++
+	if g.epoch == 0 {
+		for i := range g.markF {
+			g.markF[i] = 0
+			g.markB[i] = 0
+		}
+		g.epoch = 1
+	}
+	return g.epoch
+}
 
 // AddEdge inserts the edge from→to, maintaining the topological order. It
 // returns nil when the graph stays acyclic, and otherwise a directed cycle
@@ -70,13 +131,12 @@ func (g *Incremental) AddEdge(from, to int) []int {
 	if from < 0 || from >= len(g.pos) || to < 0 || to >= len(g.pos) {
 		panic(fmt.Sprintf("graph: incremental edge (%d,%d) out of range [0,%d)", from, to, len(g.pos)))
 	}
-	e := edge{int32(from), int32(to)}
-	if g.edges[e] {
+	if g.HasEdge(from, to) {
 		return nil
 	}
-	g.edges[e] = true
 	g.out[from] = append(g.out[from], int32(to))
 	g.in[to] = append(g.in[to], int32(from))
+	g.m++
 	if from == to {
 		return []int{from}
 	}
@@ -85,22 +145,23 @@ func (g *Incremental) AddEdge(from, to int) []int {
 		// The edge already agrees with the order: nothing to do.
 		return nil
 	}
+	ep := g.bumpEpoch()
 	// Discovery: forward from `to` over nodes positioned ≤ ub. Any path
 	// to→…→from lies entirely inside [lb, ub] (positions increase along
 	// edges of a respected order), so reaching `from` here is the complete
 	// cycle test.
-	parent := map[int32]int32{}
-	deltaF := []int32{int32(to)}
-	onF := map[int32]bool{int32(to): true}
-	stack := []int32{int32(to)}
+	deltaF := append(g.deltaF[:0], int32(to))
+	g.markF[to] = ep
+	stack := append(g.stack[:0], int32(to))
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, w := range g.out[v] {
 			if int(w) == from {
 				// Cycle: to → … → v → from, closed by the new from→to.
+				g.deltaF, g.stack = deltaF, stack
 				cyc := []int{}
-				for u := v; ; u = parent[u] {
+				for u := v; ; u = g.parent[u] {
 					cyc = append(cyc, int(u))
 					if int(u) == to {
 						break
@@ -113,9 +174,9 @@ func (g *Incremental) AddEdge(from, to int) []int {
 				}
 				return append(cyc, from)
 			}
-			if g.pos[w] < ub && !onF[w] {
-				onF[w] = true
-				parent[w] = v
+			if g.pos[w] < ub && g.markF[w] != ep {
+				g.markF[w] = ep
+				g.parent[w] = v
 				deltaF = append(deltaF, w)
 				stack = append(stack, w)
 			}
@@ -123,15 +184,15 @@ func (g *Incremental) AddEdge(from, to int) []int {
 	}
 	// Backward from `from` over nodes positioned > lb. (`to` cannot be
 	// reached: that would be a to⇒from path, found above.)
-	deltaB := []int32{int32(from)}
-	onB := map[int32]bool{int32(from): true}
+	deltaB := append(g.deltaB[:0], int32(from))
+	g.markB[from] = ep
 	stack = append(stack[:0], int32(from))
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, w := range g.in[v] {
-			if g.pos[w] > lb && !onB[w] {
-				onB[w] = true
+			if g.pos[w] > lb && g.markB[w] != ep {
+				g.markB[w] = ep
 				deltaB = append(deltaB, w)
 				stack = append(stack, w)
 			}
@@ -140,16 +201,18 @@ func (g *Incremental) AddEdge(from, to int) []int {
 	// Reassignment: everything that reaches `from` must precede everything
 	// reachable from `to`. Keep each group's internal order and pour both
 	// into the sorted pool of their old positions.
-	sort.Slice(deltaB, func(i, j int) bool { return g.pos[deltaB[i]] < g.pos[deltaB[j]] })
-	sort.Slice(deltaF, func(i, j int) bool { return g.pos[deltaF[i]] < g.pos[deltaF[j]] })
-	nodes := append(deltaB, deltaF...)
-	slots := make([]int32, len(nodes))
-	for i, v := range nodes {
-		slots[i] = g.pos[v]
+	byPos := func(a, b int32) int { return int(g.pos[a]) - int(g.pos[b]) }
+	slices.SortFunc(deltaB, byPos)
+	slices.SortFunc(deltaF, byPos)
+	nodes := append(append(g.nodes[:0], deltaB...), deltaF...)
+	slots := g.slots[:0]
+	for _, v := range nodes {
+		slots = append(slots, g.pos[v])
 	}
-	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	slices.Sort(slots)
 	for i, v := range nodes {
 		g.pos[v] = slots[i]
 	}
+	g.deltaF, g.deltaB, g.stack, g.nodes, g.slots = deltaF, deltaB, stack, nodes, slots
 	return nil
 }

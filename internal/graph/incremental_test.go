@@ -76,13 +76,15 @@ func orderValid(t *testing.T, g *Incremental) {
 		}
 		seen[p] = true
 	}
-	for e := range g.edges {
-		if e.from == e.to {
-			continue
-		}
-		if g.Pos(int(e.from)) >= g.Pos(int(e.to)) {
-			t.Fatalf("edge %d->%d violates order (%d >= %d)",
-				e.from, e.to, g.Pos(int(e.from)), g.Pos(int(e.to)))
+	for v := range g.out {
+		for _, w := range g.out[v] {
+			if int(w) == v {
+				continue
+			}
+			if g.Pos(v) >= g.Pos(int(w)) {
+				t.Fatalf("edge %d->%d violates order (%d >= %d)",
+					v, w, g.Pos(v), g.Pos(int(w)))
+			}
 		}
 	}
 }

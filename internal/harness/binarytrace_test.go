@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+)
+
+// TestGoldenTracesBinaryRoundTrip: every committed trace must survive a
+// JSON → binary → JSON round trip with an identical behavior, an identical
+// Check verdict, and a byte-identical certificate — the two codecs are two
+// encodings of the same trace, not two dialects.
+func TestGoldenTracesBinaryRoundTrip(t *testing.T) {
+	for _, g := range goldens {
+		g := g
+		t.Run(g.file, func(t *testing.T) {
+			f, err := os.Open(filepath.Join("testdata", g.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tr, b, err := event.ReadTrace(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			bin := event.MarshalBinaryTrace(tr, b)
+			tr2, b2, err := event.ReadBinaryTrace(bytes.NewReader(bin))
+			if err != nil {
+				t.Fatalf("binary decode: %v", err)
+			}
+			if !b2.Equal(b) {
+				t.Fatalf("behavior changed across binary round trip")
+			}
+
+			res := core.Check(tr, b)
+			res2 := core.Check(tr2, b2)
+			if res.OK != res2.OK {
+				t.Fatalf("verdict changed: JSON %v, binary %v", res.OK, res2.OK)
+			}
+			cert := core.FormatCertificate(tr, res.Certificate)
+			cert2 := core.FormatCertificate(tr2, res2.Certificate)
+			if cert != cert2 {
+				t.Fatalf("certificate changed across codecs:\nJSON:\n%s\nbinary:\n%s", cert, cert2)
+			}
+
+			// And back out to JSON: re-encoding the binary-decoded trace
+			// must reproduce the committed file's parse exactly.
+			var jbuf bytes.Buffer
+			if err := event.WriteTrace(&jbuf, tr2, b2); err != nil {
+				t.Fatal(err)
+			}
+			_, b3, err := event.ReadTrace(&jbuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !b3.Equal(b) {
+				t.Fatalf("JSON re-encoding of binary decode drifted")
+			}
+		})
+	}
+}
+
+// TestGoldenTracesStreamingBinaryCheck: the streaming binary decoder must
+// drive the incremental checker event-by-event — no Behavior slice — and
+// agree with the batch checker on both the accepted prefix and the final
+// certificate (Snapshot ≡ Build on accepted traces).
+func TestGoldenTracesStreamingBinaryCheck(t *testing.T) {
+	for _, g := range goldens {
+		g := g
+		t.Run(g.file, func(t *testing.T) {
+			f, err := os.Open(filepath.Join("testdata", g.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tr, b, err := event.ReadTrace(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bin := event.MarshalBinaryTrace(tr, b)
+
+			d, err := event.NewBinaryDecoder(bytes.NewReader(bin))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc := core.NewIncremental(d.Tree())
+			n := 0
+			for {
+				e, err := d.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("streaming decode at event %d: %v", n, err)
+				}
+				if cyc := inc.Append(e); cyc != nil {
+					t.Fatalf("streamed golden trace rejected at event %d: %v", n, cyc)
+				}
+				n++
+			}
+			if n != len(b) {
+				t.Fatalf("streamed %d events, batch decoded %d", n, len(b))
+			}
+
+			got := inc.Snapshot()
+			want := core.Build(tr, b)
+			if got.NumEdges() != want.NumEdges() || got.NumParents() != want.NumParents() {
+				t.Fatalf("streamed SG differs: %d/%d edges, %d/%d parents",
+					got.NumEdges(), want.NumEdges(), got.NumParents(), want.NumParents())
+			}
+			if got.DOT() != want.DOT() {
+				t.Fatalf("streamed SG not byte-identical to batch build")
+			}
+		})
+	}
+}

@@ -75,13 +75,17 @@ func RunAndCheck(opts Options) (*Verdict, error) {
 		return nil, fmt.Errorf("harness: generic run: %w", err)
 	}
 	v := &Verdict{Tree: tr, Trace: trace, Root: root, Stats: stats, StreamRejectedAt: -1}
+	// One pooled Checker serves both the streaming replay and the batch
+	// check; its scratch state is reused between the two passes. The Result
+	// outlives the Checker safely because no further calls follow.
+	c := core.NewChecker(tr)
 	if opts.Streaming {
-		v.StreamRejectedAt, v.StreamCycle = core.StreamPrefix(tr, trace)
+		v.StreamRejectedAt, v.StreamCycle = c.StreamPrefix(trace)
 	}
 	if opts.SGWorkers > 1 {
-		v.Check = core.CheckParallel(tr, trace, opts.SGWorkers)
+		v.Check = c.CheckParallel(trace, opts.SGWorkers)
 	} else {
-		v.Check = core.Check(tr, trace)
+		v.Check = c.Check(trace)
 	}
 	if !v.Check.OK {
 		return v, nil

@@ -197,6 +197,28 @@ func (m *Moss) Blockers(t tname.TxID) []tname.TxID {
 	return out
 }
 
+// Blocked implements object.BlockChecker: equivalent to
+// len(Blockers(t)) > 0, but returns at the first non-ancestor lockholder
+// without building the list. The runner polls this on every step.
+func (m *Moss) Blocked(t tname.TxID) bool {
+	if !m.created[t] || m.commitRequested[t] {
+		return false
+	}
+	for u := range m.writeLockholders {
+		if !m.tr.IsAncestor(u, t) {
+			return true
+		}
+	}
+	if !m.sp.ReadOnly(m.tr.AccessOp(t)) && !m.brokenIgnoreReadLocks {
+		for u := range m.readLockholders {
+			if !m.tr.IsAncestor(u, t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Audit implements object.Auditor: the faithful automaton must satisfy the
 // Lemma 9 chain invariant at all times. Broken variants are exempt — their
 // whole point is to violate the protocol.

@@ -42,6 +42,16 @@ type Generic interface {
 	Blockers(t tname.TxID) []tname.TxID
 }
 
+// BlockChecker is optionally implemented by generic objects that can
+// answer "is access t currently blocked?" without materializing the
+// blocker list. Blocked(t) must be equivalent to len(Blockers(t)) > 0 —
+// the runner polls it on every scheduler step and only falls back to
+// Blockers when choosing deadlock victims, where the full list is needed.
+// Blocked must not change state.
+type BlockChecker interface {
+	Blocked(t tname.TxID) bool
+}
+
 // Aborter is optionally implemented by generic objects whose protocol
 // aborts transactions instead of (only) blocking them — e.g. multiversion
 // timestamp ordering, where a write that arrives "too late" can never be

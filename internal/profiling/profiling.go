@@ -1,0 +1,56 @@
+// Package profiling provides the shared -cpuprofile/-memprofile plumbing
+// for the command-line tools, so perf investigations of the checker and the
+// runner need no ad-hoc instrumentation.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpu is non-empty and returns a stop
+// function that must be called before exit: it finalizes the CPU profile
+// and, when mem is non-empty, writes a heap profile (after a GC, so the
+// numbers reflect live data rather than garbage awaiting collection).
+func Start(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("profiling: %w", err)
+				}
+				return first
+			}
+			runtime.GC()
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil && first == nil {
+				first = fmt.Errorf("profiling: %w", werr)
+			}
+		}
+		return first
+	}, nil
+}

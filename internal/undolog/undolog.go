@@ -167,6 +167,24 @@ func (u *Undo) Blockers(t tname.TxID) []tname.TxID {
 	return out
 }
 
+// Blocked implements object.BlockChecker: equivalent to
+// len(Blockers(t)) > 0, but returns at the first non-commuting uncommitted
+// entry without building the list.
+func (u *Undo) Blocked(t tname.TxID) bool {
+	if !u.created[t] || u.commitRequested[t] || u.brokenSkipCommute {
+		return false
+	}
+	op := u.tr.AccessOp(t)
+	_, v := u.sp.Apply(u.state(), op)
+	ov := spec.OpVal{Op: op, Val: v}
+	for _, e := range u.operations {
+		if u.uncommittedOutside(e.tx, t) && u.sp.Conflicts(ov, e.ov) {
+			return true
+		}
+	}
+	return false
+}
+
 // Audit implements object.Auditor: the cached state must match a fresh
 // replay of the log, and perform(operations) must be a behavior of S_X
 // (Lemma 21(2) with the empty removal set, a consequence of the

@@ -35,6 +35,8 @@
 package nestedsg
 
 import (
+	"io"
+
 	"nestedsg/internal/core"
 	"nestedsg/internal/event"
 	"nestedsg/internal/generic"
@@ -92,6 +94,14 @@ type (
 	Cycle = core.Cycle
 	// IncrementalChecker maintains SG(β) online, one event at a time.
 	IncrementalChecker = core.Incremental
+	// Checker is a reusable checker bound to one system type: repeated
+	// Build/Check/StreamPrefix calls reuse its scratch memory, so
+	// steady-state checking is allocation-free. Results are valid until
+	// the next call on the same Checker.
+	Checker = core.Checker
+	// BinaryTraceDecoder streams events out of a binary trace without
+	// materializing the behavior.
+	BinaryTraceDecoder = event.BinaryDecoder
 )
 
 // Root is the transaction name T0.
@@ -272,3 +282,30 @@ func SerialWitness(tr *Tree, root *Node, b Behavior, cert *Certificate) (Behavio
 // ValidateSerial checks that a behavior could have been produced by the
 // serial system (used to certify witnesses).
 func ValidateSerial(tr *Tree, b Behavior) error { return serial.Validate(tr, b) }
+
+// NewChecker returns a reusable checker for tr. Prefer it over the free
+// Check/StreamCheck functions when checking many behaviors over one system
+// type: after the first call its scratch memory is recycled and the graph
+// construction allocates nothing.
+func NewChecker(tr *Tree) *Checker { return core.NewChecker(tr) }
+
+// WriteTrace writes the behavior as an indented JSON trace.
+func WriteTrace(w io.Writer, tr *Tree, b Behavior) error { return event.WriteTrace(w, tr, b) }
+
+// WriteBinaryTrace writes the behavior in the compact binary trace format
+// (varint-encoded, typically an order of magnitude smaller than JSON).
+func WriteBinaryTrace(w io.Writer, tr *Tree, b Behavior) error {
+	return event.WriteBinaryTrace(w, tr, b)
+}
+
+// ReadTrace parses a trace in either format, auto-detected from the
+// leading bytes (binary traces start with the "NSGB" magic).
+func ReadTrace(r io.Reader) (*Tree, Behavior, error) { return event.ReadTraceAuto(r) }
+
+// NewBinaryTraceDecoder opens a binary trace for streaming: the system
+// type is decoded eagerly, then Next yields one event at a time — feed
+// them to an IncrementalChecker to check unbounded traces in constant
+// memory.
+func NewBinaryTraceDecoder(r io.Reader) (*BinaryTraceDecoder, error) {
+	return event.NewBinaryDecoder(r)
+}
