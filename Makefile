@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet sgvet race fuzz-short bench-smoke bench-json bench-gate ci
+.PHONY: all build test vet sgvet race fuzz-short bench-smoke bench-json bench-gate serve loadtest-smoke ci
 
 all: build test vet sgvet
 
@@ -46,5 +46,16 @@ bench-gate: bench-json
 	$(GO) run ./cmd/benchdiff -suite BENCH_PR3.json \
 		-match 'E1MossSerialCorrectness|E15' -max-allocs-regress 25 -max-bytes-regress 25
 
+# Run the certified transaction server on the default port. SIGTERM (or
+# ctrl-C) drains it and prints the final online-vs-batch certificate.
+serve:
+	$(GO) run ./cmd/nestedsgd -addr 127.0.0.1:7474 -objects x,y,z
+
+# One-second certified load test against an in-process server: exits
+# nonzero unless every commit certified and the final online SG snapshot
+# matches the batch check byte-for-byte.
+loadtest-smoke:
+	$(GO) run ./cmd/nestedload -selfserve -workers 8 -dur 1s -objects 4 -zipf 1.2 -bench
+
 # Everything CI runs, in order.
-ci: build vet sgvet race bench-smoke bench-gate
+ci: build vet sgvet race bench-smoke loadtest-smoke bench-gate

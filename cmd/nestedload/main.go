@@ -1,0 +1,286 @@
+// Command nestedload is a closed-loop load generator for nestedsgd: N
+// workers each drive their own connection, running top-level transactions
+// (with optional subtransactions) against K shared objects with a
+// configurable read/write mix and zipf skew, retrying server-side aborts
+// with bounded exponential backoff. It prints a throughput/latency table
+// and the server's final certification verdict.
+//
+// Usage:
+//
+//	nestedload -addr 127.0.0.1:7474 -workers 16 -sessions 25
+//	nestedload -selfserve -workers 4 -dur 1s       # in-process server
+//	nestedload -selfserve -workers 4 -bench        # go test -bench format
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"nestedsg/internal/client"
+	"nestedsg/internal/locking"
+	"nestedsg/internal/object"
+	"nestedsg/internal/server"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/undolog"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func protocolByName(name string) object.Protocol {
+	switch name {
+	case "moss":
+		return locking.Protocol{}
+	case "undolog":
+		return undolog.Protocol{}
+	}
+	return nil
+}
+
+// opFor draws one operation for the given spec: read-class with probability
+// readRatio, update-class otherwise, with small argument domains so
+// conflicts actually occur.
+func opFor(specName string, rng *rand.Rand, readRatio float64) (spec.OpKind, spec.Value) {
+	read := rng.Float64() < readRatio
+	switch specName {
+	case "counter":
+		if read {
+			return spec.OpGet, spec.Nil
+		}
+		if rng.Intn(2) == 0 {
+			return spec.OpIncrement, spec.Int(int64(1 + rng.Intn(4)))
+		}
+		return spec.OpDecrement, spec.Int(int64(1 + rng.Intn(4)))
+	case "account":
+		if read {
+			return spec.OpBalance, spec.Nil
+		}
+		if rng.Intn(2) == 0 {
+			return spec.OpDeposit, spec.Int(int64(1 + rng.Intn(10)))
+		}
+		return spec.OpWithdraw, spec.Int(int64(1 + rng.Intn(10)))
+	case "set":
+		if read {
+			if rng.Intn(2) == 0 {
+				return spec.OpMember, spec.Int(int64(rng.Intn(8)))
+			}
+			return spec.OpSize, spec.Nil
+		}
+		if rng.Intn(2) == 0 {
+			return spec.OpInsert, spec.Int(int64(rng.Intn(8)))
+		}
+		return spec.OpRemove, spec.Int(int64(rng.Intn(8)))
+	case "appendlog":
+		if read {
+			return spec.OpLen, spec.Nil
+		}
+		return spec.OpAppend, spec.Int(int64(rng.Intn(100)))
+	case "queue":
+		if read {
+			return spec.OpDeq, spec.Nil
+		}
+		return spec.OpEnq, spec.Int(int64(rng.Intn(100)))
+	default: // register
+		if read {
+			return spec.OpRead, spec.Nil
+		}
+		return spec.OpWrite, spec.Int(int64(rng.Intn(100)))
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nestedload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "", "server address (empty with -selfserve)")
+		selfserve = fs.Bool("selfserve", false, "start an in-process server on a loopback port")
+		workers   = fs.Int("workers", 4, "concurrent client connections")
+		sessions  = fs.Int("sessions", 25, "transactions per worker (ignored with -dur)")
+		dur       = fs.Duration("dur", 0, "run for this long instead of a fixed transaction count")
+		accesses  = fs.Int("accesses", 4, "accesses per transaction")
+		childProb = fs.Float64("childprob", 0.25, "probability an access runs inside a subtransaction")
+		readRatio = fs.Float64("readratio", 0.5, "fraction of read-class operations")
+		zipfS     = fs.Float64("zipf", 0, "zipf skew parameter s (>1 enables skewed object choice)")
+		numObj    = fs.Int("objects", 4, "number of shared objects (x0..x{n-1})")
+		specName  = fs.String("spec", "register", "object type")
+		protoName = fs.String("protocol", "moss", "selfserve: concurrency control protocol")
+		seed      = fs.Int64("seed", 1, "per-worker RNG seed base")
+		retries   = fs.Int("retries", 8, "max attempts per transaction (bounded exponential backoff)")
+		bench     = fs.Bool("bench", false, "also print a go test -bench style summary line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 || *accesses < 1 || *numObj < 1 {
+		fmt.Fprintln(stderr, "nestedload: -workers, -accesses and -objects must be positive")
+		return 2
+	}
+	if spec.ByName(*specName) == nil {
+		fmt.Fprintf(stderr, "nestedload: unknown spec %q\n", *specName)
+		return 2
+	}
+
+	objects := make([]string, *numObj)
+	for i := range objects {
+		objects[i] = fmt.Sprintf("x%d", i)
+	}
+
+	var srv *server.Server
+	target := *addr
+	if *selfserve {
+		proto := protocolByName(*protoName)
+		if proto == nil {
+			fmt.Fprintf(stderr, "nestedload: unknown protocol %q\n", *protoName)
+			return 2
+		}
+		var err error
+		srv, err = server.Listen("127.0.0.1:0", server.Options{
+			Protocol:    proto,
+			DefaultSpec: spec.ByName(*specName),
+			Objects:     objects,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "nestedload:", err)
+			return 2
+		}
+		target = srv.Addr().String()
+	} else if target == "" {
+		fmt.Fprintln(stderr, "nestedload: -addr is required without -selfserve")
+		return 2
+	}
+
+	var (
+		committed atomic.Int64
+		failed    atomic.Int64
+		lat       server.Histogram
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	deadline := time.Time{}
+	if *dur > 0 {
+		deadline = start.Add(*dur)
+	}
+	errCh := make(chan error, *workers)
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			var zipf *rand.Zipf
+			if *zipfS > 1 {
+				zipf = rand.NewZipf(rng, *zipfS, 1, uint64(*numObj-1))
+			}
+			pick := func() string {
+				if zipf != nil {
+					return objects[zipf.Uint64()]
+				}
+				return objects[rng.Intn(*numObj)]
+			}
+			c, err := client.Dial(target)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			body := func(tx *client.Tx) error {
+				for a := 0; a < *accesses; a++ {
+					op, arg := opFor(*specName, rng, *readRatio)
+					obj := pick()
+					if rng.Float64() < *childProb {
+						if _, err := tx.Child(); err != nil {
+							return err
+						}
+						if _, err := tx.Access(obj, op, arg); err != nil {
+							return err
+						}
+						if _, err := tx.Commit(); err != nil {
+							return err
+						}
+					} else if _, err := tx.Access(obj, op, arg); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := 0; deadline.IsZero() && i < *sessions || !deadline.IsZero() && time.Now().Before(deadline); i++ {
+				t0 := time.Now()
+				if err := c.RunTx(*retries, body); err != nil {
+					failed.Add(1)
+					if !errors.Is(err, client.ErrTxAborted) {
+						errCh <- err
+						return
+					}
+					continue
+				}
+				lat.Observe(time.Since(t0))
+				committed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		fmt.Fprintln(stderr, "nestedload: worker:", err)
+	}
+
+	done := committed.Load()
+	tput := float64(done) / elapsed.Seconds()
+	fmt.Fprintf(stdout, "workers=%d committed=%d failed=%d elapsed=%s throughput=%.1f tx/s\n",
+		*workers, done, failed.Load(), elapsed.Round(time.Millisecond), tput)
+	fmt.Fprintf(stdout, "latency: mean=%s p50=%s p99=%s\n",
+		lat.Mean().Round(time.Microsecond), lat.Quantile(0.50), lat.Quantile(0.99))
+
+	ok := true
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, "nestedload: drain:", err)
+		}
+		f := srv.Final()
+		fmt.Fprint(stdout, f.Summary)
+		ok = f.Batch.OK && f.Match
+	} else {
+		// Remote server: read its live verdict over the wire.
+		c, err := client.Dial(target)
+		if err == nil {
+			v, verr := c.Verdict()
+			c.Close()
+			if verr == nil {
+				var rate float64
+				if v.Commits+v.Aborts > 0 {
+					rate = float64(v.Aborts) / float64(v.Commits+v.Aborts)
+				}
+				fmt.Fprintf(stdout,
+					"server verdict: events=%d certified=%d acyclic=%v sg=%d/%d/%d (parents/nodes/edges) commits=%d aborts=%d abort-rate=%.3f\n",
+					v.Events, v.Certified, v.Acyclic, v.Parents, v.Nodes, v.Edges, v.Commits, v.Aborts, rate)
+				ok = v.Acyclic
+			} else {
+				fmt.Fprintln(stderr, "nestedload: verdict:", verr)
+				ok = false
+			}
+		}
+	}
+
+	if *bench && done > 0 {
+		// One line per run in `go test -bench` text format so cmd/benchdiff
+		// can diff load runs; reported only, never gated.
+		fmt.Fprintf(stdout, "BenchmarkNestedload/c%d %d %d ns/op\n",
+			*workers, done, elapsed.Nanoseconds()/done)
+	}
+	if !ok || (done == 0 && failed.Load() > 0) {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func runLoad(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf strings.Builder
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestSelfServeSmoke(t *testing.T) {
+	code, out, errs := runLoad(t,
+		"-selfserve", "-workers", "4", "-sessions", "5", "-objects", "3", "-seed", "42")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	if !strings.Contains(out, "workers=4 committed=20 failed=0") {
+		t.Errorf("unexpected tally line:\n%s", out)
+	}
+	for _, want := range []string{
+		"latency: mean=",
+		"final certificate: serially correct for T0",
+		"online snapshot matches batch SG byte-for-byte",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSelfServeZipfCounter(t *testing.T) {
+	code, out, errs := runLoad(t,
+		"-selfserve", "-workers", "3", "-sessions", "4", "-spec", "counter",
+		"-protocol", "undolog", "-zipf", "1.3", "-childprob", "0.5", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	if !strings.Contains(out, "final certificate: serially correct for T0") {
+		t.Errorf("no certificate:\n%s", out)
+	}
+}
+
+var benchLine = regexp.MustCompile(`(?m)^BenchmarkNestedload/c2 \d+ \d+ ns/op$`)
+
+func TestBenchLineFormat(t *testing.T) {
+	code, out, errs := runLoad(t,
+		"-selfserve", "-workers", "2", "-sessions", "3", "-bench", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	if !benchLine.MatchString(out) {
+		t.Fatalf("no go test -bench style line in:\n%s", out)
+	}
+}
+
+func TestLoadBadFlags(t *testing.T) {
+	if code, _, _ := runLoad(t, "-workers", "0"); code != 2 {
+		t.Fatalf("zero workers: exit %d, want 2", code)
+	}
+	if code, _, errs := runLoad(t); code != 2 || !strings.Contains(errs, "-addr is required") {
+		t.Fatalf("missing addr: exit %d, stderr %q", code, errs)
+	}
+	if code, _, _ := runLoad(t, "-selfserve", "-spec", "nope"); code != 2 {
+		t.Fatalf("bad spec: exit %d, want 2", code)
+	}
+}

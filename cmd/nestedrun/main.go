@@ -168,8 +168,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// With -out - the trace owns stdout; informational lines move to stderr
+	// so `nestedrun -out - | sgcheck` pipes a clean stream.
+	msgW := stdout
+	if *out == "-" {
+		msgW = stderr
+	}
 	if !*quiet {
-		fmt.Fprintf(stdout, "protocol=%s events=%d commits=%d aborts=%d accesses=%d blocked=%d victims=%d\n",
+		fmt.Fprintf(msgW, "protocol=%s events=%d commits=%d aborts=%d accesses=%d blocked=%d victims=%d\n",
 			*protocol, len(trace), st.Commits, st.Aborts, st.Accesses, st.Blocked, st.DeadlockVictims)
 	}
 
@@ -203,7 +209,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *check {
 		res := core.Check(tr, trace)
-		fmt.Fprintln(stdout, "check:", res.Summary(tr))
+		fmt.Fprintln(msgW, "check:", res.Summary(tr))
 		if !res.OK {
 			return 1
 		}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"nestedsg/internal/client"
+	"nestedsg/internal/spec"
+)
+
+// startDaemon runs the daemon main loop in a goroutine and returns the bound
+// address, the signal channel that triggers drain, and the exit-code channel.
+func startDaemon(t *testing.T, args ...string) (string, chan os.Signal, <-chan int, *strings.Builder) {
+	t.Helper()
+	sig := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	code := make(chan int, 1)
+	var out strings.Builder
+	go func() {
+		var errBuf strings.Builder
+		c := run(args, &out, &errBuf, sig, ready)
+		if errBuf.Len() > 0 {
+			t.Log("stderr:", errBuf.String())
+		}
+		code <- c
+	}()
+	addr, ok := <-ready, true
+	if addr == "" {
+		ok = false
+	}
+	if !ok {
+		t.Fatal("daemon never became ready")
+	}
+	return addr, sig, code, &out
+}
+
+func TestDaemonServeDrainVerify(t *testing.T) {
+	addr, sig, code, out := startDaemon(t, "-addr", "127.0.0.1:0", "-objects", "x,y")
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunTx(5, func(tx *client.Tx) error {
+		if _, err := tx.Access("x", spec.OpWrite, spec.Int(1)); err != nil {
+			return err
+		}
+		_, err := tx.Access("y", spec.OpRead, spec.Nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	sig <- syscall.SIGTERM
+	if got := <-code; got != 0 {
+		t.Fatalf("daemon exited %d\noutput:\n%s", got, out.String())
+	}
+	for _, want := range []string{
+		"nestedsgd: listening on",
+		"draining...",
+		"final certificate: serially correct for T0",
+		"online snapshot matches batch SG byte-for-byte",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var out, errBuf strings.Builder
+	if got := run([]string{"-protocol", "nope"}, &out, &errBuf, nil, nil); got != 2 {
+		t.Fatalf("unknown protocol: exit %d, want 2", got)
+	}
+	if !strings.Contains(errBuf.String(), "unknown protocol") {
+		t.Fatalf("stderr: %s", errBuf.String())
+	}
+	errBuf.Reset()
+	if got := run([]string{"-spec", "nope"}, &out, &errBuf, nil, nil); got != 2 {
+		t.Fatalf("unknown spec: exit %d, want 2", got)
+	}
+}

@@ -11,16 +11,22 @@
 //	sgcheck -in trace.json -stream          # report the shortest bad prefix
 //	sgcheck -in trace.json -workers 0       # parallel SG construction
 //	sgcheck -in trace.bin                   # binary traces auto-detected
+//	nestedrun -out - | sgcheck              # '-in -' (or no -in) reads stdin
+//	nestedrun -format binary -out - | sgcheck -stream
 //
-// When the input is a binary trace file, -stream replays it through the
-// incremental checker straight off the decoder, one event at a time,
-// without ever materializing the behavior in memory.
+// Both codecs work on stdin: the format is sniffed from the first bytes
+// (binary traces start with the NSGB magic). When the input is a binary
+// trace, -stream replays it through the incremental checker straight off
+// the decoder, one event at a time. For a file, the behavior is never
+// materialized in memory; for stdin — which cannot be re-read — the events
+// are accumulated during the streaming pass and handed to the batch check.
 //
 // Exit status is 0 when the trace is certified serially correct for T0, 1
 // on a check failure and 2 on usage or I/O errors.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"flag"
 	"fmt"
@@ -37,10 +43,10 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sgcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -74,31 +80,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
-	// Streaming check for a binary trace file: drive the incremental
-	// checker straight off the decoder — no Behavior is ever built.
-	streamed := false
-	if *stream && *in != "" && *in != "-" && *format != "json" && isBinaryFile(*in) {
-		code, ok := streamBinaryFile(*in, stdout, stderr)
-		if !ok {
-			return code
+	// Streaming check for binary input: drive the incremental checker
+	// straight off the decoder. For a file the behavior is never built (the
+	// batch check below re-reads the file); stdin cannot be re-read, so
+	// there the streaming pass accumulates the events it decodes.
+	var (
+		streamed bool
+		tr       *tname.Tree
+		b        event.Behavior
+	)
+	fromStdin := *in == "" || *in == "-"
+	stdinBuf := bufio.NewReader(stdin)
+	if *stream && *format != "json" {
+		if !fromStdin && isBinaryFile(*in) {
+			code, ok := streamBinaryFile(*in, stdout, stderr)
+			if !ok {
+				return code
+			}
+			streamed = true
+		} else if fromStdin && isBinaryStream(stdinBuf) {
+			d, err := event.NewBinaryDecoder(stdinBuf)
+			if err != nil {
+				fmt.Fprintln(stderr, "sgcheck:", err)
+				return 2
+			}
+			kept, code, ok := streamDecode(d, true, stdout, stderr)
+			if !ok {
+				return code
+			}
+			streamed = true
+			tr, b = d.Tree(), kept
 		}
-		streamed = true
 	}
 
-	r := io.Reader(os.Stdin)
-	if *in != "" && *in != "-" {
-		f, err := os.Open(*in)
+	if tr == nil {
+		r := io.Reader(stdinBuf)
+		if !fromStdin {
+			f, err := os.Open(*in)
+			if err != nil {
+				fmt.Fprintln(stderr, "sgcheck:", err)
+				return 2
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		tr, b, err = readTrace(r, *format)
 		if err != nil {
 			fmt.Fprintln(stderr, "sgcheck:", err)
 			return 2
 		}
-		defer f.Close()
-		r = f
-	}
-	tr, b, err := readTrace(r, *format)
-	if err != nil {
-		fmt.Fprintln(stderr, "sgcheck:", err)
-		return 2
 	}
 	if *verbose {
 		fmt.Fprint(stdout, b.Format(tr))
@@ -224,6 +255,13 @@ func isBinaryFile(path string) bool {
 	return bytes.Equal(head[:], []byte("NSGB"))
 }
 
+// isBinaryStream reports whether the buffered reader starts with the binary
+// trace magic, without consuming it.
+func isBinaryStream(r *bufio.Reader) bool {
+	head, err := r.Peek(4)
+	return err == nil && bytes.Equal(head, []byte("NSGB"))
+}
+
 // streamBinaryFile replays a binary trace file through the incremental
 // checker event-by-event, never holding the behavior in memory. Returns
 // (exitCode, false) to terminate on rejection or I/O error, (0, true) when
@@ -240,8 +278,22 @@ func streamBinaryFile(path string, stdout, stderr io.Writer) (int, bool) {
 		fmt.Fprintln(stderr, "sgcheck:", err)
 		return 2, false
 	}
+	_, code, ok := streamDecode(d, false, stdout, stderr)
+	return code, ok
+}
+
+// streamDecode drives the incremental checker straight off a binary
+// decoder. With keep set it also accumulates the decoded events, for inputs
+// (stdin) that cannot be read a second time by the batch check. Returns
+// (kept, exitCode, ok): ok is false when the caller should terminate with
+// exitCode (rejection or I/O error).
+func streamDecode(d *event.BinaryDecoder, keep bool, stdout, stderr io.Writer) (event.Behavior, int, bool) {
 	total := d.Remaining()
 	inc := core.NewIncremental(d.Tree())
+	var kept event.Behavior
+	if keep {
+		kept = make(event.Behavior, 0, total)
+	}
 	for i := 0; ; i++ {
 		e, err := d.Next()
 		if err == io.EOF {
@@ -249,13 +301,16 @@ func streamBinaryFile(path string, stdout, stderr io.Writer) (int, bool) {
 		}
 		if err != nil {
 			fmt.Fprintln(stderr, "sgcheck:", err)
-			return 2, false
+			return nil, 2, false
+		}
+		if keep {
+			kept = append(kept, e)
 		}
 		if cyc := inc.Append(e); cyc != nil {
 			fmt.Fprintf(stdout, "stream: rejected at event %d/%d — %s\n", i, total, cyc.Format(d.Tree()))
-			return 1, false
+			return nil, 1, false
 		}
 	}
 	fmt.Fprintf(stdout, "stream: all %d prefixes have acyclic SGs (binary streaming decode)\n", total)
-	return 0, true
+	return kept, 0, true
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,8 +45,13 @@ func writeTrace(t *testing.T, broken bool) string {
 
 func runCmd(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
+	return runCmdStdin(t, strings.NewReader(""), args...)
+}
+
+func runCmdStdin(t *testing.T, stdin io.Reader, args ...string) (int, string, string) {
+	t.Helper()
 	var out, errBuf bytes.Buffer
-	code := run(args, &out, &errBuf)
+	code := run(args, stdin, &out, &errBuf)
 	return code, out.String(), errBuf.String()
 }
 
@@ -279,5 +285,62 @@ func TestMinimizeWriteErrorExits2(t *testing.T) {
 	code, _, errOut := runCmd(t, "-in", path, "-minimize", "/dev/full")
 	if code != 2 || errOut == "" {
 		t.Fatalf("write failure must exit 2 with a message; code=%d stderr=%q", code, errOut)
+	}
+}
+
+// traceBytes renders a generated good trace in the requested codec.
+func traceBytes(t *testing.T, format string) []byte {
+	t.Helper()
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 7, TopLevel: 4, Depth: 1, Fanout: 3,
+		Objects: 2, HotProb: 0.8, ParProb: 0.9})
+	b, _, err := generic.Run(tr, root, generic.Options{Seed: 11, Protocol: locking.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if format == "binary" {
+		err = event.WriteBinaryTrace(&buf, tr, b)
+	} else {
+		err = event.WriteTrace(&buf, tr, b)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStdinBothCodecs(t *testing.T) {
+	for _, format := range []string{"json", "binary"} {
+		for _, inFlag := range [][]string{nil, {"-in", "-"}} {
+			code, out, errOut := runCmdStdin(t, bytes.NewReader(traceBytes(t, format)), inFlag...)
+			if code != 0 {
+				t.Fatalf("%s %v: exit %d stderr=%s", format, inFlag, code, errOut)
+			}
+			if !strings.Contains(out, "serially correct for T0") {
+				t.Fatalf("%s %v: no verdict:\n%s", format, inFlag, out)
+			}
+		}
+	}
+}
+
+func TestStdinBinaryStream(t *testing.T) {
+	// -stream over binary stdin must use the streaming decoder (and still
+	// run the batch check on the accumulated events).
+	code, out, errOut := runCmdStdin(t, bytes.NewReader(traceBytes(t, "binary")), "-stream")
+	if code != 0 {
+		t.Fatalf("exit %d stderr=%s out=%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "binary streaming decode") {
+		t.Fatalf("binary stdin -stream did not take the streaming path:\n%s", out)
+	}
+	if !strings.Contains(out, "serially correct for T0") {
+		t.Fatalf("batch verdict missing after streaming pass:\n%s", out)
+	}
+
+	// JSON on stdin with -stream falls back to the in-memory replay.
+	code, out, _ = runCmdStdin(t, bytes.NewReader(traceBytes(t, "json")), "-stream")
+	if code != 0 || !strings.Contains(out, "stream: all") || strings.Contains(out, "streaming decode") {
+		t.Fatalf("json stdin -stream path wrong (exit %d):\n%s", code, out)
 	}
 }

@@ -1,0 +1,259 @@
+// Package client is the Go client for a nestedsgd server: a thin cursor
+// over the session state the server keeps, plus a retry loop for the
+// server-side aborts (deadlock victims, lock timeouts, drains) that any
+// concurrent locking protocol must be allowed to issue.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nestedsg/internal/spec"
+	"nestedsg/internal/wire"
+)
+
+// ErrTxAborted is wrapped by every error caused by the server aborting the
+// session's top-level transaction. After it, the session is idle again and
+// the transaction can simply be retried; RunTx does so automatically.
+var ErrTxAborted = errors.New("transaction aborted by server")
+
+// Conn is one connection — hence one server-side session. A Conn is not
+// safe for concurrent use; the protocol is strictly request/response.
+type Conn struct {
+	nc   net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	rbuf []byte
+	out  []byte
+}
+
+// Dial connects to a nestedsgd server.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}, nil
+}
+
+// Close closes the connection. A transaction left open is aborted by the
+// server.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+func (c *Conn) roundTrip(q wire.Request) (wire.Response, error) {
+	c.out = wire.AppendRequest(c.out[:0], q)
+	if err := wire.WriteFrame(c.w, c.out); err != nil {
+		return wire.Response{}, fmt.Errorf("client: write %s: %w", q.Cmd, err)
+	}
+	payload, err := wire.ReadFrame(c.r, c.rbuf)
+	if err != nil {
+		return wire.Response{}, fmt.Errorf("client: read %s response: %w", q.Cmd, err)
+	}
+	c.rbuf = payload
+	resp, err := wire.ParseResponse(q.Cmd, payload)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		return resp, nil
+	case wire.StatusTxAborted:
+		return resp, fmt.Errorf("%w: %s", ErrTxAborted, resp.Reason)
+	case wire.StatusError:
+		return resp, fmt.Errorf("client: server rejected %s: %s", q.Cmd, resp.Reason)
+	default:
+		return resp, fmt.Errorf("client: unknown response status %d", uint8(resp.Status))
+	}
+}
+
+// Begin opens a top-level transaction and returns its label.
+func (c *Conn) Begin() (string, error) {
+	resp, err := c.roundTrip(wire.Request{Cmd: wire.CmdBegin})
+	return resp.Name, err
+}
+
+// Child opens a subtransaction of the current transaction.
+func (c *Conn) Child() (string, error) {
+	resp, err := c.roundTrip(wire.Request{Cmd: wire.CmdChild})
+	return resp.Name, err
+}
+
+// Access performs one access (a leaf child of the current transaction) and
+// returns its committed value. An ErrTxAborted-wrapped error means the
+// server aborted the whole top-level transaction while the access waited.
+func (c *Conn) Access(obj string, op spec.OpKind, arg spec.Value) (spec.Value, error) {
+	resp, err := c.roundTrip(wire.Request{Cmd: wire.CmdAccess, Obj: obj, Op: op, Arg: arg})
+	return resp.Value, err
+}
+
+// Commit commits the current transaction and returns the log index of its
+// COMMIT event. A nil error certifies that the server's SG(β) was acyclic
+// on a prefix covering the commit.
+func (c *Conn) Commit() (uint64, error) {
+	resp, err := c.roundTrip(wire.Request{Cmd: wire.CmdCommit})
+	return resp.Seq, err
+}
+
+// Abort aborts the current transaction.
+func (c *Conn) Abort() error {
+	_, err := c.roundTrip(wire.Request{Cmd: wire.CmdAbort})
+	return err
+}
+
+// Verdict reports the server's live certification state.
+func (c *Conn) Verdict() (wire.Verdict, error) {
+	resp, err := c.roundTrip(wire.Request{Cmd: wire.CmdVerdict})
+	return resp.Verdict, err
+}
+
+// Ping round-trips a no-op frame.
+func (c *Conn) Ping() error {
+	_, err := c.roundTrip(wire.Request{Cmd: wire.CmdPing})
+	return err
+}
+
+// Tx is the in-transaction view passed to a RunTx body: the same cursor,
+// minus Begin/Commit (the retry loop owns those). It tracks the nesting
+// depth so the retry loop can unwind subtransactions the body left open.
+type Tx struct {
+	c     *Conn
+	depth int
+}
+
+// Child opens a subtransaction.
+func (t *Tx) Child() (string, error) {
+	name, err := t.c.Child()
+	if err == nil {
+		t.depth++
+	}
+	return name, err
+}
+
+// Access performs one access in the current transaction.
+func (t *Tx) Access(obj string, op spec.OpKind, arg spec.Value) (spec.Value, error) {
+	return t.c.Access(obj, op, arg)
+}
+
+// Commit commits the current subtransaction (not the top level).
+func (t *Tx) Commit() (uint64, error) {
+	seq, err := t.c.Commit()
+	if err == nil && t.depth > 0 {
+		t.depth--
+	}
+	return seq, err
+}
+
+// Abort aborts the current subtransaction.
+func (t *Tx) Abort() error {
+	err := t.c.Abort()
+	if err == nil && t.depth > 0 {
+		t.depth--
+	}
+	return err
+}
+
+// RunTx runs fn inside a top-level transaction, committing on nil return.
+// When the server aborts the transaction (deadlock victim, lock timeout),
+// RunTx backs off exponentially — 1ms doubling to 64ms — and retries, up to
+// maxAttempts. Any other error from fn aborts the transaction and is
+// returned as-is.
+func (c *Conn) RunTx(maxAttempts int, fn func(tx *Tx) error) error {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	backoff := time.Millisecond
+	var last error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 64*time.Millisecond {
+				backoff = 64 * time.Millisecond
+			}
+		}
+		if _, err := c.Begin(); err != nil {
+			return err
+		}
+		tx := &Tx{c: c}
+		err := fn(tx)
+		if err == nil && tx.depth > 0 {
+			err = fmt.Errorf("client: transaction body left %d subtransaction(s) open", tx.depth)
+		}
+		if err == nil {
+			_, err = c.Commit()
+			if err == nil {
+				return nil
+			}
+			if errors.Is(err, ErrTxAborted) {
+				last = err
+				continue
+			}
+			// COMMIT always leaves the session idle (committed, aborted, or
+			// rejected after the fact by the certifier) — nothing to clean up.
+			return err
+		}
+		if errors.Is(err, ErrTxAborted) {
+			// Session is already idle server-side; just retry.
+			last = err
+			continue
+		}
+		// Application error: unwind any subtransactions the body left open,
+		// then the top level, and bail.
+		for i := 0; i <= tx.depth; i++ {
+			if aerr := c.Abort(); aerr != nil {
+				if !errors.Is(aerr, ErrTxAborted) {
+					return errors.Join(err, aerr)
+				}
+				break
+			}
+		}
+		return err
+	}
+	return fmt.Errorf("client: transaction failed after %d attempts: %w", maxAttempts, last)
+}
+
+// Pool is a trivial free-list of connections to one server, for callers
+// that multiplex many logical sessions over a bounded set of workers.
+type Pool struct {
+	addr string
+	mu   sync.Mutex
+	free []*Conn
+}
+
+// NewPool returns a pool dialing addr on demand.
+func NewPool(addr string) *Pool { return &Pool{addr: addr} }
+
+// Get returns a pooled connection or dials a fresh one.
+func (p *Pool) Get() (*Conn, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return Dial(p.addr)
+}
+
+// Put returns a connection to the pool. Only idle connections (no open
+// transaction) may be returned.
+func (p *Pool) Put(c *Conn) {
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
+// Close closes every pooled connection.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	free := p.free
+	p.free = nil
+	p.mu.Unlock()
+	for _, c := range free {
+		c.Close()
+	}
+}

@@ -376,6 +376,17 @@ func (inc *Incremental) node(pg *ParentGraph, t tname.TxID) int32 {
 	return i
 }
 
+// Counts reports the live size of the maintained graph: materialized parent
+// graphs, child nodes across all of them, and distinct (pair, kind) edge
+// records. It is O(parents) and does not materialize a snapshot, so a
+// metrics endpoint can poll it cheaply.
+func (inc *Incremental) Counts() (parents, nodes, edges int) {
+	for _, pg := range inc.parents {
+		nodes += len(pg.Children)
+	}
+	return len(inc.parents), nodes, len(inc.seen)
+}
+
 // Snapshot materializes SG of the consumed prefix; the result is
 // structurally identical to Build(tr, prefix) and independent of the live
 // state, which continues to accept Appends.

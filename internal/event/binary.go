@@ -375,6 +375,34 @@ func ReadBinaryTrace(r io.Reader) (*tname.Tree, Behavior, error) {
 	return d.tr, b, nil
 }
 
+// The exported Append/Read helpers below expose the NSGB wire primitives
+// (uvarint-length-prefixed strings and kind-tagged values) to other framed
+// protocols in this module — internal/wire speaks them verbatim — so the
+// module has exactly one binary encoding of strings and spec.Values.
+
+// AppendString appends a uvarint-length-prefixed string.
+func AppendString(buf []byte, s string) []byte { return appendStr(buf, s) }
+
+// AppendValue appends a kind-tagged value in the NSGB value encoding.
+func AppendValue(buf []byte, v spec.Value) []byte { return appendValue(buf, v) }
+
+// ReadString decodes a uvarint-length-prefixed string; what names the field
+// in decode errors.
+func ReadString(r *bufio.Reader, what string) (string, error) {
+	return binReader{r: r}.readStr(what)
+}
+
+// ReadValue decodes a kind-tagged value in the NSGB value encoding. The
+// payload is rebuilt through the spec constructors, exactly as the trace
+// decoder does.
+func ReadValue(r *bufio.Reader, what string) (spec.Value, error) {
+	tv, err := binReader{r: r}.readValue(what)
+	if err != nil {
+		return spec.Nil, err
+	}
+	return decodeValue(tv)
+}
+
 // ReadTraceAuto sniffs the stream and dispatches to the binary or JSON
 // reader: binary traces start with the NSGB magic, JSON traces with
 // whitespace or '{'.

@@ -1,0 +1,92 @@
+package generic
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"nestedsg/internal/locking"
+	"nestedsg/internal/tname"
+	"nestedsg/internal/workload"
+)
+
+// bigWorkload is large enough that a run takes far longer than the cancel
+// delay below, so cancellation lands mid-flight.
+func bigWorkload() workload.Config {
+	return workload.Config{Seed: 3, TopLevel: 200, Depth: 2, Fanout: 4,
+		Objects: 4, HotProb: 0.5, ParProb: 0.9}
+}
+
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	tr := tname.NewTree()
+	root := workload.Build(tr, bigWorkload())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, st, err := RunContext(ctx, tr, root, Options{Seed: 1, Protocol: locking.Protocol{}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if b != nil {
+		t.Fatalf("canceled run must not return a trace (%d events)", len(b))
+	}
+	if st.Steps != 0 {
+		t.Fatalf("canceled-before-start run took %d steps", st.Steps)
+	}
+}
+
+func TestRunContextCancelMidFlight(t *testing.T) {
+	tr := tname.NewTree()
+	root := workload.Build(tr, bigWorkload())
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		steps int
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		// A blocking protocol on a hot workload: the scheduler runs long
+		// enough that the cancel below interrupts it mid-run.
+		_, st, err := RunContext(ctx, tr, root, Options{Seed: 1, Protocol: locking.Protocol{}})
+		done <- result{st.Steps, err}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	res := <-done
+	if !errors.Is(res.err, context.Canceled) {
+		t.Fatalf("want context.Canceled after %d steps, got %v", res.steps, res.err)
+	}
+	// Distinguishable from a scheduling failure: the message names the step.
+	if res.steps == 0 {
+		t.Log("run was canceled before taking a step (slow machine); still acceptable")
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	tr := tname.NewTree()
+	root := workload.Build(tr, bigWorkload())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, _, err := RunContext(ctx, tr, root, Options{Seed: 1, Protocol: locking.Protocol{}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestRunIsRunContextBackground(t *testing.T) {
+	tr := tname.NewTree()
+	root := workload.Build(tr, workload.Config{Seed: 5, TopLevel: 3, Depth: 1, Fanout: 2, Objects: 2})
+	b1, _, err := Run(tr, root, Options{Seed: 9, Protocol: locking.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := tname.NewTree()
+	root2 := workload.Build(tr2, workload.Config{Seed: 5, TopLevel: 3, Depth: 1, Fanout: 2, Objects: 2})
+	b2, _, err := RunContext(context.Background(), tr2, root2, Options{Seed: 9, Protocol: locking.Protocol{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b1.Equal(b2) {
+		t.Fatal("Run and RunContext(Background) diverge on the same seed")
+	}
+}

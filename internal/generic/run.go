@@ -34,6 +34,7 @@
 package generic
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -215,6 +216,15 @@ func (r *Runner) putTx(ts *txState) {
 // Run executes the program of T0 under the generic controller and returns
 // the recorded behavior (serial actions plus informs).
 func Run(tr *tname.Tree, root *program.Node, opts Options) (event.Behavior, Stats, error) {
+	return RunContext(context.Background(), tr, root, opts)
+}
+
+// RunContext is Run with cancellation: the scheduler checks ctx between
+// steps and stops with an error wrapping ctx's cause (context.Canceled or
+// context.DeadlineExceeded), so callers can distinguish a cancelled run
+// from a scheduling failure with errors.Is. The trace accumulated so far is
+// discarded — a cancelled run has no meaningful behavior to certify.
+func RunContext(ctx context.Context, tr *tname.Tree, root *program.Node, opts Options) (event.Behavior, Stats, error) {
 	if err := program.Validate(root); err != nil {
 		return nil, Stats{}, err
 	}
@@ -259,6 +269,9 @@ func Run(tr *tname.Tree, root *program.Node, opts Options) (event.Behavior, Stat
 	}
 
 	for ; r.stats.Steps < maxSteps; r.stats.Steps++ {
+		if err := ctx.Err(); err != nil {
+			return nil, r.stats, fmt.Errorf("generic: run canceled at step %d: %w", r.stats.Steps, err)
+		}
 		if r.maybeInjectAbort() {
 			continue
 		}

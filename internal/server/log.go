@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+)
+
+// eventLog is the totally-ordered atomic event log of the server: every
+// session appends its serial and inform events here under one mutex, so the
+// log order is the behavior β the certifier judges. The order is produced by
+// the race itself — whichever session wins the mutex appends first — and the
+// per-object/per-session emission discipline (see session.go) guarantees the
+// result is a generic behavior.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events event.Behavior
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// append atomically appends evs and returns the log index of the first one.
+func (l *eventLog) append(evs ...event.Event) int {
+	l.mu.Lock()
+	base := len(l.events)
+	l.events = append(l.events, evs...)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	return base
+}
+
+// len reports the current log length.
+func (l *eventLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// snapshot copies the current log.
+func (l *eventLog) snapshot() event.Behavior {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append(event.Behavior(nil), l.events...)
+}
+
+// close marks the log complete and wakes the certifier so it can drain and
+// exit.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// waitBeyond blocks until the log extends past n (returning a copy of the
+// new suffix in buf) or is closed with nothing left (returning ok=false).
+func (l *eventLog) waitBeyond(n int, buf event.Behavior) (event.Behavior, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.events) <= n && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.events) <= n {
+		return nil, false
+	}
+	buf = append(buf[:0], l.events[n:]...)
+	return buf, true
+}
+
+// certifier runs core.Incremental behind the event log: a single goroutine
+// consumes the log in order and certifies each prefix, so a commit response
+// can wait until the watermark covers its COMMIT event and thereby carry an
+// acyclic-SG(β)-prefix guarantee. Prefix-monotonicity of the SG edge set
+// (see core.Incremental) makes the online verdict agree with the offline
+// batch verdict on every extension, which is why certifying behind the log
+// is sound.
+type certifier struct {
+	srv *Server
+	inc *core.Incremental
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	watermark int // events certified so far
+	cycle     *core.Cycle
+	cycleAt   int
+
+	// Live gauges, readable without the certifier's locks.
+	parents, nodes, edges atomic.Int64
+
+	done chan struct{}
+}
+
+func newCertifier(s *Server) *certifier {
+	c := &certifier{
+		srv:     s,
+		inc:     core.NewIncremental(s.tr),
+		cycleAt: -1,
+		done:    make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// loop consumes the log until it is closed and drained. The tree read lock
+// is held while appending (sessions intern names under the write lock).
+func (c *certifier) loop() {
+	defer close(c.done)
+	processed := 0
+	var buf event.Behavior
+	for {
+		batch, ok := c.srv.log.waitBeyond(processed, buf)
+		if !ok {
+			// Closed and drained: release any lingering waiters.
+			c.mu.Lock()
+			c.watermark = math.MaxInt
+			c.mu.Unlock()
+			c.cond.Broadcast()
+			return
+		}
+		buf = batch
+		c.srv.mu.RLock()
+		for _, e := range batch {
+			c.inc.Append(e)
+		}
+		p, n, ed := c.inc.Counts()
+		c.srv.mu.RUnlock()
+		c.parents.Store(int64(p))
+		c.nodes.Store(int64(n))
+		c.edges.Store(int64(ed))
+		processed += len(batch)
+
+		c.mu.Lock()
+		c.watermark = processed
+		if c.cycle == nil {
+			c.cycle, c.cycleAt = c.inc.Rejected()
+		}
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}
+}
+
+// waitCertified blocks until the certifier has consumed the log through seq
+// and returns nil when every prefix up to seq has an acyclic SG, or the
+// cycle certificate error from the first violating prefix at or before seq.
+func (c *certifier) waitCertified(seq int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.watermark <= seq {
+		c.cond.Wait()
+	}
+	if c.cycle != nil && c.cycleAt <= seq {
+		c.srv.mu.RLock()
+		msg := c.cycle.Format(c.srv.tr)
+		c.srv.mu.RUnlock()
+		return fmt.Errorf("server: SG(β) acquired a cycle at log event %d: %s", c.cycleAt, msg)
+	}
+	return nil
+}
+
+// state reports (watermark, acyclic) for the verdict request.
+func (c *certifier) state() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.watermark, c.cycle == nil
+}

@@ -1,0 +1,372 @@
+// Package server implements nestedsgd: a concurrent nested-transaction
+// runtime in which every client session drives its own fragment of the
+// transaction tree (begin-child / access / commit / abort) against shared
+// generic objects, while a totally-ordered event log feeds an online
+// core.Incremental certifier so that every committed response is backed by
+// an acyclic SG(β) prefix.
+//
+// Unlike internal/generic — where one seeded scheduler simulates the
+// nondeterminism of the paper's generic controller — the interleaving here
+// is produced by real goroutine concurrency: sessions race for the
+// per-object mutexes and the log mutex, and whatever total order the race
+// yields is the behavior β that gets certified. The emission discipline that
+// keeps β a generic behavior is local and cheap:
+//
+//   - each session appends the events of its own transaction subtree in
+//     program order (sessions are sequential request/response loops), which
+//     preserves every per-transaction well-formedness axiom;
+//   - an access's REQUEST_COMMIT is appended while the object's mutex is
+//     held, so the log's per-object operation order is exactly the order in
+//     which the object automaton applied the operations, making the recorded
+//     return values appropriate;
+//   - INFORM events are appended under the same object mutex as the
+//     automaton call, and a transaction's informs are emitted before its
+//     parent can complete, preserving the ascending (leaf-to-root) inform
+//     order the lock-visibility argument of §5.3 relies on.
+//
+// Deadlock is the blocking protocols' price for real concurrency: a session
+// whose access stays blocked runs a waits-for cycle check (aborting the
+// youngest cycle member) and, as a safety net, times out — either way the
+// server aborts the session's whole top-level transaction and the client
+// retries with bounded exponential backoff.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/locking"
+	"nestedsg/internal/object"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// Options configures a server.
+type Options struct {
+	// Protocol chooses the generic object automaton guarding each object;
+	// default is Moss read/update locking.
+	Protocol object.Protocol
+	// DefaultSpec is the serial specification given to objects created on
+	// first access; default is the read/write Register.
+	DefaultSpec spec.Spec
+	// Objects pre-creates these labels at startup with DefaultSpec.
+	Objects []string
+	// LockTimeout bounds how long an access waits for its blockers before
+	// the server aborts the session's top-level transaction. Default 1s.
+	LockTimeout time.Duration
+	// LockPoll and LockPollMax bound the exponential poll backoff while an
+	// access is blocked. Defaults 100µs and 2ms.
+	LockPoll    time.Duration
+	LockPollMax time.Duration
+	// DeadlockEvery runs the waits-for cycle detector every N blocked polls
+	// (default 4); 0 disables detection, leaving the timeout as the only
+	// deadlock escape.
+	DeadlockEvery int
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Protocol == nil {
+		o.Protocol = locking.Protocol{}
+	}
+	if o.DefaultSpec == nil {
+		o.DefaultSpec = spec.Register{}
+	}
+	if o.LockTimeout <= 0 {
+		o.LockTimeout = time.Second
+	}
+	if o.LockPoll <= 0 {
+		o.LockPoll = 100 * time.Microsecond
+	}
+	if o.LockPollMax <= 0 {
+		o.LockPollMax = 2 * time.Millisecond
+	}
+	if o.DeadlockEvery < 0 {
+		o.DeadlockEvery = 0
+	} else if o.DeadlockEvery == 0 {
+		o.DeadlockEvery = 4
+	}
+	return o
+}
+
+// sharedObject is one generic object plus the mutex that serializes all
+// automaton calls on it. The paper's automata take atomic steps; the mutex
+// is that atomicity under real concurrency.
+type sharedObject struct {
+	mu sync.Mutex
+	id tname.ObjID
+	sp spec.Spec
+	g  object.Generic
+}
+
+// Server is a concurrent nested-transaction server.
+type Server struct {
+	opts Options
+
+	// mu guards the tree (interning takes the write lock; every tree read —
+	// including reads made inside object automata and the certifier — takes
+	// the read lock) and the objs table.
+	mu   sync.RWMutex
+	tr   *tname.Tree
+	objs []*sharedObject
+
+	log     *eventLog
+	cert    *certifier
+	metrics *Metrics
+	waits   *waitTable
+
+	lis        net.Listener
+	connMu     sync.Mutex
+	conns      map[*session]struct{}
+	wg         sync.WaitGroup
+	sessionSeq atomic.Int64
+	draining   atomic.Bool
+	killed     atomic.Bool
+	shutdown   sync.Once
+}
+
+// New builds a server (not yet listening). The log opens with CREATE(T0),
+// exactly like the generic runner: T0 models the environment and must be
+// created before any top-level REQUEST_CREATE is well-formed.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:    opts.withDefaults(),
+		tr:      tname.NewTree(),
+		log:     newEventLog(),
+		metrics: newMetrics(),
+		waits:   newWaitTable(),
+		conns:   make(map[*session]struct{}),
+	}
+	s.cert = newCertifier(s)
+	for _, label := range s.opts.Objects {
+		if _, err := s.resolveObject(label); err != nil {
+			panic(fmt.Sprintf("server: pre-creating object %q: %v", label, err))
+		}
+	}
+	s.log.append(event.NewEvent(event.Create, tname.Root))
+	go s.cert.loop()
+	return s
+}
+
+// Listen builds a server and starts accepting connections on addr.
+func Listen(addr string, opts Options) (*Server, error) {
+	s := New(opts)
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		s.log.close()
+		<-s.cert.done
+		return nil, err
+	}
+	s.lis = lis
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.lis.Accept()
+		if err != nil {
+			// Listener closed (shutdown) or fatal accept error.
+			return
+		}
+		sn := newSession(s, c)
+		s.connMu.Lock()
+		if s.draining.Load() {
+			s.connMu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[sn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sn.serve()
+			s.connMu.Lock()
+			delete(s.conns, sn)
+			s.connMu.Unlock()
+		}()
+	}
+}
+
+// resolveObject returns the shared object for label, creating it (and
+// interning the object name) on first use with the default spec.
+func (s *Server) resolveObject(label string) (*sharedObject, error) {
+	s.mu.RLock()
+	if id := s.tr.Object(label); id != tname.NoObj {
+		o := s.objs[id]
+		s.mu.RUnlock()
+		return o, nil
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id := s.tr.Object(label); id != tname.NoObj {
+		return s.objs[id], nil
+	}
+	if label == "" {
+		return nil, errors.New("empty object label")
+	}
+	id := s.tr.AddObject(label, s.opts.DefaultSpec)
+	o := &sharedObject{id: id, sp: s.tr.Spec(id), g: s.opts.Protocol.New(s.tr, id)}
+	for int(id) >= len(s.objs) {
+		s.objs = append(s.objs, nil)
+	}
+	s.objs[id] = o
+	return o, nil
+}
+
+// withObj runs f while holding the object's mutex and the tree read lock —
+// the automata read the tree on most calls. Lock order is always object
+// mutex before tree lock; the tree write lock is never taken while an
+// object mutex is held.
+func (s *Server) withObj(o *sharedObject, f func()) {
+	o.mu.Lock()
+	s.mu.RLock()
+	f()
+	s.mu.RUnlock()
+	o.mu.Unlock()
+}
+
+// specOps lists the operation kinds each built-in specification interprets;
+// the server validates access requests against it so a client cannot drive
+// an automaton into an unsupported operation.
+var specOps = map[string][]spec.OpKind{
+	"register":  {spec.OpRead, spec.OpWrite},
+	"counter":   {spec.OpIncrement, spec.OpDecrement, spec.OpGet},
+	"account":   {spec.OpDeposit, spec.OpWithdraw, spec.OpBalance},
+	"set":       {spec.OpInsert, spec.OpRemove, spec.OpMember, spec.OpSize},
+	"appendlog": {spec.OpAppend, spec.OpLen},
+	"queue":     {spec.OpEnq, spec.OpDeq},
+}
+
+func specAllows(sp spec.Spec, k spec.OpKind) bool {
+	for _, ok := range specOps[sp.Name()] {
+		if ok == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Shutdown drains the server: the listener closes, idle connections are
+// closed immediately, and connections with an open transaction get until
+// ctx's deadline to finish before being force-closed (their transactions
+// are then aborted server-side). After the last session exits, the
+// certifier drains the log and stops. Shutdown is idempotent; the first
+// call's ctx governs.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutdown.Do(func() {
+		s.draining.Store(true)
+		if s.lis != nil {
+			s.lis.Close()
+		}
+		for {
+			s.connMu.Lock()
+			n := 0
+			for sn := range s.conns {
+				if sn.idle() {
+					sn.conn.Close()
+				} else {
+					n++
+				}
+			}
+			s.connMu.Unlock()
+			if n == 0 {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				s.killed.Store(true)
+				s.connMu.Lock()
+				for sn := range s.conns {
+					sn.conn.Close()
+				}
+				s.connMu.Unlock()
+				err = ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+				continue
+			}
+			break
+		}
+		s.wg.Wait()
+		s.log.close()
+		<-s.cert.done
+	})
+	return err
+}
+
+// Final is the end-of-run report: the batch verdict over the captured log
+// and the online certifier's snapshot, which must agree.
+type Final struct {
+	// Events, Commits and Aborts summarize the captured log.
+	Events, Commits, Aborts int
+	// Batch is the offline Theorem 8/19 check over the whole log.
+	Batch *core.Result
+	// Snapshot is the online certifier's final SG; Match reports that its
+	// DOT rendering is byte-identical to the batch-built graph's.
+	Snapshot *core.SG
+	Match    bool
+	// Summary is a human-readable multi-line rendering.
+	Summary string
+}
+
+// Final recomputes the whole run offline and cross-checks the online
+// snapshot. Call only after Shutdown has returned (the certifier must be
+// drained and all sessions stopped).
+func (s *Server) Final() *Final {
+	b := s.log.snapshot()
+	f := &Final{Events: len(b)}
+	for _, e := range b {
+		switch e.Kind {
+		case event.Commit:
+			f.Commits++
+		case event.Abort:
+			f.Aborts++
+		default:
+		}
+	}
+	f.Batch = core.Check(s.tr, b)
+	f.Snapshot = s.cert.inc.Snapshot()
+	if f.Batch.SG != nil {
+		f.Match = f.Snapshot.DOT() == f.Batch.SG.DOT()
+	}
+	verdict := f.Batch.Summary(s.tr)
+	match := "online snapshot matches batch SG byte-for-byte"
+	if !f.Match {
+		match = "MISMATCH between online snapshot and batch SG"
+	}
+	f.Summary = fmt.Sprintf(
+		"final certificate: %s\n  log: %d events, %d commits, %d aborts\n  %s\n",
+		verdict, f.Events, f.Commits, f.Aborts, match)
+	return f
+}
+
+// Log returns a copy of the captured event log.
+func (s *Server) Log() event.Behavior { return s.log.snapshot() }
+
+// Tree returns the server's system type. It must only be read concurrently
+// with running sessions under external synchronization; tests use it after
+// Shutdown.
+func (s *Server) Tree() *tname.Tree { return s.tr }

@@ -1,0 +1,438 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+	"nestedsg/internal/wire"
+)
+
+// txFrame is one open transaction on a session's cursor stack: frames[0] is
+// the top-level transaction, deeper frames are open subtransactions. The
+// innermost frame is the "current transaction" every request addresses.
+type txFrame struct {
+	id tname.TxID
+	// touched is the set of objects accessed anywhere in this frame's
+	// subtree, in first-touch order; completion informs go to exactly these
+	// objects (the runner's markTouched, maintained eagerly at access
+	// creation).
+	touched []tname.ObjID
+}
+
+func (f *txFrame) touch(x tname.ObjID) {
+	for _, y := range f.touched {
+		if y == x {
+			return
+		}
+	}
+	f.touched = append(f.touched, x)
+}
+
+// session is one connection: a strictly sequential request/response loop
+// driving one fragment of the transaction tree. All transaction state lives
+// here on the server; the client only holds a cursor.
+type session struct {
+	s    *Server
+	conn net.Conn
+	id   int64
+
+	r    *bufio.Reader
+	w    *bufio.Writer
+	rbuf []byte
+	out  []byte
+
+	frames []*txFrame
+	labelN int // session-local unique label counter for children/accesses
+	topN   int // top-level transactions begun on this session
+
+	// lastAborted marks that the previous transaction ended in a
+	// server-side abort, so the next BEGIN counts as a retry.
+	lastAborted bool
+	// inTx mirrors len(frames) > 0 for the drain loop, which must read it
+	// from another goroutine.
+	inTx atomic.Bool
+}
+
+func newSession(s *Server, c net.Conn) *session {
+	return &session{
+		s:    s,
+		conn: c,
+		id:   s.sessionSeq.Add(1),
+		r:    bufio.NewReader(c),
+		w:    bufio.NewWriter(c),
+	}
+}
+
+// idle reports whether the session has no open transaction; Shutdown closes
+// idle connections immediately.
+func (sn *session) idle() bool { return !sn.inTx.Load() }
+
+// serve runs the request loop until the connection closes. A connection
+// that drops mid-transaction has its top-level transaction aborted so the
+// objects release its locks and the log stays a complete story.
+func (sn *session) serve() {
+	sn.s.metrics.Sessions.Add(1)
+	defer sn.conn.Close()
+	for {
+		payload, err := wire.ReadFrame(sn.r, sn.rbuf)
+		if err != nil {
+			break
+		}
+		sn.rbuf = payload
+		start := time.Now()
+		q, perr := wire.ParseRequest(payload)
+		var resp wire.Response
+		if perr != nil {
+			resp = wire.Response{Status: wire.StatusError, Reason: perr.Error()}
+		} else {
+			resp = sn.handle(q)
+		}
+		sn.s.metrics.Requests.Add(1)
+		sn.s.metrics.ReqLatency.Observe(time.Since(start))
+		if q.Cmd == wire.CmdCommit && resp.Status == wire.StatusOK {
+			sn.s.metrics.CommitLatency.Observe(time.Since(start))
+		}
+		sn.out = wire.AppendResponse(sn.out[:0], q.Cmd, resp)
+		if err := wire.WriteFrame(sn.w, sn.out); err != nil {
+			break
+		}
+	}
+	if len(sn.frames) > 0 {
+		// Disconnect (or force-close during drain) with an open transaction.
+		if sn.s.draining.Load() {
+			sn.s.metrics.DrainAborts.Add(1)
+			sn.abortTop("server draining")
+		} else {
+			sn.s.metrics.ClientAborts.Add(1)
+			sn.abortTop("client disconnected")
+		}
+	}
+}
+
+func (sn *session) handle(q wire.Request) wire.Response {
+	switch q.Cmd {
+	case wire.CmdBegin:
+		return sn.handleBegin()
+	case wire.CmdChild:
+		return sn.handleChild()
+	case wire.CmdAccess:
+		return sn.handleAccess(q)
+	case wire.CmdCommit:
+		return sn.handleCommit()
+	case wire.CmdAbort:
+		return sn.handleAbort()
+	case wire.CmdVerdict:
+		return sn.handleVerdict()
+	case wire.CmdPing:
+		return wire.Response{Status: wire.StatusOK}
+	case wire.CmdInvalid:
+		return errResp("invalid command")
+	default:
+		return errResp(fmt.Sprintf("unknown command %d", uint8(q.Cmd)))
+	}
+}
+
+func errResp(reason string) wire.Response {
+	return wire.Response{Status: wire.StatusError, Reason: reason}
+}
+
+// appendLog appends events to the server log, keeping the completion-event
+// counters in step, and returns the log index of the first event.
+func (sn *session) appendLog(evs ...event.Event) int {
+	for _, e := range evs {
+		switch e.Kind {
+		case event.Commit:
+			sn.s.metrics.CommitEvents.Add(1)
+		case event.Abort:
+			sn.s.metrics.AbortEvents.Add(1)
+		default:
+		}
+	}
+	return sn.s.log.append(evs...)
+}
+
+// handleBegin opens a top-level transaction: REQUEST_CREATE by T0 followed
+// immediately by the controller's CREATE — one specific schedule of the
+// generic controller's nondeterminism.
+func (sn *session) handleBegin() wire.Response {
+	if len(sn.frames) > 0 {
+		return errResp("BEGIN with a transaction already open")
+	}
+	if sn.s.draining.Load() {
+		return errResp("server draining")
+	}
+	sn.topN++
+	label := fmt.Sprintf("s%d.%d", sn.id, sn.topN)
+	sn.s.mu.Lock()
+	top := sn.s.tr.Child(tname.Root, label)
+	sn.s.mu.Unlock()
+	sn.appendLog(
+		event.NewEvent(event.RequestCreate, top),
+		event.NewEvent(event.Create, top),
+	)
+	sn.frames = append(sn.frames, &txFrame{id: top})
+	sn.inTx.Store(true)
+	sn.s.metrics.Begins.Add(1)
+	if sn.lastAborted {
+		sn.s.metrics.Retries.Add(1)
+		sn.lastAborted = false
+	}
+	return wire.Response{Status: wire.StatusOK, Name: label}
+}
+
+// handleChild opens a subtransaction of the current transaction.
+func (sn *session) handleChild() wire.Response {
+	if len(sn.frames) == 0 {
+		return errResp("CHILD outside a transaction")
+	}
+	cur := sn.frames[len(sn.frames)-1]
+	sn.labelN++
+	label := fmt.Sprintf("c%d", sn.labelN)
+	sn.s.mu.Lock()
+	child := sn.s.tr.Child(cur.id, label)
+	sn.s.mu.Unlock()
+	sn.appendLog(
+		event.NewEvent(event.RequestCreate, child),
+		event.NewEvent(event.Create, child),
+	)
+	sn.frames = append(sn.frames, &txFrame{id: child})
+	return wire.Response{Status: wire.StatusOK, Name: label}
+}
+
+// handleAccess runs one access as a child of the current transaction: it is
+// created at the object, polled until the object grants REQUEST_COMMIT (with
+// deadlock detection and a timeout aborting the whole top-level transaction),
+// and then committed and reported immediately — an access is a leaf, so
+// nothing is gained by leaving it open.
+func (sn *session) handleAccess(q wire.Request) wire.Response {
+	if len(sn.frames) == 0 {
+		return errResp("ACCESS outside a transaction")
+	}
+	obj, err := sn.s.resolveObject(q.Obj)
+	if err != nil {
+		return errResp(err.Error())
+	}
+	if !specAllows(obj.sp, q.Op) {
+		return errResp(fmt.Sprintf("object %q (%s) does not support op %s", q.Obj, obj.sp.Name(), q.Op))
+	}
+	cur := sn.frames[len(sn.frames)-1]
+	sn.labelN++
+	label := fmt.Sprintf("a%d", sn.labelN)
+	op := spec.Op{Kind: q.Op, Arg: q.Arg}
+	sn.s.mu.Lock()
+	acc := sn.s.tr.Access(cur.id, label, obj.id, op)
+	sn.s.mu.Unlock()
+
+	// Every open frame is an ancestor of the access: record the touch now,
+	// before the access can block, so an abort that interrupts the wait
+	// still informs the object (the runner's markTouched at CREATE time).
+	for _, f := range sn.frames {
+		f.touch(obj.id)
+	}
+
+	sn.appendLog(event.NewEvent(event.RequestCreate, acc))
+	sn.s.withObj(obj, func() {
+		obj.g.Create(acc)
+		sn.appendLog(event.NewEvent(event.Create, acc))
+	})
+
+	v, granted, reason := sn.waitGrant(obj, acc)
+	if !granted {
+		sn.abortTop(reason)
+		return wire.Response{Status: wire.StatusTxAborted, Reason: reason}
+	}
+	sn.s.metrics.Accesses.Add(1)
+
+	// The access auto-commits: COMMIT, inform its object, report to the
+	// parent. Leaf-to-root inform order holds because the session emits a
+	// child's informs before its parent can complete.
+	sn.appendLog(event.NewEvent(event.Commit, acc))
+	sn.s.withObj(obj, func() {
+		obj.g.InformCommit(acc)
+		sn.appendLog(event.NewInform(event.InformCommit, acc, obj.id))
+	})
+	sn.appendLog(event.NewValEvent(event.ReportCommit, acc, v))
+	return wire.Response{Status: wire.StatusOK, Value: v}
+}
+
+// waitGrant polls TryRequestCommit with exponential backoff until the object
+// grants the access, the waits-for detector picks this session's top as a
+// deadlock victim, the lock-wait times out, or the server is force-draining.
+// The REQUEST_COMMIT event is appended while the object mutex is held, so
+// the log's per-object operation order is the automaton's.
+func (sn *session) waitGrant(obj *sharedObject, acc tname.TxID) (spec.Value, bool, string) {
+	var (
+		v       spec.Value
+		ok      bool
+		opts    = &sn.s.opts
+		deadlne = time.Now().Add(opts.LockTimeout)
+		backoff = opts.LockPoll
+		polls   = 0
+		waiting = false
+	)
+	defer func() {
+		if waiting {
+			sn.s.waits.unregister(sn.id)
+		}
+	}()
+	for {
+		sn.s.withObj(obj, func() {
+			v, ok = obj.g.TryRequestCommit(acc)
+			if ok {
+				sn.appendLog(event.NewValEvent(event.RequestCommit, acc, v))
+			}
+		})
+		if ok {
+			return v, true, ""
+		}
+		polls++
+		sn.s.metrics.BlockedPolls.Add(1)
+		if !waiting {
+			waiting = true
+			sn.s.waits.register(&waitEntry{sess: sn.id, access: acc, top: sn.frames[0].id, obj: obj})
+		}
+		if sn.s.killed.Load() {
+			sn.s.metrics.DrainAborts.Add(1)
+			return spec.Nil, false, "server draining"
+		}
+		if opts.DeadlockEvery > 0 && polls%opts.DeadlockEvery == 0 {
+			if sn.s.deadlockVictim(sn.frames[0].id) {
+				sn.s.metrics.DeadlockAborts.Add(1)
+				return spec.Nil, false, "deadlock victim"
+			}
+		}
+		if time.Now().After(deadlne) {
+			sn.s.metrics.LockTimeouts.Add(1)
+			return spec.Nil, false, "lock wait timeout"
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > opts.LockPollMax {
+			backoff = opts.LockPollMax
+		}
+	}
+}
+
+// handleCommit commits the current transaction. The response is not written
+// until the online certifier's watermark covers the appended events, so a
+// StatusOK commit is always backed by an acyclic SG(β) prefix.
+func (sn *session) handleCommit() wire.Response {
+	if len(sn.frames) == 0 {
+		return errResp("COMMIT outside a transaction")
+	}
+	cur := sn.frames[len(sn.frames)-1]
+	base := sn.appendLog(
+		event.NewValEvent(event.RequestCommit, cur.id, spec.OK),
+		event.NewEvent(event.Commit, cur.id),
+	)
+	sn.informAll(event.InformCommit, cur)
+	seq := sn.appendLog(event.NewValEvent(event.ReportCommit, cur.id, spec.OK))
+	sn.popFrame(cur)
+
+	if err := sn.s.cert.waitCertified(seq); err != nil {
+		// The commit is already in the log; certification failing here means
+		// the protocol let a non-serializable history through (a broken
+		// protocol under test). Surface it loudly instead of claiming OK.
+		sn.s.metrics.Uncertified.Add(1)
+		return errResp(err.Error())
+	}
+	if len(sn.frames) == 0 {
+		sn.s.metrics.TopCommits.Add(1)
+	}
+	return wire.Response{Status: wire.StatusOK, Seq: uint64(base + 1)}
+}
+
+// handleAbort aborts the current transaction at the client's request.
+func (sn *session) handleAbort() wire.Response {
+	if len(sn.frames) == 0 {
+		return errResp("ABORT outside a transaction")
+	}
+	sn.s.metrics.ClientAborts.Add(1)
+	cur := sn.frames[len(sn.frames)-1]
+	sn.appendLog(event.NewEvent(event.Abort, cur.id))
+	sn.informAll(event.InformAbort, cur)
+	sn.appendLog(event.NewEvent(event.ReportAbort, cur.id))
+	sn.popFrame(cur)
+	return wire.Response{Status: wire.StatusOK}
+}
+
+// abortTop aborts the session's whole top-level transaction — the server's
+// unilateral move for deadlock victims, lock timeouts, drains and dropped
+// connections. Open subtransactions (and a still-live blocked access) become
+// orphans, exactly as in the runner: informing the objects of the top's
+// abort discards the entire subtree's locks and log entries.
+func (sn *session) abortTop(reason string) {
+	top := sn.frames[0]
+	sn.appendLog(event.NewEvent(event.Abort, top.id))
+	sn.informAll(event.InformAbort, top)
+	sn.appendLog(event.NewEvent(event.ReportAbort, top.id))
+	sn.frames = sn.frames[:0]
+	sn.inTx.Store(false)
+	sn.lastAborted = true
+	sn.s.logf("session %d: aborted %s: %s", sn.id, sn.s.nameOf(top.id), reason)
+}
+
+// informAll delivers INFORM_COMMIT/INFORM_ABORT of f's transaction to every
+// object its subtree touched, calling the automaton and appending the inform
+// under each object's mutex.
+func (sn *session) informAll(kind event.Kind, f *txFrame) {
+	for _, x := range f.touched {
+		sn.s.mu.RLock()
+		obj := sn.s.objs[x]
+		sn.s.mu.RUnlock()
+		sn.s.withObj(obj, func() {
+			if kind == event.InformCommit {
+				obj.g.InformCommit(f.id)
+			} else {
+				obj.g.InformAbort(f.id)
+			}
+			sn.appendLog(event.NewInform(kind, f.id, x))
+		})
+	}
+}
+
+// popFrame closes the innermost frame after its completion events are in the
+// log, folding its touched set into the parent (already done eagerly at
+// access time, but kept for frames opened after the touches).
+func (sn *session) popFrame(cur *txFrame) {
+	sn.frames = sn.frames[:len(sn.frames)-1]
+	if len(sn.frames) > 0 {
+		parent := sn.frames[len(sn.frames)-1]
+		for _, x := range cur.touched {
+			parent.touch(x)
+		}
+	} else {
+		sn.inTx.Store(false)
+	}
+}
+
+// nameOf formats a transaction name under the tree read lock.
+func (s *Server) nameOf(t tname.TxID) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tr.Name(t)
+}
+
+// handleVerdict reports the live certification state.
+func (sn *session) handleVerdict() wire.Response {
+	wm, acyclic := sn.s.cert.state()
+	logLen := sn.s.log.len()
+	if wm > logLen {
+		wm = logLen
+	}
+	return wire.Response{Status: wire.StatusOK, Verdict: wire.Verdict{
+		Events:    uint64(logLen),
+		Certified: uint64(wm),
+		Acyclic:   acyclic,
+		Parents:   uint64(sn.s.cert.parents.Load()),
+		Nodes:     uint64(sn.s.cert.nodes.Load()),
+		Edges:     uint64(sn.s.cert.edges.Load()),
+		Commits:   uint64(sn.s.metrics.CommitEvents.Load()),
+		Aborts:    uint64(sn.s.metrics.AbortEvents.Load()),
+	}}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"sync"
+
+	"nestedsg/internal/tname"
+)
+
+// waitTable tracks which sessions are currently polling for a blocked
+// access. The deadlock detector builds the waits-for graph between the
+// waiters' top-level transactions from the objects' Blockers and picks a
+// deterministic victim, so two cross-locking sessions resolve long before
+// the timeout safety net fires.
+type waitTable struct {
+	mu      sync.Mutex
+	waiters map[int64]*waitEntry
+}
+
+type waitEntry struct {
+	sess   int64
+	access tname.TxID
+	top    tname.TxID
+	obj    *sharedObject
+}
+
+func newWaitTable() *waitTable {
+	return &waitTable{waiters: make(map[int64]*waitEntry)}
+}
+
+func (w *waitTable) register(e *waitEntry) {
+	w.mu.Lock()
+	w.waiters[e.sess] = e
+	w.mu.Unlock()
+}
+
+func (w *waitTable) unregister(sess int64) {
+	w.mu.Lock()
+	delete(w.waiters, sess)
+	w.mu.Unlock()
+}
+
+func (w *waitTable) entries() []*waitEntry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]*waitEntry, 0, len(w.waiters))
+	for _, e := range w.waiters {
+		out = append(out, e)
+	}
+	return out
+}
+
+// deadlockVictim reports whether the session waiting on myTop should abort
+// itself to break a waits-for cycle.
+//
+// It snapshots the wait table, asks each waited-on object for the blockers
+// of the waiting access, lifts every edge to the top-level transactions
+// (waiter-top → blocker-top), and searches for a cycle through myTop among
+// transactions that are themselves waiting. The victim is the cycle member
+// with the largest TxID — the youngest transaction, which has done the least
+// work — so every session in the cycle computes the same victim and exactly
+// one aborts.
+func (s *Server) deadlockVictim(myTop tname.TxID) bool {
+	entries := s.waits.entries()
+	if len(entries) < 2 {
+		return false
+	}
+	waiting := make(map[tname.TxID]bool, len(entries))
+	for _, e := range entries {
+		waiting[e.top] = true
+	}
+	if !waiting[myTop] {
+		return false
+	}
+	edges := make(map[tname.TxID][]tname.TxID, len(entries))
+	for _, e := range entries {
+		e.obj.mu.Lock()
+		s.mu.RLock()
+		blockers := e.obj.g.Blockers(e.access)
+		for _, blk := range blockers {
+			// Blockers never include ancestors of the access, so Root is
+			// excluded and every blocker has a top-level ancestor.
+			bt := s.tr.ChildAncestor(tname.Root, blk)
+			if bt != e.top && waiting[bt] {
+				edges[e.top] = append(edges[e.top], bt)
+			}
+		}
+		s.mu.RUnlock()
+		e.obj.mu.Unlock()
+	}
+
+	cycle := findCycleThrough(myTop, edges)
+	if cycle == nil {
+		return false
+	}
+	victim := cycle[0]
+	for _, t := range cycle[1:] {
+		if t > victim {
+			victim = t
+		}
+	}
+	return victim == myTop
+}
+
+// findCycleThrough runs a DFS from start and returns the node set of a path
+// leading back to start, or nil.
+func findCycleThrough(start tname.TxID, edges map[tname.TxID][]tname.TxID) []tname.TxID {
+	visited := make(map[tname.TxID]bool)
+	var path []tname.TxID
+	var dfs func(t tname.TxID) bool
+	dfs = func(t tname.TxID) bool {
+		path = append(path, t)
+		visited[t] = true
+		for _, next := range edges[t] {
+			if next == start {
+				return true
+			}
+			if !visited[next] && dfs(next) {
+				return true
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if dfs(start) {
+		return path
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+// Package wire defines the length-framed binary protocol spoken between a
+// nestedsgd server and its clients.
+//
+// Every message is one frame: a uvarint payload length followed by the
+// payload, capped at MaxFrame. Payloads are built from the NSGB primitives
+// exported by internal/event (uvarint-prefixed strings and kind-tagged
+// spec.Values), so the module has a single binary encoding of values across
+// traces and the network protocol.
+//
+// A connection carries one session: a strictly alternating sequence of
+// request and response frames, where the session's state (the cursor into
+// its nested-transaction tree fragment) lives on the server. Requests are:
+//
+//	BEGIN            open a top-level transaction (child of T0)
+//	CHILD            open a subtransaction of the current transaction
+//	ACCESS obj op v  run one access as a child of the current transaction
+//	COMMIT           commit the current transaction
+//	ABORT            abort the current transaction
+//	VERDICT          report the server's live certification state
+//	PING             no-op round trip
+//
+// Responses carry a status byte: OK, TX_ABORTED (the server aborted the
+// session's whole top-level transaction — deadlock timeout or drain; the
+// session is reset to idle and the client should retry the transaction), or
+// ERROR (protocol misuse; the transaction state is unchanged).
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/spec"
+)
+
+// Cmd identifies a request kind.
+type Cmd uint8
+
+// Request kinds.
+const (
+	CmdInvalid Cmd = iota
+	CmdBegin
+	CmdChild
+	CmdAccess
+	CmdCommit
+	CmdAbort
+	CmdVerdict
+	CmdPing
+)
+
+var cmdNames = [...]string{
+	CmdInvalid: "INVALID",
+	CmdBegin:   "BEGIN",
+	CmdChild:   "CHILD",
+	CmdAccess:  "ACCESS",
+	CmdCommit:  "COMMIT",
+	CmdAbort:   "ABORT",
+	CmdVerdict: "VERDICT",
+	CmdPing:    "PING",
+}
+
+// String returns the wire name of the command.
+func (c Cmd) String() string {
+	if int(c) < len(cmdNames) {
+		return cmdNames[c]
+	}
+	return fmt.Sprintf("Cmd(%d)", uint8(c))
+}
+
+// Status is the outcome class of a response.
+type Status uint8
+
+// Response statuses.
+const (
+	// StatusOK: the request succeeded.
+	StatusOK Status = iota
+	// StatusTxAborted: the server aborted the session's top-level
+	// transaction (deadlock timeout, waits-for victim, or drain). The
+	// session is idle again; the client should back off and retry.
+	StatusTxAborted
+	// StatusError: the request was rejected without touching transaction
+	// state (protocol misuse, unknown object, draining server).
+	StatusError
+)
+
+// String returns the wire name of the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusTxAborted:
+		return "TX_ABORTED"
+	case StatusError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// MaxFrame bounds a frame payload so a corrupt or adversarial length prefix
+// fails fast instead of allocating gigabytes.
+const MaxFrame = 1 << 20
+
+// Request is a decoded request frame. Obj, Op and Arg are meaningful only
+// for CmdAccess.
+type Request struct {
+	Cmd Cmd
+	Obj string
+	Op  spec.OpKind
+	Arg spec.Value
+}
+
+// Verdict is the server's live certification state, as reported by
+// CmdVerdict.
+type Verdict struct {
+	// Events is the length of the server's event log; Certified is how many
+	// of those the online certifier has consumed.
+	Events    uint64
+	Certified uint64
+	// Acyclic reports that every certified prefix has an acyclic SG.
+	Acyclic bool
+	// Parents, Nodes and Edges are the live SG sizes.
+	Parents uint64
+	Nodes   uint64
+	Edges   uint64
+	// Commits and Aborts count completion events in the log.
+	Commits uint64
+	Aborts  uint64
+}
+
+// Response is a decoded response frame. Which payload fields are meaningful
+// depends on (Status, request Cmd): Value for ACCESS, Name for BEGIN/CHILD,
+// Seq for COMMIT (the certified log index of the COMMIT event), Verdict for
+// VERDICT, Reason for TX_ABORTED and ERROR.
+type Response struct {
+	Status  Status
+	Value   spec.Value
+	Name    string
+	Seq     uint64
+	Reason  string
+	Verdict Verdict
+}
+
+// WriteFrame writes one length-prefixed frame and flushes the writer.
+func WriteFrame(w *bufio.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var lb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lb[:], uint64(len(payload)))
+	if _, err := w.Write(lb[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadFrame reads one length-prefixed frame into buf (grown as needed) and
+// returns the payload slice. io.EOF before the length prefix means a clean
+// connection close.
+func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: frame body: %w", err)
+	}
+	return buf, nil
+}
+
+// AppendRequest encodes q onto buf.
+func AppendRequest(buf []byte, q Request) []byte {
+	buf = append(buf, byte(q.Cmd))
+	if q.Cmd == CmdAccess {
+		buf = event.AppendString(buf, q.Obj)
+		buf = binary.AppendUvarint(buf, uint64(q.Op))
+		buf = event.AppendValue(buf, q.Arg)
+	}
+	return buf
+}
+
+// ParseRequest decodes a request payload.
+func ParseRequest(payload []byte) (Request, error) {
+	r := bufio.NewReader(bytes.NewReader(payload))
+	cb, err := r.ReadByte()
+	if err != nil {
+		return Request{}, fmt.Errorf("wire: request cmd: %w", err)
+	}
+	q := Request{Cmd: Cmd(cb), Arg: spec.Nil}
+	switch q.Cmd {
+	case CmdAccess:
+		if q.Obj, err = event.ReadString(r, "request obj"); err != nil {
+			return Request{}, err
+		}
+		opk, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Request{}, fmt.Errorf("wire: request op: %w", err)
+		}
+		if opk == 0 || spec.OpKind(opk) > spec.OpDeq {
+			return Request{}, fmt.Errorf("wire: request has unknown op kind %d", opk)
+		}
+		q.Op = spec.OpKind(opk)
+		if q.Arg, err = event.ReadValue(r, "request arg"); err != nil {
+			return Request{}, err
+		}
+	case CmdBegin, CmdChild, CmdCommit, CmdAbort, CmdVerdict, CmdPing:
+		// No payload beyond the command byte.
+	case CmdInvalid:
+		return Request{}, fmt.Errorf("wire: invalid command byte 0")
+	default:
+		return Request{}, fmt.Errorf("wire: unknown command byte %d", cb)
+	}
+	if r.Buffered() > 0 {
+		return Request{}, fmt.Errorf("wire: %d trailing bytes after %s request", r.Buffered(), q.Cmd)
+	}
+	return q, nil
+}
+
+// AppendResponse encodes the response to a cmd request onto buf. The command
+// selects which payload fields travel, mirroring ParseResponse.
+func AppendResponse(buf []byte, cmd Cmd, resp Response) []byte {
+	buf = append(buf, byte(resp.Status))
+	switch resp.Status {
+	case StatusTxAborted, StatusError:
+		return event.AppendString(buf, resp.Reason)
+	case StatusOK:
+		// Fall through to the per-command payload below.
+	default:
+		// Unknown statuses carry no payload; ParseResponse rejects them.
+		return buf
+	}
+	switch cmd {
+	case CmdBegin, CmdChild:
+		buf = event.AppendString(buf, resp.Name)
+	case CmdAccess:
+		buf = event.AppendValue(buf, resp.Value)
+	case CmdCommit:
+		buf = binary.AppendUvarint(buf, resp.Seq)
+	case CmdVerdict:
+		v := resp.Verdict
+		buf = binary.AppendUvarint(buf, v.Events)
+		buf = binary.AppendUvarint(buf, v.Certified)
+		if v.Acyclic {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, v.Parents)
+		buf = binary.AppendUvarint(buf, v.Nodes)
+		buf = binary.AppendUvarint(buf, v.Edges)
+		buf = binary.AppendUvarint(buf, v.Commits)
+		buf = binary.AppendUvarint(buf, v.Aborts)
+	case CmdAbort, CmdPing, CmdInvalid:
+		// No payload.
+	default:
+		// Unknown commands have no response payload.
+	}
+	return buf
+}
+
+// ParseResponse decodes the response to a cmd request.
+func ParseResponse(cmd Cmd, payload []byte) (Response, error) {
+	r := bufio.NewReader(bytes.NewReader(payload))
+	sb, err := r.ReadByte()
+	if err != nil {
+		return Response{}, fmt.Errorf("wire: response status: %w", err)
+	}
+	resp := Response{Status: Status(sb), Value: spec.Nil}
+	switch resp.Status {
+	case StatusTxAborted, StatusError:
+		if resp.Reason, err = event.ReadString(r, "response reason"); err != nil {
+			return Response{}, err
+		}
+		return resp, nil
+	case StatusOK:
+		// Fall through to the per-command payload below.
+	default:
+		return Response{}, fmt.Errorf("wire: unknown response status %d", sb)
+	}
+	switch cmd {
+	case CmdBegin, CmdChild:
+		if resp.Name, err = event.ReadString(r, "response name"); err != nil {
+			return Response{}, err
+		}
+	case CmdAccess:
+		if resp.Value, err = event.ReadValue(r, "response value"); err != nil {
+			return Response{}, err
+		}
+	case CmdCommit:
+		if resp.Seq, err = binary.ReadUvarint(r); err != nil {
+			return Response{}, fmt.Errorf("wire: response seq: %w", err)
+		}
+	case CmdVerdict:
+		v := &resp.Verdict
+		for _, f := range []*uint64{&v.Events, &v.Certified} {
+			if *f, err = binary.ReadUvarint(r); err != nil {
+				return Response{}, fmt.Errorf("wire: response verdict: %w", err)
+			}
+		}
+		ab, err := r.ReadByte()
+		if err != nil {
+			return Response{}, fmt.Errorf("wire: response verdict acyclic: %w", err)
+		}
+		v.Acyclic = ab != 0
+		for _, f := range []*uint64{&v.Parents, &v.Nodes, &v.Edges, &v.Commits, &v.Aborts} {
+			if *f, err = binary.ReadUvarint(r); err != nil {
+				return Response{}, fmt.Errorf("wire: response verdict: %w", err)
+			}
+		}
+	case CmdAbort, CmdPing, CmdInvalid:
+		// No payload.
+	default:
+		// Unknown commands have no response payload.
+	}
+	return resp, nil
+}

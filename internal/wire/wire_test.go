@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"nestedsg/internal/spec"
+)
+
+func frameRoundTrip(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteFrame(w, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(bufio.NewReader(&buf), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{{}, {1}, bytes.Repeat([]byte("x"), 4096)} {
+		got := frameRoundTrip(t, payload)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("frame round trip: got %d bytes, want %d", len(got), len(payload))
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(bufio.NewWriter(&buf), make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversized frame accepted on write")
+	}
+	// A forged oversized length prefix must be rejected before allocation.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := ReadFrame(bufio.NewReader(&buf), nil); err == nil {
+		t.Fatal("oversized length prefix accepted on read")
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteFrame(w, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(short)), nil); err == nil {
+		t.Fatal("truncated frame body accepted")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Cmd: CmdBegin, Arg: spec.Nil},
+		{Cmd: CmdChild, Arg: spec.Nil},
+		{Cmd: CmdAccess, Obj: "x", Op: spec.OpWrite, Arg: spec.Int(42)},
+		{Cmd: CmdAccess, Obj: "long object name", Op: spec.OpRead, Arg: spec.Nil},
+		{Cmd: CmdAccess, Obj: "q", Op: spec.OpEnq, Arg: spec.Str("payload")},
+		{Cmd: CmdCommit, Arg: spec.Nil},
+		{Cmd: CmdAbort, Arg: spec.Nil},
+		{Cmd: CmdVerdict, Arg: spec.Nil},
+		{Cmd: CmdPing, Arg: spec.Nil},
+	}
+	for _, q := range reqs {
+		got, err := ParseRequest(AppendRequest(nil, q))
+		if err != nil {
+			t.Fatalf("%s: %v", q.Cmd, err)
+		}
+		if got != q {
+			t.Fatalf("%s: round trip %+v != %+v", q.Cmd, got, q)
+		}
+	}
+}
+
+func TestRequestRejectsJunk(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"invalid cmd":    {0},
+		"unknown cmd":    {99},
+		"trailing bytes": append(AppendRequest(nil, Request{Cmd: CmdPing}), 1, 2),
+		"truncated access": AppendRequest(nil, Request{
+			Cmd: CmdAccess, Obj: "x", Op: spec.OpRead, Arg: spec.Nil})[:3],
+		"bad op kind": {byte(CmdAccess), 1, 'x', 200, 0},
+	}
+	for name, payload := range cases {
+		if _, err := ParseRequest(payload); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []struct {
+		cmd  Cmd
+		resp Response
+	}{
+		{CmdBegin, Response{Status: StatusOK, Name: "s1.1", Value: spec.Nil}},
+		{CmdChild, Response{Status: StatusOK, Name: "c7", Value: spec.Nil}},
+		{CmdAccess, Response{Status: StatusOK, Value: spec.Int(-3)}},
+		{CmdAccess, Response{Status: StatusOK, Value: spec.OK}},
+		{CmdCommit, Response{Status: StatusOK, Seq: 123456, Value: spec.Nil}},
+		{CmdPing, Response{Status: StatusOK, Value: spec.Nil}},
+		{CmdAbort, Response{Status: StatusOK, Value: spec.Nil}},
+		{CmdVerdict, Response{Status: StatusOK, Value: spec.Nil, Verdict: Verdict{
+			Events: 10, Certified: 9, Acyclic: true, Parents: 2, Nodes: 5, Edges: 4,
+			Commits: 3, Aborts: 1}}},
+		{CmdCommit, Response{Status: StatusTxAborted, Reason: "deadlock victim", Value: spec.Nil}},
+		{CmdAccess, Response{Status: StatusError, Reason: "unknown op", Value: spec.Nil}},
+	}
+	for _, c := range cases {
+		got, err := ParseResponse(c.cmd, AppendResponse(nil, c.cmd, c.resp))
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.cmd, c.resp.Status, err)
+		}
+		if got != c.resp {
+			t.Fatalf("%s: round trip\n got %+v\nwant %+v", c.cmd, got, c.resp)
+		}
+	}
+}
+
+func TestResponseRejectsJunk(t *testing.T) {
+	if _, err := ParseResponse(CmdPing, nil); err == nil {
+		t.Error("empty response accepted")
+	}
+	if _, err := ParseResponse(CmdPing, []byte{99}); err == nil {
+		t.Error("unknown status accepted")
+	}
+	trunc := AppendResponse(nil, CmdVerdict, Response{Status: StatusOK, Value: spec.Nil,
+		Verdict: Verdict{Events: 300, Certified: 300}})
+	if _, err := ParseResponse(CmdVerdict, trunc[:3]); err == nil {
+		t.Error("truncated verdict accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if CmdAccess.String() != "ACCESS" || StatusTxAborted.String() != "TX_ABORTED" {
+		t.Fatal("wire names wrong")
+	}
+	if !strings.Contains(Cmd(200).String(), "200") || !strings.Contains(Status(200).String(), "200") {
+		t.Fatal("out-of-range names should include the raw byte")
+	}
+}
