@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet sgvet race fuzz-short bench-smoke bench-json bench-gate serve loadtest-smoke ci
+.PHONY: all build test vet sgvet race fuzz-short bench-smoke bench-json bench-gate serve loadtest-smoke sim-soak ci
 
 all: build test vet sgvet
 
@@ -14,18 +14,20 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own analyzers (exhaustivekind, noeventliteral, checkederr,
-# tnamecompare, behaviorimmutable); see internal/analysis/README.md.
+# tnamecompare, behaviorimmutable, simdeterminism); see
+# internal/analysis/README.md.
 sgvet:
 	$(GO) run ./cmd/sgvet ./...
 
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over both trace codec round-trip properties. The
-# committed seeds live in internal/event/testdata/fuzz/.
+# Short fuzz pass over the trace codec round-trip properties and the WAL
+# recovery path. The committed seeds live under */testdata/fuzz/.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/event
 	$(GO) test -run '^$$' -fuzz '^FuzzBinaryTraceRoundTrip$$' -fuzztime 10s ./internal/event
+	$(GO) test -run '^$$' -fuzz '^FuzzRecoveryReplay$$' -fuzztime 10s ./internal/server
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or fail their correctness assertions, without measuring anything.
@@ -57,5 +59,12 @@ serve:
 loadtest-smoke:
 	$(GO) run ./cmd/nestedload -selfserve -workers 8 -dur 1s -objects 4 -zipf 1.2 -bench
 
-# Everything CI runs, in order.
+# Long deterministic fault-injection soak: 64 seeds, every fault class,
+# both protocols. Any failure prints the uint64 seed that replays it;
+# SIM_FAILURE_DIR (set in CI) collects per-seed repro artifacts.
+sim-soak:
+	$(GO) test ./internal/sim -run TestSimLongSoak -seeds 64 -timeout 20m
+
+# Everything CI runs, in order (CI runs the sim soak in short mode with
+# -race; sim-soak above is the long local version).
 ci: build vet sgvet race bench-smoke loadtest-smoke bench-gate

@@ -8,6 +8,7 @@
 //
 //	nestedsgd -addr :7474 -protocol moss -spec register -objects x,y,z
 //	nestedsgd -addr :7474 -metrics :7475     # JSON at /metrics, expvar at /debug/vars
+//	nestedsgd -addr :7474 -wal /var/lib/nestedsgd/wal   # durable log; replayed and audited on boot
 //
 // Protocols: moss, undolog. Specs: register, counter, account, set,
 // appendlog, queue.
@@ -73,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 		protoName    = fs.String("protocol", "moss", "concurrency control protocol: moss or undolog")
 		specName     = fs.String("spec", "register", "object type for new objects: register, counter, account, set, appendlog, queue")
 		objects      = fs.String("objects", "", "comma-separated object labels to pre-create")
+		walDir       = fs.String("wal", "", "directory for the durable write-ahead log; on boot, replay and audit it before serving ('' = in-memory, no durability)")
 		lockTimeout  = fs.Duration("lock-timeout", time.Second, "abort a transaction whose access waits this long")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "shutdown: force-close busy connections after this long")
 		verbose      = fs.Bool("v", false, "log per-session aborts")
@@ -106,10 +108,33 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 		opts.Logf = func(format string, a ...any) { fmt.Fprintf(stderr, "nestedsgd: "+format+"\n", a...) }
 	}
 
-	s, err := server.Listen(*addr, opts)
-	if err != nil {
-		fmt.Fprintln(stderr, "nestedsgd:", err)
-		return 2
+	var s *server.Server
+	if *walDir != "" {
+		disk, derr := server.NewDirDisk(*walDir)
+		if derr != nil {
+			fmt.Fprintln(stderr, "nestedsgd: wal:", derr)
+			return 2
+		}
+		opts.WAL = disk
+		recovered, rep, rerr := server.Recover(opts)
+		if rerr != nil {
+			fmt.Fprintln(stderr, "nestedsgd: recover:", rerr)
+			return 2
+		}
+		fmt.Fprintln(stdout, "nestedsgd:", rep.Summary())
+		if serr := recovered.Start(*addr); serr != nil {
+			fmt.Fprintln(stderr, "nestedsgd:", serr)
+			recovered.Kill()
+			return 2
+		}
+		s = recovered
+	} else {
+		listening, lerr := server.Listen(*addr, opts)
+		if lerr != nil {
+			fmt.Fprintln(stderr, "nestedsgd:", lerr)
+			return 2
+		}
+		s = listening
 	}
 	publishExpvar(s)
 

@@ -14,7 +14,7 @@ import (
 // analyzer is dead, and none misfires on the others' bait.
 func TestBadPackageFiresEachAnalyzerOnce(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := sgvet([]string{"./testdata/src/badpkg"}, &stdout, &stderr)
+	code := sgvet([]string{"./testdata/src/badpkg/..."}, &stdout, &stderr)
 	if code != 2 {
 		t.Fatalf("exit code = %d, want 2 (findings); stderr: %s", code, stderr.String())
 	}

@@ -1,5 +1,6 @@
 // Package badpkg violates each sgvet analyzer exactly once; cmd/sgvet's
-// tests assert one finding per analyzer against it.
+// tests assert one finding per analyzer against it. The simdeterminism
+// bait lives in the badpkg/sim subpackage, whose import path ends in /sim.
 package badpkg
 
 import (

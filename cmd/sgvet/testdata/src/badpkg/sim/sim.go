@@ -1,0 +1,10 @@
+// Package sim rides along with badpkg under an import path ending in
+// /sim, tripping simdeterminism exactly once.
+package sim
+
+import "time"
+
+// wallClock trips simdeterminism: a simulator package reading time.Now.
+func wallClock() time.Time {
+	return time.Now()
+}

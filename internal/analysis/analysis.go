@@ -116,5 +116,6 @@ func All() []*Analyzer {
 		CheckedErr,
 		TnameCompare,
 		BehaviorImmutable,
+		SimDeterminism,
 	}
 }

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// nondetTimeFuncs are the package-time entry points that read or schedule
+// against the wall clock. time.Unix, time.Duration conversions and the
+// duration constants are pure and stay allowed.
+var nondetTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// SimDeterminism forbids wall-clock and ambient-randomness sources inside
+// simulator packages (import paths ending in "/sim").
+//
+// The fault-injection simulator's contract is that one uint64 seed replays
+// an entire run — schedule, faults, crashes and the event trace — byte for
+// byte. That only holds if every nondeterministic input is drawn from the
+// seeded splitmix64 generator and every timestamp from the driver-owned
+// virtual clock. A single time.Now or math/rand call smuggled into the
+// package silently breaks replay: the soak still passes, but a failing
+// seed no longer reproduces, which defeats the point of the harness.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc:  "simulator packages must draw time and randomness only from the seeded virtual scheduler",
+	Run:  runSimDeterminism,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	if !strings.HasSuffix(pass.Pkg.Path(), "/sim") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "simulator package imports %s; draw randomness from the seeded rng instead", path)
+			}
+		}
+	}
+	pass.Preorder(func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !nondetTimeFuncs[sel.Sel.Name] {
+			return
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		pkgName, ok := pass.ObjectOf(id).(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "time" {
+			return
+		}
+		pass.Reportf(sel.Pos(), "simulator package reads the wall clock via time.%s; use the driver's virtual clock", sel.Sel.Name)
+	})
+	return nil
+}

@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedsg/internal/analysis"
+	"nestedsg/internal/analysis/analysistest"
+)
+
+// TestSimDeterminism checks that wall-clock reads and math/rand are
+// flagged inside packages whose import path ends in /sim, and that the
+// real simulator package is clean.
+func TestSimDeterminism(t *testing.T) {
+	for _, pattern := range []string{
+		"./testdata/src/simdeterminism/sim",
+		"nestedsg/internal/sim",
+	} {
+		t.Run(pattern, func(t *testing.T) {
+			analysistest.Run(t, ".", analysis.SimDeterminism, pattern)
+		})
+	}
+}
+
+// TestSimDeterminismScope: the analyzer must ignore packages outside a
+// /sim import path even when they use the wall clock freely — the server
+// itself reads time.Now via its default hooks.
+func TestSimDeterminismScope(t *testing.T) {
+	analysistest.Run(t, ".", analysis.SimDeterminism, "nestedsg/internal/server")
+}

@@ -1,0 +1,37 @@
+// Package sim is a fixture for the simdeterminism analyzer: its import
+// path ends in /sim, so wall-clock and math/rand use must be flagged.
+package sim
+
+import (
+	"math/rand" // want `simulator package imports math/rand`
+	"time"
+)
+
+// BadNow reads the wall clock directly.
+func BadNow() time.Time {
+	return time.Now() // want `reads the wall clock via time\.Now`
+}
+
+// BadSleep blocks on real time.
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want `reads the wall clock via time\.Sleep`
+}
+
+// BadTimer schedules against real time in three ways.
+func BadTimer() {
+	<-time.After(time.Millisecond)  // want `reads the wall clock via time\.After`
+	t := time.NewTimer(time.Second) // want `reads the wall clock via time\.NewTimer`
+	t.Stop()
+	_ = time.Since(time.Unix(0, 0)) // want `reads the wall clock via time\.Since`
+}
+
+// BadRand draws ambient randomness.
+func BadRand() int {
+	return rand.Intn(6)
+}
+
+// GoodVirtual builds timestamps and durations without touching the wall
+// clock: time.Unix, duration constants and conversions are pure.
+func GoodVirtual(ns int64) (time.Time, time.Duration) {
+	return time.Unix(0, ns), 40 * time.Millisecond
+}

@@ -29,6 +29,9 @@ type Conn struct {
 	w    *bufio.Writer
 	rbuf []byte
 	out  []byte
+	// broken marks a transport failure: the server-side session is gone,
+	// so the connection must not be pooled or reused.
+	broken bool
 }
 
 // Dial connects to a nestedsgd server.
@@ -37,8 +40,18 @@ func Dial(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}, nil
+	return NewConn(nc), nil
 }
+
+// NewConn wraps an established connection (e.g. one end of net.Pipe served
+// by Server.ServeConn) as a client session.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+}
+
+// Broken reports that the connection has seen a transport error and is
+// dead.
+func (c *Conn) Broken() bool { return c.broken }
 
 // Close closes the connection. A transaction left open is aborted by the
 // server.
@@ -47,10 +60,12 @@ func (c *Conn) Close() error { return c.nc.Close() }
 func (c *Conn) roundTrip(q wire.Request) (wire.Response, error) {
 	c.out = wire.AppendRequest(c.out[:0], q)
 	if err := wire.WriteFrame(c.w, c.out); err != nil {
+		c.broken = true
 		return wire.Response{}, fmt.Errorf("client: write %s: %w", q.Cmd, err)
 	}
 	payload, err := wire.ReadFrame(c.r, c.rbuf)
 	if err != nil {
+		c.broken = true
 		return wire.Response{}, fmt.Errorf("client: read %s response: %w", q.Cmd, err)
 	}
 	c.rbuf = payload
@@ -226,22 +241,36 @@ type Pool struct {
 // NewPool returns a pool dialing addr on demand.
 func NewPool(addr string) *Pool { return &Pool{addr: addr} }
 
-// Get returns a pooled connection or dials a fresh one.
+// Get returns a pooled connection or dials a fresh one. A pooled
+// connection is health-checked with a Ping first, so a connection the
+// server dropped while it sat in the free list (restart, drain, frame
+// error) is discarded instead of handed out.
 func (p *Pool) Get() (*Conn, error) {
-	p.mu.Lock()
-	if n := len(p.free); n > 0 {
+	for {
+		p.mu.Lock()
+		n := len(p.free)
+		if n == 0 {
+			p.mu.Unlock()
+			return Dial(p.addr)
+		}
 		c := p.free[n-1]
 		p.free = p.free[:n-1]
 		p.mu.Unlock()
-		return c, nil
+		if err := c.Ping(); err == nil {
+			return c, nil
+		}
+		c.Close()
 	}
-	p.mu.Unlock()
-	return Dial(p.addr)
 }
 
 // Put returns a connection to the pool. Only idle connections (no open
-// transaction) may be returned.
+// transaction) may be returned; a broken connection is closed instead of
+// pooled.
 func (p *Pool) Put(c *Conn) {
+	if c.broken {
+		c.Close()
+		return
+	}
 	p.mu.Lock()
 	p.free = append(p.free, c)
 	p.mu.Unlock()

@@ -1,0 +1,154 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"nestedsg/internal/client"
+	"nestedsg/internal/server"
+	"nestedsg/internal/spec"
+)
+
+func startServer(t *testing.T, opts server.Options) *server.Server {
+	t.Helper()
+	s, err := server.Listen("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	return s
+}
+
+// TestRunTxRetryExhaustion: when every attempt is aborted by the server,
+// RunTx must give up after maxAttempts and return an error that both
+// names the attempt count and wraps ErrTxAborted (the last cause), so
+// callers can distinguish retry exhaustion from application errors.
+func TestRunTxRetryExhaustion(t *testing.T) {
+	s := startServer(t, server.Options{
+		Objects:     []string{"x"},
+		LockTimeout: 30 * time.Millisecond,
+	})
+
+	// Holder parks a write lock on x and never completes.
+	holder, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	if _, err := holder.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := holder.Access("x", spec.OpWrite, spec.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	attempts := 0
+	err = c.RunTx(2, func(tx *client.Tx) error {
+		attempts++
+		_, err := tx.Access("x", spec.OpWrite, spec.Int(2))
+		return err
+	})
+	if err == nil {
+		t.Fatal("RunTx succeeded against a held write lock")
+	}
+	if !errors.Is(err, client.ErrTxAborted) {
+		t.Fatalf("exhaustion error does not wrap ErrTxAborted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("exhaustion error does not name the attempt count: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("body ran %d times, want 2", attempts)
+	}
+	// The lock-timeout reason from the server's last abort survives.
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("last abort cause lost: %v", err)
+	}
+}
+
+// TestPoolDiscardsDeadConnections: a connection that sat in the free list
+// while its server went away must not be handed out again — Get
+// health-checks it, discards it, and dials the replacement server.
+func TestPoolDiscardsDeadConnections(t *testing.T) {
+	s1, err := server.Listen("127.0.0.1:0", server.Options{Objects: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s1.Addr().String()
+
+	pool := client.NewPool(addr)
+	defer pool.Close()
+	c, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(c)
+
+	// The server goes down (closing the pooled connection) and a
+	// replacement comes up on the same address.
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s2 := server.New(server.Options{Objects: []string{"x"}})
+	if err := s2.Start(addr); err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	t.Cleanup(func() { s2.Shutdown(context.Background()) })
+
+	c2, err := pool.Get()
+	if err != nil {
+		t.Fatalf("Get after server drop: %v", err)
+	}
+	defer pool.Put(c2)
+	if c2 == c {
+		t.Fatal("pool handed back the connection the dead server closed")
+	}
+	if err := c2.RunTx(3, func(tx *client.Tx) error {
+		_, err := tx.Access("x", spec.OpWrite, spec.Int(7))
+		return err
+	}); err != nil {
+		t.Fatalf("transaction on replacement connection: %v", err)
+	}
+}
+
+// TestPoolDropsBrokenConnOnPut: a connection that saw a transport error
+// is closed by Put instead of rejoining the free list.
+func TestPoolDropsBrokenConnOnPut(t *testing.T) {
+	s := startServer(t, server.Options{Objects: []string{"x"}})
+	pool := client.NewPool(s.Addr().String())
+	defer pool.Close()
+
+	c, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break the transport under the client: the next round trip fails and
+	// marks the connection.
+	c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping on a closed connection succeeded")
+	}
+	if !c.Broken() {
+		t.Fatal("transport error did not mark the connection broken")
+	}
+	pool.Put(c)
+	c2, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Put(c2)
+	if c2 == c {
+		t.Fatal("pool handed out a broken connection")
+	}
+}

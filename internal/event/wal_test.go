@@ -1,0 +1,114 @@
+package event
+
+import (
+	"testing"
+
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// walSamples returns one encoded payload per record shape, with the
+// (numTx, numObjects) counts under which each is valid.
+func walSamples() []struct {
+	name    string
+	payload []byte
+	numTx   int
+	numObj  int
+} {
+	events := Behavior{
+		NewEvent(RequestCreate, 1),
+		NewEvent(Create, 1),
+		NewValEvent(RequestCommit, 2, spec.Int(7)),
+		NewEvent(Commit, 2),
+		NewInform(InformCommit, 2, 0),
+		NewValEvent(ReportCommit, 2, spec.Str("hi")),
+		NewEvent(Abort, 1),
+		NewInform(InformAbort, 1, 1),
+		NewEvent(ReportAbort, 1),
+		NewValEvent(RequestCommit, 1, spec.OK),
+		NewValEvent(ReportCommit, 1, spec.Bool(true)),
+	}
+	return []struct {
+		name    string
+		payload []byte
+		numTx   int
+		numObj  int
+	}{
+		{"objectdef", AppendWalObjectDef(nil, "x", "register"), 1, 0},
+		{"txdef-plain", AppendWalTxDef(nil, tname.Root, "s1.1", tname.NoObj, spec.Op{}), 1, 0},
+		{"txdef-access", AppendWalTxDef(nil, 1, "a1", 0, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(42)}), 2, 1},
+		{"events", AppendWalEvents(nil, events...), 3, 2},
+		{"events-empty", AppendWalEvents(nil), 1, 0},
+	}
+}
+
+func TestWalOpRoundTrip(t *testing.T) {
+	for _, s := range walSamples() {
+		op, err := DecodeWalOp(s.payload, s.numTx, s.numObj)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", s.name, err)
+		}
+		var re []byte
+		switch op.Kind {
+		case WalObjectDef:
+			re = AppendWalObjectDef(nil, op.Label, op.SpecName)
+		case WalTxDef:
+			re = AppendWalTxDef(nil, op.Parent, op.Label, op.Obj, op.Op)
+		case WalEvents:
+			re = AppendWalEvents(nil, op.Events...)
+		}
+		if string(re) != string(s.payload) {
+			t.Fatalf("%s: re-encode differs:\n  in:  %x\n  out: %x", s.name, s.payload, re)
+		}
+	}
+}
+
+// TestWalOpTruncation feeds every strict prefix of every sample payload to
+// the decoder: each must return an error (never panic, never accept).
+func TestWalOpTruncation(t *testing.T) {
+	for _, s := range walSamples() {
+		for n := 0; n < len(s.payload); n++ {
+			if _, err := DecodeWalOp(s.payload[:n], s.numTx, s.numObj); err == nil {
+				t.Fatalf("%s: %d-byte prefix of %d-byte payload decoded without error", s.name, n, len(s.payload))
+			}
+		}
+	}
+}
+
+func TestWalOpRejects(t *testing.T) {
+	good := AppendWalObjectDef(nil, "x", "register")
+	cases := []struct {
+		name    string
+		payload []byte
+		numTx   int
+		numObj  int
+	}{
+		{"empty", nil, 1, 0},
+		{"unknown-kind", []byte{'Z'}, 1, 0},
+		{"trailing-garbage", append(append([]byte(nil), good...), 0xff), 1, 0},
+		{"object-empty-label", AppendWalObjectDef(nil, "", "register"), 1, 0},
+		{"object-bad-spec", AppendWalObjectDef(nil, "x", "nosuchspec"), 1, 0},
+		{"tx-bad-parent", AppendWalTxDef(nil, 5, "c1", tname.NoObj, spec.Op{}), 2, 0},
+		{"tx-negative-parent", AppendWalTxDef(nil, -2, "c1", tname.NoObj, spec.Op{}), 2, 0},
+		{"tx-empty-label", AppendWalTxDef(nil, tname.Root, "", tname.NoObj, spec.Op{}), 1, 0},
+		{"tx-bad-obj", AppendWalTxDef(nil, tname.Root, "a1", 3, spec.Op{Kind: spec.OpRead}), 1, 1},
+		{"tx-bad-op", append(AppendWalTxDef(nil, tname.Root, "a1", tname.NoObj, spec.Op{})[:0],
+			func() []byte {
+				b := []byte{byte(WalTxDef)}
+				b = append(b, 0)      // parent varint 0
+				b = append(b, 1, 'a') // label "a"
+				b = append(b, 0)      // obj varint 0
+				b = append(b, 0x7f)   // op kind 127 (unknown)
+				b = append(b, 0)      // arg: nil kind
+				return b
+			}()...), 1, 1},
+		{"events-bad-tx", AppendWalEvents(nil, NewEvent(Create, 9)), 2, 0},
+		{"events-bad-obj", AppendWalEvents(nil, NewInform(InformCommit, 1, 4)), 2, 1},
+		{"events-huge-count", []byte{byte(WalEvents), 0xff, 0xff, 0xff, 0x7f}, 1, 0},
+	}
+	for _, c := range cases {
+		if _, err := DecodeWalOp(c.payload, c.numTx, c.numObj); err == nil {
+			t.Fatalf("%s: decoded without error", c.name)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package server
+
+import "time"
+
+// Hooks intercepts the server's sources of timing nondeterminism so a test
+// harness (internal/sim) can replace real time and real sleeps with a
+// seeded virtual scheduler. The default implementation is real time; the
+// hooks carry no semantics beyond scheduling — a server run under any
+// Hooks produces a generic behavior by the same emission-discipline
+// argument as the real-time server.
+type Hooks interface {
+	// Now replaces time.Now for lock-wait deadlines.
+	Now() time.Time
+	// LockWait replaces the blocked-access poll sleep: the session sess
+	// parks for up to d before re-polling. The harness wakes it by
+	// returning.
+	LockWait(sess int64, d time.Duration)
+	// CertApply is called before the certifier applies log event index to
+	// the incremental graph; a harness can block here to simulate a
+	// stalled certifier. It must not be called with server locks held.
+	CertApply(index int)
+	// CommitWait is called after a COMMIT's events are logged, just
+	// before the session blocks on the certification watermark for log
+	// sequence seq. Notification only; it must not block on the harness.
+	CommitWait(sess int64, seq int)
+	// SessionDone is called when a session's serve loop has fully
+	// finished: all of its events (including any disconnect abort) are in
+	// the log and no further activity will come from it.
+	SessionDone(sess int64)
+}
+
+// realHooks is the production implementation: real clock, real sleeps, no
+// interception.
+type realHooks struct{}
+
+func (realHooks) Now() time.Time                    { return time.Now() }
+func (realHooks) LockWait(_ int64, d time.Duration) { time.Sleep(d) }
+func (realHooks) CertApply(int)                     {}
+func (realHooks) CommitWait(int64, int)             {}
+func (realHooks) SessionDone(int64)                 {}

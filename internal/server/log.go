@@ -21,6 +21,11 @@ type eventLog struct {
 	cond   *sync.Cond
 	events event.Behavior
 	closed bool
+
+	// wal, when set, receives every atomic append as one WalEvents record
+	// — written under mu, so the durable record order IS the log order.
+	wal    *walWriter
+	walBuf []byte
 }
 
 func newEventLog() *eventLog {
@@ -34,6 +39,10 @@ func (l *eventLog) append(evs ...event.Event) int {
 	l.mu.Lock()
 	base := len(l.events)
 	l.events = append(l.events, evs...)
+	if l.wal != nil {
+		l.walBuf = event.AppendWalEvents(l.walBuf[:0], evs...)
+		l.wal.appendRecord(l.walBuf)
+	}
 	l.mu.Unlock()
 	l.cond.Broadcast()
 	return base
@@ -97,6 +106,10 @@ type certifier struct {
 	// Live gauges, readable without the certifier's locks.
 	parents, nodes, edges atomic.Int64
 
+	// start is how many log events Recover primed synchronously before
+	// the loop began; the loop resumes after them.
+	start int
+
 	done chan struct{}
 }
 
@@ -115,7 +128,7 @@ func newCertifier(s *Server) *certifier {
 // is held while appending (sessions intern names under the write lock).
 func (c *certifier) loop() {
 	defer close(c.done)
-	processed := 0
+	processed := c.start
 	var buf event.Behavior
 	for {
 		batch, ok := c.srv.log.waitBeyond(processed, buf)
@@ -128,10 +141,15 @@ func (c *certifier) loop() {
 			return
 		}
 		buf = batch
-		c.srv.mu.RLock()
-		for _, e := range batch {
+		for i, e := range batch {
+			// The stall hook runs without any server lock held, so a
+			// harness-stalled certifier cannot wedge the sessions.
+			c.srv.opts.Hooks.CertApply(processed + i)
+			c.srv.mu.RLock()
 			c.inc.Append(e)
+			c.srv.mu.RUnlock()
 		}
+		c.srv.mu.RLock()
 		p, n, ed := c.inc.Counts()
 		c.srv.mu.RUnlock()
 		c.parents.Store(int64(p))

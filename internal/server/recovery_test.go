@@ -1,0 +1,271 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"nestedsg/internal/client"
+	"nestedsg/internal/core"
+	"nestedsg/internal/event"
+	"nestedsg/internal/server"
+	"nestedsg/internal/spec"
+)
+
+// recoverAndStart recovers a durable server from disk and starts it on a
+// loopback port.
+func recoverAndStart(t *testing.T, opts server.Options) (*server.Server, *server.RecoveryReport) {
+	t.Helper()
+	opts.LockTimeout = 2 * time.Second
+	s, rep, err := server.Recover(opts)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return s, rep
+}
+
+func dialT(t *testing.T, s *server.Server) *client.Conn {
+	t.Helper()
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	return c
+}
+
+// TestRecoverFreshThenResume: a durable server is started on an empty
+// disk, runs transactions, shuts down cleanly, and is recovered — the
+// recovered log must be byte-identical to the log at shutdown, the batch
+// check must pass, and the server must keep working (with fresh session
+// labels) afterwards.
+func TestRecoverFreshThenResume(t *testing.T) {
+	disk := server.NewMemDisk()
+	opts := server.Options{WAL: disk, Objects: []string{"x", "y"}}
+	s1, rep1 := recoverAndStart(t, opts)
+	if rep1.DurableEvents != 0 || rep1.StitchedEvents != 1 {
+		t.Fatalf("fresh report: %+v", rep1)
+	}
+
+	c := dialT(t, s1)
+	for i := 0; i < 3; i++ {
+		if err := c.RunTx(5, func(tx *client.Tx) error {
+			if _, err := tx.Access("x", spec.OpWrite, spec.Int(int64(i))); err != nil {
+				return err
+			}
+			_, err := tx.Access("y", spec.OpRead, spec.Nil)
+			return err
+		}); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	c.Close()
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := s1.WALError(); err != nil {
+		t.Fatalf("wal error: %v", err)
+	}
+	wantLog := s1.Log()
+	wantTrace := event.MarshalBinaryTrace(s1.Tree(), wantLog)
+
+	s2, rep2 := recoverAndStart(t, opts)
+	if rep2.DurableEvents != len(wantLog) || rep2.OrphanTops != 0 || rep2.FixupInforms != 0 {
+		t.Fatalf("resume report: %+v (want %d durable events, no repairs)", rep2, len(wantLog))
+	}
+	if !rep2.AuditOK {
+		t.Fatalf("resume audit not ok: %+v", rep2)
+	}
+	gotTrace := event.MarshalBinaryTrace(s2.Tree(), s2.Log())
+	if !bytes.Equal(gotTrace, wantTrace) {
+		t.Fatal("recovered trace differs from pre-shutdown trace")
+	}
+
+	// The recovered server keeps serving, and new tops don't collide with
+	// recovered session labels.
+	c2 := dialT(t, s2)
+	name, err := c2.Begin()
+	if err != nil {
+		t.Fatalf("begin after recovery: %v", err)
+	}
+	if name != "s2.1" {
+		t.Fatalf("first post-recovery top is %q, want s2.1 (session seq bumped past recovered s1)", name)
+	}
+	if _, err := c2.Access("x", spec.OpWrite, spec.Int(99)); err != nil {
+		t.Fatalf("access after recovery: %v", err)
+	}
+	if _, err := c2.Commit(); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	c2.Close()
+	f := shutdownAndVerify(t, s2)
+	if f.Events <= len(wantLog) {
+		t.Fatalf("recovered server appended nothing: %d <= %d", f.Events, len(wantLog))
+	}
+}
+
+// TestRecoverAfterCrashAbortsOrphans: a session is mid-transaction when
+// the process dies. Recovery must abort the orphaned top, deliver it to
+// the touched objects, and produce a certificate byte-identical to a
+// batch core.Check of the stitched log — after which the once-locked
+// object is writable again.
+func TestRecoverAfterCrashAbortsOrphans(t *testing.T) {
+	disk := server.NewMemDisk()
+	opts := server.Options{WAL: disk, Objects: []string{"x"}}
+	s1, _ := recoverAndStart(t, opts)
+
+	// Session 1 parks a transaction holding the write lock on x.
+	c1 := dialT(t, s1)
+	if _, err := c1.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Access("x", spec.OpWrite, spec.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Session 2 commits a transaction on another object; its top-level
+	// completion fsyncs the whole WAL, making session 1's in-flight
+	// events durable.
+	c2 := dialT(t, s1)
+	if err := c2.RunTx(5, func(tx *client.Tx) error {
+		_, err := tx.Access("y", spec.OpWrite, spec.Int(2))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: freeze the disk at the durability boundary, then kill.
+	crashDisk := disk.Crash(0)
+	disk.Freeze()
+	s1.Kill()
+	c1.Close()
+	c2.Close()
+
+	opts.WAL = crashDisk
+	s2, rep := recoverAndStart(t, opts)
+	if rep.OrphanTops != 1 {
+		t.Fatalf("OrphanTops = %d, want 1 (report: %s)", rep.OrphanTops, rep.Summary())
+	}
+	if !rep.AuditOK {
+		t.Fatalf("audit failed: %s", rep.Summary())
+	}
+
+	// The certificate over the stitched log is byte-identical to batch.
+	res := core.Check(s2.Tree(), s2.Log())
+	if !res.OK {
+		t.Fatalf("stitched log fails batch check: %s", res.Summary(s2.Tree()))
+	}
+
+	// The orphan's write lock on x must be gone: a new transaction can
+	// write x immediately.
+	c3 := dialT(t, s2)
+	if err := c3.RunTx(1, func(tx *client.Tx) error {
+		_, err := tx.Access("x", spec.OpWrite, spec.Int(3))
+		return err
+	}); err != nil {
+		t.Fatalf("x still locked by the dead orphan: %v", err)
+	}
+	c3.Close()
+	f := shutdownAndVerify(t, s2)
+	if f.Aborts == 0 {
+		t.Fatal("stitched log records no abort for the orphan")
+	}
+}
+
+// TestRecoverCrashTornTail: unsynced WAL bytes partially survive the
+// crash (a torn write). Recovery must truncate the torn suffix and serve
+// from the valid prefix for every possible tear point.
+func TestRecoverCrashTornTail(t *testing.T) {
+	disk := server.NewMemDisk()
+	opts := server.Options{WAL: disk, Objects: []string{"x"}}
+	s1, _ := recoverAndStart(t, opts)
+
+	c := dialT(t, s1)
+	if err := c.RunTx(5, func(tx *client.Tx) error {
+		_, err := tx.Access("x", spec.OpWrite, spec.Int(7))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Leave a transaction in flight so unsynced bytes exist.
+	if _, err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Access("x", spec.OpRead, spec.Nil); err != nil {
+		t.Fatal(err)
+	}
+
+	unsynced := disk.UnsyncedBytes()
+	crashes := make([]*server.MemDisk, 0, unsynced+1)
+	for keep := 0; keep <= unsynced; keep++ {
+		crashes = append(crashes, disk.Crash(keep))
+	}
+	disk.Freeze()
+	s1.Kill()
+	c.Close()
+
+	for keep, crashDisk := range crashes {
+		s2, rep, err := server.Recover(server.Options{WAL: crashDisk, Objects: []string{"x"}})
+		if err != nil {
+			t.Fatalf("keep=%d: Recover: %v", keep, err)
+		}
+		if !rep.AuditOK {
+			t.Fatalf("keep=%d: audit failed: %s", keep, rep.Summary())
+		}
+		res := core.Check(s2.Tree(), s2.Log())
+		if !res.OK {
+			t.Fatalf("keep=%d: stitched log fails batch check", keep)
+		}
+		s2.Kill() // no connections; just stop the certifier and writer
+	}
+}
+
+// BenchmarkE18Recover measures the cost of a full WAL recovery — scan,
+// replay through the automata, stitch, and the batch-vs-incremental
+// certificate audit — on a cleanly shut-down log (E18's "recovery time").
+func BenchmarkE18Recover(b *testing.B) {
+	disk := server.NewMemDisk()
+	opts := server.Options{WAL: disk, Objects: []string{"x", "y", "z"}, LockTimeout: 2 * time.Second}
+	s1, _, err := server.Recover(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s1.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	c, err := client.Dial(s1.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.RunTx(5, func(tx *client.Tx) error {
+			if _, err := tx.Access("x", spec.OpWrite, spec.Int(int64(i))); err != nil {
+				return err
+			}
+			_, err := tx.Access("y", spec.OpRead, spec.Nil)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.Close()
+	if err := s1.Shutdown(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	events := len(s1.Log())
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, rep, err := server.Recover(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.AuditOK || rep.DurableEvents != events {
+			b.Fatalf("recovery diverged: %+v (want %d events)", rep, events)
+		}
+		s.Kill()
+	}
+	b.ReportMetric(float64(events), "events")
+}

@@ -71,6 +71,21 @@ type Options struct {
 	DeadlockEvery int
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
+
+	// WAL, when set, makes the event log durable: every name definition
+	// and every atomic event append is written as one framed record (see
+	// wal.go), and the log is fsynced at each top-level completion.
+	// Servers with a WAL are built with Recover (which also handles an
+	// empty WAL as a fresh start); New panics if WAL is set.
+	WAL Disk
+	// WALSegmentBytes rotates WAL segments at this size (default 1 MiB).
+	WALSegmentBytes int
+	// SkipRecoveryAudit disables Recover's offline batch re-check of the
+	// stitched log (the audit is cheap insurance; only large recoveries
+	// would want to skip it).
+	SkipRecoveryAudit bool
+	// Hooks intercepts timing nondeterminism; default is real time.
+	Hooks Hooks
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +108,9 @@ func (o Options) withDefaults() Options {
 		o.DeadlockEvery = 0
 	} else if o.DeadlockEvery == 0 {
 		o.DeadlockEvery = 4
+	}
+	if o.Hooks == nil {
+		o.Hooks = realHooks{}
 	}
 	return o
 }
@@ -122,6 +140,7 @@ type Server struct {
 	cert    *certifier
 	metrics *Metrics
 	waits   *waitTable
+	wal     *walWriter // nil without durability
 
 	lis        net.Listener
 	connMu     sync.Mutex
@@ -133,12 +152,12 @@ type Server struct {
 	shutdown   sync.Once
 }
 
-// New builds a server (not yet listening). The log opens with CREATE(T0),
-// exactly like the generic runner: T0 models the environment and must be
-// created before any top-level REQUEST_CREATE is well-formed.
-func New(opts Options) *Server {
+// newServer allocates the shared state; it neither seeds the log nor
+// starts the certifier — New and Recover finish construction their own
+// way.
+func newServer(opts Options) *Server {
 	s := &Server{
-		opts:    opts.withDefaults(),
+		opts:    opts,
 		tr:      tname.NewTree(),
 		log:     newEventLog(),
 		metrics: newMetrics(),
@@ -146,6 +165,19 @@ func New(opts Options) *Server {
 		conns:   make(map[*session]struct{}),
 	}
 	s.cert = newCertifier(s)
+	return s
+}
+
+// New builds a server (not yet listening). The log opens with CREATE(T0),
+// exactly like the generic runner: T0 models the environment and must be
+// created before any top-level REQUEST_CREATE is well-formed. Durable
+// servers are built with Recover instead.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	if opts.WAL != nil {
+		panic("server: Options.WAL is set; build durable servers with Recover")
+	}
+	s := newServer(opts)
 	for _, label := range s.opts.Objects {
 		if _, err := s.resolveObject(label); err != nil {
 			panic(fmt.Sprintf("server: pre-creating object %q: %v", label, err))
@@ -159,16 +191,25 @@ func New(opts Options) *Server {
 // Listen builds a server and starts accepting connections on addr.
 func Listen(addr string, opts Options) (*Server, error) {
 	s := New(opts)
-	lis, err := net.Listen("tcp", addr)
-	if err != nil {
+	if err := s.Start(addr); err != nil {
 		s.log.close()
 		<-s.cert.done
 		return nil, err
 	}
+	return s, nil
+}
+
+// Start begins accepting connections on addr; it is how a recovered
+// server goes back online.
+func (s *Server) Start(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
 	s.lis = lis
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return nil
 }
 
 // Addr returns the listener address.
@@ -188,24 +229,32 @@ func (s *Server) acceptLoop() {
 			// Listener closed (shutdown) or fatal accept error.
 			return
 		}
-		sn := newSession(s, c)
-		s.connMu.Lock()
-		if s.draining.Load() {
-			s.connMu.Unlock()
-			c.Close()
-			continue
-		}
-		s.conns[sn] = struct{}{}
-		s.connMu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			sn.serve()
-			s.connMu.Lock()
-			delete(s.conns, sn)
-			s.connMu.Unlock()
-		}()
+		s.ServeConn(c)
 	}
+}
+
+// ServeConn serves one session over an arbitrary connection (the simulator
+// uses net.Pipe ends) in the background, returning the session id, or -1
+// if the server is draining and the connection was refused.
+func (s *Server) ServeConn(c net.Conn) int64 {
+	sn := newSession(s, c)
+	s.connMu.Lock()
+	if s.draining.Load() {
+		s.connMu.Unlock()
+		c.Close()
+		return -1
+	}
+	s.conns[sn] = struct{}{}
+	s.connMu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		sn.serve()
+		s.connMu.Lock()
+		delete(s.conns, sn)
+		s.connMu.Unlock()
+	}()
+	return sn.id
 }
 
 // resolveObject returns the shared object for label, creating it (and
@@ -228,6 +277,12 @@ func (s *Server) resolveObject(label string) (*sharedObject, error) {
 		return nil, errors.New("empty object label")
 	}
 	id := s.tr.AddObject(label, s.opts.DefaultSpec)
+	// The definition record is written inside the tree's write-lock
+	// critical section, so WAL definition order equals interning order and
+	// recovery's sequential ID re-assignment reproduces the tree exactly.
+	if s.wal != nil {
+		s.wal.appendRecord(event.AppendWalObjectDef(nil, label, s.opts.DefaultSpec.Name()))
+	}
 	o := &sharedObject{id: id, sp: s.tr.Spec(id), g: s.opts.Protocol.New(s.tr, id)}
 	for int(id) >= len(s.objs) {
 		s.objs = append(s.objs, nil)
@@ -235,6 +290,47 @@ func (s *Server) resolveObject(label string) (*sharedObject, error) {
 	s.objs[id] = o
 	return o, nil
 }
+
+// internTx interns a subtransaction (or access, when obj != NoObj) under
+// the tree write lock, writing the WAL definition record in the same
+// critical section when the name is new.
+func (s *Server) internTx(parent tname.TxID, label string, obj tname.ObjID, op spec.Op) tname.TxID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.tr.NumTx()
+	var id tname.TxID
+	if obj == tname.NoObj {
+		id = s.tr.Child(parent, label)
+	} else {
+		id = s.tr.Access(parent, label, obj, op)
+	}
+	if s.wal != nil && s.tr.NumTx() > before {
+		s.wal.appendRecord(event.AppendWalTxDef(nil, parent, label, obj, op))
+	}
+	return id
+}
+
+// walSync makes the log durable through the present; sessions call it at
+// top-level completion points. Errors are sticky in the writer and
+// surfaced by WALError.
+func (s *Server) walSync() {
+	if s.wal != nil {
+		s.wal.sync()
+	}
+}
+
+// WALError reports the first durability failure, if any.
+func (s *Server) WALError() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	return s.wal.err
+}
+
+// LogLen reports the current event-log length.
+func (s *Server) LogLen() int { return s.log.len() }
 
 // withObj runs f while holding the object's mutex and the tree read lock —
 // the automata read the tree on most calls. Lock order is always object
@@ -313,8 +409,39 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		s.log.close()
 		<-s.cert.done
+		if s.wal != nil {
+			s.wal.close()
+		}
 	})
 	return err
+}
+
+// Kill abandons the server without draining, simulating a process crash
+// for everything above the WAL: connections are force-closed, in-flight
+// transactions are NOT aborted in the durable log (recovery must do it),
+// and no final sync is issued. The in-memory log still drains through the
+// certifier so the dying process's goroutines all stop. A simulator that
+// wants crash semantics freezes its MemDisk first, so the post-Kill
+// appends never reach the "disk".
+func (s *Server) Kill() {
+	s.shutdown.Do(func() {
+		s.killed.Store(true)
+		s.draining.Store(true)
+		if s.lis != nil {
+			s.lis.Close()
+		}
+		s.connMu.Lock()
+		for sn := range s.conns {
+			sn.conn.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+		s.log.close()
+		<-s.cert.done
+		if s.wal != nil {
+			s.wal.closeNoSync()
+		}
+	})
 }
 
 // Final is the end-of-run report: the batch verdict over the captured log

@@ -113,6 +113,7 @@ func (sn *session) serve() {
 			sn.abortTop("client disconnected")
 		}
 	}
+	sn.s.opts.Hooks.SessionDone(sn.id)
 }
 
 func (sn *session) handle(q wire.Request) wire.Response {
@@ -169,9 +170,7 @@ func (sn *session) handleBegin() wire.Response {
 	}
 	sn.topN++
 	label := fmt.Sprintf("s%d.%d", sn.id, sn.topN)
-	sn.s.mu.Lock()
-	top := sn.s.tr.Child(tname.Root, label)
-	sn.s.mu.Unlock()
+	top := sn.s.internTx(tname.Root, label, tname.NoObj, spec.Op{})
 	sn.appendLog(
 		event.NewEvent(event.RequestCreate, top),
 		event.NewEvent(event.Create, top),
@@ -194,9 +193,7 @@ func (sn *session) handleChild() wire.Response {
 	cur := sn.frames[len(sn.frames)-1]
 	sn.labelN++
 	label := fmt.Sprintf("c%d", sn.labelN)
-	sn.s.mu.Lock()
-	child := sn.s.tr.Child(cur.id, label)
-	sn.s.mu.Unlock()
+	child := sn.s.internTx(cur.id, label, tname.NoObj, spec.Op{})
 	sn.appendLog(
 		event.NewEvent(event.RequestCreate, child),
 		event.NewEvent(event.Create, child),
@@ -225,9 +222,7 @@ func (sn *session) handleAccess(q wire.Request) wire.Response {
 	sn.labelN++
 	label := fmt.Sprintf("a%d", sn.labelN)
 	op := spec.Op{Kind: q.Op, Arg: q.Arg}
-	sn.s.mu.Lock()
-	acc := sn.s.tr.Access(cur.id, label, obj.id, op)
-	sn.s.mu.Unlock()
+	acc := sn.s.internTx(cur.id, label, obj.id, op)
 
 	// Every open frame is an ancestor of the access: record the touch now,
 	// before the access can block, so an abort that interrupts the wait
@@ -271,7 +266,7 @@ func (sn *session) waitGrant(obj *sharedObject, acc tname.TxID) (spec.Value, boo
 		v       spec.Value
 		ok      bool
 		opts    = &sn.s.opts
-		deadlne = time.Now().Add(opts.LockTimeout)
+		deadlne = opts.Hooks.Now().Add(opts.LockTimeout)
 		backoff = opts.LockPoll
 		polls   = 0
 		waiting = false
@@ -307,11 +302,11 @@ func (sn *session) waitGrant(obj *sharedObject, acc tname.TxID) (spec.Value, boo
 				return spec.Nil, false, "deadlock victim"
 			}
 		}
-		if time.Now().After(deadlne) {
+		if opts.Hooks.Now().After(deadlne) {
 			sn.s.metrics.LockTimeouts.Add(1)
 			return spec.Nil, false, "lock wait timeout"
 		}
-		time.Sleep(backoff)
+		opts.Hooks.LockWait(sn.id, backoff)
 		if backoff *= 2; backoff > opts.LockPollMax {
 			backoff = opts.LockPollMax
 		}
@@ -333,6 +328,12 @@ func (sn *session) handleCommit() wire.Response {
 	sn.informAll(event.InformCommit, cur)
 	seq := sn.appendLog(event.NewValEvent(event.ReportCommit, cur.id, spec.OK))
 	sn.popFrame(cur)
+	if len(sn.frames) == 0 {
+		// Top-level completion is a durability point: fsync before the
+		// client can observe the commit.
+		sn.s.walSync()
+	}
+	sn.s.opts.Hooks.CommitWait(sn.id, seq)
 
 	if err := sn.s.cert.waitCertified(seq); err != nil {
 		// The commit is already in the log; certification failing here means
@@ -358,6 +359,9 @@ func (sn *session) handleAbort() wire.Response {
 	sn.informAll(event.InformAbort, cur)
 	sn.appendLog(event.NewEvent(event.ReportAbort, cur.id))
 	sn.popFrame(cur)
+	if len(sn.frames) == 0 {
+		sn.s.walSync()
+	}
 	return wire.Response{Status: wire.StatusOK}
 }
 
@@ -371,6 +375,7 @@ func (sn *session) abortTop(reason string) {
 	sn.appendLog(event.NewEvent(event.Abort, top.id))
 	sn.informAll(event.InformAbort, top)
 	sn.appendLog(event.NewEvent(event.ReportAbort, top.id))
+	sn.s.walSync()
 	sn.frames = sn.frames[:0]
 	sn.inTx.Store(false)
 	sn.lastAborted = true

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sort"
 	"sync"
 
 	"nestedsg/internal/tname"
@@ -46,6 +47,10 @@ func (w *waitTable) entries() []*waitEntry {
 	for _, e := range w.waiters {
 		out = append(out, e)
 	}
+	// Deterministic order: the waiters map iterates randomly, and the
+	// victim computation must not depend on that (the simulator replays
+	// runs from a seed).
+	sort.Slice(out, func(i, j int) bool { return out[i].sess < out[j].sess })
 	return out
 }
 
@@ -86,6 +91,19 @@ func (s *Server) deadlockVictim(myTop tname.TxID) bool {
 		}
 		s.mu.RUnlock()
 		e.obj.mu.Unlock()
+	}
+	// Moss's Blockers iterates lock-holder maps, so edge order (and with
+	// it the DFS path) would otherwise vary run to run.
+	for t := range edges {
+		ts := edges[t]
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		dst := ts[:0]
+		for i, v := range ts {
+			if i == 0 || v != ts[i-1] {
+				dst = append(dst, v)
+			}
+		}
+		edges[t] = dst
 	}
 
 	cycle := findCycleThrough(myTop, edges)

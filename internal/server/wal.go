@@ -1,0 +1,510 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"nestedsg/internal/event"
+)
+
+// The write-ahead log is a sequence of segment files, each
+//
+//	"NSGW" | version uvarint | record*
+//
+// where a record is
+//
+//	payload-length uvarint | payload | crc32(payload) LE32
+//
+// and payloads are the WAL record codec of internal/event (WalObjectDef /
+// WalTxDef / WalEvents). Two invariants make recovery simple:
+//
+//   - a segment is synced before the next one is created (rotation syncs),
+//     so after a crash only the LAST segment can hold a torn tail;
+//   - every atomic append the server makes is one WalEvents record, so a
+//     valid record prefix of the WAL is a prefix of atomic appends.
+//
+// Recovery (scanWAL) therefore reads segments in order, stops at the first
+// invalid byte of the last segment (truncating the torn tail so the next
+// recovery sees a clean log), and treats an invalid byte in any earlier
+// segment as corruption to be rejected, not repaired.
+
+var walMagic = [4]byte{'N', 'S', 'G', 'W'}
+
+const (
+	walVersion = 1
+	// maxWalRecord bounds a single record payload, matching the trace
+	// codec's string bound: anything larger is corruption.
+	maxWalRecord = 1 << 20
+	// defaultSegmentBytes rotates segments at 1 MiB.
+	defaultSegmentBytes = 1 << 20
+)
+
+// SegmentFile is one open WAL segment.
+type SegmentFile interface {
+	io.Writer
+	// Sync makes everything written so far durable.
+	Sync() error
+	Close() error
+}
+
+// Disk is the storage a WAL lives on. DirDisk backs it with a directory of
+// real files; MemDisk is an in-memory implementation whose sync/crash
+// semantics the simulator controls.
+type Disk interface {
+	// Segments lists existing segment names in ascending order.
+	Segments() ([]string, error)
+	// ReadSegment returns a segment's full contents.
+	ReadSegment(name string) ([]byte, error)
+	// Create creates (or truncates) a segment for writing.
+	Create(name string) (SegmentFile, error)
+	// Truncate shortens an existing segment to size bytes.
+	Truncate(name string, size int64) error
+}
+
+func segmentName(index int) string { return fmt.Sprintf("wal-%08d.seg", index) }
+
+// segmentIndex parses the index out of a segment name; ok=false for
+// foreign files.
+func segmentIndex(name string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "wal-%08d.seg", &n); err != nil {
+		return 0, false
+	}
+	if segmentName(n) != name {
+		return 0, false
+	}
+	return n, true
+}
+
+// DirDisk stores segments as files in a directory.
+type DirDisk struct{ dir string }
+
+// NewDirDisk creates the directory if needed and returns a Disk over it.
+func NewDirDisk(dir string) (*DirDisk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirDisk{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (d *DirDisk) Dir() string { return d.dir }
+
+func (d *DirDisk) Segments() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			if _, ok := segmentIndex(e.Name()); ok {
+				names = append(names, e.Name())
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (d *DirDisk) ReadSegment(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.dir, name))
+}
+
+func (d *DirDisk) Create(name string) (SegmentFile, error) {
+	return os.Create(filepath.Join(d.dir, name))
+}
+
+func (d *DirDisk) Truncate(name string, size int64) error {
+	return os.Truncate(filepath.Join(d.dir, name), size)
+}
+
+// MemDisk is an in-memory Disk that models the durability boundary: bytes
+// written but not yet synced are lost by Crash. The simulator freezes the
+// live disk at a crash point and recovers the server from the crash copy,
+// optionally keeping a seed-chosen prefix of the unsynced tail to model a
+// torn write.
+type MemDisk struct {
+	mu     sync.Mutex
+	segs   map[string]*memSegment
+	frozen bool
+}
+
+type memSegment struct {
+	data   []byte
+	synced int // bytes made durable by Sync
+}
+
+// NewMemDisk returns an empty in-memory disk.
+func NewMemDisk() *MemDisk { return &MemDisk{segs: make(map[string]*memSegment)} }
+
+func (d *MemDisk) Segments() ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.segs))
+	for n := range d.segs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (d *MemDisk) ReadSegment(name string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.segs[name]
+	if !ok {
+		return nil, fmt.Errorf("memdisk: no segment %q", name)
+	}
+	return append([]byte(nil), s.data...), nil
+}
+
+func (d *MemDisk) Create(name string) (SegmentFile, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := &memSegment{}
+	d.segs[name] = s
+	return &memFile{d: d, s: s}, nil
+}
+
+func (d *MemDisk) Truncate(name string, size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.segs[name]
+	if !ok {
+		return fmt.Errorf("memdisk: no segment %q", name)
+	}
+	if size < 0 || size > int64(len(s.data)) {
+		return fmt.Errorf("memdisk: truncate %q to %d out of range", name, size)
+	}
+	s.data = s.data[:size]
+	if s.synced > int(size) {
+		s.synced = int(size)
+	}
+	return nil
+}
+
+// Freeze makes every subsequent write and sync a silent no-op: the disk
+// state is pinned at the crash point while the dying server's goroutines
+// finish. The frozen contents stay readable.
+func (d *MemDisk) Freeze() {
+	d.mu.Lock()
+	d.frozen = true
+	d.mu.Unlock()
+}
+
+// SetSegment installs raw segment bytes (fully synced); the fuzzer and
+// tests use it to plant arbitrary WAL images.
+func (d *MemDisk) SetSegment(name string, data []byte) {
+	d.mu.Lock()
+	d.segs[name] = &memSegment{data: append([]byte(nil), data...), synced: len(data)}
+	d.mu.Unlock()
+}
+
+// Crash returns the disk a process crash would leave behind: every segment
+// keeps its synced prefix, and the segment with unsynced bytes (only the
+// last can have any, by the rotation invariant) additionally keeps
+// keepTail bytes of its unsynced tail to model a torn in-flight write.
+func (d *MemDisk) Crash(keepTail int) *MemDisk {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := NewMemDisk()
+	for n, s := range d.segs {
+		keep := s.synced + keepTail
+		if keep > len(s.data) {
+			keep = len(s.data)
+		}
+		out.segs[n] = &memSegment{data: append([]byte(nil), s.data[:keep]...), synced: keep}
+	}
+	return out
+}
+
+// UnsyncedBytes reports how many written bytes are not yet durable, i.e.
+// the maximum useful keepTail for Crash.
+func (d *MemDisk) UnsyncedBytes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, s := range d.segs {
+		n += len(s.data) - s.synced
+	}
+	return n
+}
+
+type memFile struct {
+	d *MemDisk
+	s *memSegment
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if !f.d.frozen {
+		f.s.data = append(f.s.data, p...)
+	}
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if !f.d.frozen {
+		f.s.synced = len(f.s.data)
+	}
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }
+
+// walWriter appends framed records to the current segment, rotating (and
+// syncing) when it grows past segMax. Callers serialize access: the event
+// log writes event records under its own mutex, definition records are
+// written under the server's tree write lock, and both locks are ordered
+// before wmu.
+type walWriter struct {
+	mu      sync.Mutex
+	disk    Disk
+	cur     SegmentFile
+	curName string
+	curSize int
+	nextIdx int
+	segMax  int
+	scratch []byte
+	err     error // sticky: first write/sync failure
+}
+
+func newWalWriter(disk Disk, segMax, firstIndex int) (*walWriter, error) {
+	if segMax <= 0 {
+		segMax = defaultSegmentBytes
+	}
+	w := &walWriter{disk: disk, segMax: segMax, nextIdx: firstIndex}
+	if err := w.rotate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *walWriter) rotate() error {
+	if w.cur != nil {
+		if err := w.cur.Sync(); err != nil {
+			return err
+		}
+		if err := w.cur.Close(); err != nil {
+			return err
+		}
+	}
+	name := segmentName(w.nextIdx)
+	f, err := w.disk.Create(name)
+	if err != nil {
+		return err
+	}
+	hdr := append([]byte(nil), walMagic[:]...)
+	hdr = binary.AppendUvarint(hdr, walVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	w.cur, w.curName, w.curSize = f, name, len(hdr)
+	w.nextIdx++
+	return nil
+}
+
+// appendRecord frames and writes one payload. Errors are sticky; the
+// server surfaces them rather than silently dropping durability.
+func (w *walWriter) appendRecord(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.scratch = binary.AppendUvarint(w.scratch[:0], uint64(len(payload)))
+	w.scratch = append(w.scratch, payload...)
+	w.scratch = binary.LittleEndian.AppendUint32(w.scratch, crc32.ChecksumIEEE(payload))
+	if w.curSize > len(walMagic)+1 && w.curSize+len(w.scratch) > w.segMax {
+		if err := w.rotate(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	if _, err := w.cur.Write(w.scratch); err != nil {
+		w.err = err
+		return err
+	}
+	w.curSize += len(w.scratch)
+	return nil
+}
+
+// sync makes everything appended so far durable.
+func (w *walWriter) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.cur.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// closeNoSync closes the current segment without a final sync — the crash
+// path, where pretending the tail became durable would be a lie.
+func (w *walWriter) closeNoSync() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cur != nil {
+		w.cur.Close()
+		w.cur = nil
+	}
+}
+
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cur == nil {
+		return w.err
+	}
+	serr := w.cur.Sync()
+	cerr := w.cur.Close()
+	w.cur = nil
+	if w.err == nil {
+		if serr != nil {
+			w.err = serr
+		} else if cerr != nil {
+			w.err = cerr
+		}
+	}
+	return w.err
+}
+
+// walScan is the result of reading a WAL off a Disk.
+type walScan struct {
+	ops      []event.WalOp // decoded records, in WAL order
+	records  int
+	segments int
+	// nextIdx is the segment index a writer resuming this WAL must use.
+	nextIdx int
+	// tornSegment/tornBytes report a truncated torn tail (last segment
+	// only); tornBytes is 0 when the WAL ended cleanly.
+	tornSegment string
+	tornBytes   int64
+}
+
+// errWalCorrupt marks corruption outside the repairable torn tail.
+var errWalCorrupt = errors.New("wal: corrupt")
+
+// scanWAL reads every segment in order, decoding and validating records
+// against running (numTx, numObjects) counts. An invalid suffix of the
+// last segment is a torn tail: it is physically truncated away and the
+// scan succeeds with what precedes it. Invalid bytes anywhere else mean
+// the WAL is corrupt and recovery must refuse.
+func scanWAL(disk Disk) (*walScan, error) {
+	names, err := disk.Segments()
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing segments: %w", err)
+	}
+	res := &walScan{nextIdx: 1, segments: len(names)}
+	numTx, numObj := 1, 0 // the root T0 always exists
+	for si, name := range names {
+		idx, ok := segmentIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: unexpected file %q", errWalCorrupt, name)
+		}
+		last := si == len(names)-1
+		data, err := disk.ReadSegment(name)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading %s: %w", name, err)
+		}
+		validTo, serr := scanSegment(data, &res.ops, &numTx, &numObj, &res.records)
+		if serr != nil {
+			if !last {
+				return nil, fmt.Errorf("%w: segment %s offset %d: %v", errWalCorrupt, name, validTo, serr)
+			}
+			// Torn tail: truncate so the next recovery (and the resuming
+			// writer's successors) see a clean WAL.
+			res.tornSegment, res.tornBytes = name, int64(len(data))-int64(validTo)
+			if validTo < headerLen() {
+				// Not even a full header survived: recreate this segment
+				// from scratch by reusing its index.
+				if err := disk.Truncate(name, 0); err != nil {
+					return nil, fmt.Errorf("wal: truncating torn %s: %w", name, err)
+				}
+				res.nextIdx = idx
+				return res, nil
+			}
+			if err := disk.Truncate(name, int64(validTo)); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn %s: %w", name, err)
+			}
+		}
+		res.nextIdx = idx + 1
+	}
+	return res, nil
+}
+
+func headerLen() int { return len(walMagic) + 1 /* version uvarint, 1 byte for v1 */ }
+
+// scanSegment decodes records from one segment image, appending to ops and
+// updating the running counts. It returns the byte offset of the end of
+// the last fully valid record (or 0 if the header itself is bad) plus an
+// error describing the first invalid byte, if any.
+func scanSegment(data []byte, ops *[]event.WalOp, numTx, numObj, records *int) (int, error) {
+	if len(data) < headerLen() || string(data[:4]) != string(walMagic[:]) {
+		return 0, errors.New("bad segment header")
+	}
+	if data[4] != walVersion {
+		return 0, fmt.Errorf("unsupported wal version %d", data[4])
+	}
+	pos := headerLen()
+	for pos < len(data) {
+		plen, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return pos, errors.New("short record length")
+		}
+		if plen > maxWalRecord {
+			return pos, fmt.Errorf("record length %d exceeds limit", plen)
+		}
+		body := pos + n
+		end := body + int(plen) + 4
+		if end > len(data) {
+			return pos, errors.New("short record")
+		}
+		payload := data[body : body+int(plen)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[body+int(plen):end]) {
+			return pos, errors.New("record checksum mismatch")
+		}
+		op, err := event.DecodeWalOp(payload, *numTx, *numObj)
+		if err != nil {
+			return pos, err
+		}
+		switch op.Kind {
+		case event.WalObjectDef:
+			*numObj++
+		case event.WalTxDef:
+			*numTx++
+		case event.WalEvents:
+			// No new names.
+		}
+		*ops = append(*ops, op)
+		*records++
+		pos = end
+	}
+	return pos, nil
+}
+
+// walEncodeEvents encodes one atomic event batch into a record payload
+// (reusing buf) for the event log's WAL tee.
+func walEncodeEvents(buf []byte, evs []event.Event) []byte {
+	return event.AppendWalEvents(buf[:0], evs...)
+}
+
+// isWalCorrupt reports whether err is a clean corruption rejection (as
+// opposed to an I/O failure).
+func isWalCorrupt(err error) bool { return errors.Is(err, errWalCorrupt) }

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// writeRecords drives a walWriter over disk with the given payloads.
+func writeRecords(t *testing.T, disk Disk, segMax int, payloads ...[]byte) {
+	t.Helper()
+	w, err := newWalWriter(disk, segMax, 1)
+	if err != nil {
+		t.Fatalf("newWalWriter: %v", err)
+	}
+	for _, p := range payloads {
+		if err := w.appendRecord(p); err != nil {
+			t.Fatalf("appendRecord: %v", err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// tinyWal returns payloads for a minimal consistent WAL: one object, one
+// top with one committed access.
+func tinyWal() [][]byte {
+	return [][]byte{
+		event.AppendWalEvents(nil, event.NewEvent(event.Create, tname.Root)),
+		event.AppendWalObjectDef(nil, "x", "register"),
+		event.AppendWalTxDef(nil, tname.Root, "s1.1", tname.NoObj, spec.Op{}),
+		event.AppendWalEvents(nil,
+			event.NewEvent(event.RequestCreate, 1),
+			event.NewEvent(event.Create, 1)),
+		event.AppendWalTxDef(nil, 1, "a1", 0, spec.Op{Kind: spec.OpWrite, Arg: spec.Int(7)}),
+		event.AppendWalEvents(nil, event.NewEvent(event.RequestCreate, 2)),
+		event.AppendWalEvents(nil, event.NewEvent(event.Create, 2)),
+		event.AppendWalEvents(nil, event.NewValEvent(event.RequestCommit, 2, spec.OK)),
+		event.AppendWalEvents(nil,
+			event.NewEvent(event.Commit, 2),
+			event.NewInform(event.InformCommit, 2, 0),
+			event.NewValEvent(event.ReportCommit, 2, spec.OK)),
+		event.AppendWalEvents(nil,
+			event.NewValEvent(event.RequestCommit, 1, spec.OK),
+			event.NewEvent(event.Commit, 1)),
+		event.AppendWalEvents(nil, event.NewInform(event.InformCommit, 1, 0)),
+		event.AppendWalEvents(nil, event.NewValEvent(event.ReportCommit, 1, spec.OK)),
+	}
+}
+
+func TestWalScanRoundTrip(t *testing.T) {
+	payloads := tinyWal()
+	for _, segMax := range []int{1 << 20, 48} { // one segment vs forced rotation
+		disk := NewMemDisk()
+		writeRecords(t, disk, segMax, payloads...)
+		scan, err := scanWAL(disk)
+		if err != nil {
+			t.Fatalf("segMax=%d: scanWAL: %v", segMax, err)
+		}
+		if scan.records != len(payloads) {
+			t.Fatalf("segMax=%d: got %d records, want %d", segMax, scan.records, len(payloads))
+		}
+		if scan.tornBytes != 0 {
+			t.Fatalf("segMax=%d: unexpected torn tail %d bytes", segMax, scan.tornBytes)
+		}
+		if segMax == 48 && scan.segments < 2 {
+			t.Fatalf("segMax=48 never rotated (got %d segments)", scan.segments)
+		}
+		events := 0
+		for _, op := range scan.ops {
+			if op.Kind == event.WalEvents {
+				events += len(op.Events)
+			}
+		}
+		if events != 13 {
+			t.Fatalf("segMax=%d: got %d events, want 13", segMax, events)
+		}
+	}
+}
+
+// TestWalScanTornTail appends garbage after the valid records of the last
+// segment: the scan must truncate it and succeed, and a second scan must
+// see a clean WAL of the same records.
+func TestWalScanTornTail(t *testing.T) {
+	for _, garbage := range [][]byte{
+		{0x01},                            // short record
+		{0xff, 0xff, 0xff, 0xff, 0x7f},    // absurd record length
+		{0x03, 'b', 'a', 'd', 0, 0, 0, 0}, // framed garbage, bad payload+crc
+	} {
+		disk := NewMemDisk()
+		writeRecords(t, disk, 1<<20, tinyWal()...)
+		names, _ := disk.Segments()
+		last := names[len(names)-1]
+		data, _ := disk.ReadSegment(last)
+		disk.SetSegment(last, append(append([]byte(nil), data...), garbage...))
+
+		scan, err := scanWAL(disk)
+		if err != nil {
+			t.Fatalf("garbage %x: scanWAL: %v", garbage, err)
+		}
+		if scan.tornBytes != int64(len(garbage)) {
+			t.Fatalf("garbage %x: truncated %d bytes, want %d", garbage, scan.tornBytes, len(garbage))
+		}
+		if scan.records != len(tinyWal()) {
+			t.Fatalf("garbage %x: got %d records, want %d", garbage, scan.records, len(tinyWal()))
+		}
+		again, err := scanWAL(disk)
+		if err != nil || again.tornBytes != 0 || again.records != scan.records {
+			t.Fatalf("garbage %x: rescan after truncation: %v (torn=%d records=%d)",
+				garbage, err, again.tornBytes, again.records)
+		}
+	}
+}
+
+// TestWalScanHeaderlessLastSegment: a last segment without even a full
+// header is truncated to zero and its index is reused by the resuming
+// writer.
+func TestWalScanHeaderlessLastSegment(t *testing.T) {
+	disk := NewMemDisk()
+	writeRecords(t, disk, 1<<20, tinyWal()...)
+	disk.SetSegment(segmentName(2), []byte{'N', 'S'})
+	scan, err := scanWAL(disk)
+	if err != nil {
+		t.Fatalf("scanWAL: %v", err)
+	}
+	if scan.nextIdx != 2 {
+		t.Fatalf("nextIdx = %d, want 2 (reuse the dead segment)", scan.nextIdx)
+	}
+	if data, _ := disk.ReadSegment(segmentName(2)); len(data) != 0 {
+		t.Fatalf("dead segment not truncated to zero (%d bytes)", len(data))
+	}
+}
+
+// TestWalScanRejectsCorruptMiddle: garbage in a non-last segment is not a
+// torn tail and must be rejected, never repaired.
+func TestWalScanRejectsCorruptMiddle(t *testing.T) {
+	disk := NewMemDisk()
+	writeRecords(t, disk, 48, tinyWal()...) // rotates into several segments
+	names, _ := disk.Segments()
+	if len(names) < 2 {
+		t.Fatal("test needs at least two segments")
+	}
+	data, _ := disk.ReadSegment(names[0])
+	data[len(data)-1] ^= 0xff // corrupt the first segment's last record
+	disk.SetSegment(names[0], data)
+	_, err := scanWAL(disk)
+	if err == nil || !isWalCorrupt(err) {
+		t.Fatalf("scanWAL on corrupt middle segment: %v, want wal corruption", err)
+	}
+}
+
+// TestMemDiskCrashSemantics: Crash keeps only the synced prefix (plus the
+// requested torn tail) and Freeze drops later writes.
+func TestMemDiskCrashSemantics(t *testing.T) {
+	disk := NewMemDisk()
+	f, _ := disk.Create(segmentName(1))
+	f.Write([]byte("durable"))
+	f.Sync()
+	f.Write([]byte("-volatile"))
+	if got := disk.UnsyncedBytes(); got != len("-volatile") {
+		t.Fatalf("UnsyncedBytes = %d", got)
+	}
+	crash := disk.Crash(3)
+	data, _ := crash.ReadSegment(segmentName(1))
+	if string(data) != "durable-vo" {
+		t.Fatalf("crash copy = %q, want %q", data, "durable-vo")
+	}
+	disk.Freeze()
+	f.Write([]byte("ignored"))
+	f.Sync()
+	data, _ = disk.ReadSegment(segmentName(1))
+	if strings.Contains(string(data), "ignored") {
+		t.Fatal("write after Freeze reached the disk")
+	}
+}
+
+// TestRecoverRejectsDivergentValue: a WAL whose logged REQUEST_COMMIT
+// value cannot be reproduced by the automaton replay is rejected cleanly.
+func TestRecoverRejectsDivergentValue(t *testing.T) {
+	payloads := [][]byte{
+		event.AppendWalEvents(nil, event.NewEvent(event.Create, tname.Root)),
+		event.AppendWalObjectDef(nil, "x", "register"),
+		event.AppendWalTxDef(nil, tname.Root, "s1.1", tname.NoObj, spec.Op{}),
+		event.AppendWalEvents(nil,
+			event.NewEvent(event.RequestCreate, 1),
+			event.NewEvent(event.Create, 1)),
+		event.AppendWalTxDef(nil, 1, "a1", 0, spec.Op{Kind: spec.OpRead}),
+		event.AppendWalEvents(nil,
+			event.NewEvent(event.RequestCreate, 2),
+			event.NewEvent(event.Create, 2)),
+		// A fresh register reads Nil; the log claims 42.
+		event.AppendWalEvents(nil, event.NewValEvent(event.RequestCommit, 2, spec.Int(42))),
+	}
+	disk := NewMemDisk()
+	writeRecords(t, disk, 1<<20, payloads...)
+	_, _, err := Recover(Options{WAL: disk})
+	if err == nil || !strings.Contains(err.Error(), "replays to") {
+		t.Fatalf("Recover: %v, want replay-divergence rejection", err)
+	}
+}
+
+// TestRecoverRejectsDefsWithoutEvents: definition records with no event
+// records cannot come from a live server.
+func TestRecoverRejectsDefsWithoutEvents(t *testing.T) {
+	disk := NewMemDisk()
+	writeRecords(t, disk, 1<<20, event.AppendWalObjectDef(nil, "x", "register"))
+	if _, _, err := Recover(Options{WAL: disk}); err == nil {
+		t.Fatal("Recover accepted definitions without events")
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"time"
+)
+
+// Event kinds flowing from the server (via hooks and per-connection
+// readers) to the single driver goroutine.
+type evKind uint8
+
+const (
+	// evPark: a session entered Hooks.LockWait and is blocked until the
+	// driver wakes it.
+	evPark evKind = iota
+	// evCommitWait: a session logged a COMMIT at log index seq and is
+	// about to block on the certification watermark.
+	evCommitWait
+	// evDone: a session's serve loop finished; all of its events are in
+	// the log.
+	evDone
+	// evResp: a response frame (or transport error) arrived on a client
+	// connection.
+	evResp
+)
+
+// simEvent is one message on the driver's central channel. Events carry
+// the server generation that produced them; the driver discards events
+// from a generation that has since been crashed.
+type simEvent struct {
+	gen  uint64
+	kind evKind
+	sess int64 // server session id (evPark, evCommitWait, evDone)
+	slot int   // client slot index (evResp)
+	conn int   // slot connection number (evResp); filters readers of replaced connections
+	dur  time.Duration
+	seq  int
+	data []byte // raw response payload (evResp)
+	err  error  // transport error (evResp)
+}
+
+// simHooks implements server.Hooks for one server incarnation
+// (generation). Stale hooks — ones whose generation was retired by a
+// simulated crash — return immediately so the dying server's goroutines
+// can run to completion without touching the simulation.
+type simHooks struct {
+	s   *sim
+	gen uint64
+}
+
+// Now returns the virtual clock; only the driver advances it.
+func (h *simHooks) Now() time.Time {
+	return time.Unix(0, h.s.clock.Load())
+}
+
+// LockWait parks the session until the driver wakes it (advancing the
+// virtual clock by d first) or the generation is retired.
+func (h *simHooks) LockWait(sess int64, d time.Duration) {
+	s := h.s
+	s.mu.Lock()
+	if h.gen != s.gen.Load() {
+		s.mu.Unlock()
+		return
+	}
+	wake := make(chan struct{})
+	s.wakes[sess] = wake
+	rel := s.release
+	s.mu.Unlock()
+	s.send(h.gen, simEvent{kind: evPark, sess: sess, dur: d})
+	select {
+	case <-wake:
+	case <-rel:
+	}
+}
+
+// CertApply blocks the certifier at indexes at or beyond an active stall
+// point until the driver lifts the stall or retires the generation. The
+// server calls it without any lock held, so a stalled certifier never
+// wedges the sessions.
+func (h *simHooks) CertApply(index int) {
+	s := h.s
+	for {
+		s.mu.Lock()
+		if h.gen != s.gen.Load() {
+			s.mu.Unlock()
+			return
+		}
+		st := s.stall
+		rel := s.release
+		s.mu.Unlock()
+		if st == nil || index < st.from {
+			return
+		}
+		select {
+		case <-st.released:
+		case <-rel:
+			return
+		}
+	}
+}
+
+// CommitWait tells the driver the session is about to block on the
+// certification watermark for log sequence seq (notification only).
+func (h *simHooks) CommitWait(sess int64, seq int) {
+	h.s.send(h.gen, simEvent{kind: evCommitWait, sess: sess, seq: seq})
+}
+
+// SessionDone tells the driver all of the session's events are logged.
+func (h *simHooks) SessionDone(sess int64) {
+	h.s.send(h.gen, simEvent{kind: evDone, sess: sess})
+}
+
+// stallState is an active certifier stall: indexes >= from block until
+// released is closed.
+type stallState struct {
+	from     int
+	released chan struct{}
+}
+
+// send forwards an event to the driver unless the generation is stale.
+// The channel is buffered generously; the driver is the only consumer and
+// pumps whenever any session can make progress.
+func (s *sim) send(gen uint64, ev simEvent) {
+	if gen != s.gen.Load() {
+		return
+	}
+	ev.gen = gen
+	s.events <- ev
+}

@@ -1,0 +1,27 @@
+package sim
+
+// rng is a splitmix64 generator: the simulator's single source of
+// randomness. Every scheduling decision, workload choice and fault sample
+// is drawn from it, so one uint64 seed determines the entire run —
+// math/rand and the wall clock are banned from this package (enforced by
+// the simdeterminism sgvet analyzer).
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). The modulo bias is irrelevant for
+// scheduling choices.
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

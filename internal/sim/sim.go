@@ -1,0 +1,787 @@
+// Package sim is a deterministic fault-injection simulator for the
+// nested-transaction server. It wraps the real server — real sessions,
+// real locking automata, real WAL, real certifier — behind a seeded
+// virtual scheduler: a single driver goroutine issues every request,
+// wakes every blocked lock poll, advances a virtual clock, and samples
+// faults (connection drops mid-transaction, drops after REQUEST_COMMIT,
+// certifier stalls, lock-timeout storms, and full process crashes with
+// torn-write recovery) from one splitmix64 stream. Two runs with the same
+// Config produce byte-identical event traces, so any failing run
+// reproduces from its uint64 seed alone.
+//
+// Crashes use the in-memory Disk: the simulator snapshots the durable
+// prefix (plus a random torn tail of unsynced bytes), freezes the old
+// disk, kills the server, and rebuilds it with server.Recover — whose
+// audit proves the resumed certificate is byte-identical to a batch
+// core.Check over the stitched log. On small runs the stitched log is
+// additionally cross-checked against the internal/oracle sibling-order
+// search.
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/locking"
+	"nestedsg/internal/object"
+	"nestedsg/internal/oracle"
+	"nestedsg/internal/server"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/wire"
+)
+
+// FaultClass names one injectable fault.
+type FaultClass uint8
+
+// Fault classes.
+const (
+	// FaultDrop closes a client connection while its transaction is open;
+	// the server must abort the orphaned top and release its locks.
+	FaultDrop FaultClass = iota
+	// FaultDropAfterCommit sends COMMIT and closes the connection before
+	// reading the response: the commit is durable but unacknowledged.
+	FaultDropAfterCommit
+	// FaultCertStall blocks the online certifier at the current log
+	// length for a sampled number of scheduler decisions; commits queue
+	// on the watermark and must all drain when the stall lifts.
+	FaultCertStall
+	// FaultClockStorm jumps the virtual clock past every blocked
+	// access's lock-wait deadline, forcing a storm of timeout aborts.
+	FaultClockStorm
+	// FaultCrash kills the process at the current instant: the disk
+	// keeps only the synced prefix plus a random torn tail of unsynced
+	// bytes, and the server is rebuilt with server.Recover.
+	FaultCrash
+)
+
+var faultNames = map[FaultClass]string{
+	FaultDrop:            "drop",
+	FaultDropAfterCommit: "drop-after-commit",
+	FaultCertStall:       "cert-stall",
+	FaultClockStorm:      "clock-storm",
+	FaultCrash:           "crash",
+}
+
+// String names the fault class.
+func (f FaultClass) String() string {
+	if n, ok := faultNames[f]; ok {
+		return n
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// AllFaults lists every fault class.
+func AllFaults() []FaultClass {
+	return []FaultClass{FaultDrop, FaultDropAfterCommit, FaultCertStall, FaultClockStorm, FaultCrash}
+}
+
+// Config parameterizes a simulation run. The zero value plus a seed is a
+// usable configuration.
+type Config struct {
+	// Seed drives every random choice in the run.
+	Seed uint64
+	// Sessions is the number of concurrent client sessions (default 4).
+	Sessions int
+	// Objects is the number of shared register objects (default 3; few
+	// objects force lock conflicts).
+	Objects int
+	// Steps is the number of scheduler decisions before the graceful
+	// drain (default 150).
+	Steps int
+	// Protocol is the concurrency-control protocol under test (default
+	// Moss locking).
+	Protocol object.Protocol
+	// Faults enables fault classes; empty means a fault-free run.
+	Faults []FaultClass
+	// FaultPermille is the per-step probability (in 1/1000) of injecting
+	// one of the enabled faults (default 30 when Faults is non-empty).
+	FaultPermille int
+	// OracleMaxEvents bounds the log size for the sibling-order oracle
+	// cross-check after recoveries and at the end (default 60; 0 keeps
+	// the default, negative disables).
+	OracleMaxEvents int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	if c.Objects <= 0 {
+		c.Objects = 3
+	}
+	if c.Steps <= 0 {
+		c.Steps = 150
+	}
+	if c.Protocol == nil {
+		c.Protocol = locking.Protocol{}
+	}
+	if c.FaultPermille <= 0 {
+		c.FaultPermille = 30
+	}
+	if c.OracleMaxEvents == 0 {
+		c.OracleMaxEvents = 60
+	}
+	return c
+}
+
+// Report is the deterministic outcome of a run: identical Configs yield
+// identical Reports (compare Summary() and Trace).
+type Report struct {
+	Seed  uint64
+	Steps int
+	// Request counters, as observed by the driver.
+	Begins, Accesses, TopCommits, TxAborts int
+	// Faults counts injected faults by class.
+	Faults map[FaultClass]int
+	// Recoveries counts crash recoveries; the repair totals aggregate
+	// their RecoveryReports.
+	Recoveries   int
+	OrphanTops   int
+	FixupInforms int
+	TornBytes    int64
+	// FinalEvents is the stitched log length after the graceful drain;
+	// Trace is its binary encoding (the determinism witness).
+	FinalEvents int
+	Trace       []byte
+	// FinalDisk is the WAL left behind by the clean shutdown — tests
+	// re-recover from it. Not part of the deterministic comparison.
+	FinalDisk *server.MemDisk
+}
+
+// Summary renders the deterministic counters in one line (fault counts in
+// class order).
+func (r *Report) Summary() string {
+	var fs []string
+	classes := make([]FaultClass, 0, len(r.Faults))
+	for c := range r.Faults {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		fs = append(fs, fmt.Sprintf("%s=%d", c, r.Faults[c]))
+	}
+	return fmt.Sprintf(
+		"seed=%d steps=%d begins=%d accesses=%d commits=%d txaborts=%d faults=%v recoveries=%d orphans=%d fixups=%d torn=%d events=%d",
+		r.Seed, r.Steps, r.Begins, r.Accesses, r.TopCommits, r.TxAborts, fs,
+		r.Recoveries, r.OrphanTops, r.FixupInforms, r.TornBytes, r.FinalEvents)
+}
+
+// Slot phases: where one client session is in its request cycle.
+const (
+	phIdle     = iota // no outstanding request
+	phAwait           // request sent, no settlement yet
+	phParkLock        // blocked access parked in LockWait
+	phParkCert        // commit parked behind a stalled certifier
+	phClosed          // connection dropped, waiting for SessionDone
+)
+
+// slot is one simulated client session.
+type slot struct {
+	idx     int
+	conn    net.Conn
+	w       *bufio.Writer
+	out     []byte
+	sid     int64 // server session id
+	connID  int   // bumped on every reconnect; stale readers are ignored
+	phase   int
+	parkDur time.Duration
+	lastCmd wire.Cmd
+	inTx    bool
+	depth   int
+}
+
+// sim is the driver state. Exactly one goroutine (the driver) mutates it;
+// mu guards only the fields the hook callbacks touch.
+type sim struct {
+	cfg  Config
+	r    *rng
+	rep  *Report
+	objs []string
+
+	clock atomic.Int64  // virtual ns
+	gen   atomic.Uint64 // server incarnation; bumped by crashes
+
+	events chan simEvent
+
+	mu      sync.Mutex
+	wakes   map[int64]chan struct{}
+	release chan struct{}
+	stall   *stallState
+
+	disk  *server.MemDisk
+	srv   *server.Server
+	slots []*slot
+	bySid map[int64]*slot
+	done  map[int64]bool // SessionDone seen, by server session id
+
+	stallLeft int // scheduler decisions until the stall lifts
+}
+
+// Run executes one simulation and returns its deterministic report. A
+// non-nil error is a certification, recovery, determinism or protocol
+// failure; the report (possibly partial) is returned alongside for
+// diagnostics.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	s := &sim{
+		cfg:     cfg,
+		r:       newRng(cfg.Seed),
+		rep:     &Report{Seed: cfg.Seed, Steps: cfg.Steps, Faults: make(map[FaultClass]int)},
+		events:  make(chan simEvent, 4096),
+		wakes:   make(map[int64]chan struct{}),
+		release: make(chan struct{}),
+		done:    make(map[int64]bool),
+		bySid:   make(map[int64]*slot),
+	}
+	s.clock.Store(1)
+	for i := 0; i < cfg.Objects; i++ {
+		s.objs = append(s.objs, fmt.Sprintf("r%d", i))
+	}
+	if err := s.boot(server.NewMemDisk(), nil); err != nil {
+		return s.rep, err
+	}
+	err := s.drive()
+	if err == nil {
+		err = s.finish()
+	}
+	if err != nil {
+		return s.rep, fmt.Errorf("sim: seed %d: %w", cfg.Seed, err)
+	}
+	return s.rep, nil
+}
+
+func (s *sim) serverOpts(disk *server.MemDisk) server.Options {
+	return server.Options{
+		Protocol:    s.cfg.Protocol,
+		Objects:     s.objs,
+		LockTimeout: 40 * time.Millisecond, // virtual
+		LockPoll:    time.Millisecond,
+		LockPollMax: 8 * time.Millisecond,
+		WAL:         disk,
+		Hooks:       &simHooks{s: s, gen: s.gen.Load()},
+	}
+}
+
+// boot recovers a server from disk (fresh or post-crash) and connects
+// every client slot to it over a pipe.
+func (s *sim) boot(disk *server.MemDisk, into []*slot) error {
+	s.disk = disk
+	srv, rrep, err := server.Recover(s.serverOpts(disk))
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	if !rrep.AuditOK {
+		srv.Kill()
+		return fmt.Errorf("recovery audit skipped unexpectedly: %s", rrep.Summary())
+	}
+	s.srv = srv
+	s.rep.OrphanTops += rrep.OrphanTops
+	s.rep.FixupInforms += rrep.FixupInforms
+	s.rep.TornBytes += rrep.TornBytes
+	if err := s.checkOracle(); err != nil {
+		return err
+	}
+	s.bySid = make(map[int64]*slot)
+	if into == nil {
+		for i := 0; i < s.cfg.Sessions; i++ {
+			s.slots = append(s.slots, &slot{idx: i})
+		}
+		into = s.slots
+	}
+	for _, sl := range into {
+		if err := s.connect(sl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// connect gives sl a fresh pipe-backed session on the current server.
+func (s *sim) connect(sl *slot) error {
+	clientEnd, serverEnd := net.Pipe()
+	sid := s.srv.ServeConn(serverEnd)
+	if sid < 0 {
+		return fmt.Errorf("slot %d: server refused connection", sl.idx)
+	}
+	sl.conn = clientEnd
+	sl.w = bufio.NewWriter(clientEnd)
+	sl.sid = sid
+	sl.connID++
+	sl.phase = phIdle
+	sl.inTx = false
+	sl.depth = 0
+	s.bySid[sid] = sl
+	go s.reader(s.gen.Load(), sl.idx, sl.connID, clientEnd)
+	return nil
+}
+
+// reader forwards response frames (or the terminal transport error) from
+// one connection to the driver.
+func (s *sim) reader(gen uint64, idx, connID int, c net.Conn) {
+	r := bufio.NewReader(c)
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(r, buf)
+		if err != nil {
+			s.send(gen, simEvent{kind: evResp, slot: idx, conn: connID, err: err})
+			return
+		}
+		buf = payload
+		s.send(gen, simEvent{kind: evResp, slot: idx, conn: connID, data: append([]byte(nil), payload...)})
+	}
+}
+
+// drive runs the scheduler: one decision per step.
+func (s *sim) drive() error {
+	for step := 0; step < s.cfg.Steps; step++ {
+		if s.stall != nil {
+			if s.stallLeft--; s.stallLeft <= 0 {
+				if err := s.unstall(); err != nil {
+					return fmt.Errorf("step %d: %w", step, err)
+				}
+			}
+		}
+		if err := s.tick(); err != nil {
+			return fmt.Errorf("step %d: %w", step, err)
+		}
+	}
+	return nil
+}
+
+// tick makes one scheduler decision: inject a fault, wake a parked
+// session, or issue one request on an idle session.
+func (s *sim) tick() error {
+	if len(s.cfg.Faults) > 0 && s.r.intn(1000) < s.cfg.FaultPermille {
+		class := s.cfg.Faults[s.r.intn(len(s.cfg.Faults))]
+		if did, err := s.fault(class); err != nil || did {
+			return err
+		}
+		// Fault not applicable right now (e.g. nothing to drop): fall
+		// through to a normal decision.
+	}
+	parked := s.phaseSlots(phParkLock)
+	idle := s.phaseSlots(phIdle)
+	if len(parked) > 0 && (len(idle) == 0 || s.r.intn(100) < 40) {
+		return s.wakeOne(parked[s.r.intn(len(parked))])
+	}
+	if len(idle) == 0 {
+		if s.stall != nil {
+			return s.unstall()
+		}
+		return fmt.Errorf("no runnable session (phases %v)", s.phases())
+	}
+	sl := idle[s.r.intn(len(idle))]
+	return s.perform(sl, s.nextRequest(sl))
+}
+
+func (s *sim) phases() []int {
+	out := make([]int, len(s.slots))
+	for i, sl := range s.slots {
+		out[i] = sl.phase
+	}
+	return out
+}
+
+func (s *sim) phaseSlots(phase int) []*slot {
+	var out []*slot
+	for _, sl := range s.slots {
+		if sl.phase == phase {
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// nextRequest samples the next workload request for an idle slot.
+func (s *sim) nextRequest(sl *slot) wire.Request {
+	if !sl.inTx {
+		return wire.Request{Cmd: wire.CmdBegin}
+	}
+	roll := s.r.intn(100)
+	switch {
+	case roll < 55:
+		obj := s.objs[s.r.intn(len(s.objs))]
+		if s.r.intn(100) < 40 {
+			return wire.Request{Cmd: wire.CmdAccess, Obj: obj, Op: spec.OpRead, Arg: spec.Nil}
+		}
+		return wire.Request{Cmd: wire.CmdAccess, Obj: obj, Op: spec.OpWrite, Arg: spec.Int(int64(s.r.intn(8)))}
+	case roll < 65:
+		return wire.Request{Cmd: wire.CmdChild}
+	case roll < 85:
+		return wire.Request{Cmd: wire.CmdCommit}
+	default:
+		return wire.Request{Cmd: wire.CmdAbort}
+	}
+}
+
+// perform sends one request on sl and pumps events until the session
+// settles (response, lock park, or certifier park).
+func (s *sim) perform(sl *slot, q wire.Request) error {
+	sl.out = wire.AppendRequest(sl.out[:0], q)
+	if err := wire.WriteFrame(sl.w, sl.out); err != nil {
+		return fmt.Errorf("slot %d: write %s: %w", sl.idx, q.Cmd, err)
+	}
+	sl.lastCmd = q.Cmd
+	sl.phase = phAwait
+	return s.pumpUntil(func() bool { return sl.phase != phAwait })
+}
+
+// wakeOne advances the virtual clock by the parked session's requested
+// backoff, wakes it, and pumps until it settles again.
+func (s *sim) wakeOne(sl *slot) error {
+	s.clock.Add(int64(sl.parkDur))
+	sl.phase = phAwait
+	s.mu.Lock()
+	wake := s.wakes[sl.sid]
+	delete(s.wakes, sl.sid)
+	s.mu.Unlock()
+	if wake == nil {
+		return fmt.Errorf("slot %d: parked without a wake channel", sl.idx)
+	}
+	close(wake)
+	return s.pumpUntil(func() bool { return sl.phase != phAwait })
+}
+
+// pumpUntil consumes driver events until pred holds.
+func (s *sim) pumpUntil(pred func() bool) error {
+	for !pred() {
+		ev := <-s.events
+		if ev.gen != s.gen.Load() {
+			continue
+		}
+		if err := s.handleEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *sim) handleEvent(ev simEvent) error {
+	switch ev.kind {
+	case evPark:
+		if sl := s.bySid[ev.sess]; sl != nil && sl.phase != phClosed {
+			sl.phase = phParkLock
+			sl.parkDur = ev.dur
+		}
+	case evCommitWait:
+		sl := s.bySid[ev.sess]
+		if sl == nil || sl.phase != phAwait {
+			return nil
+		}
+		s.mu.Lock()
+		st := s.stall
+		s.mu.Unlock()
+		if st != nil && ev.seq >= st.from {
+			sl.phase = phParkCert
+		}
+	case evDone:
+		s.done[ev.sess] = true
+	case evResp:
+		sl := s.slots[ev.slot]
+		if ev.conn != sl.connID {
+			return nil // a reader of a replaced connection winding down
+		}
+		if ev.err != nil {
+			if sl.phase == phClosed {
+				return nil // expected: we dropped this connection
+			}
+			return fmt.Errorf("slot %d: transport error: %w", sl.idx, ev.err)
+		}
+		if sl.phase == phClosed {
+			return nil // response raced our drop; the session is dying
+		}
+		resp, err := wire.ParseResponse(sl.lastCmd, ev.data)
+		if err != nil {
+			return fmt.Errorf("slot %d: parse %s response: %w", sl.idx, sl.lastCmd, err)
+		}
+		return s.applyResp(sl, resp)
+	}
+	return nil
+}
+
+// applyResp folds a response into the slot's workload cursor.
+func (s *sim) applyResp(sl *slot, resp wire.Response) error {
+	sl.phase = phIdle
+	switch resp.Status {
+	case wire.StatusOK:
+		switch sl.lastCmd {
+		case wire.CmdBegin:
+			sl.inTx = true
+			sl.depth = 1
+			s.rep.Begins++
+		case wire.CmdChild:
+			sl.depth++
+		case wire.CmdAccess:
+			s.rep.Accesses++
+		case wire.CmdCommit:
+			if sl.depth--; sl.depth == 0 {
+				sl.inTx = false
+				s.rep.TopCommits++
+			}
+		case wire.CmdAbort:
+			if sl.depth--; sl.depth == 0 {
+				sl.inTx = false
+			}
+		default:
+			// CmdVerdict/CmdPing responses carry no cursor state; the
+			// workload generator never sends them anyway.
+		}
+	case wire.StatusTxAborted:
+		sl.inTx = false
+		sl.depth = 0
+		s.rep.TxAborts++
+	default:
+		return fmt.Errorf("slot %d: server rejected %s: %s", sl.idx, sl.lastCmd, resp.Reason)
+	}
+	return nil
+}
+
+// fault injects one fault; did=false means the class is not applicable in
+// the current state and the step should fall through to normal work.
+func (s *sim) fault(class FaultClass) (did bool, err error) {
+	switch class {
+	case FaultDrop:
+		var open []*slot
+		for _, sl := range s.slots {
+			if sl.phase == phIdle && sl.inTx {
+				open = append(open, sl)
+			}
+		}
+		if len(open) == 0 {
+			return false, nil
+		}
+		s.rep.Faults[class]++
+		return true, s.drop(open[s.r.intn(len(open))], wire.Request{})
+	case FaultDropAfterCommit:
+		s.mu.Lock()
+		stalled := s.stall != nil
+		s.mu.Unlock()
+		if stalled {
+			return false, nil
+		}
+		var open []*slot
+		for _, sl := range s.slots {
+			if sl.phase == phIdle && sl.inTx {
+				open = append(open, sl)
+			}
+		}
+		if len(open) == 0 {
+			return false, nil
+		}
+		s.rep.Faults[class]++
+		return true, s.drop(open[s.r.intn(len(open))], wire.Request{Cmd: wire.CmdCommit})
+	case FaultCertStall:
+		s.mu.Lock()
+		already := s.stall != nil
+		if !already {
+			s.stall = &stallState{from: s.srv.LogLen(), released: make(chan struct{})}
+		}
+		s.mu.Unlock()
+		if already {
+			return false, nil
+		}
+		s.stallLeft = 5 + s.r.intn(20)
+		s.rep.Faults[class]++
+		return true, nil
+	case FaultClockStorm:
+		parked := s.phaseSlots(phParkLock)
+		if len(parked) == 0 {
+			return false, nil
+		}
+		s.rep.Faults[class]++
+		// Jump past every lock-wait deadline, then deliver the storm:
+		// every parked poll times out as it wakes.
+		s.clock.Add(int64(41 * time.Millisecond))
+		for _, sl := range parked {
+			if err := s.wakeOne(sl); err != nil {
+				return true, err
+			}
+		}
+		return true, nil
+	case FaultCrash:
+		s.rep.Faults[class]++
+		return true, s.crash()
+	}
+	return false, fmt.Errorf("unknown fault class %d", class)
+}
+
+// drop closes a slot's connection (optionally sending one last frame
+// first — the drop-after-commit variant), waits for the server to retire
+// the session, and reconnects the slot.
+func (s *sim) drop(sl *slot, last wire.Request) error {
+	if last.Cmd != wire.CmdInvalid {
+		sl.out = wire.AppendRequest(sl.out[:0], last)
+		if err := wire.WriteFrame(sl.w, sl.out); err != nil {
+			return fmt.Errorf("slot %d: write %s before drop: %w", sl.idx, last.Cmd, err)
+		}
+		sl.lastCmd = last.Cmd
+	}
+	sl.phase = phClosed
+	sl.conn.Close()
+	sid := sl.sid
+	if err := s.pumpUntil(func() bool { return s.done[sid] }); err != nil {
+		return err
+	}
+	delete(s.bySid, sid)
+	return s.connect(sl)
+}
+
+// unstall lifts a certifier stall and pumps until every commit parked on
+// the watermark has its response.
+func (s *sim) unstall() error {
+	s.mu.Lock()
+	st := s.stall
+	s.stall = nil
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	close(st.released)
+	return s.pumpUntil(func() bool { return len(s.phaseSlots(phParkCert)) == 0 })
+}
+
+// crash kills the server at the current instant and recovers it from the
+// durable prefix plus a random torn tail.
+func (s *sim) crash() error {
+	keep := 0
+	if u := s.disk.UnsyncedBytes(); u > 0 {
+		keep = s.r.intn(u + 1)
+	}
+	crashDisk := s.disk.Crash(keep)
+	s.disk.Freeze()
+
+	// Retire the generation: stale hooks return immediately, parked
+	// sessions and a stalled certifier fall out of their hooks, and every
+	// event they still emit is discarded by the gen filter.
+	s.mu.Lock()
+	s.gen.Add(1)
+	close(s.release)
+	s.release = make(chan struct{})
+	s.wakes = make(map[int64]chan struct{})
+	s.stall = nil
+	s.mu.Unlock()
+
+	s.srv.Kill()
+	for _, sl := range s.slots {
+		sl.conn.Close()
+	}
+	for {
+		select {
+		case <-s.events: // drain stale events
+			continue
+		default:
+		}
+		break
+	}
+	s.rep.Recoveries++
+	return s.boot(crashDisk, s.slots)
+}
+
+// checkOracle cross-checks the current log against the sibling-order
+// search on small runs: an SG-certified behavior must admit a suitable
+// sibling order (Theorem 2 ⊆ Theorem 8/19).
+func (s *sim) checkOracle() error {
+	if s.cfg.OracleMaxEvents < 0 {
+		return nil
+	}
+	b := s.srv.Log()
+	if len(b) > s.cfg.OracleMaxEvents {
+		return nil
+	}
+	res := oracle.Search(s.srv.Tree(), b, 200000)
+	if res.Outcome == oracle.NoOrder {
+		return fmt.Errorf("oracle found no sibling order for an SG-certified %d-event log", len(b))
+	}
+	return nil
+}
+
+// finish drains the run deterministically: lift any stall, wake every
+// parked session to its resolution, abort the open transactions, retire
+// all sessions, shut down, and verify the final certificate — the online
+// snapshot must match the batch check byte for byte, and recovering the
+// final WAL must reproduce the exact trace.
+func (s *sim) finish() error {
+	if err := s.unstall(); err != nil {
+		return fmt.Errorf("final unstall: %w", err)
+	}
+	for {
+		parked := s.phaseSlots(phParkLock)
+		if len(parked) == 0 {
+			break
+		}
+		if err := s.wakeOne(parked[0]); err != nil {
+			return fmt.Errorf("final wake: %w", err)
+		}
+	}
+	for _, sl := range s.slots {
+		for sl.inTx {
+			if err := s.perform(sl, wire.Request{Cmd: wire.CmdAbort}); err != nil {
+				return fmt.Errorf("final abort: %w", err)
+			}
+			if sl.phase != phIdle {
+				return fmt.Errorf("final abort parked slot %d (phase %d)", sl.idx, sl.phase)
+			}
+		}
+	}
+	for _, sl := range s.slots {
+		sl.phase = phClosed
+		sl.conn.Close()
+	}
+	if err := s.pumpUntil(func() bool {
+		for _, sl := range s.slots {
+			if !s.done[sl.sid] {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if err := s.srv.Shutdown(context.Background()); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := s.srv.WALError(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	f := s.srv.Final()
+	if !f.Batch.OK {
+		return fmt.Errorf("final batch check failed: %s", f.Batch.Summary(s.srv.Tree()))
+	}
+	if !f.Match {
+		return fmt.Errorf("final online SG differs from batch SG")
+	}
+	s.rep.FinalEvents = f.Events
+	s.rep.Trace = event.MarshalBinaryTrace(s.srv.Tree(), s.srv.Log())
+	s.rep.FinalDisk = s.disk
+	if err := s.checkOracle(); err != nil {
+		return err
+	}
+
+	// The WAL of the clean shutdown must recover to the identical trace.
+	s2, rrep, err := server.Recover(server.Options{
+		Protocol: s.cfg.Protocol,
+		Objects:  s.objs,
+		WAL:      s.disk,
+	})
+	if err != nil {
+		return fmt.Errorf("re-recovering final wal: %w", err)
+	}
+	if !rrep.AuditOK || rrep.OrphanTops != 0 || rrep.FixupInforms != 0 {
+		s2.Kill()
+		return fmt.Errorf("final wal needed repair: %s", rrep.Summary())
+	}
+	trace2 := event.MarshalBinaryTrace(s2.Tree(), s2.Log())
+	s2.Kill()
+	if !bytes.Equal(s.rep.Trace, trace2) {
+		return fmt.Errorf("final wal recovers to a different trace (%d vs %d bytes)", len(trace2), len(s.rep.Trace))
+	}
+	return nil
+}

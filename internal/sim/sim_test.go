@@ -1,0 +1,193 @@
+package sim_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nestedsg/internal/locking"
+	"nestedsg/internal/object"
+	"nestedsg/internal/sim"
+	"nestedsg/internal/undolog"
+)
+
+// seeds caps the long soak; `make sim-soak` raises it to 64.
+var seedsFlag = flag.Int("seeds", 16, "number of seeds for TestSimLongSoak")
+
+var protocols = []struct {
+	name string
+	p    object.Protocol
+}{
+	{"moss", locking.Protocol{}},
+	{"undolog", undolog.Protocol{}},
+}
+
+// TestSimFaultMatrix runs every fault class against every protocol, each
+// as a named standalone subtest. The runs are deterministic: a failure
+// message always carries the seed that reproduces it.
+func TestSimFaultMatrix(t *testing.T) {
+	for _, proto := range protocols {
+		for _, class := range sim.AllFaults() {
+			proto, class := proto, class
+			t.Run(fmt.Sprintf("%s/%s", proto.name, class), func(t *testing.T) {
+				t.Parallel()
+				for seed := uint64(1); seed <= 3; seed++ {
+					cfg := sim.Config{
+						Seed:          seed,
+						Steps:         160,
+						Protocol:      proto.p,
+						Faults:        []sim.FaultClass{class},
+						FaultPermille: 200,
+					}
+					rep, err := sim.Run(cfg)
+					if err != nil {
+						t.Fatalf("seed %d: %v\nreproduce: sim.Run(%+v)", seed, err, cfg)
+					}
+					if rep.Faults[class] == 0 {
+						t.Errorf("seed %d: fault %s never injected: %s", seed, class, rep.Summary())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSimNoFaults: the fault-free simulator is a plain concurrency
+// exerciser and must still certify.
+func TestSimNoFaults(t *testing.T) {
+	for _, proto := range protocols {
+		rep, err := sim.Run(sim.Config{Seed: 7, Steps: 200, Protocol: proto.p})
+		if err != nil {
+			t.Fatalf("%s: %v", proto.name, err)
+		}
+		if rep.TopCommits == 0 {
+			t.Fatalf("%s: no transaction ever committed: %s", proto.name, rep.Summary())
+		}
+	}
+}
+
+// TestSimDeterministicReplay: the whole point of the simulator — the same
+// seed replays to the identical report and byte-identical event trace,
+// fault storms, crashes and all.
+func TestSimDeterministicReplay(t *testing.T) {
+	cfg := sim.Config{
+		Seed:          42,
+		Steps:         250,
+		Faults:        sim.AllFaults(),
+		FaultPermille: 120,
+	}
+	a, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("reports diverge:\n  %s\n  %s", a.Summary(), b.Summary())
+	}
+	if !bytes.Equal(a.Trace, b.Trace) {
+		t.Fatalf("traces diverge for the same seed (%d vs %d bytes)", len(a.Trace), len(b.Trace))
+	}
+	if a.Recoveries == 0 {
+		t.Fatalf("determinism run never crashed — raise FaultPermille: %s", a.Summary())
+	}
+}
+
+// TestSimLongSoak sweeps many seeds with every fault class enabled. Any
+// failure prints the seed; with SIM_FAILURE_DIR set, it also writes a
+// per-seed artifact so CI can upload the repro.
+func TestSimLongSoak(t *testing.T) {
+	n := *seedsFlag
+	if testing.Short() && n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		seed := uint64(1000 + i)
+		proto := protocols[i%len(protocols)]
+		t.Run(fmt.Sprintf("seed=%d/%s", seed, proto.name), func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.Config{
+				Seed:          seed,
+				Steps:         220,
+				Protocol:      proto.p,
+				Faults:        sim.AllFaults(),
+				FaultPermille: 80,
+			}
+			rep, err := sim.Run(cfg)
+			if err != nil {
+				writeFailureArtifact(t, seed, proto.name, err, rep)
+				t.Fatalf("seed %d (%s): %v", seed, proto.name, err)
+			}
+		})
+	}
+}
+
+// writeFailureArtifact records a failing seed under SIM_FAILURE_DIR (when
+// set) so the CI workflow can upload it.
+func writeFailureArtifact(t *testing.T, seed uint64, proto string, err error, rep *sim.Report) {
+	dir := os.Getenv("SIM_FAILURE_DIR")
+	if dir == "" {
+		return
+	}
+	if mkErr := os.MkdirAll(dir, 0o755); mkErr != nil {
+		t.Logf("artifact dir: %v", mkErr)
+		return
+	}
+	body := fmt.Sprintf("seed: %d\nprotocol: %s\nerror: %v\n", seed, proto, err)
+	if rep != nil {
+		body += "report: " + rep.Summary() + "\n"
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed-%d-%s.txt", seed, proto))
+	if wErr := os.WriteFile(path, []byte(body), 0o644); wErr != nil {
+		t.Logf("artifact write: %v", wErr)
+	} else {
+		t.Logf("failure artifact written to %s", path)
+	}
+}
+
+// TestSimE18FaultSweep is experiment E18: abort rate and recovery repair
+// work as the fault rate sweeps 0%, 1%, 5%, 20%. Certificate agreement is
+// implied by every run returning nil (each crash recovery and the final
+// drain audit online-vs-batch byte equality).
+func TestSimE18FaultSweep(t *testing.T) {
+	steps := 220
+	seedsPer := 4
+	if testing.Short() {
+		steps, seedsPer = 120, 2
+	}
+	t.Logf("%-8s %8s %8s %8s %10s %8s %8s", "fault%", "begins", "commits", "aborts", "abortrate", "crashes", "orphans")
+	for _, permille := range []int{0, 10, 50, 200} {
+		var begins, commits, aborts, crashes, orphans int
+		for i := 0; i < seedsPer; i++ {
+			cfg := sim.Config{
+				Seed:          uint64(9000 + 100*permille + i),
+				Steps:         steps,
+				Faults:        sim.AllFaults(),
+				FaultPermille: permille,
+			}
+			if permille == 0 {
+				cfg.Faults = nil
+			}
+			rep, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatalf("permille=%d seed=%d: %v", permille, cfg.Seed, err)
+			}
+			begins += rep.Begins
+			commits += rep.TopCommits
+			aborts += rep.TxAborts
+			crashes += rep.Recoveries
+			orphans += rep.OrphanTops
+		}
+		rate := 0.0
+		if begins > 0 {
+			rate = float64(aborts) / float64(begins)
+		}
+		t.Logf("%-8.1f %8d %8d %8d %9.1f%% %8d %8d",
+			float64(permille)/10, begins, commits, aborts, 100*rate, crashes, orphans)
+	}
+}
