@@ -169,6 +169,10 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 
 	f := s.Final()
 	fmt.Fprint(stdout, f.Summary)
+	if werr := s.WALError(); werr != nil {
+		fmt.Fprintln(stderr, "nestedsgd: wal:", werr)
+		return 1
+	}
 	if !f.Batch.OK || !f.Match {
 		return 1
 	}

@@ -87,6 +87,7 @@ type Metrics struct {
 	DrainAborts    atomic.Int64 // top-level aborts forced by shutdown
 	Retries        atomic.Int64 // BEGINs that follow a server-side abort on the same session
 	Uncertified    atomic.Int64 // commits whose certification failed (SG cycle)
+	WALFailures    atomic.Int64 // commits refused because the WAL write/sync failed
 
 	// Event counters (completion events appended to the log).
 	CommitEvents atomic.Int64
@@ -132,6 +133,7 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		"drain_aborts":    m.DrainAborts.Load(),
 		"retries":         m.Retries.Load(),
 		"uncertified":     m.Uncertified.Load(),
+		"wal_failures":    m.WALFailures.Load(),
 		"commit_events":   m.CommitEvents.Load(),
 		"abort_events":    m.AbortEvents.Load(),
 		"log_events":      logLen,

@@ -147,7 +147,9 @@ func Recover(opts Options) (s *Server, rep *RecoveryReport, err error) {
 }
 
 // finishFresh completes Recover for an empty WAL: attach a writer, seed
-// the log with CREATE(T0), pre-create objects, and start certifying.
+// the log with CREATE(T0), pre-create objects, and start certifying. The
+// seeded log goes through the same primeCertifier audit as a non-empty
+// recovery, so AuditOK is earned (trivially) rather than assumed.
 func (s *Server) finishFresh(scan *walScan, rep *RecoveryReport) (*Server, *RecoveryReport, error) {
 	w, err := newWalWriter(s.opts.WAL, s.opts.WALSegmentBytes, scan.nextIdx)
 	if err != nil {
@@ -165,7 +167,9 @@ func (s *Server) finishFresh(scan *walScan, rep *RecoveryReport) (*Server, *Reco
 		return nil, nil, fmt.Errorf("server: recovery sync: %w", err)
 	}
 	rep.StitchedEvents = s.log.len()
-	rep.AuditOK = !s.opts.SkipRecoveryAudit
+	if err := s.primeCertifier(rep); err != nil {
+		return nil, nil, err
+	}
 	go s.cert.loop()
 	return s, rep, nil
 }

@@ -311,12 +311,14 @@ func (s *Server) internTx(parent tname.TxID, label string, obj tname.ObjID, op s
 }
 
 // walSync makes the log durable through the present; sessions call it at
-// top-level completion points. Errors are sticky in the writer and
-// surfaced by WALError.
-func (s *Server) walSync() {
-	if s.wal != nil {
-		s.wal.sync()
+// top-level completion points. The first failure is sticky in the writer
+// (also surfaced by WALError) and returned here, so the commit path can
+// refuse to ack a completion the WAL never persisted.
+func (s *Server) walSync() error {
+	if s.wal == nil {
+		return nil
 	}
+	return s.wal.sync()
 }
 
 // WALError reports the first durability failure, if any.

@@ -168,6 +168,12 @@ func (sn *session) handleBegin() wire.Response {
 	if sn.s.draining.Load() {
 		return errResp("server draining")
 	}
+	if err := sn.s.WALError(); err != nil {
+		// The WAL writer's failure is sticky: every further append would be
+		// silently dropped, so stop accepting work instead of building
+		// transactions that recovery can never see.
+		return errResp(fmt.Sprintf("wal unavailable: %v", err))
+	}
 	sn.topN++
 	label := fmt.Sprintf("s%d.%d", sn.id, sn.topN)
 	top := sn.s.internTx(tname.Root, label, tname.NoObj, spec.Op{})
@@ -328,10 +334,16 @@ func (sn *session) handleCommit() wire.Response {
 	sn.informAll(event.InformCommit, cur)
 	seq := sn.appendLog(event.NewValEvent(event.ReportCommit, cur.id, spec.OK))
 	sn.popFrame(cur)
-	if len(sn.frames) == 0 {
+	top := len(sn.frames) == 0
+	var walErr error
+	if top {
 		// Top-level completion is a durability point: fsync before the
 		// client can observe the commit.
-		sn.s.walSync()
+		walErr = sn.s.walSync()
+	} else {
+		// Writer failures are sticky: if any earlier append was dropped,
+		// this subtree's events are not on their way to disk either.
+		walErr = sn.s.WALError()
 	}
 	sn.s.opts.Hooks.CommitWait(sn.id, seq)
 
@@ -342,7 +354,14 @@ func (sn *session) handleCommit() wire.Response {
 		sn.s.metrics.Uncertified.Add(1)
 		return errResp(err.Error())
 	}
-	if len(sn.frames) == 0 {
+	if walErr != nil {
+		// The commit is in the in-memory log but not durable: acking OK
+		// would let the client observe a commit that recovery loses.
+		sn.s.metrics.WALFailures.Add(1)
+		sn.s.logf("session %d: commit not durable: %v", sn.id, walErr)
+		return errResp(fmt.Sprintf("commit not durable: %v", walErr))
+	}
+	if top {
 		sn.s.metrics.TopCommits.Add(1)
 	}
 	return wire.Response{Status: wire.StatusOK, Seq: uint64(base + 1)}
@@ -360,6 +379,8 @@ func (sn *session) handleAbort() wire.Response {
 	sn.appendLog(event.NewEvent(event.ReportAbort, cur.id))
 	sn.popFrame(cur)
 	if len(sn.frames) == 0 {
+		// A sync failure here is tolerable: an abort ack promises no
+		// durability, and recovery aborts any orphan it finds anyway.
 		sn.s.walSync()
 	}
 	return wire.Response{Status: wire.StatusOK}
@@ -375,6 +396,8 @@ func (sn *session) abortTop(reason string) {
 	sn.appendLog(event.NewEvent(event.Abort, top.id))
 	sn.informAll(event.InformAbort, top)
 	sn.appendLog(event.NewEvent(event.ReportAbort, top.id))
+	// Sync failures are ignored: an undurable abort is recovered as an
+	// orphan and aborted again, which is the same outcome.
 	sn.s.walSync()
 	sn.frames = sn.frames[:0]
 	sn.inTx.Store(false)

@@ -83,7 +83,10 @@ func segmentIndex(name string) (int, bool) {
 	return n, true
 }
 
-// DirDisk stores segments as files in a directory.
+// DirDisk stores segments as files in a directory. Create and Truncate
+// fsync the directory (and Truncate the file) so segment metadata survives
+// an OS crash — the rotation invariant "only the last segment can be torn"
+// needs a synced segment's directory entry to be durable too.
 type DirDisk struct{ dir string }
 
 // NewDirDisk creates the directory if needed and returns a Disk over it.
@@ -119,11 +122,48 @@ func (d *DirDisk) ReadSegment(name string) ([]byte, error) {
 }
 
 func (d *DirDisk) Create(name string) (SegmentFile, error) {
-	return os.Create(filepath.Join(d.dir, name))
+	f, err := os.Create(filepath.Join(d.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	if err := d.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
 func (d *DirDisk) Truncate(name string, size int64) error {
-	return os.Truncate(filepath.Join(d.dir, name), size)
+	path := filepath.Join(d.dir, name)
+	if err := os.Truncate(path, size); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	if cerr := f.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return serr
+	}
+	return d.syncDir()
+}
+
+// syncDir fsyncs the directory itself, making entry creation and the
+// latest truncation durable across an OS crash.
+func (d *DirDisk) syncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	if cerr := f.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 // MemDisk is an in-memory Disk that models the durability boundary: bytes
@@ -170,13 +210,21 @@ func (d *MemDisk) Create(name string) (SegmentFile, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	s := &memSegment{}
-	d.segs[name] = s
+	if !d.frozen {
+		// A dying server may still rotate after Freeze; hand it a detached
+		// segment so the pinned crash-point state is never mutated (nor an
+		// existing segment clobbered by a colliding name).
+		d.segs[name] = s
+	}
 	return &memFile{d: d, s: s}, nil
 }
 
 func (d *MemDisk) Truncate(name string, size int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.frozen {
+		return nil
+	}
 	s, ok := d.segs[name]
 	if !ok {
 		return fmt.Errorf("memdisk: no segment %q", name)
@@ -413,11 +461,19 @@ func scanWAL(disk Disk) (*walScan, error) {
 	}
 	res := &walScan{nextIdx: 1, segments: len(names)}
 	numTx, numObj := 1, 0 // the root T0 always exists
+	prevIdx := -1
 	for si, name := range names {
 		idx, ok := segmentIndex(name)
 		if !ok {
 			return nil, fmt.Errorf("%w: unexpected file %q", errWalCorrupt, name)
 		}
+		// Segment indices must be contiguous (any start index is fine): a
+		// hole means a whole segment of records vanished, which is
+		// corruption, not something to silently skip over.
+		if prevIdx >= 0 && idx != prevIdx+1 {
+			return nil, fmt.Errorf("%w: segment hole: %s follows %s", errWalCorrupt, name, segmentName(prevIdx))
+		}
+		prevIdx = idx
 		last := si == len(names)-1
 		data, err := disk.ReadSegment(name)
 		if err != nil {

@@ -153,6 +153,61 @@ func TestWalScanRejectsCorruptMiddle(t *testing.T) {
 	}
 }
 
+// TestWalScanRejectsSegmentHole: a missing middle segment is corruption —
+// a whole run of records vanished — and must be rejected, never skipped.
+func TestWalScanRejectsSegmentHole(t *testing.T) {
+	disk := NewMemDisk()
+	writeRecords(t, disk, 48, tinyWal()...) // rotates into several segments
+	names, _ := disk.Segments()
+	if len(names) < 3 {
+		t.Fatalf("test needs at least three segments, got %d", len(names))
+	}
+	holed := NewMemDisk()
+	for i, n := range names {
+		if i == 1 {
+			continue // drop a middle segment
+		}
+		data, _ := disk.ReadSegment(n)
+		holed.SetSegment(n, data)
+	}
+	_, err := scanWAL(holed)
+	if err == nil || !isWalCorrupt(err) {
+		t.Fatalf("scanWAL with a missing middle segment: %v, want wal corruption", err)
+	}
+}
+
+// TestMemDiskFreezeCreate: a rotation racing with Freeze must neither
+// install a new segment on the pinned disk nor clobber an existing one.
+func TestMemDiskFreezeCreate(t *testing.T) {
+	disk := NewMemDisk()
+	f, _ := disk.Create(segmentName(1))
+	f.Write([]byte("pinned"))
+	f.Sync()
+	disk.Freeze()
+
+	g, err := disk.Create(segmentName(1)) // colliding name
+	if err != nil {
+		t.Fatalf("Create after Freeze: %v", err)
+	}
+	g.Write([]byte("late"))
+	g.Sync()
+	if data, _ := disk.ReadSegment(segmentName(1)); string(data) != "pinned" {
+		t.Fatalf("frozen segment clobbered: %q", data)
+	}
+	if _, err := disk.Create(segmentName(2)); err != nil {
+		t.Fatalf("Create after Freeze: %v", err)
+	}
+	if err := disk.Truncate(segmentName(1), 0); err != nil {
+		t.Fatalf("Truncate after Freeze: %v", err)
+	}
+	if data, _ := disk.ReadSegment(segmentName(1)); string(data) != "pinned" {
+		t.Fatalf("frozen segment truncated: %q", data)
+	}
+	if names, _ := disk.Segments(); len(names) != 1 {
+		t.Fatalf("Create after Freeze installed a segment: %v", names)
+	}
+}
+
 // TestMemDiskCrashSemantics: Crash keeps only the synced prefix (plus the
 // requested torn tail) and Freeze drops later writes.
 func TestMemDiskCrashSemantics(t *testing.T) {
