@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet sgvet race fuzz-short bench-smoke bench-json bench-gate serve loadtest-smoke sim-soak ci
+.PHONY: all build test vet sgvet lockreport race fuzz-short bench-smoke bench-json bench-gate serve loadtest-smoke sim-soak ci
 
 all: build test vet sgvet
 
@@ -14,10 +14,16 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own analyzers (exhaustivekind, noeventliteral, checkederr,
-# tnamecompare, behaviorimmutable, simdeterminism); see
-# internal/analysis/README.md.
+# tnamecompare, behaviorimmutable, simdeterminism, lockguard, lockorder,
+# hotalloc); see internal/analysis/README.md.
 sgvet:
 	$(GO) run ./cmd/sgvet ./...
+
+# Dump the global lock-order graph of the concurrent packages as DOT —
+# the acyclic graph the lockorder analyzer enforces; DESIGN.md §11
+# commits the current rendering.
+lockreport:
+	$(GO) run ./cmd/sgvet -lockdot ./internal/server ./internal/sim ./internal/client ./internal/core
 
 race:
 	$(GO) test -race ./...

@@ -121,7 +121,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "sgcheck:", err)
 				return 2
 			}
-			defer f.Close()
+			defer f.Close() //sgvet:ignore[checkederr] read-only open; a close error cannot lose data
 			r = f
 		}
 		var err error
@@ -247,7 +247,7 @@ func isBinaryFile(path string) bool {
 	if err != nil {
 		return false
 	}
-	defer f.Close()
+	defer f.Close() //sgvet:ignore[checkederr] read-only open; a close error cannot lose data
 	var head [4]byte
 	if _, err := io.ReadFull(f, head[:]); err != nil {
 		return false
@@ -272,7 +272,7 @@ func streamBinaryFile(path string, stdout, stderr io.Writer) (int, bool) {
 		fmt.Fprintln(stderr, "sgcheck:", err)
 		return 2, false
 	}
-	defer f.Close()
+	defer f.Close() //sgvet:ignore[checkederr] read-only open; a close error cannot lose data
 	d, err := event.NewBinaryDecoder(f)
 	if err != nil {
 		fmt.Fprintln(stderr, "sgcheck:", err)

@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/sgvet [-list] [packages]
+//	go run ./cmd/sgvet [-list] [-json] [-report file] [-lockdot] [packages]
+//
+// -json replaces the text findings on stdout with a JSON array; -report
+// additionally writes that JSON to a file alongside the text output (CI
+// uploads it as an artifact when the run fails); -lockdot prints the
+// global lock-order graph of the loaded packages as DOT and exits 0 —
+// the same graph the lockorder analyzer checks for cycles.
 //
 // sgvet is the static half of the correctness story: the runtime checkers
 // (core.Check, simple.CheckWellFormed, Moss.CheckChainInvariant, ...)
@@ -39,6 +45,9 @@ func sgvet(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("C", "", "change to this directory before loading packages")
+	jsonOut := fs.Bool("json", false, "write the findings to stdout as a JSON array instead of text")
+	report := fs.String("report", "", "also write the findings as JSON to this `file`")
+	lockdot := fs.Bool("lockdot", false, "print the lock-order graph of the loaded packages as DOT and exit")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -52,13 +61,53 @@ func sgvet(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := analysis.Vet(stdout, analysis.LoadConfig{Dir: *dir}, patterns, analysis.All())
+	cfg := analysis.LoadConfig{Dir: *dir}
+	if *lockdot {
+		pkgs, err := analysis.Load(cfg, patterns...)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		dot, err := analysis.LockOrderDOT(pkgs)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprint(stdout, dot)
+		return 0
+	}
+	findings, err := analysis.RunPatterns(cfg, patterns, analysis.All())
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	if n > 0 {
-		fmt.Fprintf(stderr, "sgvet: %d finding(s)\n", n)
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		werr := analysis.WriteJSON(f, findings)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 1
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "sgvet: %d finding(s)\n", len(findings))
 		return 2
 	}
 	return 0

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -73,5 +76,92 @@ func TestBadPatternExitsOne(t *testing.T) {
 	code := sgvet([]string{"./does-not-exist"}, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestJSONOutput pins the machine-readable mode: -json replaces the text
+// findings with a JSON array carrying the same analyzer attributions.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := sgvet([]string{"-json", "./testdata/src/badpkg/..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	var recs []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &recs); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(recs) != len(analysis.All()) {
+		t.Fatalf("got %d JSON findings, want %d", len(recs), len(analysis.All()))
+	}
+	for _, r := range recs {
+		if r.File == "" || r.Line == 0 || r.Analyzer == "" || r.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", r)
+		}
+	}
+}
+
+// TestJSONEmptyArray: a clean package yields [] rather than null, so CI
+// consumers can always iterate the array.
+func TestJSONEmptyArray(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := sgvet([]string{"-json", "nestedsg/internal/graph"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestReportFile: -report writes the JSON artifact next to the normal text
+// output, for CI to upload on failure.
+func TestReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	code := sgvet([]string{"-report", path, "./testdata/src/badpkg/..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[lockguard]") {
+		t.Errorf("text output suppressed by -report:\n%s", stdout.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(b, &recs); err != nil {
+		t.Fatalf("report is not a JSON array: %v", err)
+	}
+	if len(recs) != len(analysis.All()) {
+		t.Errorf("report has %d findings, want %d", len(recs), len(analysis.All()))
+	}
+}
+
+// TestLockDot: -lockdot renders the loaded packages' lock-order graph,
+// including the bait cycle's two edges in both directions.
+func TestLockDot(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := sgvet([]string{"-lockdot", "./testdata/src/badpkg/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "digraph lockorder {") {
+		t.Fatalf("-lockdot output is not a DOT digraph:\n%s", out)
+	}
+	for _, edge := range []string{
+		`"cmd/sgvet/testdata/src/badpkg.lockA" -> "cmd/sgvet/testdata/src/badpkg.lockB"`,
+		`"cmd/sgvet/testdata/src/badpkg.lockB" -> "cmd/sgvet/testdata/src/badpkg.lockA"`,
+	} {
+		if !strings.Contains(out, edge) {
+			t.Errorf("-lockdot output missing edge %s:\n%s", edge, out)
+		}
 	}
 }

@@ -1,0 +1,50 @@
+// The concurrency-discipline baits: one lockguard violation, one
+// lockorder cycle, one allocating hotpath. Each must fire its analyzer
+// exactly once.
+package badpkg
+
+import "sync"
+
+// guarded carries a field whose annotation demands the sibling mutex.
+type guarded struct {
+	mu sync.Mutex
+	n  int //sgvet:guardedby mu
+}
+
+// unguardedWrite trips lockguard: the write skips g.mu.
+func unguardedWrite(g *guarded) {
+	g.n = 1
+}
+
+var (
+	lockA sync.Mutex
+	lockB sync.Mutex
+)
+
+// abOrder acquires lockA before lockB…
+func abOrder() {
+	lockA.Lock()
+	lockB.Lock()
+	lockB.Unlock()
+	lockA.Unlock()
+}
+
+// baOrder …and baOrder acquires them in the reverse order, closing the
+// two-lock cycle lockorder reports as a potential deadlock.
+func baOrder() {
+	lockB.Lock()
+	lockA.Lock()
+	lockA.Unlock()
+	lockB.Unlock()
+}
+
+// boxed exists to give hotAllocates something to heap-allocate.
+type boxed struct{ v int }
+
+// hotAllocates trips hotalloc: a hotpath function whose return value
+// escapes to the heap.
+//
+//sgvet:hotpath
+func hotAllocates() *boxed {
+	return &boxed{v: 1}
+}

@@ -41,7 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "tracestats:", err)
 			return 2
 		}
-		defer f.Close()
+		defer f.Close() //sgvet:ignore[checkederr] read-only open; a close error cannot lose data
 		r = f
 	}
 	var (

@@ -39,6 +39,12 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// Finish, if non-nil, runs once per RunAnalyzers call after every
+	// package has been analyzed. Whole-program analyzers accumulate facts
+	// in the Pass's FactStore during Run and report cross-package
+	// diagnostics here. Positions are pre-resolved because Finish has no
+	// single package (and therefore no FileSet) in scope.
+	Finish func(facts *FactStore, report func(token.Position, string)) error
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -59,6 +65,12 @@ type Pass struct {
 	// Module is the module path the package belongs to ("nestedsg").
 	// Analyzers use it to restrict themselves to first-party types.
 	Module string
+	// Dir is the directory holding the package sources. Analyzers that
+	// shell back out to the toolchain (hotalloc) run from here.
+	Dir string
+	// Facts is the run-wide store for cross-package analyzers; nil-safe
+	// helpers are not provided because the driver always sets it.
+	Facts *FactStore
 
 	report func(Diagnostic)
 }
@@ -117,5 +129,8 @@ func All() []*Analyzer {
 		TnameCompare,
 		BehaviorImmutable,
 		SimDeterminism,
+		LockGuard,
+		LockOrder,
+		HotAlloc,
 	}
 }

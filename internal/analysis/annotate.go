@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// Annotation comments drive the concurrency-discipline analyzers. All of
+// them live behind the machine-readable "//sgvet:" prefix:
+//
+//	//sgvet:guardedby mu          on a struct field: the sibling mutex
+//	                              field mu must be held to touch it
+//	//sgvet:holds e.mu, s.mu:r    on a function or closure: callers
+//	                              guarantee these locks are held (":r"
+//	                              means at least the read lock)
+//	//sgvet:hotpath               on a function: no heap allocations
+//	//sgvet:ignore[name] reason   suppress findings (of analyzer name, or
+//	                              of all analyzers when the bracket is
+//	                              omitted); the reason string is mandatory
+//
+// Parsing is shared here so every analyzer agrees on the syntax; the
+// catalogue in internal/analysis/README.md documents it for humans.
+
+// annotationArg scans a comment group for "//sgvet:<name>" and returns the
+// rest of that line, trimmed. The second result distinguishes an absent
+// annotation from one with an empty argument.
+func annotationArg(cg *ast.CommentGroup, name string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	prefix := "//sgvet:" + name
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if !strings.HasPrefix(text, prefix) {
+			continue
+		}
+		rest := text[len(prefix):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue // e.g. "//sgvet:hotpathX" is not "hotpath"
+		}
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// ignoreRegion suppresses findings of one analyzer (or all, when Analyzer
+// is empty) on a span of lines of one file.
+type ignoreRegion struct {
+	File     string
+	FromLine int
+	ToLine   int
+	Analyzer string
+}
+
+var ignoreRE = regexp.MustCompile(`^//sgvet:ignore(?:\[([A-Za-z0-9_]+)\])?(?:\s+(.*))?$`)
+
+// collectIgnores gathers every //sgvet:ignore annotation in the package.
+// An ignore in a function's doc comment covers the whole declaration; any
+// other ignore covers its own line and the next (so both trailing and
+// standalone placements work). An ignore with no reason string is itself
+// reported as a finding — the escape hatch must say why it is open.
+func collectIgnores(pkg *Package) ([]ignoreRegion, []Finding) {
+	var regions []ignoreRegion
+	var diags []Finding
+
+	// Function docs first, so line-level collection can skip them.
+	funcDocIgnores := make(map[*ast.Comment]bool)
+	for _, file := range pkg.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				m := ignoreRE.FindStringSubmatch(strings.TrimSpace(c.Text))
+				if m == nil {
+					continue
+				}
+				funcDocIgnores[c] = true
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				regions, diags = addIgnore(pkg, regions, diags, c, m, start.Line, end.Line)
+			}
+		}
+	}
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if funcDocIgnores[c] {
+					continue
+				}
+				m := ignoreRE.FindStringSubmatch(strings.TrimSpace(c.Text))
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				regions, diags = addIgnore(pkg, regions, diags, c, m, line, line+1)
+			}
+		}
+	}
+	return regions, diags
+}
+
+// addIgnore validates one matched ignore comment and appends its region,
+// or a missing-reason finding.
+func addIgnore(pkg *Package, regions []ignoreRegion, diags []Finding, c *ast.Comment, m []string, from, to int) ([]ignoreRegion, []Finding) {
+	if strings.TrimSpace(m[2]) == "" {
+		diags = append(diags, Finding{
+			Analyzer: "sgvet",
+			Position: pkg.Fset.Position(c.Pos()),
+			Message:  "//sgvet:ignore requires a reason string",
+		})
+		return regions, diags
+	}
+	regions = append(regions, ignoreRegion{
+		File:     pkg.Fset.Position(c.Pos()).Filename,
+		FromLine: from,
+		ToLine:   to,
+		Analyzer: m[1],
+	})
+	return regions, diags
+}
+
+// filterIgnored drops findings covered by an ignore region. The driver's
+// own "ignore requires a reason" findings are never suppressed.
+func filterIgnored(findings []Finding, regions []ignoreRegion) []Finding {
+	if len(regions) == 0 {
+		return findings
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if f.Analyzer != "sgvet" && ignored(f, regions) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func ignored(f Finding, regions []ignoreRegion) bool {
+	for _, r := range regions {
+		if r.File != f.Position.Filename {
+			continue
+		}
+		if r.Analyzer != "" && r.Analyzer != f.Analyzer {
+			continue
+		}
+		if f.Position.Line >= r.FromLine && f.Position.Line <= r.ToLine {
+			return true
+		}
+	}
+	return false
+}

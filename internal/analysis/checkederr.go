@@ -17,9 +17,17 @@ import (
 // name begins with Check, Verify or Validate and drops every result —
 // whether as a bare expression statement, via blank assignments, or behind
 // defer/go.
+//
+// It also flags discarded results of Close() and Sync() on durability
+// surfaces: any receiver whose method set offers both Close() and Sync()
+// returning errors (os.File, the WAL's SegmentFile, MemDisk's handles) is
+// a writable file in this codebase, and the PR 5 durability bugs were
+// exactly dropped errors of this shape. Types with Close but no Sync
+// (network connections, response bodies) stay exempt — closing those is
+// legitimately best-effort.
 var CheckedErr = &Analyzer{
 	Name: "checkederr",
-	Doc:  "results of Check*/Verify*/Validate* invariant functions must not be discarded",
+	Doc:  "results of Check*/Verify*/Validate* invariant functions and of Close/Sync on durable files must not be discarded",
 	Run:  runCheckedErr,
 }
 
@@ -47,18 +55,43 @@ func runCheckedErr(pass *Pass) error {
 			return
 		}
 		fn := calleeFunc(pass, call)
-		if fn == nil || fn.Pkg() == nil || !pass.InModule(fn.Pkg().Path()) {
+		if fn == nil {
 			return
 		}
-		if !checkerNameRE.MatchString(fn.Name()) {
+		sig := fn.Type().(*types.Signature)
+		if sig.Results().Len() == 0 {
 			return
 		}
-		if fn.Type().(*types.Signature).Results().Len() == 0 {
-			return
+		firstParty := fn.Pkg() != nil && pass.InModule(fn.Pkg().Path())
+		switch {
+		case firstParty && checkerNameRE.MatchString(fn.Name()):
+			pass.Reportf(call.Pos(), "result of %s is discarded; invariant checks must be acted on", fn.Name())
+		case (fn.Name() == "Close" || fn.Name() == "Sync") && isDurableReceiver(sig.Recv()):
+			pass.Reportf(call.Pos(), "result of %s on a durable file is discarded; close/sync errors can lose committed data", fn.Name())
 		}
-		pass.Reportf(call.Pos(), "result of %s is discarded; invariant checks must be acted on", fn.Name())
 	})
 	return nil
+}
+
+// isDurableReceiver reports whether the method's receiver type offers
+// both Close() and Sync() with results — the signature of a writable,
+// durable file as opposed to a connection or reader.
+func isDurableReceiver(recv *types.Var) bool {
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	for _, name := range [...]string{"Close", "Sync"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, recv.Pkg(), name)
+		m, ok := obj.(*types.Func)
+		if !ok {
+			return false
+		}
+		if m.Type().(*types.Signature).Results().Len() == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // allBlank reports whether every expression is the blank identifier.

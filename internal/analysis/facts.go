@@ -1,0 +1,24 @@
+package analysis
+
+// A FactStore carries analyzer-private state across the packages of one
+// RunAnalyzers call. Per-package analyzers never need it; whole-program
+// analyzers such as lockorder accumulate per-package facts during Run and
+// combine them in Finish once every package has been visited. Slots are
+// keyed by analyzer name (not pointer, which would tie the analyzer's
+// initializer to itself), so analyzers cannot observe each other's facts
+// without deliberately naming them.
+type FactStore struct {
+	slots map[string]any
+}
+
+// NewFactStore returns an empty store. RunAnalyzers creates one per call;
+// tests and special drivers (LockOrderDOT) create their own.
+func NewFactStore() *FactStore {
+	return &FactStore{slots: make(map[string]any)}
+}
+
+// Get returns the named analyzer's fact slot, or nil.
+func (s *FactStore) Get(analyzer string) any { return s.slots[analyzer] }
+
+// Set replaces the named analyzer's fact slot.
+func (s *FactStore) Set(analyzer string, v any) { s.slots[analyzer] = v }

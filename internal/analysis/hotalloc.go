@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// HotAlloc gates //sgvet:hotpath-annotated functions against heap
+// allocations, statically enforcing what the testing.AllocsPerRun
+// assertions from PR 3 only spot-check.
+//
+// When a package contains at least one annotated function, the analyzer
+// rebuilds it with `go build -gcflags=-m` and parses the compiler's
+// escape-analysis diagnostics. Any "escapes to heap" or "moved to heap"
+// site whose line falls inside an annotated function is a finding —
+// including allocations attributed to the caller's line by inlining, so
+// an inlined callee cannot smuggle an allocation into a hot path. The
+// build cache replays compiler diagnostics, so repeated runs stay cheap.
+//
+// Robustness: the -m output format is not a stable interface. If the
+// output parses to zero recognizable positions, the analyzer assumes a
+// toolchain change, emits a notice, and reports nothing — a compiler
+// upgrade must never hard-fail CI through this gate (see
+// TestHotAllocMangledOutput).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions annotated //sgvet:hotpath must not heap-allocate",
+	Run:  runHotAlloc,
+}
+
+// hotallocBuild invokes the compiler's escape analysis for the package
+// in dir. It is a variable so tests can substitute canned or mangled
+// output without shelling out.
+var hotallocBuild = func(dir string) ([]byte, error) {
+	cmd := exec.Command("go", "build", "-o", os.DevNull, "-gcflags=-m", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m in %s: %w\n%s", dir, err, out)
+	}
+	return out, nil
+}
+
+// hotallocNotice receives the degrade-gracefully notice; a variable so
+// the mangled-output test can observe it.
+var hotallocNotice = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// hotFunc is one annotated function: its file and line extent.
+type hotFunc struct {
+	name      string
+	file      string // absolute path of the declaring file
+	tokFile   *token.File
+	startLine int
+	endLine   int
+}
+
+// escapeLineRE matches one -gcflags=-m diagnostic:
+// "internal/server/log.go:93:2: leaking param: e".
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+func runHotAlloc(pass *Pass) error {
+	var hot []hotFunc
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := annotationArg(fd.Doc, "hotpath"); !ok {
+				continue
+			}
+			start := pass.Fset.Position(fd.Pos())
+			end := pass.Fset.Position(fd.End())
+			hot = append(hot, hotFunc{
+				name:      fd.Name.Name,
+				file:      start.Filename,
+				tokFile:   pass.Fset.File(fd.Pos()),
+				startLine: start.Line,
+				endLine:   end.Line,
+			})
+		}
+	}
+	if len(hot) == 0 {
+		return nil // don't invoke the compiler for unannotated packages
+	}
+
+	out, err := hotallocBuild(pass.Dir)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(string(out), "\n")
+	parsed := 0
+	content := 0
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		content++
+		m := escapeLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		parsed++
+		msg := m[4]
+		if !isHeapAllocMessage(msg) {
+			continue
+		}
+		path := strings.TrimPrefix(m[1], "./")
+		lineNo, _ := strconv.Atoi(m[2])
+		for _, hf := range hot {
+			if lineNo < hf.startLine || lineNo > hf.endLine {
+				continue
+			}
+			if !strings.HasSuffix(hf.file, "/"+path) && hf.file != path {
+				continue
+			}
+			pos := hf.tokFile.LineStart(lineNo)
+			pass.Reportf(pos, "hotpath function %s allocates: %s", hf.name, msg)
+		}
+	}
+	if parsed == 0 && content > 0 {
+		hotallocNotice("sgvet: hotalloc: unrecognized -gcflags=-m output for %s; skipping the allocation gate", pass.Pkg.Path())
+	}
+	return nil
+}
+
+// isHeapAllocMessage classifies one escape diagnostic as an actual heap
+// allocation. "does not escape" and "leaking param" lines describe
+// non-allocating flow facts and are skipped.
+func isHeapAllocMessage(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	if strings.HasPrefix(msg, "leaking param") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}

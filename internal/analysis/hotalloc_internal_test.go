@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestHotAllocMangledOutput feeds the analyzer unrecognizable compiler
+// output: it must emit a notice and report nothing (exit 0 end to end),
+// so a toolchain upgrade that reshapes -gcflags=-m diagnostics degrades
+// the gate instead of hard-failing CI.
+func TestHotAllocMangledOutput(t *testing.T) {
+	savedBuild, savedNotice := hotallocBuild, hotallocNotice
+	defer func() { hotallocBuild, hotallocNotice = savedBuild, savedNotice }()
+
+	hotallocBuild = func(dir string) ([]byte, error) {
+		return []byte("cannot parse this ★ shape\nstill not a position\n"), nil
+	}
+	var notices []string
+	hotallocNotice = func(format string, args ...any) {
+		notices = append(notices, fmt.Sprintf(format, args...))
+	}
+
+	pkgs, err := Load(LoadConfig{}, "./testdata/src/hotalloc")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := RunAnalyzers(pkgs, []*Analyzer{HotAlloc})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("expected no findings on mangled output, got %v", findings)
+	}
+	if len(notices) != 1 || !strings.Contains(notices[0], "unrecognized -gcflags=-m output") {
+		t.Fatalf("expected one degrade notice, got %q", notices)
+	}
+}
+
+// TestHotAllocBuildErrorPropagates distinguishes the degrade path from a
+// genuinely failing build, which must surface as an operational error.
+func TestHotAllocBuildErrorPropagates(t *testing.T) {
+	savedBuild := hotallocBuild
+	defer func() { hotallocBuild = savedBuild }()
+	hotallocBuild = func(dir string) ([]byte, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	pkgs, err := Load(LoadConfig{}, "./testdata/src/hotalloc")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if _, err := RunAnalyzers(pkgs, []*Analyzer{HotAlloc}); err == nil {
+		t.Fatalf("expected a build error to propagate")
+	}
+}
+
+// TestIgnoreRequiresReason: a bare //sgvet:ignore is itself a finding,
+// attributed to the driver, and is never honored as a suppression.
+func TestIgnoreRequiresReason(t *testing.T) {
+	pkgs, err := Load(LoadConfig{}, "./testdata/src/ignorebare")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := RunAnalyzers(pkgs, nil)
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "sgvet" ||
+		!strings.Contains(findings[0].Message, "requires a reason") {
+		t.Fatalf("expected one driver finding about the missing reason, got %v", findings)
+	}
+}

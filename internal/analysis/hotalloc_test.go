@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedsg/internal/analysis"
+	"nestedsg/internal/analysis/analysistest"
+)
+
+// TestHotAlloc runs the real compiler's escape analysis over the fixture:
+// the annotated allocating function fires, the annotated clean function
+// and the unannotated allocator stay silent.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, ".", analysis.HotAlloc, "./testdata/src/hotalloc")
+}

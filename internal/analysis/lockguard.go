@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockGuard enforces //sgvet:guardedby field annotations.
+//
+// The server's invariants (which sessions may touch the tree, the log
+// buffer, the WAL writer state) are concurrency invariants: every one of
+// them is phrased as "field X is only touched with mutex Y held". Until
+// now that discipline lived in comments. A field annotated
+//
+//	tr *tname.Tree //sgvet:guardedby mu
+//
+// may be read only while the sibling mutex `mu` of the same struct value
+// is held (the read lock of a sync.RWMutex suffices), and written only
+// under the write lock. The lock-set engine (lockset.go) tracks
+// Lock/RLock/Unlock/RUnlock and defer-unlock through branches and early
+// returns; functions whose callers already hold locks declare it with
+// //sgvet:holds, and deliberate exceptions (single-threaded construction
+// and recovery, post-shutdown reads) use //sgvet:ignore with a reason.
+//
+// Two approximations are deliberate: values freshly allocated in the
+// current function are exempt (they are unshared until published), and
+// accesses through expressions with no stable identity (map lookups,
+// call results) are reported as unprovable rather than guessed at.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated //sgvet:guardedby must only be accessed with their mutex held",
+	Run:  runLockGuard,
+}
+
+// guardSpec records one annotated field: the name of the sibling mutex
+// field that guards it.
+type guardSpec struct {
+	guard string
+}
+
+func runLockGuard(pass *Pass) error {
+	guards := collectGuards(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			seed := make(heldSet)
+			if arg, ok := annotationArg(fd.Doc, "holds"); ok {
+				scope := pass.TypesInfo.Scopes[fd.Type]
+				var problems []string
+				seed, problems = parseHolds(pass, scope, fd.Body.Pos(), arg)
+				for _, p := range problems {
+					pass.Reportf(fd.Pos(), "bad //sgvet:holds annotation: %s", p)
+				}
+			}
+			fresh := freshLocals(pass, fd.Body)
+			walkLockFunc(pass, file, fd.Body, seed, lockVisitor{
+				access: func(sel *ast.SelectorExpr, write bool, held heldSet) {
+					checkGuardedAccess(pass, guards, fresh, sel, write, held)
+				},
+				badAnnotation: func(pos token.Pos, msg string) {
+					pass.Reportf(pos, "%s", msg)
+				},
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuards finds every //sgvet:guardedby annotation in the package
+// and validates that the named guard is a sibling mutex field. Guarded
+// fields in this codebase are unexported, so a per-package map suffices;
+// cross-package access to a guarded field is impossible without also
+// exporting it (which the annotation syntax does not support).
+func collectGuards(pass *Pass) map[*types.Var]guardSpec {
+	guards := make(map[*types.Var]guardSpec)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				arg, ok := annotationArg(field.Doc, "guardedby")
+				if !ok {
+					arg, ok = annotationArg(field.Comment, "guardedby")
+				}
+				if !ok {
+					continue
+				}
+				if arg == "" {
+					pass.Reportf(field.Pos(), "//sgvet:guardedby requires the name of a sibling mutex field")
+					continue
+				}
+				if !structHasMutexField(pass, st, arg) {
+					pass.Reportf(field.Pos(), "//sgvet:guardedby %s: no sibling sync.Mutex/RWMutex field with that name", arg)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guardSpec{guard: arg}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// structHasMutexField reports whether the struct literally declares a
+// mutex field with the given name.
+func structHasMutexField(pass *Pass, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			if _, ok := isSyncMutex(pass.TypeOf(field.Type)); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// freshLocals collects local variables that only ever hold values
+// allocated inside this function (composite literals or new). Such
+// values are unshared until published, so accessing their guarded fields
+// without the lock is safe — this is what lets constructors initialize
+// the structs they build.
+func freshLocals(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	tainted := make(map[types.Object]bool)
+	note := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		if isFreshAlloc(rhs) {
+			fresh[obj] = true
+		} else {
+			tainted[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					note(id, x.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) != len(x.Values) {
+				return true
+			}
+			for i, id := range x.Names {
+				note(id, x.Values[i])
+			}
+		}
+		return true
+	})
+	for obj := range tainted {
+		delete(fresh, obj)
+	}
+	return fresh
+}
+
+// isFreshAlloc reports whether e evaluates to a newly allocated value:
+// a composite literal (possibly behind &) or a call to new.
+func isFreshAlloc(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return x.Op == token.AND && isFreshAlloc(x.X)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			return id.Name == "new"
+		}
+	}
+	return false
+}
+
+// checkGuardedAccess verifies one field selector against the held set.
+func checkGuardedAccess(pass *Pass, guards map[*types.Var]guardSpec, fresh map[types.Object]bool, sel *ast.SelectorExpr, write bool, held heldSet) {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	spec, ok := guards[field]
+	if !ok {
+		return
+	}
+	base, canonical := canonExpr(pass, sel.X)
+	if !canonical {
+		pass.Reportf(sel.Sel.Pos(), "guarded field %s accessed through a non-canonical expression; cannot prove %s is held", field.Name(), spec.guard)
+		return
+	}
+	if fresh[base.root] {
+		return
+	}
+	need := lockKey{root: base.root, path: base.path + "." + spec.guard}
+	lockName := base.display() + "." + spec.guard
+	got, isHeld := held[need]
+	switch {
+	case !isHeld:
+		verb := "read"
+		if write {
+			verb = "written"
+		}
+		pass.Reportf(sel.Sel.Pos(), "guarded field %s %s without holding %s", field.Name(), verb, lockName)
+	case write && got.mode != lockWrite:
+		pass.Reportf(sel.Sel.Pos(), "guarded field %s written while holding only the read lock on %s", field.Name(), lockName)
+	}
+}

@@ -1,0 +1,62 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"nestedsg/internal/analysis"
+	"nestedsg/internal/analysis/analysistest"
+)
+
+// TestLockOrder checks cycle detection on the fixture: a direct AB/BA
+// inversion, a cycle closed only through a call summary, and a
+// consistently ordered pair that stays silent.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, ".", analysis.LockOrder, "./testdata/src/lockorder")
+}
+
+// TestLockOrderRealPackagesAcyclic asserts the production lock-order
+// graph — server, sim, client and core analyzed together — has no cycle.
+// This is the static counterpart of the certifier's own acyclicity
+// requirement, and the committed DOT graph in DESIGN.md §11 documents
+// the edges this run discovers.
+func TestLockOrderRealPackagesAcyclic(t *testing.T) {
+	analysistest.Run(t, ".", analysis.LockOrder,
+		"nestedsg/internal/server",
+		"nestedsg/internal/sim",
+		"nestedsg/internal/client",
+		"nestedsg/internal/core",
+	)
+}
+
+// TestLockOrderDOT renders the fixture graph and spot-checks shape and
+// determinism.
+func TestLockOrderDOT(t *testing.T) {
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: "."}, "./testdata/src/lockorder")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	dot, err := analysis.LockOrderDOT(pkgs)
+	if err != nil {
+		t.Fatalf("LockOrderDOT: %v", err)
+	}
+	if !strings.HasPrefix(dot, "digraph lockorder {") {
+		t.Fatalf("DOT output does not start with digraph header:\n%s", dot)
+	}
+	for _, edge := range []string{
+		`.a" -> "`, // a -> b and a -> c
+		`.b" -> "`, // b -> a
+		`.e" -> "`, // the summary-propagated e -> d edge
+	} {
+		if !strings.Contains(dot, edge) {
+			t.Errorf("DOT output missing %q:\n%s", edge, dot)
+		}
+	}
+	dot2, err := analysis.LockOrderDOT(pkgs)
+	if err != nil {
+		t.Fatalf("LockOrderDOT (second run): %v", err)
+	}
+	if dot != dot2 {
+		t.Errorf("DOT output is not deterministic:\n%s\n---\n%s", dot, dot2)
+	}
+}

@@ -1,0 +1,640 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the intraprocedural lock-set dataflow engine shared by the
+// lockguard and lockorder analyzers. It walks a function body statement by
+// statement, tracking which mutexes are held at each point:
+//
+//   - m.Lock()/m.RLock() add m to the held set (write/read mode);
+//     m.Unlock()/m.RUnlock() remove it
+//   - defer m.Unlock() keeps m held for the rest of the function
+//   - branches fork the set and merge by intersection (a lock is held
+//     after an if only when both arms keep it); arms ending in return
+//     drop out of the merge
+//   - //sgvet:holds annotations seed the set for functions and closures
+//     whose callers guarantee locks are already held
+//
+// The analysis is deliberately flow-insensitive across calls and loops:
+// a loop body is walked once with the entry set, and calls do not change
+// the held set. Balanced lock usage — which is what the analyzers
+// ultimately enforce — makes this approximation exact for this codebase;
+// unbalanced loops degrade to over-approximating the held set, which can
+// mask a finding but never invents one.
+
+// A lockKey canonically identifies one lock expression within a function
+// body: the root object (a local, parameter, receiver or package-level
+// variable) plus the field selector path from it. `sn.s.mu` and `s.mu`
+// inside different functions compare equal only when they root at the
+// same types.Object, so distinct instances are never conflated.
+type lockKey struct {
+	root types.Object
+	path string // ".mu", ".s.mu", ... ; empty when the root is the lock
+}
+
+func (k lockKey) display() string {
+	if k.root == nil {
+		return "<unknown>"
+	}
+	return k.root.Name() + k.path
+}
+
+// lockMode distinguishes read (RLock) from write (Lock) acquisition.
+type lockMode uint8
+
+const (
+	lockRead lockMode = iota + 1
+	lockWrite
+)
+
+// heldLock is one member of a held set: the acquisition mode plus the
+// instance-independent type key ("internal/server.Server.mu") used by
+// the lock-order graph.
+type heldLock struct {
+	mode    lockMode
+	typeKey string
+}
+
+// heldSet maps each held lock to how it is held.
+type heldSet map[lockKey]heldLock
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectHeld merges two branch outcomes: a lock survives only if both
+// arms hold it, at the weaker of the two modes.
+func intersectHeld(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			m := va.mode
+			if vb.mode < m {
+				m = vb.mode
+			}
+			out[k] = heldLock{mode: m, typeKey: va.typeKey}
+		}
+	}
+	return out
+}
+
+// canonExpr reduces an expression to a lockKey, unwrapping parens,
+// address-of and dereference. It fails (ok=false) for anything that is
+// not a chain of selectors over an identifier — map indexes, call
+// results, and so on have no stable identity within the function.
+func canonExpr(pass *Pass, e ast.Expr) (lockKey, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(x)
+		if obj == nil {
+			return lockKey{}, false
+		}
+		return lockKey{root: obj}, true
+	case *ast.SelectorExpr:
+		// Qualified package identifiers (pkg.Var) resolve to the var
+		// itself, not a field path.
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := pass.ObjectOf(id).(*types.PkgName); isPkg {
+				obj := pass.ObjectOf(x.Sel)
+				if obj == nil {
+					return lockKey{}, false
+				}
+				return lockKey{root: obj}, true
+			}
+		}
+		base, ok := canonExpr(pass, x.X)
+		if !ok {
+			return lockKey{}, false
+		}
+		base.path += "." + x.Sel.Name
+		return base, true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return canonExpr(pass, x.X)
+		}
+	case *ast.StarExpr:
+		return canonExpr(pass, x.X)
+	}
+	return lockKey{}, false
+}
+
+// isSyncMutex reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex; rw distinguishes the two.
+func isSyncMutex(t types.Type) (rw, ok bool) {
+	if t == nil {
+		return false, false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// relPkg shortens a package path by stripping the module prefix, so lock
+// type keys read "internal/server.Server.mu" rather than repeating the
+// module path on every node.
+func relPkg(pass *Pass, pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	p := pkg.Path()
+	if strings.HasPrefix(p, pass.Module+"/") {
+		return p[len(pass.Module)+1:]
+	}
+	return p
+}
+
+// lockTypeKey names a lock by its declaration site rather than its
+// instance: "pkg.Struct.field" for a struct field, "pkg.var" for a
+// package-level mutex, and a position-qualified form for locals (which
+// must not be conflated across functions).
+func lockTypeKey(pass *Pass, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			f := sel.Obj()
+			recv := sel.Recv()
+			if p, isPtr := recv.(*types.Pointer); isPtr {
+				recv = p.Elem()
+			}
+			owner := ""
+			if n, isNamed := recv.(*types.Named); isNamed {
+				owner = n.Obj().Name() + "."
+			}
+			return relPkg(pass, f.Pkg()) + "." + owner + f.Name()
+		}
+		if obj := pass.ObjectOf(x.Sel); obj != nil {
+			return relPkg(pass, obj.Pkg()) + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj := pass.ObjectOf(x)
+		if obj == nil {
+			break
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return relPkg(pass, obj.Pkg()) + "." + obj.Name()
+		}
+		pos := pass.Fset.Position(obj.Pos())
+		return fmt.Sprintf("%s.%s@L%d", relPkg(pass, obj.Pkg()), obj.Name(), pos.Line)
+	}
+	return "<unknown>"
+}
+
+// A lockOp is one classified mutex call: which lock, acquire or release,
+// read or write.
+type lockOp struct {
+	key     lockKey
+	typeKey string
+	acquire bool
+	mode    lockMode
+	pos     token.Pos
+}
+
+// classifyLockCall recognizes m.Lock/RLock/Unlock/RUnlock calls on
+// sync.Mutex/sync.RWMutex receivers. TryLock variants are deliberately
+// not classified: their conditional result cannot be tracked, so they
+// fall through as ordinary calls and never extend the held set.
+func classifyLockCall(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var acquire bool
+	var mode lockMode
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire, mode = true, lockWrite
+	case "RLock":
+		acquire, mode = true, lockRead
+	case "Unlock":
+		acquire, mode = false, lockWrite
+	case "RUnlock":
+		acquire, mode = false, lockRead
+	default:
+		return lockOp{}, false
+	}
+	if _, isMutex := isSyncMutex(pass.TypeOf(sel.X)); !isMutex {
+		return lockOp{}, false
+	}
+	key, ok := canonExpr(pass, sel.X)
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{
+		key:     key,
+		typeKey: lockTypeKey(pass, sel.X),
+		acquire: acquire,
+		mode:    mode,
+		pos:     call.Pos(),
+	}, true
+}
+
+// parseHolds resolves one //sgvet:holds argument list ("e.mu, s.mu:r")
+// against the scope of the annotated function. Each entry is a selector
+// chain naming a mutex visible in that scope; a ":r" suffix means the
+// caller holds only the read lock. Unresolvable or non-mutex entries are
+// returned as problems for the caller to report.
+func parseHolds(pass *Pass, scope *types.Scope, pos token.Pos, arg string) (heldSet, []string) {
+	held := make(heldSet)
+	var problems []string
+	for _, item := range strings.Split(arg, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		mode := lockWrite
+		if strings.HasSuffix(item, ":r") {
+			mode = lockRead
+			item = strings.TrimSuffix(item, ":r")
+		}
+		parts := strings.Split(item, ".")
+		_, obj := scope.LookupParent(parts[0], pos)
+		if obj == nil {
+			problems = append(problems, fmt.Sprintf("%q does not resolve in this scope", item))
+			continue
+		}
+		key := lockKey{root: obj}
+		cur := obj.Type()
+		typeKey := ""
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			typeKey = relPkg(pass, obj.Pkg()) + "." + obj.Name()
+		} else {
+			p := pass.Fset.Position(obj.Pos())
+			typeKey = fmt.Sprintf("%s.%s@L%d", relPkg(pass, obj.Pkg()), obj.Name(), p.Line)
+		}
+		bad := false
+		for _, fieldName := range parts[1:] {
+			t := cur
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			owner := ""
+			if n, isNamed := t.(*types.Named); isNamed {
+				owner = n.Obj().Name() + "."
+			}
+			fobj, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg, fieldName)
+			fvar, isVar := fobj.(*types.Var)
+			if !isVar {
+				problems = append(problems, fmt.Sprintf("%q: no field %s on %s", item, fieldName, cur))
+				bad = true
+				break
+			}
+			key.path += "." + fieldName
+			typeKey = relPkg(pass, fvar.Pkg()) + "." + owner + fieldName
+			cur = fvar.Type()
+		}
+		if bad {
+			continue
+		}
+		if _, isMutex := isSyncMutex(cur); !isMutex {
+			problems = append(problems, fmt.Sprintf("%q is not a sync.Mutex or sync.RWMutex", item))
+			continue
+		}
+		held[key] = heldLock{mode: mode, typeKey: typeKey}
+	}
+	return held, problems
+}
+
+// A lockVisitor receives the walker's observations. Any callback may be
+// nil. async is true inside closures launched by a go statement, whose
+// work does not run under the spawning goroutine's locks.
+type lockVisitor struct {
+	// acquire fires when a mutex is taken, with the set already held.
+	acquire func(op lockOp, held heldSet, async bool)
+	// access fires for every field selector, with write=true when it is
+	// an assignment target (including map/slice element writes through
+	// the field).
+	access func(sel *ast.SelectorExpr, write bool, held heldSet)
+	// call fires for every call that is not a lock operation.
+	call func(call *ast.CallExpr, held heldSet, async bool)
+	// badAnnotation fires for malformed //sgvet:holds annotations on
+	// closures; only one analyzer should set it to avoid duplicates.
+	badAnnotation func(pos token.Pos, msg string)
+}
+
+type lockWalker struct {
+	pass        *Pass
+	v           lockVisitor
+	async       bool
+	holdsByLine map[int]string // trailing //sgvet:holds per source line
+}
+
+// walkLockFunc runs the lock-set dataflow over one function body with the
+// given initial held set. file is the enclosing source file; it supplies
+// the //sgvet:holds annotations for closures nested in body (written as a
+// trailing comment on the closure's opening line).
+func walkLockFunc(pass *Pass, file *ast.File, body *ast.BlockStmt, seed heldSet, v lockVisitor) {
+	w := &lockWalker{pass: pass, v: v, holdsByLine: make(map[int]string)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if arg, ok := annotationArg(&ast.CommentGroup{List: []*ast.Comment{c}}, "holds"); ok {
+				w.holdsByLine[pass.Fset.Position(c.Pos()).Line] = arg
+			}
+		}
+	}
+	if seed == nil {
+		seed = make(heldSet)
+	}
+	w.block(body.List, seed.clone())
+}
+
+// block walks a statement list, returning the held set at its end and
+// whether control definitely left the function (return/branch).
+func (w *lockWalker) block(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held heldSet) (heldSet, bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if op, ok := classifyLockCall(w.pass, call); ok {
+				w.applyLockOp(op, held)
+				return held, false
+			}
+		}
+		w.scanExpr(x.X, held)
+	case *ast.AssignStmt:
+		for _, rhs := range x.Rhs {
+			w.scanExpr(rhs, held)
+		}
+		for _, lhs := range x.Lhs {
+			w.scanLValue(lhs, held)
+		}
+	case *ast.IncDecStmt:
+		w.scanLValue(x.X, held)
+	case *ast.SendStmt:
+		w.scanExpr(x.Chan, held)
+		w.scanExpr(x.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if op, ok := classifyLockCall(w.pass, x.Call); ok {
+			// defer mu.Unlock(): the lock stays held to function end, so
+			// the held set is simply left alone. A deferred Lock would be
+			// pathological; it is ignored rather than modeled.
+			_ = op
+			return held, false
+		}
+		w.callStmt(x.Call, held, false)
+	case *ast.GoStmt:
+		w.callStmt(x.Call, held, true)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.scanExpr(r, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto end this path for merge purposes; the
+		// over-approximation can only widen the held set afterwards.
+		return held, true
+	case *ast.BlockStmt:
+		return w.block(x.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		w.scanExpr(x.Cond, held)
+		thenOut, thenTerm := w.block(x.Body.List, held.clone())
+		elseOut := held.clone()
+		elseTerm := false
+		if x.Else != nil {
+			elseOut, elseTerm = w.stmt(x.Else, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return intersectHeld(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		w.scanExpr(x.Cond, held)
+		bodyOut, bodyTerm := w.block(x.Body.List, held.clone())
+		if x.Post != nil {
+			w.stmt(x.Post, bodyOut)
+		}
+		if bodyTerm {
+			return held, false
+		}
+		return intersectHeld(held, bodyOut), false
+	case *ast.RangeStmt:
+		w.scanExpr(x.X, held)
+		if x.Key != nil {
+			w.scanLValue(x.Key, held)
+		}
+		if x.Value != nil {
+			w.scanLValue(x.Value, held)
+		}
+		bodyOut, bodyTerm := w.block(x.Body.List, held.clone())
+		if bodyTerm {
+			return held, false
+		}
+		return intersectHeld(held, bodyOut), false
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		w.scanExpr(x.Tag, held)
+		return w.clauses(x.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			held, _ = w.stmt(x.Init, held)
+		}
+		w.stmt(x.Assign, held)
+		return w.clauses(x.Body.List, held)
+	case *ast.SelectStmt:
+		return w.clauses(x.Body.List, held)
+	}
+	return held, false
+}
+
+// clauses merges the arms of a switch/type-switch/select. The entry set
+// joins the merge unless a default/(any select arm) guarantees one arm
+// runs; break-terminated arms drop out, widening the result.
+func (w *lockWalker) clauses(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	var outs []heldSet
+	covered := false
+	for _, cc := range list {
+		var body []ast.Stmt
+		h2 := held.clone()
+		switch c := cc.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				covered = true
+			}
+			for _, e := range c.List {
+				w.scanExpr(e, h2)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			covered = true // select blocks until some arm runs
+			if c.Comm != nil {
+				h2, _ = w.stmt(c.Comm, h2)
+			}
+			body = c.Body
+		default:
+			continue
+		}
+		if out, term := w.block(body, h2); !term {
+			outs = append(outs, out)
+		}
+	}
+	if !covered {
+		outs = append(outs, held)
+	}
+	if len(outs) == 0 {
+		return held, true
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = intersectHeld(merged, o)
+	}
+	return merged, false
+}
+
+func (w *lockWalker) applyLockOp(op lockOp, held heldSet) {
+	if op.acquire {
+		if w.v.acquire != nil {
+			w.v.acquire(op, held, w.async)
+		}
+		held[op.key] = heldLock{mode: op.mode, typeKey: op.typeKey}
+		return
+	}
+	delete(held, op.key)
+}
+
+// callStmt handles go/defer call statements: arguments are evaluated now
+// (under the current held set) while a literal closure body runs later —
+// with no inherited locks when launched by go.
+func (w *lockWalker) callStmt(call *ast.CallExpr, held heldSet, async bool) {
+	if w.v.call != nil {
+		w.v.call(call, held, async || w.async)
+	}
+	for _, arg := range call.Args {
+		w.scanExpr(arg, held)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.funcLit(lit, async)
+		return
+	}
+	w.scanExpr(call.Fun, held)
+}
+
+// funcLit walks a closure body with a fresh held set, seeded only by an
+// explicit //sgvet:holds trailing comment on its opening line. Closures
+// may run on other goroutines or at other times, so inheriting the
+// lexical held set would be unsound.
+func (w *lockWalker) funcLit(lit *ast.FuncLit, async bool) {
+	seed := make(heldSet)
+	if arg, ok := w.holdsByLine[w.pass.Fset.Position(lit.Pos()).Line]; ok {
+		scope := w.pass.TypesInfo.Scopes[lit.Type]
+		var problems []string
+		seed, problems = parseHolds(w.pass, scope, lit.Body.Pos(), arg)
+		if w.v.badAnnotation != nil {
+			for _, p := range problems {
+				w.v.badAnnotation(lit.Pos(), "bad //sgvet:holds annotation: "+p)
+			}
+		}
+	}
+	saved := w.async
+	w.async = w.async || async
+	w.block(lit.Body.List, seed)
+	w.async = saved
+}
+
+// scanExpr reports field accesses (as reads) and calls within e, walking
+// nested closures separately.
+func (w *lockWalker) scanExpr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.funcLit(x, false)
+			return false
+		case *ast.CallExpr:
+			if w.v.call != nil {
+				w.v.call(x, held, w.async)
+			}
+		case *ast.SelectorExpr:
+			if w.v.access != nil {
+				w.v.access(x, false, held)
+			}
+		}
+		return true
+	})
+}
+
+// scanLValue reports the written-to field of an assignment target, then
+// scans the rest of the target as reads. Writing through a map or slice
+// element (s.objs[id] = o) counts as a write of the field that holds the
+// container.
+func (w *lockWalker) scanLValue(e ast.Expr, held heldSet) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if w.v.access != nil {
+			w.v.access(x, true, held)
+		}
+		w.scanExpr(x.X, held)
+	case *ast.IndexExpr:
+		w.scanExpr(x.Index, held)
+		w.scanLValue(x.X, held)
+	case *ast.StarExpr:
+		w.scanExpr(x.X, held)
+	default:
+		w.scanExpr(e, held)
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"io"
@@ -22,13 +23,19 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
 }
 
-// RunAnalyzers applies each analyzer to each package and returns the
-// findings sorted by file, line, column and analyzer name. A nil analyzer
-// error list means the run itself succeeded; individual findings are not
-// errors.
+// RunAnalyzers applies each analyzer to each package, invokes each
+// analyzer's Finish hook once at the end, drops findings suppressed by
+// //sgvet:ignore annotations, and returns the survivors sorted by file,
+// line, column and analyzer name. A nil error means the run itself
+// succeeded; individual findings are not errors.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var out []Finding
+	facts := NewFactStore()
+	var ignores []ignoreRegion
 	for _, pkg := range pkgs {
+		regions, diags := collectIgnores(pkg)
+		ignores = append(ignores, regions...)
+		out = append(out, diags...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -37,6 +44,8 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				Module:    pkg.Module,
+				Dir:       pkg.Dir,
+				Facts:     facts,
 			}
 			pass.report = func(d Diagnostic) {
 				out = append(out, Finding{
@@ -50,6 +59,18 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		report := func(pos token.Position, msg string) {
+			out = append(out, Finding{Analyzer: a.Name, Position: pos, Message: msg})
+		}
+		if err := a.Finish(facts, report); err != nil {
+			return nil, fmt.Errorf("analysis: %s finish: %w", a.Name, err)
+		}
+	}
+	out = filterIgnored(out, ignores)
 	sort.Slice(out, func(i, j int) bool {
 		pi, pj := out[i].Position, out[j].Position
 		if pi.Filename != pj.Filename {
@@ -66,15 +87,20 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	return out, nil
 }
 
+// RunPatterns loads the patterns and runs the suite over them.
+func RunPatterns(cfg LoadConfig, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := Load(cfg, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers(pkgs, analyzers)
+}
+
 // Vet loads the patterns, runs the full suite, and writes one line per
 // finding to w. It returns the number of findings; a non-nil error means
 // loading or an analyzer failed, not that findings exist.
 func Vet(w io.Writer, cfg LoadConfig, patterns []string, analyzers []*Analyzer) (int, error) {
-	pkgs, err := Load(cfg, patterns...)
-	if err != nil {
-		return 0, err
-	}
-	findings, err := RunAnalyzers(pkgs, analyzers)
+	findings, err := RunPatterns(cfg, patterns, analyzers)
 	if err != nil {
 		return 0, err
 	}
@@ -82,4 +108,36 @@ func Vet(w io.Writer, cfg LoadConfig, patterns []string, analyzers []*Analyzer) 
 		fmt.Fprintln(w, f)
 	}
 	return len(findings), nil
+}
+
+// jsonFinding is the machine-readable projection of a Finding used by
+// sgvet -json and the CI report artifact.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders the findings as an indented JSON array (empty slice,
+// not null, when there are none) followed by a newline.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	recs := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		recs = append(recs, jsonFinding{
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Column:   f.Position.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	b, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }

@@ -24,12 +24,49 @@ func (Gadget) Restore() error { return nil }
 
 // Discarded drops checker results in every flagged form.
 func Discarded(g Gadget, tr *tname.Tree, b event.Behavior) {
-	g.CheckChainInvariant()              // want `result of CheckChainInvariant is discarded`
-	simple.CheckWellFormed(tr, b)        // want `result of CheckWellFormed is discarded`
-	_ = g.CheckChainInvariant()          // want `result of CheckChainInvariant is discarded`
-	_, _ = g.VerifyAll()                 // want `result of VerifyAll is discarded`
-	defer g.CheckChainInvariant()        // want `result of CheckChainInvariant is discarded`
-	go g.CheckChainInvariant()           // want `result of CheckChainInvariant is discarded`
+	g.CheckChainInvariant()       // want `result of CheckChainInvariant is discarded`
+	simple.CheckWellFormed(tr, b) // want `result of CheckWellFormed is discarded`
+	_ = g.CheckChainInvariant()   // want `result of CheckChainInvariant is discarded`
+	_, _ = g.VerifyAll()          // want `result of VerifyAll is discarded`
+	defer g.CheckChainInvariant() // want `result of CheckChainInvariant is discarded`
+	go g.CheckChainInvariant()    // want `result of CheckChainInvariant is discarded`
+}
+
+// durableFile has both Close and Sync returning errors — the signature
+// of a writable file whose dropped errors can lose committed data.
+type durableFile struct{}
+
+func (durableFile) Close() error { return nil }
+func (durableFile) Sync() error  { return nil }
+
+// conn has Close but no Sync; closing it is legitimately best-effort.
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+// segment mimics the WAL's SegmentFile interface shape.
+type segment interface {
+	Close() error
+	Sync() error
+}
+
+// DroppedDurable discards Close/Sync results on durable surfaces.
+func DroppedDurable(f durableFile, s segment) {
+	f.Close()       // want `result of Close on a durable file is discarded`
+	f.Sync()        // want `result of Sync on a durable file is discarded`
+	defer f.Close() // want `result of Close on a durable file is discarded`
+	_ = s.Sync()    // want `result of Sync on a durable file is discarded`
+	s.Close()       // want `result of Close on a durable file is discarded`
+}
+
+// HandledDurable consumes the results; connections stay exempt.
+func HandledDurable(f durableFile, c conn) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	// conn has no Sync, so its unchecked Close is out of scope.
+	c.Close()
+	return f.Close()
 }
 
 // Handled consumes every result; nothing is flagged.

@@ -1,0 +1,29 @@
+// Package hotalloc is the fixture for the hotalloc analyzer: an
+// annotated function that allocates, an annotated one that does not, and
+// an unannotated allocator that must stay silent.
+package hotalloc
+
+type box struct{ v [4]int64 }
+
+// escape heap-allocates its result.
+//
+//sgvet:hotpath
+func escape() *box {
+	return &box{} // want `hotpath function escape allocates`
+}
+
+// sum is allocation-free and must pass the gate.
+//
+//sgvet:hotpath
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// coldAlloc allocates but carries no annotation.
+func coldAlloc() *box {
+	return &box{}
+}

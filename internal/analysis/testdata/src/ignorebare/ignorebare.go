@@ -1,0 +1,7 @@
+// Package ignorebare holds a reason-less //sgvet:ignore; the driver must
+// flag the annotation itself rather than honor it.
+package ignorebare
+
+func one() int {
+	return 1 //sgvet:ignore
+}

@@ -1,0 +1,145 @@
+// Package lockguard is the fixture for the lockguard analyzer. The good
+// cases pin down the paths that must not false-positive — defer-unlock,
+// explicit unlock, RLock for reads, early returns, constructor freshness,
+// //sgvet:holds seeding — and the bad cases prove each diagnostic fires.
+package lockguard
+
+import "sync"
+
+// counter pairs a plain mutex with one guarded field.
+type counter struct {
+	mu sync.Mutex
+	n  int //sgvet:guardedby mu
+}
+
+func (c *counter) goodDeferUnlock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) goodExplicitUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) goodEarlyReturn(flag bool) int {
+	c.mu.Lock()
+	if flag {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `guarded field n read without holding c\.mu`
+}
+
+func (c *counter) badAfterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want `guarded field n written without holding c\.mu`
+}
+
+// badBranchMerge holds the lock on only one arm, so the merge point must
+// treat it as released.
+func (c *counter) badBranchMerge(flag bool) {
+	if flag {
+		c.mu.Lock()
+	}
+	c.n = 3 // want `guarded field n written without holding c\.mu`
+	if flag {
+		c.mu.Unlock()
+	}
+}
+
+// table exercises the RWMutex read/write modes.
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int //sgvet:guardedby mu
+}
+
+func newTable() *table {
+	t := &table{m: make(map[string]int)}
+	t.m["seed"] = 1 // fresh local: unshared, no lock needed
+	return t
+}
+
+func (t *table) goodReadLocked(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) goodWriteLocked(k string) {
+	t.mu.Lock()
+	t.m[k] = 2
+	t.mu.Unlock()
+}
+
+func (t *table) badWriteUnderRead(k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = 1 // want `guarded field m written while holding only the read lock on t\.mu`
+}
+
+// fill documents its precondition instead of locking.
+//
+//sgvet:holds t.mu
+func fill(t *table) {
+	t.m["a"] = 1
+}
+
+// size needs only the read lock.
+//
+//sgvet:holds t.mu:r
+func size(t *table) int {
+	return len(t.m)
+}
+
+//sgvet:holds t.mu:r
+func badWriteWithReadHolds(t *table) {
+	t.m["b"] = 2 // want `guarded field m written while holding only the read lock on t\.mu`
+}
+
+// withTable is the withObj idiom: the callback runs under the lock.
+func withTable(t *table, f func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f()
+}
+
+func goodClosure(t *table) {
+	withTable(t, func() { //sgvet:holds t.mu
+		t.m["c"] = 3
+	})
+}
+
+func badClosure(t *table) {
+	withTable(t, func() {
+		t.m["d"] = 4 // want `guarded field m written without holding t\.mu`
+	})
+}
+
+var tables []*table
+
+func badNonCanonical(i int) int {
+	return len(tables[i].m) // want `guarded field m accessed through a non-canonical expression`
+}
+
+func ignoredAccess(t *table) int {
+	return len(t.m) //sgvet:ignore fixture demonstrates the escape hatch
+}
+
+type badspec struct {
+	//sgvet:guardedby missing
+	n int // want `no sibling sync\.Mutex/RWMutex field`
+}
+
+//sgvet:holds nowhere.mu
+func badHolds() {} // want `bad //sgvet:holds annotation`

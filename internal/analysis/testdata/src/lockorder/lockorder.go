@@ -1,0 +1,56 @@
+// Package lockorder is the fixture for the lockorder analyzer: a direct
+// AB/BA double-lock cycle, a second cycle closed only through a call
+// summary, and a consistently ordered pair that must stay silent.
+package lockorder
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.Mutex
+	e sync.Mutex
+)
+
+func abFirst() {
+	a.Lock()
+	b.Lock() // want `lock-order cycle \(potential deadlock\)`
+	b.Unlock()
+	a.Unlock()
+}
+
+func baSecond() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+// acPair orders a before c everywhere, so no cycle involves c.
+func acPair() {
+	a.Lock()
+	c.Lock()
+	c.Unlock()
+	a.Unlock()
+}
+
+func deFirst() {
+	d.Lock()
+	e.Lock() // want `lock-order cycle \(potential deadlock\)`
+	e.Unlock()
+	d.Unlock()
+}
+
+func lockD() {
+	d.Lock()
+	d.Unlock()
+}
+
+// edViaCall closes the d/e cycle without a direct nested acquisition:
+// lockD's summary says it may take d, and e is held at the call.
+func edViaCall() {
+	e.Lock()
+	lockD()
+	e.Unlock()
+}

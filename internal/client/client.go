@@ -235,7 +235,7 @@ func (c *Conn) RunTx(maxAttempts int, fn func(tx *Tx) error) error {
 type Pool struct {
 	addr string
 	mu   sync.Mutex
-	free []*Conn
+	free []*Conn //sgvet:guardedby mu
 }
 
 // NewPool returns a pool dialing addr on demand.

@@ -110,6 +110,8 @@ func (c *Checker) grow() {
 
 // begin opens a build: size the scratch, advance the epoch and reset the
 // recycled result.
+//
+//sgvet:hotpath
 func (c *Checker) begin() {
 	c.grow()
 	c.epoch++
@@ -134,6 +136,8 @@ func (c *Checker) begin() {
 // visible reports whether tx is visible to T0: every ancestor strictly
 // below Root has a COMMIT stamp. Memoized along the walked path, mirroring
 // simple.Vis for the T0 oracle.
+//
+//sgvet:hotpath
 func (c *Checker) visible(t tname.TxID) bool {
 	if t == tname.Root || t == tname.None {
 		return true
@@ -188,6 +192,8 @@ func (c *Checker) pg(p tname.TxID) *ParentGraph {
 }
 
 // node returns t's node index in pg, materializing the child on first use.
+//
+//sgvet:hotpath
 func (c *Checker) node(pg *ParentGraph, t tname.TxID) int32 {
 	if c.nodeEp[t] == c.epoch {
 		return c.nodeOf[t]
@@ -212,6 +218,8 @@ func (c *Checker) addEdge(parent, from, to tname.TxID, kind EdgeKind) {
 }
 
 // emit implements conflictSink for the sequential scan.
+//
+//sgvet:hotpath
 func (c *Checker) emit(prev, cur event.AccessOp) {
 	if p, u, u2, ok := conflictEdge(c.tr, prev, cur); ok {
 		c.addEdge(p, u, u2, EdgeConflict)
@@ -222,6 +230,8 @@ func (c *Checker) emit(prev, cur event.AccessOp) {
 // visibility, operations(visible(β, T0)) per object, and the precedes(β)
 // edges. Inform events are skipped inline, so callers may pass generic
 // behaviors without projecting first.
+//
+//sgvet:hotpath
 func (c *Checker) prepare(b event.Behavior) {
 	c.begin()
 	for _, e := range b {
@@ -288,6 +298,8 @@ func (c *Checker) prepare(b event.Behavior) {
 
 // freeze canonicalizes the accumulated graphs: ascending parent order and
 // per-graph canonical child numbering.
+//
+//sgvet:hotpath
 func (c *Checker) freeze() *SG {
 	c.sg.sortParents()
 	for _, g := range c.sg.parents {
@@ -296,6 +308,7 @@ func (c *Checker) freeze() *SG {
 	return &c.sg
 }
 
+//sgvet:hotpath
 func (c *Checker) build(b event.Behavior, reduced bool) *SG {
 	c.prepare(b)
 	c.reduced = reduced
@@ -315,6 +328,8 @@ func (c *Checker) Build(b event.Behavior) *SG { return c.build(b, false) }
 func (c *Checker) BuildReduced(b event.Behavior) *SG { return c.build(b, true) }
 
 // serialInto refills the pooled projection buffer with b's serial actions.
+//
+//sgvet:hotpath
 func (c *Checker) serialInto(b event.Behavior) event.Behavior {
 	c.serialBuf = c.serialBuf[:0]
 	for _, e := range b {

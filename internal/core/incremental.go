@@ -168,6 +168,8 @@ func (inc *Incremental) Rejected() (*Cycle, int) { return inc.rejected, inc.reje
 // Build(prefix).Acyclicity()'s — from the first violating prefix onward.
 // Once non-nil the verdict is sticky: further events still maintain the
 // bookkeeping cheaply but the certificate no longer changes.
+//
+//sgvet:hotpath
 func (inc *Incremental) Append(e event.Event) *Cycle {
 	inc.grow()
 	i := inc.seq
@@ -217,16 +219,22 @@ func (inc *Incremental) Append(e event.Event) *Cycle {
 	}
 
 	if inc.cyclic && inc.rejected == nil {
-		// First violating prefix: freeze the verdict. The event's effects
-		// were applied in full above, so the snapshot is exactly
-		// Build(β[:i+1]) and yields the identical certificate.
-		_, cyc := inc.Snapshot().Acyclicity()
-		if cyc == nil {
-			panic("core: incremental cycle signal with acyclic snapshot")
-		}
-		inc.rejected, inc.rejectedAt = cyc, i
+		inc.freezeVerdict(i)
 	}
 	return inc.rejected
+}
+
+// freezeVerdict pins the sticky certificate at the first violating prefix.
+// The event's effects were applied in full by Append, so the snapshot is
+// exactly Build(β[:i+1]) and yields the identical certificate. This runs at
+// most once per behavior and materializes a whole SG, so it lives outside
+// the zero-alloc Append body the hotalloc gate watches.
+func (inc *Incremental) freezeVerdict(i int) {
+	_, cyc := inc.Snapshot().Acyclicity()
+	if cyc == nil {
+		panic("core: incremental cycle signal with acyclic snapshot")
+	}
+	inc.rejected, inc.rejectedAt = cyc, i
 }
 
 // blocker walks start's ancestor path toward the root and returns either
@@ -234,6 +242,8 @@ func (inc *Incremental) Append(e event.Event) *Cycle {
 // transaction is visible to T0 — or the lowest uncommitted ancestor. The
 // walk mirrors simple.Vis for the T0 oracle, including the trivial
 // visibility of None (the parent of Root).
+//
+//sgvet:hotpath
 func (inc *Incremental) blocker(start tname.TxID) (tname.TxID, bool) {
 	for u := start; u != tname.None; u = inc.tr.Parent(u) {
 		if u == tname.Root {
@@ -249,6 +259,8 @@ func (inc *Incremental) blocker(start tname.TxID) (tname.TxID, bool) {
 // commit records COMMIT(t) and releases everything parked on t. Released
 // items resume their ancestor walk above t; items still blocked re-park on
 // the new blocker, so each item pays each ancestor edge at most once.
+//
+//sgvet:hotpath
 func (inc *Incremental) commit(t tname.TxID) {
 	if inc.committed[t] {
 		return
@@ -283,6 +295,8 @@ func (inc *Incremental) commit(t tname.TxID) {
 // both directions: ops that became visible earlier may carry later stream
 // positions, so the new arrival can be the chronological predecessor of
 // some and the successor of others.
+//
+//sgvet:hotpath
 func (inc *Incremental) admitOp(op pendingOp) {
 	x := op.op.Obj
 	sp := inc.tr.Spec(x)
@@ -305,6 +319,8 @@ func (inc *Incremental) admitOp(op pendingOp) {
 // spliceBySeq inserts op into a seq-ascending list. Late admissions are
 // commits of deep ancestors releasing old operations, so the insertion
 // point is found from the back.
+//
+//sgvet:hotpath
 func spliceBySeq(list []pendingOp, op pendingOp) []pendingOp {
 	i := len(list)
 	for i > 0 && list[i-1].seq > op.seq {
@@ -319,6 +335,8 @@ func spliceBySeq(list []pendingOp, op pendingOp) []pendingOp {
 // admitReq materializes the precedes edges of one REQUEST_CREATE whose
 // parent is now visible: from each sibling reported before the request to
 // the requested child.
+//
+//sgvet:hotpath
 func (inc *Incremental) admitReq(req pendingReq) {
 	for _, t := range inc.reported[req.parent][:req.n] {
 		if t != req.child {
@@ -366,6 +384,8 @@ func (inc *Incremental) addEdge(parent, from, to tname.TxID, kind EdgeKind) {
 
 // node returns t's node index in pg, materializing the child on first use.
 // Discovery-order indices; Snapshot's freeze canonicalizes.
+//
+//sgvet:hotpath
 func (inc *Incremental) node(pg *ParentGraph, t tname.TxID) int32 {
 	if i := inc.nodeOf[t]; i >= 0 {
 		return i

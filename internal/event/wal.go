@@ -66,6 +66,8 @@ type WalOp struct {
 }
 
 // AppendWalObjectDef appends an object-definition payload to buf.
+//
+//sgvet:hotpath
 func AppendWalObjectDef(buf []byte, label, specName string) []byte {
 	buf = append(buf, byte(WalObjectDef))
 	buf = appendStr(buf, label)
@@ -75,6 +77,8 @@ func AppendWalObjectDef(buf []byte, label, specName string) []byte {
 // AppendWalTxDef appends a transaction-definition payload to buf. For an
 // access, obj names the accessed object and op its operation; for a plain
 // subtransaction obj must be tname.NoObj (op is ignored).
+//
+//sgvet:hotpath
 func AppendWalTxDef(buf []byte, parent tname.TxID, label string, obj tname.ObjID, op spec.Op) []byte {
 	buf = append(buf, byte(WalTxDef))
 	buf = binary.AppendVarint(buf, int64(parent))
@@ -88,6 +92,8 @@ func AppendWalTxDef(buf []byte, parent tname.TxID, label string, obj tname.ObjID
 }
 
 // AppendWalEvents appends an event-batch payload to buf.
+//
+//sgvet:hotpath
 func AppendWalEvents(buf []byte, evs ...Event) []byte {
 	buf = append(buf, byte(WalEvents))
 	buf = binary.AppendUvarint(buf, uint64(len(evs)))

@@ -4,6 +4,7 @@
 package profiling
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -22,8 +23,7 @@ func Start(cpu, mem string) (stop func() error, err error) {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
-			return nil, fmt.Errorf("profiling: %w", err)
+			return nil, fmt.Errorf("profiling: %w", errors.Join(err, cpuFile.Close()))
 		}
 	}
 	return func() error {

@@ -19,13 +19,14 @@ import (
 type eventLog struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	events event.Behavior
-	closed bool
+	events event.Behavior //sgvet:guardedby mu
+	closed bool           //sgvet:guardedby mu
 
 	// wal, when set, receives every atomic append as one WalEvents record
 	// — written under mu, so the durable record order IS the log order.
-	wal    *walWriter
-	walBuf []byte
+	// (Recovery installs it before the listener starts; see recovery.go.)
+	wal    *walWriter //sgvet:guardedby mu
+	walBuf []byte     //sgvet:guardedby mu
 }
 
 func newEventLog() *eventLog {
@@ -35,6 +36,8 @@ func newEventLog() *eventLog {
 }
 
 // append atomically appends evs and returns the log index of the first one.
+//
+//sgvet:hotpath
 func (l *eventLog) append(evs ...event.Event) int {
 	l.mu.Lock()
 	base := len(l.events)
@@ -49,6 +52,8 @@ func (l *eventLog) append(evs ...event.Event) int {
 }
 
 // len reports the current log length.
+//
+//sgvet:hotpath
 func (l *eventLog) len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -73,6 +78,8 @@ func (l *eventLog) close() {
 
 // waitBeyond blocks until the log extends past n (returning a copy of the
 // new suffix in buf) or is closed with nothing left (returning ok=false).
+//
+//sgvet:hotpath
 func (l *eventLog) waitBeyond(n int, buf event.Behavior) (event.Behavior, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -99,9 +106,9 @@ type certifier struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	watermark int // events certified so far
-	cycle     *core.Cycle
-	cycleAt   int
+	watermark int         //sgvet:guardedby mu
+	cycle     *core.Cycle //sgvet:guardedby mu
+	cycleAt   int         //sgvet:guardedby mu
 
 	// Live gauges, readable without the certifier's locks.
 	parents, nodes, edges atomic.Int64
@@ -113,6 +120,7 @@ type certifier struct {
 	done chan struct{}
 }
 
+//sgvet:ignore[lockguard] construction: runs inside newServer before the server is shared with any goroutine
 func newCertifier(s *Server) *certifier {
 	c := &certifier{
 		srv:     s,

@@ -21,6 +21,8 @@ type Histogram struct {
 }
 
 // Observe records one latency sample.
+//
+//sgvet:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	us := uint64(d / time.Microsecond)
 	i := bits.Len64(us)

@@ -64,6 +64,8 @@ func (r *RecoveryReport) Summary() string {
 // Recovery never panics on bad WAL bytes: any torn tail outside the last
 // segment, semantic replay divergence, or failed audit is returned as an
 // error.
+//
+//sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
 func Recover(opts Options) (s *Server, rep *RecoveryReport, err error) {
 	opts = opts.withDefaults()
 	if opts.WAL == nil {
@@ -150,6 +152,8 @@ func Recover(opts Options) (s *Server, rep *RecoveryReport, err error) {
 // the log with CREATE(T0), pre-create objects, and start certifying. The
 // seeded log goes through the same primeCertifier audit as a non-empty
 // recovery, so AuditOK is earned (trivially) rather than assumed.
+//
+//sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
 func (s *Server) finishFresh(scan *walScan, rep *RecoveryReport) (*Server, *RecoveryReport, error) {
 	w, err := newWalWriter(s.opts.WAL, s.opts.WALSegmentBytes, scan.nextIdx)
 	if err != nil {
@@ -177,6 +181,8 @@ func (s *Server) finishFresh(scan *walScan, rep *RecoveryReport) (*Server, *Reco
 // replayDefs re-interns every definition record in WAL order, asserting
 // the interner assigns the same sequential IDs the live server got, and
 // collects the event records into the durable behavior prefix.
+//
+//sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
 func (s *Server) replayDefs(ops []event.WalOp) (event.Behavior, error) {
 	var b event.Behavior
 	for _, op := range ops {
@@ -215,6 +221,8 @@ func (s *Server) replayDefs(ops []event.WalOp) (event.Behavior, error) {
 // TryRequestCommit at its REQUEST_COMMIT (asserting the grant and the
 // value — the automata are deterministic and failed polls don't mutate, so
 // a faithful log replays to the same state), informs at inform events.
+//
+//sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
 func (s *Server) replayAutomata(b event.Behavior) error {
 	for i, e := range b {
 		switch e.Kind {
@@ -251,6 +259,8 @@ func (s *Server) replayAutomata(b event.Behavior) error {
 // in-flight top-level transaction (ascending TxID), mirroring what
 // abortTop would have logged had the connection merely dropped. Every
 // repair goes through the normal append path, so it is also made durable.
+//
+//sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
 func (s *Server) stitch(b event.Behavior, rep *RecoveryReport) {
 	// touched[T] = objects of automaton-created accesses in T's subtree,
 	// in first-create order — the recovery analogue of txFrame.touched.
@@ -320,6 +330,8 @@ func (s *Server) stitch(b event.Behavior, rep *RecoveryReport) {
 
 // applyInform calls the automaton and logs the inform, like informAll but
 // single-threaded (recovery runs before any session exists).
+//
+//sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
 func (s *Server) applyInform(kind event.Kind, t tname.TxID, x tname.ObjID) {
 	if kind == event.InformCommit {
 		s.objs[x].g.InformCommit(t)
@@ -344,6 +356,8 @@ func createdIn(b event.Behavior, t tname.TxID) bool {
 // bumpSessionSeq moves the session counter past every recovered session
 // label ("s<session>.<n>" tops), so resumed sessions never collide with a
 // dead session's transaction names.
+//
+//sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
 func (s *Server) bumpSessionSeq() {
 	max := int64(0)
 	for _, t := range s.tr.Children(tname.Root) {
@@ -358,6 +372,8 @@ func (s *Server) bumpSessionSeq() {
 
 // recoverMetrics rebuilds the counters derivable from the stitched log so
 // verdicts and the final report stay consistent across a restart.
+//
+//sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
 func (s *Server) recoverMetrics() {
 	for _, e := range s.log.events {
 		switch e.Kind {
@@ -381,6 +397,8 @@ func (s *Server) recoverMetrics() {
 // graph synchronously, then (unless skipped) audits it against a batch
 // core.Check: the two must be byte-identical, which is exactly the
 // acceptance bar the live server's Final() enforces.
+//
+//sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
 func (s *Server) primeCertifier(rep *RecoveryReport) error {
 	full := s.log.snapshot()
 	for _, e := range full {

@@ -122,7 +122,7 @@ type sharedObject struct {
 	mu sync.Mutex
 	id tname.ObjID
 	sp spec.Spec
-	g  object.Generic
+	g  object.Generic //sgvet:guardedby mu
 }
 
 // Server is a concurrent nested-transaction server.
@@ -133,8 +133,8 @@ type Server struct {
 	// including reads made inside object automata and the certifier — takes
 	// the read lock) and the objs table.
 	mu   sync.RWMutex
-	tr   *tname.Tree
-	objs []*sharedObject
+	tr   *tname.Tree     //sgvet:guardedby mu
+	objs []*sharedObject //sgvet:guardedby mu
 
 	log     *eventLog
 	cert    *certifier
@@ -144,7 +144,7 @@ type Server struct {
 
 	lis        net.Listener
 	connMu     sync.Mutex
-	conns      map[*session]struct{}
+	conns      map[*session]struct{} //sgvet:guardedby connMu
 	wg         sync.WaitGroup
 	sessionSeq atomic.Int64
 	draining   atomic.Bool
@@ -464,6 +464,8 @@ type Final struct {
 // Final recomputes the whole run offline and cross-checks the online
 // snapshot. Call only after Shutdown has returned (the certifier must be
 // drained and all sessions stopped).
+//
+//sgvet:ignore[lockguard] post-Shutdown: sessions and certifier are quiesced, so the tree is immutable here
 func (s *Server) Final() *Final {
 	b := s.log.snapshot()
 	f := &Final{Events: len(b)}
@@ -498,4 +500,6 @@ func (s *Server) Log() event.Behavior { return s.log.snapshot() }
 // Tree returns the server's system type. It must only be read concurrently
 // with running sessions under external synchronization; tests use it after
 // Shutdown.
+//
+//sgvet:ignore[lockguard] post-Shutdown accessor: callers hold no lock because nothing mutates the tree anymore
 func (s *Server) Tree() *tname.Tree { return s.tr }

@@ -145,6 +145,8 @@ func errResp(reason string) wire.Response {
 
 // appendLog appends events to the server log, keeping the completion-event
 // counters in step, and returns the log index of the first event.
+//
+//sgvet:hotpath
 func (sn *session) appendLog(evs ...event.Event) int {
 	for _, e := range evs {
 		switch e.Kind {
@@ -238,7 +240,7 @@ func (sn *session) handleAccess(q wire.Request) wire.Response {
 	}
 
 	sn.appendLog(event.NewEvent(event.RequestCreate, acc))
-	sn.s.withObj(obj, func() {
+	sn.s.withObj(obj, func() { //sgvet:holds obj.mu, sn.s.mu:r
 		obj.g.Create(acc)
 		sn.appendLog(event.NewEvent(event.Create, acc))
 	})
@@ -254,7 +256,7 @@ func (sn *session) handleAccess(q wire.Request) wire.Response {
 	// parent. Leaf-to-root inform order holds because the session emits a
 	// child's informs before its parent can complete.
 	sn.appendLog(event.NewEvent(event.Commit, acc))
-	sn.s.withObj(obj, func() {
+	sn.s.withObj(obj, func() { //sgvet:holds obj.mu, sn.s.mu:r
 		obj.g.InformCommit(acc)
 		sn.appendLog(event.NewInform(event.InformCommit, acc, obj.id))
 	})
@@ -283,7 +285,7 @@ func (sn *session) waitGrant(obj *sharedObject, acc tname.TxID) (spec.Value, boo
 		}
 	}()
 	for {
-		sn.s.withObj(obj, func() {
+		sn.s.withObj(obj, func() { //sgvet:holds obj.mu, sn.s.mu:r
 			v, ok = obj.g.TryRequestCommit(acc)
 			if ok {
 				sn.appendLog(event.NewValEvent(event.RequestCommit, acc, v))
@@ -413,7 +415,7 @@ func (sn *session) informAll(kind event.Kind, f *txFrame) {
 		sn.s.mu.RLock()
 		obj := sn.s.objs[x]
 		sn.s.mu.RUnlock()
-		sn.s.withObj(obj, func() {
+		sn.s.withObj(obj, func() { //sgvet:holds obj.mu, sn.s.mu:r
 			if kind == event.InformCommit {
 				obj.g.InformCommit(f.id)
 			} else {

@@ -14,7 +14,7 @@ import (
 // the timeout safety net fires.
 type waitTable struct {
 	mu      sync.Mutex
-	waiters map[int64]*waitEntry
+	waiters map[int64]*waitEntry //sgvet:guardedby mu
 }
 
 type waitEntry struct {

@@ -127,8 +127,7 @@ func (d *DirDisk) Create(name string) (SegmentFile, error) {
 		return nil, err
 	}
 	if err := d.syncDir(); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	return f, nil
 }
@@ -173,8 +172,8 @@ func (d *DirDisk) syncDir() error {
 // torn write.
 type MemDisk struct {
 	mu     sync.Mutex
-	segs   map[string]*memSegment
-	frozen bool
+	segs   map[string]*memSegment //sgvet:guardedby mu
+	frozen bool                   //sgvet:guardedby mu
 }
 
 type memSegment struct {
@@ -263,7 +262,7 @@ func (d *MemDisk) SetSegment(name string, data []byte) {
 func (d *MemDisk) Crash(keepTail int) *MemDisk {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := NewMemDisk()
+	out := &MemDisk{segs: make(map[string]*memSegment)}
 	for n, s := range d.segs {
 		keep := s.synced + keepTail
 		if keep > len(s.data) {
@@ -319,13 +318,15 @@ func (f *memFile) Close() error { return nil }
 type walWriter struct {
 	mu      sync.Mutex
 	disk    Disk
-	cur     SegmentFile
-	curName string
-	curSize int
-	nextIdx int
+	cur     SegmentFile //sgvet:guardedby mu
+	curName string      //sgvet:guardedby mu
+	curSize int         //sgvet:guardedby mu
+	nextIdx int         //sgvet:guardedby mu
 	segMax  int
-	scratch []byte
-	err     error // sticky: first write/sync failure
+	scratch []byte //sgvet:guardedby mu
+	// err is sticky: the first write/sync failure, surfaced on every
+	// later call.
+	err error //sgvet:guardedby mu
 }
 
 func newWalWriter(disk Disk, segMax, firstIndex int) (*walWriter, error) {
@@ -339,6 +340,11 @@ func newWalWriter(disk Disk, segMax, firstIndex int) (*walWriter, error) {
 	return w, nil
 }
 
+// rotate seals the current segment and opens the next. appendRecord calls
+// it with w.mu held; newWalWriter calls it on a writer no other goroutine
+// can see yet, which satisfies the same exclusion.
+//
+//sgvet:holds w.mu
 func (w *walWriter) rotate() error {
 	if w.cur != nil {
 		if err := w.cur.Sync(); err != nil {
@@ -356,8 +362,7 @@ func (w *walWriter) rotate() error {
 	hdr := append([]byte(nil), walMagic[:]...)
 	hdr = binary.AppendUvarint(hdr, walVersion)
 	if _, err := f.Write(hdr); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	w.cur, w.curName, w.curSize = f, name, len(hdr)
 	w.nextIdx++
@@ -409,7 +414,7 @@ func (w *walWriter) closeNoSync() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.cur != nil {
-		w.cur.Close()
+		w.cur.Close() //sgvet:ignore[checkederr] crash path: the close error is moot once the tail is deliberately not synced
 		w.cur = nil
 	}
 }

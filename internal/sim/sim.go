@@ -212,9 +212,9 @@ type sim struct {
 	events chan simEvent
 
 	mu      sync.Mutex
-	wakes   map[int64]chan struct{}
-	release chan struct{}
-	stall   *stallState
+	wakes   map[int64]chan struct{} //sgvet:guardedby mu
+	release chan struct{}           //sgvet:guardedby mu
+	stall   *stallState             //sgvet:guardedby mu
 
 	disk  *server.MemDisk
 	srv   *server.Server
@@ -342,7 +342,7 @@ func (s *sim) reader(gen uint64, idx, connID int, c net.Conn) {
 // drive runs the scheduler: one decision per step.
 func (s *sim) drive() error {
 	for step := 0; step < s.cfg.Steps; step++ {
-		if s.stall != nil {
+		if s.stalled() {
 			if s.stallLeft--; s.stallLeft <= 0 {
 				if err := s.unstall(); err != nil {
 					return fmt.Errorf("step %d: %w", step, err)
@@ -373,7 +373,7 @@ func (s *sim) tick() error {
 		return s.wakeOne(parked[s.r.intn(len(parked))])
 	}
 	if len(idle) == 0 {
-		if s.stall != nil {
+		if s.stalled() {
 			return s.unstall()
 		}
 		return fmt.Errorf("no runnable session (phases %v)", s.phases())
@@ -632,6 +632,16 @@ func (s *sim) drop(sl *slot, last wire.Request) error {
 	}
 	delete(s.bySid, sid)
 	return s.connect(sl)
+}
+
+// stalled reports whether a certifier stall is active. Only the driver
+// writes s.stall, but the stalled certifier reads it under mu from its own
+// goroutine (simHooks.CertApply), so the driver's reads take the lock too
+// rather than rely on "single writer" reasoning the analyzer cannot check.
+func (s *sim) stalled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stall != nil
 }
 
 // unstall lifts a certifier stall and pumps until every commit parked on
