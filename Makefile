@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet sgvet lockreport race fuzz-short bench-smoke bench-json bench-gate serve loadtest-smoke sim-soak ci
+.PHONY: all build test vet sgvet lockreport race fuzz-short bench-smoke bench-json bench-gate bench-server bench-server-gate serve loadtest-smoke sim-soak ci
 
 all: build test vet sgvet
 
@@ -54,6 +54,25 @@ bench-gate: bench-json
 	$(GO) run ./cmd/benchdiff -suite BENCH_PR3.json \
 		-match 'E1MossSerialCorrectness|E15' -max-allocs-regress 25 -max-bytes-regress 25
 
+# Refresh the "current" side of BENCH_SERVER.json: the server hot-path
+# micro benchmarks (log append with WAL attached, group-commit ticket
+# protocol) plus a short certified nestedload sweep over clients ×
+# read-ratio × zipf, whose latency percentiles and throughput parse into
+# the suite as first-class columns (p50-us, p99-us, tx/s).
+bench-server:
+	( $(GO) test -run '^$$' -bench 'ServerLogAppend|ServerGroupCommit' -benchmem -count 1 ./internal/server ; \
+	  $(GO) run ./cmd/nestedload -sweep -dur 250ms -objects 8 \
+		-sweep-clients 1,4,8 -sweep-readratios 0.2,0.8 -sweep-zipfs 0,1.5 ) \
+		| $(GO) run ./cmd/benchdiff -write-current BENCH_SERVER.json
+
+# Fail when the server hot-path benchmarks regress against the committed
+# baseline by more than 25% in allocs/op or B/op. Sweep latency and
+# throughput are reported in the diff table but never gated — wall-clock
+# numbers are hardware noise on shared runners.
+bench-server-gate: bench-server
+	$(GO) run ./cmd/benchdiff -suite BENCH_SERVER.json \
+		-match 'ServerLogAppend|ServerGroupCommit' -max-allocs-regress 25 -max-bytes-regress 25
+
 # Run the certified transaction server on the default port. SIGTERM (or
 # ctrl-C) drains it and prints the final online-vs-batch certificate.
 serve:
@@ -73,4 +92,4 @@ sim-soak:
 
 # Everything CI runs, in order (CI runs the sim soak in short mode with
 # -race; sim-soak above is the long local version).
-ci: build vet sgvet race bench-smoke loadtest-smoke bench-gate
+ci: build vet sgvet race bench-smoke loadtest-smoke bench-gate bench-server-gate

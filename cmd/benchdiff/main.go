@@ -33,12 +33,22 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark's measurements.
+// Entry is one benchmark's measurements. Beyond the standard go-test
+// triple, the server sweep (cmd/nestedload -sweep) reports latency
+// percentiles and throughput as custom units, so a load run's tail
+// behavior diffs like any other benchmark column.
 type Entry struct {
 	NsOp     float64 `json:"ns_op"`
-	BOp      float64 `json:"b_op"`
-	AllocsOp float64 `json:"allocs_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+	P50Us    float64 `json:"p50_us,omitempty"`
+	P99Us    float64 `json:"p99_us,omitempty"`
+	TxS      float64 `json:"tx_s,omitempty"`
 }
+
+// hasLatency reports whether the entry carries the sweep's latency and
+// throughput units.
+func (e Entry) hasLatency() bool { return e.P50Us != 0 || e.P99Us != 0 || e.TxS != 0 }
 
 // Suite maps benchmark names (GOMAXPROCS suffix stripped) to measurements.
 type Suite map[string]Entry
@@ -196,6 +206,12 @@ func parseBench(r io.Reader) (Suite, error) {
 				e.BOp = v
 			case "allocs/op":
 				e.AllocsOp = v
+			case "p50-us":
+				e.P50Us = v
+			case "p99-us":
+				e.P99Us = v
+			case "tx/s":
+				e.TxS = v
 			}
 		}
 		s[name] = e
@@ -246,15 +262,36 @@ func diff(stdout, stderr io.Writer, oldS, newS Suite, match string, maxAllocs, m
 		return 2
 	}
 
+	// Latency/throughput columns appear when any compared entry carries
+	// them (the server sweep does; micro benchmarks do not).
+	latency := false
+	for _, name := range names {
+		if oldS[name].hasLatency() || newS[name].hasLatency() {
+			latency = true
+			break
+		}
+	}
+
 	fail := false
 	w := func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) }
-	w("%-55s %14s %14s %14s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	w("%-55s %14s %14s %14s", "benchmark", "ns/op", "B/op", "allocs/op")
+	if latency {
+		w(" %14s %14s %14s", "p50-us", "p99-us", "tx/s")
+	}
+	w("\n")
 	for _, name := range names {
 		o, n := oldS[name], newS[name]
-		w("%-55s %14s %14s %14s\n", strings.TrimPrefix(name, "Benchmark"),
+		w("%-55s %14s %14s %14s", strings.TrimPrefix(name, "Benchmark"),
 			fmt.Sprintf("%+.1f%%", pct(o.NsOp, n.NsOp)),
 			fmt.Sprintf("%+.1f%%", pct(o.BOp, n.BOp)),
 			fmt.Sprintf("%+.1f%%", pct(o.AllocsOp, n.AllocsOp)))
+		if latency {
+			w(" %14s %14s %14s",
+				fmt.Sprintf("%+.1f%%", pct(o.P50Us, n.P50Us)),
+				fmt.Sprintf("%+.1f%%", pct(o.P99Us, n.P99Us)),
+				fmt.Sprintf("%+.1f%%", pct(o.TxS, n.TxS)))
+		}
+		w("\n")
 		if maxAllocs >= 0 && pct(o.AllocsOp, n.AllocsOp) > maxAllocs {
 			fmt.Fprintf(stderr, "benchdiff: %s allocs/op regressed %.1f%% (%.0f -> %.0f), limit %.1f%%\n",
 				name, pct(o.AllocsOp, n.AllocsOp), o.AllocsOp, n.AllocsOp, maxAllocs)

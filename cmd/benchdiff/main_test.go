@@ -147,3 +147,48 @@ func TestParseMode(t *testing.T) {
 		t.Fatalf("want 2 benchmarks, got %d", len(s))
 	}
 }
+
+const sampleSweep = `# ServerSweep/c4/r0.80/z0.0 committed=359 failed=0 elapsed=251ms ok=true
+BenchmarkServerSweep/c4/r0.80/z0.0 359 698000 ns/op 256 p50-us 8192 p99-us 1433.5 tx/s
+BenchmarkServerGroupCommit-8   	12754850	       186.2 ns/op	       0 B/op	       0 allocs/op
+`
+
+func TestParseBenchSweepUnits(t *testing.T) {
+	s, err := parseBench(strings.NewReader(sampleSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s["BenchmarkServerSweep/c4/r0.80/z0.0"]
+	if !ok {
+		t.Fatalf("sweep cell not parsed; got %v", s)
+	}
+	if e.NsOp != 698000 || e.P50Us != 256 || e.P99Us != 8192 || e.TxS != 1433.5 {
+		t.Fatalf("sweep units parsed wrong: %+v", e)
+	}
+	if g := s["BenchmarkServerGroupCommit"]; g.AllocsOp != 0 || g.NsOp != 186.2 {
+		t.Fatalf("micro benchmark parsed wrong: %+v", g)
+	}
+}
+
+func TestDiffLatencyColumns(t *testing.T) {
+	oldS := Suite{"BenchmarkServerSweep/c4": {NsOp: 100, P50Us: 200, P99Us: 800, TxS: 1000}}
+	newS := Suite{"BenchmarkServerSweep/c4": {NsOp: 100, P50Us: 100, P99Us: 1600, TxS: 2000}}
+	var out, errb bytes.Buffer
+	if code := diff(&out, &errb, oldS, newS, "", -1, -1); code != 0 {
+		t.Fatalf("latency-only diff failed: code %d, stderr %s", code, errb.String())
+	}
+	for _, want := range []string{"p50-us", "p99-us", "tx/s", "-50.0%", "+100.0%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("diff table missing %q:\n%s", want, out.String())
+		}
+	}
+	// Micro-benchmark-only comparisons keep the classic 4-column table.
+	micro := Suite{"BenchmarkX": {NsOp: 100, BOp: 10, AllocsOp: 1}}
+	out.Reset()
+	if code := diff(&out, &errb, micro, micro, "", -1, -1); code != 0 {
+		t.Fatalf("micro diff failed: code %d", code)
+	}
+	if strings.Contains(out.String(), "p50-us") {
+		t.Fatalf("latency columns leaked into a micro-only table:\n%s", out.String())
+	}
+}

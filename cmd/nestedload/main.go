@@ -10,6 +10,13 @@
 //	nestedload -addr 127.0.0.1:7474 -workers 16 -sessions 25
 //	nestedload -selfserve -workers 4 -dur 1s       # in-process server
 //	nestedload -selfserve -workers 4 -bench        # go test -bench format
+//	nestedload -sweep -dur 250ms                   # clients × read-ratio × zipf grid
+//
+// The sweep runs every combination of -sweep-clients, -sweep-readratios
+// and -sweep-zipfs against a fresh in-process server and emits one
+// `go test -bench` style line per cell with latency percentiles and
+// throughput as custom units (p50-us, p99-us, tx/s), so cmd/benchdiff can
+// track tail latency and throughput as first-class columns.
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,65 +107,53 @@ func opFor(specName string, rng *rand.Rand, readRatio float64) (spec.OpKind, spe
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("nestedload", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		addr      = fs.String("addr", "", "server address (empty with -selfserve)")
-		selfserve = fs.Bool("selfserve", false, "start an in-process server on a loopback port")
-		workers   = fs.Int("workers", 4, "concurrent client connections")
-		sessions  = fs.Int("sessions", 25, "transactions per worker (ignored with -dur)")
-		dur       = fs.Duration("dur", 0, "run for this long instead of a fixed transaction count")
-		accesses  = fs.Int("accesses", 4, "accesses per transaction")
-		childProb = fs.Float64("childprob", 0.25, "probability an access runs inside a subtransaction")
-		readRatio = fs.Float64("readratio", 0.5, "fraction of read-class operations")
-		zipfS     = fs.Float64("zipf", 0, "zipf skew parameter s (>1 enables skewed object choice)")
-		numObj    = fs.Int("objects", 4, "number of shared objects (x0..x{n-1})")
-		specName  = fs.String("spec", "register", "object type")
-		protoName = fs.String("protocol", "moss", "selfserve: concurrency control protocol")
-		seed      = fs.Int64("seed", 1, "per-worker RNG seed base")
-		retries   = fs.Int("retries", 8, "max attempts per transaction (bounded exponential backoff)")
-		bench     = fs.Bool("bench", false, "also print a go test -bench style summary line")
-	)
-	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-	if *workers < 1 || *accesses < 1 || *numObj < 1 {
-		fmt.Fprintln(stderr, "nestedload: -workers, -accesses and -objects must be positive")
-		return 2
-	}
-	if spec.ByName(*specName) == nil {
-		fmt.Fprintf(stderr, "nestedload: unknown spec %q\n", *specName)
-		return 2
-	}
+// loadConfig is one load run's parameters. A non-nil proto means selfserve:
+// execute starts (and drains) an in-process server.
+type loadConfig struct {
+	target    string
+	proto     object.Protocol
+	workers   int
+	sessions  int
+	dur       time.Duration
+	accesses  int
+	childProb float64
+	readRatio float64
+	zipfS     float64
+	objects   []string
+	specName  string
+	seed      int64
+	retries   int
+}
 
-	objects := make([]string, *numObj)
-	for i := range objects {
-		objects[i] = fmt.Sprintf("x%d", i)
-	}
+// loadResult is what one load run measured, plus the certification verdict
+// the run ended with.
+type loadResult struct {
+	committed int64
+	failed    int64
+	elapsed   time.Duration
+	lat       *server.Histogram
+	ok        bool
+	summary   string // final certificate (selfserve) or remote verdict line
+}
 
+// execute runs one closed loop load against the configured server and
+// returns the measurements; worker transport errors go to stderr. The
+// second return is nonzero on setup failure.
+func execute(cfg loadConfig, stderr io.Writer) (*loadResult, int) {
 	var srv *server.Server
-	target := *addr
-	if *selfserve {
-		proto := protocolByName(*protoName)
-		if proto == nil {
-			fmt.Fprintf(stderr, "nestedload: unknown protocol %q\n", *protoName)
-			return 2
-		}
+	target := cfg.target
+	if cfg.proto != nil {
 		var err error
 		srv, err = server.Listen("127.0.0.1:0", server.Options{
-			Protocol:    proto,
-			DefaultSpec: spec.ByName(*specName),
-			Objects:     objects,
+			Protocol:    cfg.proto,
+			DefaultSpec: spec.ByName(cfg.specName),
+			Objects:     cfg.objects,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "nestedload:", err)
-			return 2
+			return nil, 2
 		}
 		target = srv.Addr().String()
-	} else if target == "" {
-		fmt.Fprintln(stderr, "nestedload: -addr is required without -selfserve")
-		return 2
 	}
 
 	var (
@@ -167,24 +164,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	start := time.Now()
 	deadline := time.Time{}
-	if *dur > 0 {
-		deadline = start.Add(*dur)
+	if cfg.dur > 0 {
+		deadline = start.Add(cfg.dur)
 	}
-	errCh := make(chan error, *workers)
-	for w := 0; w < *workers; w++ {
+	errCh := make(chan error, cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
 			var zipf *rand.Zipf
-			if *zipfS > 1 {
-				zipf = rand.NewZipf(rng, *zipfS, 1, uint64(*numObj-1))
+			if cfg.zipfS > 1 {
+				zipf = rand.NewZipf(rng, cfg.zipfS, 1, uint64(len(cfg.objects)-1))
 			}
 			pick := func() string {
 				if zipf != nil {
-					return objects[zipf.Uint64()]
+					return cfg.objects[zipf.Uint64()]
 				}
-				return objects[rng.Intn(*numObj)]
+				return cfg.objects[rng.Intn(len(cfg.objects))]
 			}
 			c, err := client.Dial(target)
 			if err != nil {
@@ -193,10 +190,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			defer c.Close()
 			body := func(tx *client.Tx) error {
-				for a := 0; a < *accesses; a++ {
-					op, arg := opFor(*specName, rng, *readRatio)
+				for a := 0; a < cfg.accesses; a++ {
+					op, arg := opFor(cfg.specName, rng, cfg.readRatio)
 					obj := pick()
-					if rng.Float64() < *childProb {
+					if rng.Float64() < cfg.childProb {
 						if _, err := tx.Child(); err != nil {
 							return err
 						}
@@ -212,9 +209,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 				return nil
 			}
-			for i := 0; deadline.IsZero() && i < *sessions || !deadline.IsZero() && time.Now().Before(deadline); i++ {
+			for i := 0; deadline.IsZero() && i < cfg.sessions || !deadline.IsZero() && time.Now().Before(deadline); i++ {
 				t0 := time.Now()
-				if err := c.RunTx(*retries, body); err != nil {
+				if err := c.RunTx(cfg.retries, body); err != nil {
 					failed.Add(1)
 					if !errors.Is(err, client.ErrTxAborted) {
 						errCh <- err
@@ -234,14 +231,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "nestedload: worker:", err)
 	}
 
-	done := committed.Load()
-	tput := float64(done) / elapsed.Seconds()
-	fmt.Fprintf(stdout, "workers=%d committed=%d failed=%d elapsed=%s throughput=%.1f tx/s\n",
-		*workers, done, failed.Load(), elapsed.Round(time.Millisecond), tput)
-	fmt.Fprintf(stdout, "latency: mean=%s p50=%s p99=%s\n",
-		lat.Mean().Round(time.Microsecond), lat.Quantile(0.50), lat.Quantile(0.99))
-
-	ok := true
+	res := &loadResult{
+		committed: committed.Load(),
+		failed:    failed.Load(),
+		elapsed:   elapsed,
+		lat:       &lat,
+	}
 	if srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -249,8 +244,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "nestedload: drain:", err)
 		}
 		f := srv.Final()
-		fmt.Fprint(stdout, f.Summary)
-		ok = f.Batch.OK && f.Match
+		res.summary = f.Summary
+		res.ok = f.Batch.OK && f.Match
 	} else {
 		// Remote server: read its live verdict over the wire.
 		c, err := client.Dial(target)
@@ -262,25 +257,198 @@ func run(args []string, stdout, stderr io.Writer) int {
 				if v.Commits+v.Aborts > 0 {
 					rate = float64(v.Aborts) / float64(v.Commits+v.Aborts)
 				}
-				fmt.Fprintf(stdout,
+				res.summary = fmt.Sprintf(
 					"server verdict: events=%d certified=%d acyclic=%v sg=%d/%d/%d (parents/nodes/edges) commits=%d aborts=%d abort-rate=%.3f\n",
 					v.Events, v.Certified, v.Acyclic, v.Parents, v.Nodes, v.Edges, v.Commits, v.Aborts, rate)
-				ok = v.Acyclic
+				res.ok = v.Acyclic
 			} else {
 				fmt.Fprintln(stderr, "nestedload: verdict:", verr)
-				ok = false
+				res.ok = false
 			}
 		}
 	}
+	return res, 0
+}
 
-	if *bench && done > 0 {
+// tput is committed transactions per wall second.
+func (r *loadResult) tput() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.committed) / r.elapsed.Seconds()
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nestedload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "", "server address (empty with -selfserve)")
+		selfserve = fs.Bool("selfserve", false, "start an in-process server on a loopback port")
+		workers   = fs.Int("workers", 4, "concurrent client connections")
+		sessions  = fs.Int("sessions", 25, "transactions per worker (ignored with -dur)")
+		dur       = fs.Duration("dur", 0, "run for this long instead of a fixed transaction count")
+		accesses  = fs.Int("accesses", 4, "accesses per transaction")
+		childProb = fs.Float64("childprob", 0.25, "probability an access runs inside a subtransaction")
+		readRatio = fs.Float64("readratio", 0.5, "fraction of read-class operations")
+		zipfS     = fs.Float64("zipf", 0, "zipf skew parameter s (>1 enables skewed object choice)")
+		numObj    = fs.Int("objects", 4, "number of shared objects (x0..x{n-1})")
+		specName  = fs.String("spec", "register", "object type")
+		protoName = fs.String("protocol", "moss", "selfserve: concurrency control protocol")
+		seed      = fs.Int64("seed", 1, "per-worker RNG seed base")
+		retries   = fs.Int("retries", 8, "max attempts per transaction (bounded exponential backoff)")
+		bench     = fs.Bool("bench", false, "also print a go test -bench style summary line")
+
+		sweep       = fs.Bool("sweep", false, "run a clients × read-ratio × zipf grid on in-process servers, one bench line per cell")
+		sweepCli    = fs.String("sweep-clients", "1,4,8,16", "sweep: comma-separated worker counts")
+		sweepRatios = fs.String("sweep-readratios", "0.2,0.8", "sweep: comma-separated read ratios")
+		sweepZipfs  = fs.String("sweep-zipfs", "0,1.5", "sweep: comma-separated zipf skews (0 = uniform)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 || *accesses < 1 || *numObj < 1 {
+		fmt.Fprintln(stderr, "nestedload: -workers, -accesses and -objects must be positive")
+		return 2
+	}
+	if spec.ByName(*specName) == nil {
+		fmt.Fprintf(stderr, "nestedload: unknown spec %q\n", *specName)
+		return 2
+	}
+	proto := protocolByName(*protoName)
+	if proto == nil {
+		fmt.Fprintf(stderr, "nestedload: unknown protocol %q\n", *protoName)
+		return 2
+	}
+
+	objects := make([]string, *numObj)
+	for i := range objects {
+		objects[i] = fmt.Sprintf("x%d", i)
+	}
+
+	base := loadConfig{
+		workers:   *workers,
+		sessions:  *sessions,
+		dur:       *dur,
+		accesses:  *accesses,
+		childProb: *childProb,
+		readRatio: *readRatio,
+		zipfS:     *zipfS,
+		objects:   objects,
+		specName:  *specName,
+		seed:      *seed,
+		retries:   *retries,
+	}
+
+	if *sweep {
+		return runSweep(base, proto, *sweepCli, *sweepRatios, *sweepZipfs, stdout, stderr)
+	}
+
+	if *selfserve {
+		base.proto = proto
+	} else if *addr == "" {
+		fmt.Fprintln(stderr, "nestedload: -addr is required without -selfserve")
+		return 2
+	} else {
+		base.target = *addr
+	}
+
+	res, rc := execute(base, stderr)
+	if rc != 0 {
+		return rc
+	}
+	tput := res.tput()
+	fmt.Fprintf(stdout, "workers=%d committed=%d failed=%d elapsed=%s throughput=%.1f tx/s\n",
+		base.workers, res.committed, res.failed, res.elapsed.Round(time.Millisecond), tput)
+	fmt.Fprintf(stdout, "latency: mean=%s p50=%s p99=%s\n",
+		res.lat.Mean().Round(time.Microsecond), res.lat.Quantile(0.50), res.lat.Quantile(0.99))
+	fmt.Fprint(stdout, res.summary)
+
+	if *bench && res.committed > 0 {
 		// One line per run in `go test -bench` text format so cmd/benchdiff
 		// can diff load runs; reported only, never gated.
 		fmt.Fprintf(stdout, "BenchmarkNestedload/c%d %d %d ns/op\n",
-			*workers, done, elapsed.Nanoseconds()/done)
+			base.workers, res.committed, res.elapsed.Nanoseconds()/res.committed)
 	}
-	if !ok || (done == 0 && failed.Load() > 0) {
+	if !res.ok || (res.committed == 0 && res.failed > 0) {
 		return 1
 	}
 	return 0
+}
+
+// runSweep executes the clients × read-ratio × zipf grid, each cell a
+// fresh in-process server, and emits one benchmark line per cell whose
+// custom units (p50-us, p99-us, tx/s) cmd/benchdiff parses into BENCH
+// columns. Every cell must end with a clean certificate; any verdict
+// failure fails the sweep.
+func runSweep(base loadConfig, proto object.Protocol, cliList, ratioList, zipfList string, stdout, stderr io.Writer) int {
+	clients, err := parseInts(cliList)
+	if err != nil {
+		fmt.Fprintln(stderr, "nestedload: -sweep-clients:", err)
+		return 2
+	}
+	ratios, err := parseFloats(ratioList)
+	if err != nil {
+		fmt.Fprintln(stderr, "nestedload: -sweep-readratios:", err)
+		return 2
+	}
+	zipfs, err := parseFloats(zipfList)
+	if err != nil {
+		fmt.Fprintln(stderr, "nestedload: -sweep-zipfs:", err)
+		return 2
+	}
+
+	rc := 0
+	for _, c := range clients {
+		for _, r := range ratios {
+			for _, z := range zipfs {
+				cfg := base
+				cfg.proto = proto
+				cfg.workers = c
+				cfg.readRatio = r
+				cfg.zipfS = z
+				res, erc := execute(cfg, stderr)
+				if erc != 0 {
+					return erc
+				}
+				name := fmt.Sprintf("BenchmarkServerSweep/c%d/r%.2f/z%.1f", c, r, z)
+				fmt.Fprintf(stderr, "# %s committed=%d failed=%d elapsed=%s ok=%v\n",
+					strings.TrimPrefix(name, "Benchmark"), res.committed, res.failed,
+					res.elapsed.Round(time.Millisecond), res.ok)
+				if res.committed > 0 {
+					fmt.Fprintf(stdout, "%s %d %d ns/op %d p50-us %d p99-us %.1f tx/s\n",
+						name, res.committed, res.elapsed.Nanoseconds()/res.committed,
+						res.lat.Quantile(0.50).Microseconds(), res.lat.Quantile(0.99).Microseconds(),
+						res.tput())
+				}
+				if !res.ok || (res.committed == 0 && res.failed > 0) {
+					rc = 1
+				}
+			}
+		}
+	}
+	return rc
 }

@@ -69,3 +69,26 @@ func TestLoadBadFlags(t *testing.T) {
 		t.Fatalf("bad spec: exit %d, want 2", code)
 	}
 }
+
+var sweepLine = regexp.MustCompile(`(?m)^BenchmarkServerSweep/c2/r0\.50/z0\.0 \d+ \d+ ns/op \d+ p50-us \d+ p99-us \d+(\.\d+)? tx/s$`)
+
+func TestSweepBenchLines(t *testing.T) {
+	code, out, errs := runLoad(t,
+		"-sweep", "-sweep-clients", "2", "-sweep-readratios", "0.5", "-sweep-zipfs", "0",
+		"-sessions", "3", "-seed", "11")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	if !sweepLine.MatchString(out) {
+		t.Fatalf("no sweep bench line in:\n%s", out)
+	}
+	if !strings.Contains(errs, "ok=true") {
+		t.Fatalf("sweep cell did not report a clean certificate:\n%s", errs)
+	}
+}
+
+func TestSweepBadLists(t *testing.T) {
+	if code, _, errs := runLoad(t, "-sweep", "-sweep-clients", "2,x"); code != 2 || !strings.Contains(errs, "-sweep-clients") {
+		t.Fatalf("bad client list: exit %d, stderr %q", code, errs)
+	}
+}

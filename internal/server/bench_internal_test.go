@@ -1,0 +1,52 @@
+package server
+
+import (
+	"testing"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/tname"
+)
+
+// BenchmarkServerLogAppend measures the eventLog append path with a WAL
+// attached — the hot path of every request the server logs. The pooled
+// wal-encode buffer and the writer's scratch buffer must keep it
+// steady-state allocation-free (the hotalloc analyzer gates the escape
+// analysis; this benchmark gates the observed allocs/op).
+func BenchmarkServerLogAppend(b *testing.B) {
+	w, err := newWalWriter(NewMemDisk(), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := newEventLog()
+	l.wal = w
+	evs := []event.Event{
+		event.NewEvent(event.RequestCreate, tname.TxID(2)),
+		event.NewEvent(event.Create, tname.TxID(2)),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.append(evs...)
+	}
+}
+
+// BenchmarkServerGroupCommit measures the group committer under maximal
+// contention: every iteration is one committer's sync request, and the
+// parallel committers coalesce onto shared fsync generations. The ticket
+// protocol itself must not allocate.
+func BenchmarkServerGroupCommit(b *testing.B) {
+	w, err := newWalWriter(NewMemDisk(), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := newGroupCommitter(w, newMetrics())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := g.sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

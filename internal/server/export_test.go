@@ -1,0 +1,12 @@
+package server
+
+// GroupArrived reports how many committers have entered the group
+// committer since boot. Test-only observability: the group-commit tests
+// gate the leader's fsync and need to know when the whole cohort has
+// arrived before releasing it, so the coalescing assertion is
+// deterministic instead of timing-dependent.
+func (s *Server) GroupArrived() uint64 {
+	s.group.mu.Lock()
+	defer s.group.mu.Unlock()
+	return s.group.arrived
+}

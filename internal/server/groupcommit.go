@@ -1,0 +1,74 @@
+package server
+
+import "sync"
+
+// groupCommitter coalesces WAL fsyncs across concurrent top-level
+// completions. Committers enqueue a sync request and park on a shared
+// generation ticket: the first request with no fsync in flight becomes the
+// generation's leader, issues one walWriter.sync for everyone arrived so
+// far, and releases the whole cohort. Requests that arrive while a sync is
+// already in flight may have appended records the in-flight fsync does not
+// cover, so they wait for the NEXT generation (completed+2) — the classic
+// group-commit two-ticket rule.
+//
+// The protocol never holds g.mu across the fsync itself, so arrivals keep
+// queueing (and growing the next cohort) while the disk works; and it
+// acquires no other lock while holding g.mu, so it adds no edge to the
+// lock-order graph.
+type groupCommitter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	w    *walWriter
+	m    *Metrics
+
+	syncing   bool   //sgvet:guardedby mu
+	completed uint64 //sgvet:guardedby mu
+	arrived   uint64 //sgvet:guardedby mu
+	served    uint64 //sgvet:guardedby mu
+}
+
+func newGroupCommitter(w *walWriter, m *Metrics) *groupCommitter {
+	g := &groupCommitter{w: w, m: m}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// sync makes every record the caller has already appended durable,
+// coalescing with concurrent callers: one fsync per generation serves the
+// whole cohort. The caller's records are in the writer before it gets
+// here (appends happen under the log/tree locks, strictly before the
+// durability point), so any fsync that STARTS after arrival covers them.
+func (g *groupCommitter) sync() error {
+	g.m.WALSyncRequests.Add(1)
+	g.mu.Lock()
+	g.arrived++
+	// Generation ticket: completed+1 if no fsync is in flight; completed+2
+	// if one is, because the running fsync may have hit the disk before
+	// this caller's records were written.
+	need := g.completed + 1
+	if g.syncing {
+		need = g.completed + 2
+	}
+	for g.completed < need {
+		if g.syncing {
+			g.cond.Wait()
+			continue
+		}
+		// Leader: one fsync for everyone arrived so far. The result is
+		// sticky in the writer, so the cohort reads it below rather than
+		// having the leader thread it through.
+		g.syncing = true
+		cohort := g.arrived - g.served
+		g.mu.Unlock()
+		g.w.sync()
+		g.mu.Lock()
+		g.syncing = false
+		g.served += cohort
+		g.completed++
+		g.m.WALSyncs.Add(1)
+		g.m.GroupSize.ObserveVal(int64(cohort))
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+	return g.w.stickyErr()
+}

@@ -19,6 +19,14 @@ type Hooks interface {
 	// the incremental graph; a harness can block here to simulate a
 	// stalled certifier. It must not be called with server locks held.
 	CertApply(index int)
+	// CertBatch is called after CertApply, before the certifier applies a
+	// run of up to max events starting at log event index; it returns how
+	// many the certifier may apply under one tree read-lock acquisition
+	// (the loop clamps the answer to [1, max]). A harness returns the
+	// distance to its next stall point so batching never silently crosses
+	// an installed stall; the real implementation returns max. Unlike
+	// CertApply it must not block.
+	CertBatch(index, max int) int
 	// CommitWait is called after a COMMIT's events are logged, just
 	// before the session blocks on the certification watermark for log
 	// sequence seq. Notification only; it must not block on the harness.
@@ -27,6 +35,11 @@ type Hooks interface {
 	// finished: all of its events (including any disconnect abort) are in
 	// the log and no further activity will come from it.
 	SessionDone(sess int64)
+	// DrainWait replaces the real-time waits of the server's maintenance
+	// loops — Shutdown's drain poll and the accept loop's retry backoff —
+	// so a seeded harness can advance a virtual clock instead of
+	// sleeping.
+	DrainWait(d time.Duration)
 }
 
 // realHooks is the production implementation: real clock, real sleeps, no
@@ -36,5 +49,7 @@ type realHooks struct{}
 func (realHooks) Now() time.Time                    { return time.Now() }
 func (realHooks) LockWait(_ int64, d time.Duration) { time.Sleep(d) }
 func (realHooks) CertApply(int)                     {}
+func (realHooks) CertBatch(_, max int) int          { return max }
 func (realHooks) CommitWait(int64, int)             {}
 func (realHooks) SessionDone(int64)                 {}
+func (realHooks) DrainWait(d time.Duration)         { time.Sleep(d) }

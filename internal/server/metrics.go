@@ -34,6 +34,50 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumNs.Add(int64(d))
 }
 
+// ObserveVal records one dimensionless sample (e.g. a commit-group size)
+// in the same power-of-two buckets; read it back with QuantileVal/MeanVal.
+//
+//sgvet:hotpath
+func (h *Histogram) ObserveVal(v int64) {
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(v)
+}
+
+// QuantileVal is Quantile for dimensionless samples: the upper bound of
+// the bucket containing the q-quantile, 0 with no samples.
+func (h *Histogram) QuantileVal(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return int64(1) << uint(i)
+		}
+	}
+	return int64(1) << uint(histBuckets-1)
+}
+
+// MeanVal returns the exact mean of dimensionless samples.
+func (h *Histogram) MeanVal() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumNs.Load()) / float64(n)
+}
+
 // Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of the
 // bucket containing it. Returns 0 with no samples.
 func (h *Histogram) Quantile(q float64) time.Duration {
@@ -95,6 +139,17 @@ type Metrics struct {
 	CommitEvents atomic.Int64
 	AbortEvents  atomic.Int64
 
+	// Group-commit counters: sync requests enqueued by completing
+	// sessions, fsyncs actually issued (WALSyncs ≤ WALSyncRequests; the
+	// gap is the coalescing win), and the cohort-size distribution.
+	WALSyncRequests atomic.Int64
+	WALSyncs        atomic.Int64
+	GroupSize       Histogram
+
+	// AcceptRetries counts transient listener Accept failures that were
+	// retried with backoff instead of killing the accept loop.
+	AcceptRetries atomic.Int64
+
 	// Latency histograms: all requests, and commit requests (which include
 	// the wait for the certifier watermark).
 	ReqLatency    Histogram
@@ -148,6 +203,15 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		"req_p99_us":      s.metrics.ReqLatency.Quantile(0.99).Microseconds(),
 		"commit_p50_us":   s.metrics.CommitLatency.Quantile(0.50).Microseconds(),
 		"commit_p99_us":   s.metrics.CommitLatency.Quantile(0.99).Microseconds(),
+		"wal_sync_requests": m.WALSyncRequests.Load(),
+		"wal_syncs":         m.WALSyncs.Load(),
+		"accept_retries":    m.AcceptRetries.Load(),
+		"group_size_p50":    m.GroupSize.QuantileVal(0.50),
+		"group_size_p99":    m.GroupSize.QuantileVal(0.99),
+		"group_size_mean":   m.GroupSize.MeanVal(),
+	}
+	if req := m.WALSyncRequests.Load(); req > 0 {
+		snap["wal_syncs_per_request"] = float64(m.WALSyncs.Load()) / float64(req)
 	}
 	if elapsed > 0 {
 		snap["accesses_per_second"] = float64(m.Accesses.Load()) / elapsed

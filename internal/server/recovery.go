@@ -128,6 +128,7 @@ func Recover(opts Options) (s *Server, rep *RecoveryReport, err error) {
 	}
 	s.wal = w
 	s.log.wal = w
+	s.group = newGroupCommitter(w, s.metrics)
 
 	s.stitch(b, rep)
 	for _, label := range s.opts.Objects {
@@ -161,6 +162,7 @@ func (s *Server) finishFresh(scan *walScan, rep *RecoveryReport) (*Server, *Reco
 	}
 	s.wal = w
 	s.log.wal = w
+	s.group = newGroupCommitter(w, s.metrics)
 	s.log.append(event.NewEvent(event.Create, tname.Root))
 	for _, label := range s.opts.Objects {
 		if _, oerr := s.resolveObject(label); oerr != nil {

@@ -140,7 +140,8 @@ type Server struct {
 	cert    *certifier
 	metrics *Metrics
 	waits   *waitTable
-	wal     *walWriter // nil without durability
+	wal     *walWriter      // nil without durability
+	group   *groupCommitter // fsync coalescer over wal; nil without durability
 
 	lis        net.Listener
 	connMu     sync.Mutex
@@ -206,10 +207,17 @@ func (s *Server) Start(addr string) error {
 	if err != nil {
 		return err
 	}
+	s.Serve(lis)
+	return nil
+}
+
+// Serve starts accepting connections from lis, which the server takes
+// ownership of (Shutdown closes it). Start wraps it for TCP; tests inject
+// fake listeners here to exercise the accept loop's error handling.
+func (s *Server) Serve(lis net.Listener) {
 	s.lis = lis
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return nil
 }
 
 // Addr returns the listener address.
@@ -221,14 +229,34 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// acceptRetryMax caps the accept loop's exponential retry backoff.
+const acceptRetryMax = 100 * time.Millisecond
+
+// acceptLoop accepts connections until the listener reports net.ErrClosed
+// (Shutdown closed it). Any other Accept error is treated as transient —
+// EMFILE under fd pressure, ECONNABORTED from a half-open handshake — and
+// retried with capped exponential backoff: exiting on those would leave a
+// live, certifying server that silently accepts nothing forever.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		c, err := s.lis.Accept()
 		if err != nil {
-			// Listener closed (shutdown) or fatal accept error.
-			return
+			if errors.Is(err, net.ErrClosed) || s.draining.Load() {
+				return
+			}
+			s.metrics.AcceptRetries.Add(1)
+			s.logf("accept: %v (retrying)", err)
+			if backoff == 0 {
+				backoff = time.Millisecond
+			} else if backoff *= 2; backoff > acceptRetryMax {
+				backoff = acceptRetryMax
+			}
+			s.opts.Hooks.DrainWait(backoff)
+			continue
 		}
+		backoff = 0
 		s.ServeConn(c)
 	}
 }
@@ -311,14 +339,16 @@ func (s *Server) internTx(parent tname.TxID, label string, obj tname.ObjID, op s
 }
 
 // walSync makes the log durable through the present; sessions call it at
-// top-level completion points. The first failure is sticky in the writer
-// (also surfaced by WALError) and returned here, so the commit path can
-// refuse to ack a completion the WAL never persisted.
+// top-level completion points. It routes through the group committer, so
+// concurrent completions coalesce onto one fsync per generation. The first
+// failure is sticky in the writer (also surfaced by WALError) and returned
+// here, so the commit path can refuse to ack a completion the WAL never
+// persisted.
 func (s *Server) walSync() error {
-	if s.wal == nil {
+	if s.group == nil {
 		return nil
 	}
-	return s.wal.sync()
+	return s.group.sync()
 }
 
 // WALError reports the first durability failure, if any.
@@ -326,9 +356,7 @@ func (s *Server) WALError() error {
 	if s.wal == nil {
 		return nil
 	}
-	s.wal.mu.Lock()
-	defer s.wal.mu.Unlock()
-	return s.wal.err
+	return s.wal.stickyErr()
 }
 
 // LogLen reports the current event-log length.
@@ -394,8 +422,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			if n == 0 {
 				break
 			}
-			select {
-			case <-ctx.Done():
+			if ctx.Err() != nil {
 				s.killed.Store(true)
 				s.connMu.Lock()
 				for sn := range s.conns {
@@ -403,10 +430,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				}
 				s.connMu.Unlock()
 				err = ctx.Err()
-			case <-time.After(2 * time.Millisecond):
-				continue
+				break
 			}
-			break
+			// The poll cadence goes through Hooks so a seeded harness can
+			// drain on its virtual clock instead of real time.
+			s.opts.Hooks.DrainWait(2 * time.Millisecond)
 		}
 		s.wg.Wait()
 		s.log.close()

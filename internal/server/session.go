@@ -95,10 +95,17 @@ func (sn *session) serve() {
 		}
 		sn.s.metrics.Requests.Add(1)
 		sn.s.metrics.ReqLatency.Observe(time.Since(start))
-		if q.Cmd == wire.CmdCommit && resp.Status == wire.StatusOK {
+		if perr == nil && q.Cmd == wire.CmdCommit && resp.Status == wire.StatusOK {
 			sn.s.metrics.CommitLatency.Observe(time.Since(start))
 		}
-		sn.out = wire.AppendResponse(sn.out[:0], q.Cmd, resp)
+		cmd := q.Cmd
+		if perr != nil {
+			// q is the zero Request after a parse error; answer under the
+			// explicit invalid command instead of echoing whatever the
+			// zero value happens to decode as.
+			cmd = wire.CmdInvalid
+		}
+		sn.out = wire.AppendResponse(sn.out[:0], cmd, resp)
 		if err := wire.WriteFrame(sn.w, sn.out); err != nil {
 			break
 		}

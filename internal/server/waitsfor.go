@@ -59,11 +59,15 @@ func (w *waitTable) entries() []*waitEntry {
 //
 // It snapshots the wait table, asks each waited-on object for the blockers
 // of the waiting access, lifts every edge to the top-level transactions
-// (waiter-top → blocker-top), and searches for a cycle through myTop among
-// transactions that are themselves waiting. The victim is the cycle member
-// with the largest TxID — the youngest transaction, which has done the least
-// work — so every session in the cycle computes the same victim and exactly
-// one aborts.
+// (waiter-top → blocker-top), and checks whether myTop lies on a cycle. The
+// victim is computed over the full strongly connected component containing
+// myTop — not over one DFS-discovered cycle: with overlapping cycles
+// (T1⇄T2 and T2⇄T3 sharing T2) a per-cycle victim lets several sessions
+// self-select at once, each the maximum of its own cycle, aborting more
+// transactions in one round than breaking the knot requires. Every session
+// in the SCC computes the same node set, so exactly one — the youngest
+// member, largest TxID, which has done the least work — aborts; survivors
+// re-run detection if a residual cycle remains after its locks release.
 func (s *Server) deadlockVictim(myTop tname.TxID) bool {
 	entries := s.waits.entries()
 	if len(entries) < 2 {
@@ -106,12 +110,15 @@ func (s *Server) deadlockVictim(myTop tname.TxID) bool {
 		edges[t] = dst
 	}
 
-	cycle := findCycleThrough(myTop, edges)
-	if cycle == nil {
+	scc := sccThrough(myTop, edges)
+	if len(scc) < 2 {
+		// myTop's SCC is trivial: it waits into other transactions but no
+		// wait chain leads back, so it is not on any cycle. (Self-edges
+		// cannot occur: bt != e.top filtered them above.)
 		return false
 	}
-	victim := cycle[0]
-	for _, t := range cycle[1:] {
+	victim := scc[0]
+	for _, t := range scc[1:] {
 		if t > victim {
 			victim = t
 		}
@@ -119,28 +126,42 @@ func (s *Server) deadlockVictim(myTop tname.TxID) bool {
 	return victim == myTop
 }
 
-// findCycleThrough runs a DFS from start and returns the node set of a path
-// leading back to start, or nil.
-func findCycleThrough(start tname.TxID, edges map[tname.TxID][]tname.TxID) []tname.TxID {
-	visited := make(map[tname.TxID]bool)
-	var path []tname.TxID
-	var dfs func(t tname.TxID) bool
-	dfs = func(t tname.TxID) bool {
-		path = append(path, t)
-		visited[t] = true
-		for _, next := range edges[t] {
-			if next == start {
-				return true
-			}
-			if !visited[next] && dfs(next) {
-				return true
+// sccThrough returns the strongly connected component containing start:
+// the nodes reachable from start that also reach it. The component always
+// contains start itself; any second member certifies a cycle through
+// start, and the set is the union of every such cycle's nodes.
+func sccThrough(start tname.TxID, edges map[tname.TxID][]tname.TxID) []tname.TxID {
+	fwd := reachable(start, edges)
+	rev := make(map[tname.TxID][]tname.TxID, len(edges))
+	for u, vs := range edges {
+		for _, v := range vs {
+			rev[v] = append(rev[v], u)
+		}
+	}
+	bwd := reachable(start, rev)
+	var scc []tname.TxID
+	for t := range fwd {
+		if bwd[t] {
+			scc = append(scc, t)
+		}
+	}
+	return scc
+}
+
+// reachable returns the set of nodes reachable from start (including
+// start) by following edges.
+func reachable(start tname.TxID, edges map[tname.TxID][]tname.TxID) map[tname.TxID]bool {
+	seen := map[tname.TxID]bool{start: true}
+	stack := []tname.TxID{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range edges[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
 			}
 		}
-		path = path[:len(path)-1]
-		return false
 	}
-	if dfs(start) {
-		return path
-	}
-	return nil
+	return seen
 }

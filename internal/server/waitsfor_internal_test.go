@@ -1,0 +1,117 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nestedsg/internal/client"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// TestOverlappingCyclesSingleVictim builds two waits-for cycles sharing a
+// transaction — T1⇄T2 and T2⇄T3 — and checks that exactly one session
+// self-selects as the deadlock victim. The per-cycle DFS this replaced let
+// both T2 (maximum of its cycle with T1) and T3 (maximum of its cycle with
+// T2) abort in the same detection round; the SCC computation must name one
+// victim for the whole knot: its largest TxID.
+//
+// Lock pattern (Moss read/update locks; reads share, writes exclude):
+//
+//	T1 holds read x, blocks on read y  → edge T1→T2
+//	T3 holds read x, blocks on read z  → edge T3→T2
+//	T2 holds write y and write z, blocks on write x → edges T2→T1, T2→T3
+func TestOverlappingCyclesSingleVictim(t *testing.T) {
+	s, err := Listen("127.0.0.1:0", Options{
+		Objects:       []string{"x", "y", "z"},
+		DeadlockEvery: -1, // detector off: the test invokes deadlockVictim itself
+		LockTimeout:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial := func() *client.Conn {
+		t.Helper()
+		c, err := client.Dial(s.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return c
+	}
+	c1, c2, c3 := dial(), dial(), dial()
+
+	begin := func(c *client.Conn) {
+		t.Helper()
+		if _, err := c.Begin(); err != nil {
+			t.Fatalf("begin: %v", err)
+		}
+	}
+	access := func(c *client.Conn, obj string, op spec.OpKind, arg spec.Value) {
+		t.Helper()
+		if _, err := c.Access(obj, op, arg); err != nil {
+			t.Fatalf("access %s: %v", obj, err)
+		}
+	}
+	// Sessions begin in order, so the top-level TxIDs are interned in
+	// ascending order: top(c1) < top(c2) < top(c3).
+	begin(c1)
+	access(c1, "x", spec.OpRead, spec.Nil)
+	begin(c2)
+	access(c2, "y", spec.OpWrite, spec.Int(1))
+	access(c2, "z", spec.OpWrite, spec.Int(1))
+	begin(c3)
+	access(c3, "x", spec.OpRead, spec.Nil)
+
+	// The three blocking accesses; each parks its session in the wait
+	// table until the server is killed at the end of the test.
+	var wg sync.WaitGroup
+	for _, b := range []struct {
+		c   *client.Conn
+		obj string
+		op  spec.OpKind
+		arg spec.Value
+	}{
+		{c1, "y", spec.OpRead, spec.Nil},
+		{c3, "z", spec.OpRead, spec.Nil},
+		{c2, "x", spec.OpWrite, spec.Int(2)},
+	} {
+		wg.Add(1)
+		go func(c *client.Conn, obj string, op spec.OpKind, arg spec.Value) {
+			defer wg.Done()
+			c.Access(obj, op, arg) // returns with an error once the server dies
+		}(b.c, b.obj, b.op, b.arg)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for len(s.waits.entries()) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for the three sessions to block")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	entries := s.waits.entries()
+	var victims []tname.TxID
+	var maxTop tname.TxID
+	for _, e := range entries {
+		if e.top > maxTop {
+			maxTop = e.top
+		}
+		if s.deadlockVictim(e.top) {
+			victims = append(victims, e.top)
+		}
+	}
+	if len(victims) != 1 {
+		t.Fatalf("deadlockVictim self-selected %d of %d blocked sessions (%v); the overlapping cycles need exactly 1", len(victims), len(entries), victims)
+	}
+	if victims[0] != maxTop {
+		t.Fatalf("victim = %v, want the SCC's largest TxID %v", victims[0], maxTop)
+	}
+
+	s.Kill()
+	wg.Wait()
+	c1.Close()
+	c2.Close()
+	c3.Close()
+}

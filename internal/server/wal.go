@@ -327,6 +327,9 @@ type walWriter struct {
 	// err is sticky: the first write/sync failure, surfaced on every
 	// later call.
 	err error //sgvet:guardedby mu
+	// syncMu serializes sync callers; the fsync itself runs with mu
+	// RELEASED so appends never stall behind the disk (see sync).
+	syncMu sync.Mutex
 }
 
 func newWalWriter(disk Disk, segMax, firstIndex int) (*walWriter, error) {
@@ -395,17 +398,54 @@ func (w *walWriter) appendRecord(payload []byte) error {
 }
 
 // sync makes everything appended so far durable.
+// sync makes every record appended before the call durable. The fsync runs
+// with w.mu RELEASED: the append path holds the event-log mutex while it
+// writes records, so an fsync that held w.mu would stall every session —
+// and in particular would keep concurrent committers from ever reaching
+// the group committer, defeating the coalescing entirely. syncMu
+// serializes syncers (the group committer admits one leader at a time
+// anyway; recovery syncs single-threaded).
+//
+// If the segment is rotated away while the fsync is in flight, rotation
+// has already synced it before closing, so every record this call must
+// cover is durable and a racing fsync error on the closed file is not a
+// durability failure.
 func (w *walWriter) sync() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if err := w.err; err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	cur := w.cur
+	w.mu.Unlock()
+	if cur == nil {
+		// Closed cleanly; close already synced everything.
+		return nil
+	}
+	err := cur.Sync()
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.err != nil {
-		return w.err
-	}
-	if err := w.cur.Sync(); err != nil {
-		w.err = err
+	if err != nil {
+		if w.cur != cur {
+			// Rotated (or closed) mid-fsync: the records are durable.
+			return w.err
+		}
+		if w.err == nil {
+			w.err = err
+		}
 		return err
 	}
 	return nil
+}
+
+// stickyErr reports the writer's first failure, if any, without issuing
+// any I/O.
+func (w *walWriter) stickyErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // closeNoSync closes the current segment without a final sync — the crash

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"time"
 )
 
@@ -98,6 +99,28 @@ func (h *simHooks) CertApply(index int) {
 	}
 }
 
+// CertBatch bounds a certifier run at the active stall point: events
+// before the stall may be applied as one run, events at or past it keep
+// blocking in CertApply. The happens-before chain that makes the read
+// reliable: the driver installs the stall with from = LogLen() under s.mu,
+// so any event at index ≥ from was appended — and therefore fetched by the
+// certifier — after the install, and this read (also under s.mu) sees it.
+// Without a stall the full window is allowed.
+func (h *simHooks) CertBatch(index, max int) int {
+	s := h.s
+	s.mu.Lock()
+	st := s.stall
+	stale := h.gen != s.gen.Load()
+	s.mu.Unlock()
+	if stale || st == nil {
+		return max
+	}
+	if d := st.from - index; d > 0 && d < max {
+		return d
+	}
+	return max
+}
+
 // CommitWait tells the driver the session is about to block on the
 // certification watermark for log sequence seq (notification only).
 func (h *simHooks) CommitWait(sess int64, seq int) {
@@ -107,6 +130,14 @@ func (h *simHooks) CommitWait(sess int64, seq int) {
 // SessionDone tells the driver all of the session's events are logged.
 func (h *simHooks) SessionDone(sess int64) {
 	h.s.send(h.gen, simEvent{kind: evDone, sess: sess})
+}
+
+// DrainWait advances the virtual clock instead of sleeping: the drain
+// poll and accept-retry cadence cost no wall time and stay deterministic.
+// Gosched lets the goroutines the waiter is polling for actually run.
+func (h *simHooks) DrainWait(d time.Duration) {
+	h.s.clock.Add(int64(d))
+	runtime.Gosched()
 }
 
 // stallState is an active certifier stall: indexes >= from block until

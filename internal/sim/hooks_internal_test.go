@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDrainWaitAdvancesVirtualClock: DrainWait must cost virtual time, not
+// wall time — the server's drain poll and accept-retry backoff run on the
+// simulated clock so seeded runs stay deterministic and fast.
+func TestDrainWaitAdvancesVirtualClock(t *testing.T) {
+	s := &sim{}
+	h := &simHooks{s: s}
+	start := time.Now()
+	h.DrainWait(10 * time.Second)
+	if wall := time.Since(start); wall > time.Second {
+		t.Fatalf("DrainWait(10s) slept %v of wall time", wall)
+	}
+	if got := s.clock.Load(); got != int64(10*time.Second) {
+		t.Fatalf("virtual clock advanced by %d, want %d", got, int64(10*time.Second))
+	}
+	if got := h.Now().UnixNano(); got != int64(10*time.Second) {
+		t.Fatalf("Now() = %d after DrainWait, want %d", got, int64(10*time.Second))
+	}
+}
+
+// TestCertBatchCutsAtStall: the batch-size hook must bound a certifier run
+// at the installed stall point — batching may never silently carry the
+// certifier across a stall — and pass the full window through otherwise.
+func TestCertBatchCutsAtStall(t *testing.T) {
+	s := &sim{}
+	h := &simHooks{s: s}
+	if got := h.CertBatch(0, 16); got != 16 {
+		t.Fatalf("no stall: CertBatch(0, 16) = %d, want 16", got)
+	}
+	s.stall = &stallState{from: 10, released: make(chan struct{})}
+	if got := h.CertBatch(4, 16); got != 6 {
+		t.Fatalf("CertBatch(4, 16) with stall at 10 = %d, want 6 (cut at the stall)", got)
+	}
+	if got := h.CertBatch(4, 3); got != 3 {
+		t.Fatalf("CertBatch(4, 3) with stall at 10 = %d, want 3 (window ends before the stall)", got)
+	}
+	// At or past the stall CertApply blocks first, so the size hook just
+	// passes the window through.
+	if got := h.CertBatch(10, 16); got != 16 {
+		t.Fatalf("CertBatch(10, 16) at the stall = %d, want 16", got)
+	}
+	// A stale generation (its server was crashed) ignores the stall.
+	stale := &simHooks{s: s, gen: 7}
+	if got := stale.CertBatch(4, 16); got != 16 {
+		t.Fatalf("stale CertBatch(4, 16) = %d, want 16", got)
+	}
+}
