@@ -55,14 +55,15 @@ bench-gate: bench-json
 		-match 'E1MossSerialCorrectness|E15' -max-allocs-regress 25 -max-bytes-regress 25
 
 # Refresh the "current" side of BENCH_SERVER.json: the server hot-path
-# micro benchmarks (log append with WAL attached, group-commit ticket
-# protocol) plus a short certified nestedload sweep over clients ×
-# read-ratio × zipf, whose latency percentiles and throughput parse into
+# micro benchmarks (sharded log append with WAL attached and the merger
+# live, group-commit ticket protocol, full client/server session round
+# trip) plus a short certified nestedload sweep over clients × read-ratio
+# × zipf × shards, whose latency percentiles and throughput parse into
 # the suite as first-class columns (p50-us, p99-us, tx/s).
 bench-server:
-	( $(GO) test -run '^$$' -bench 'ServerLogAppend|ServerGroupCommit' -benchmem -count 1 ./internal/server ; \
+	( $(GO) test -run '^$$' -bench 'ShardedLogAppend|ServerGroupCommit|ServerSessionRoundTrip' -benchmem -count 1 ./internal/server ; \
 	  $(GO) run ./cmd/nestedload -sweep -dur 250ms -objects 8 \
-		-sweep-clients 1,4,8 -sweep-readratios 0.2,0.8 -sweep-zipfs 0,1.5 ) \
+		-sweep-clients 1,4,8 -sweep-readratios 0.2,0.8 -sweep-zipfs 0,1.5 -sweep-shards 1,4 ) \
 		| $(GO) run ./cmd/benchdiff -write-current BENCH_SERVER.json
 
 # Fail when the server hot-path benchmarks regress against the committed
@@ -71,7 +72,7 @@ bench-server:
 # numbers are hardware noise on shared runners.
 bench-server-gate: bench-server
 	$(GO) run ./cmd/benchdiff -suite BENCH_SERVER.json \
-		-match 'ServerLogAppend|ServerGroupCommit' -max-allocs-regress 25 -max-bytes-regress 25
+		-match 'ShardedLogAppend|ServerGroupCommit|ServerSessionRoundTrip' -max-allocs-regress 25 -max-bytes-regress 25
 
 # Run the certified transaction server on the default port. SIGTERM (or
 # ctrl-C) drains it and prints the final online-vs-batch certificate.

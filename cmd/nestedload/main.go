@@ -123,6 +123,7 @@ type loadConfig struct {
 	specName  string
 	seed      int64
 	retries   int
+	shards    int
 }
 
 // loadResult is what one load run measured, plus the certification verdict
@@ -148,6 +149,7 @@ func execute(cfg loadConfig, stderr io.Writer) (*loadResult, int) {
 			Protocol:    cfg.proto,
 			DefaultSpec: spec.ByName(cfg.specName),
 			Objects:     cfg.objects,
+			LogShards:   cfg.shards,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "nestedload:", err)
@@ -319,6 +321,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		specName  = fs.String("spec", "register", "object type")
 		protoName = fs.String("protocol", "moss", "selfserve: concurrency control protocol")
 		seed      = fs.Int64("seed", 1, "per-worker RNG seed base")
+		shards    = fs.Int("shards", 0, "selfserve: event-log append shards (0 = server default)")
 		retries   = fs.Int("retries", 8, "max attempts per transaction (bounded exponential backoff)")
 		bench     = fs.Bool("bench", false, "also print a go test -bench style summary line")
 
@@ -326,6 +329,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sweepCli    = fs.String("sweep-clients", "1,4,8,16", "sweep: comma-separated worker counts")
 		sweepRatios = fs.String("sweep-readratios", "0.2,0.8", "sweep: comma-separated read ratios")
 		sweepZipfs  = fs.String("sweep-zipfs", "0,1.5", "sweep: comma-separated zipf skews (0 = uniform)")
+		sweepShards = fs.String("sweep-shards", "1,4", "sweep: comma-separated event-log shard counts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -361,10 +365,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		specName:  *specName,
 		seed:      *seed,
 		retries:   *retries,
+		shards:    *shards,
 	}
 
 	if *sweep {
-		return runSweep(base, proto, *sweepCli, *sweepRatios, *sweepZipfs, stdout, stderr)
+		return runSweep(base, proto, *sweepCli, *sweepRatios, *sweepZipfs, *sweepShards, stdout, stderr)
 	}
 
 	if *selfserve {
@@ -399,12 +404,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runSweep executes the clients × read-ratio × zipf grid, each cell a
-// fresh in-process server, and emits one benchmark line per cell whose
-// custom units (p50-us, p99-us, tx/s) cmd/benchdiff parses into BENCH
-// columns. Every cell must end with a clean certificate; any verdict
+// runSweep executes the clients × read-ratio × zipf × shards grid, each
+// cell a fresh in-process server, and emits one benchmark line per cell
+// whose custom units (p50-us, p99-us, tx/s) cmd/benchdiff parses into
+// BENCH columns. Every cell must end with a clean certificate; any verdict
 // failure fails the sweep.
-func runSweep(base loadConfig, proto object.Protocol, cliList, ratioList, zipfList string, stdout, stderr io.Writer) int {
+func runSweep(base loadConfig, proto object.Protocol, cliList, ratioList, zipfList, shardList string, stdout, stderr io.Writer) int {
 	clients, err := parseInts(cliList)
 	if err != nil {
 		fmt.Fprintln(stderr, "nestedload: -sweep-clients:", err)
@@ -420,32 +425,40 @@ func runSweep(base loadConfig, proto object.Protocol, cliList, ratioList, zipfLi
 		fmt.Fprintln(stderr, "nestedload: -sweep-zipfs:", err)
 		return 2
 	}
+	shards, err := parseInts(shardList)
+	if err != nil {
+		fmt.Fprintln(stderr, "nestedload: -sweep-shards:", err)
+		return 2
+	}
 
 	rc := 0
 	for _, c := range clients {
 		for _, r := range ratios {
 			for _, z := range zipfs {
-				cfg := base
-				cfg.proto = proto
-				cfg.workers = c
-				cfg.readRatio = r
-				cfg.zipfS = z
-				res, erc := execute(cfg, stderr)
-				if erc != 0 {
-					return erc
-				}
-				name := fmt.Sprintf("BenchmarkServerSweep/c%d/r%.2f/z%.1f", c, r, z)
-				fmt.Fprintf(stderr, "# %s committed=%d failed=%d elapsed=%s ok=%v\n",
-					strings.TrimPrefix(name, "Benchmark"), res.committed, res.failed,
-					res.elapsed.Round(time.Millisecond), res.ok)
-				if res.committed > 0 {
-					fmt.Fprintf(stdout, "%s %d %d ns/op %d p50-us %d p99-us %.1f tx/s\n",
-						name, res.committed, res.elapsed.Nanoseconds()/res.committed,
-						res.lat.Quantile(0.50).Microseconds(), res.lat.Quantile(0.99).Microseconds(),
-						res.tput())
-				}
-				if !res.ok || (res.committed == 0 && res.failed > 0) {
-					rc = 1
+				for _, sh := range shards {
+					cfg := base
+					cfg.proto = proto
+					cfg.workers = c
+					cfg.readRatio = r
+					cfg.zipfS = z
+					cfg.shards = sh
+					res, erc := execute(cfg, stderr)
+					if erc != 0 {
+						return erc
+					}
+					name := fmt.Sprintf("BenchmarkServerSweep/c%d/r%.2f/z%.1f/s%d", c, r, z, sh)
+					fmt.Fprintf(stderr, "# %s committed=%d failed=%d elapsed=%s ok=%v\n",
+						strings.TrimPrefix(name, "Benchmark"), res.committed, res.failed,
+						res.elapsed.Round(time.Millisecond), res.ok)
+					if res.committed > 0 {
+						fmt.Fprintf(stdout, "%s %d %d ns/op %d p50-us %d p99-us %.1f tx/s\n",
+							name, res.committed, res.elapsed.Nanoseconds()/res.committed,
+							res.lat.Quantile(0.50).Microseconds(), res.lat.Quantile(0.99).Microseconds(),
+							res.tput())
+					}
+					if !res.ok || (res.committed == 0 && res.failed > 0) {
+						rc = 1
+					}
 				}
 			}
 		}

@@ -70,17 +70,20 @@ func TestLoadBadFlags(t *testing.T) {
 	}
 }
 
-var sweepLine = regexp.MustCompile(`(?m)^BenchmarkServerSweep/c2/r0\.50/z0\.0 \d+ \d+ ns/op \d+ p50-us \d+ p99-us \d+(\.\d+)? tx/s$`)
+var sweepLine = regexp.MustCompile(`(?m)^BenchmarkServerSweep/c2/r0\.50/z0\.0/s2 \d+ \d+ ns/op \d+ p50-us \d+ p99-us \d+(\.\d+)? tx/s$`)
 
 func TestSweepBenchLines(t *testing.T) {
 	code, out, errs := runLoad(t,
 		"-sweep", "-sweep-clients", "2", "-sweep-readratios", "0.5", "-sweep-zipfs", "0",
-		"-sessions", "3", "-seed", "11")
+		"-sweep-shards", "2,8", "-sessions", "3", "-seed", "11")
 	if code != 0 {
 		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
 	}
 	if !sweepLine.MatchString(out) {
 		t.Fatalf("no sweep bench line in:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkServerSweep/c2/r0.50/z0.0/s8 ") {
+		t.Fatalf("sweep missing the shards=8 cell:\n%s", out)
 	}
 	if !strings.Contains(errs, "ok=true") {
 		t.Fatalf("sweep cell did not report a clean certificate:\n%s", errs)
@@ -90,5 +93,21 @@ func TestSweepBenchLines(t *testing.T) {
 func TestSweepBadLists(t *testing.T) {
 	if code, _, errs := runLoad(t, "-sweep", "-sweep-clients", "2,x"); code != 2 || !strings.Contains(errs, "-sweep-clients") {
 		t.Fatalf("bad client list: exit %d, stderr %q", code, errs)
+	}
+	if code, _, errs := runLoad(t, "-sweep", "-sweep-shards", "4,"); code != 2 || !strings.Contains(errs, "-sweep-shards") {
+		t.Fatalf("bad shard list: exit %d, stderr %q", code, errs)
+	}
+}
+
+// TestSelfServeShardsFlag: the single-run -shards knob plumbs through to
+// the server and still certifies.
+func TestSelfServeShardsFlag(t *testing.T) {
+	code, out, errs := runLoad(t,
+		"-selfserve", "-workers", "3", "-sessions", "4", "-shards", "8", "-seed", "13")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	if !strings.Contains(out, "final certificate: serially correct for T0") {
+		t.Errorf("no certificate:\n%s", out)
 	}
 }

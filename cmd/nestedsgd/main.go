@@ -75,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 		specName     = fs.String("spec", "register", "object type for new objects: register, counter, account, set, appendlog, queue")
 		objects      = fs.String("objects", "", "comma-separated object labels to pre-create")
 		walDir       = fs.String("wal", "", "directory for the durable write-ahead log; on boot, replay and audit it before serving ('' = in-memory, no durability)")
+		shards       = fs.Int("shards", 0, "event-log append shards (0 = server default)")
 		lockTimeout  = fs.Duration("lock-timeout", time.Second, "abort a transaction whose access waits this long")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "shutdown: force-close busy connections after this long")
 		verbose      = fs.Bool("v", false, "log per-session aborts")
@@ -96,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 		Protocol:    proto,
 		DefaultSpec: sp,
 		LockTimeout: *lockTimeout,
+		LogShards:   *shards,
 	}
 	if *objects != "" {
 		for _, label := range strings.Split(*objects, ",") {

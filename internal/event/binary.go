@@ -392,6 +392,78 @@ func ReadString(r *bufio.Reader, what string) (string, error) {
 	return binReader{r: r}.readStr(what)
 }
 
+// CutUvarint decodes a uvarint from the front of b and returns the rest.
+func CutUvarint(b []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: %s: truncated uvarint", what)
+	}
+	return v, b[n:], nil
+}
+
+// CutBytes decodes a uvarint-length-prefixed byte string from the front of
+// b, returning the payload as a sub-slice of b (no copy) and the rest. The
+// sub-slice aliases b and is only valid while b is.
+func CutBytes(b []byte, what string) ([]byte, []byte, error) {
+	n, rest, err := CutUvarint(b, what+" length")
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxBinaryStr {
+		return nil, nil, fmt.Errorf("wire: %s length %d exceeds limit", what, n)
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, fmt.Errorf("wire: %s: truncated payload", what)
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// CutString decodes a uvarint-length-prefixed string from the front of b and
+// returns the rest. The string is copied out of b (strings are immutable),
+// so it is the one unavoidable allocation of a string-carrying frame.
+func CutString(b []byte, what string) (string, []byte, error) {
+	v, rest, err := CutBytes(b, what)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(v), rest, nil
+}
+
+// CutValue decodes a kind-tagged value in the NSGB value encoding from the
+// front of b and returns the rest. Like ReadValue it rebuilds the payload
+// through the spec constructors, but it reads the byte slice directly — no
+// intermediate reader or TraceValue — so int/bool/nil/ok values decode
+// without allocating.
+func CutValue(b []byte, what string) (spec.Value, []byte, error) {
+	if len(b) == 0 {
+		return spec.Nil, nil, fmt.Errorf("wire: %s kind: truncated value", what)
+	}
+	kind, rest := spec.ValueKind(b[0]), b[1:]
+	switch kind {
+	case spec.VNil:
+		return spec.Nil, rest, nil
+	case spec.VOK:
+		return spec.OK, rest, nil
+	case spec.VInt, spec.VBool:
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return spec.Nil, nil, fmt.Errorf("wire: %s int: truncated varint", what)
+		}
+		if kind == spec.VBool {
+			return spec.Bool(v != 0), rest[n:], nil
+		}
+		return spec.Int(v), rest[n:], nil
+	case spec.VStr:
+		s, rest, err := CutString(rest, what+" str")
+		if err != nil {
+			return spec.Nil, nil, err
+		}
+		return spec.Str(s), rest, nil
+	default:
+		return spec.Nil, nil, fmt.Errorf("wire: %s has unknown value kind %d", what, b[0])
+	}
+}
+
 // ReadValue decodes a kind-tagged value in the NSGB value encoding. The
 // payload is rebuilt through the spec constructors, exactly as the trace
 // decoder does.

@@ -2,12 +2,14 @@ package event
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"testing"
 
+	"nestedsg/internal/spec"
 	"nestedsg/internal/tname"
 )
 
@@ -221,4 +223,91 @@ func FuzzBinaryTraceRoundTrip(f *testing.F) {
 			t.Fatalf("JSON and binary codecs disagree")
 		}
 	})
+}
+
+// TestCutPrimitivesMatchReaders: the slice-cutting decoders must accept
+// exactly what the Append* encoders produce and agree with the
+// reader-based decoders on every value kind, then report the exact
+// remainder so a caller can chain cuts through a frame.
+func TestCutPrimitivesMatchReaders(t *testing.T) {
+	values := []spec.Value{
+		spec.Nil, spec.OK, spec.Int(0), spec.Int(-1), spec.Int(1 << 40),
+		spec.Bool(true), spec.Bool(false), spec.Str(""), spec.Str("payload"),
+	}
+	for _, v := range values {
+		buf := AppendValue(nil, v)
+		buf = append(buf, 0xEE) // sentinel remainder
+		got, rest, err := CutValue(buf, "test")
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("CutValue round trip: got %v want %v", got, v)
+		}
+		if len(rest) != 1 || rest[0] != 0xEE {
+			t.Fatalf("%v: remainder %v, want the sentinel", v, rest)
+		}
+	}
+	for _, s := range []string{"", "x", "a longer string value"} {
+		buf := append(AppendString(nil, s), 0xEE)
+		got, rest, err := CutString(buf, "test")
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if got != s || len(rest) != 1 {
+			t.Fatalf("CutString round trip: got %q rest %v", got, rest)
+		}
+	}
+	for _, n := range []uint64{0, 1, 127, 128, 1 << 60} {
+		buf := append(binary.AppendUvarint(nil, n), 0xEE)
+		got, rest, err := CutUvarint(buf, "test")
+		if err != nil {
+			t.Fatalf("%d: %v", n, err)
+		}
+		if got != n || len(rest) != 1 {
+			t.Fatalf("CutUvarint round trip: got %d rest %v", got, rest)
+		}
+	}
+}
+
+// TestCutPrimitivesRejectJunk: truncations and forged prefixes must fail
+// with an error, never panic or return garbage.
+func TestCutPrimitivesRejectJunk(t *testing.T) {
+	if _, _, err := CutUvarint(nil, "t"); err == nil {
+		t.Error("empty uvarint accepted")
+	}
+	if _, _, err := CutUvarint([]byte{0x80}, "t"); err == nil {
+		t.Error("truncated uvarint accepted")
+	}
+	if _, _, err := CutString(binary.AppendUvarint(nil, 5), "t"); err == nil {
+		t.Error("string with truncated payload accepted")
+	}
+	if _, _, err := CutString(binary.AppendUvarint(nil, maxBinaryStr+1), "t"); err == nil {
+		t.Error("forged oversized string length accepted")
+	}
+	if _, _, err := CutValue(nil, "t"); err == nil {
+		t.Error("empty value accepted")
+	}
+	if _, _, err := CutValue([]byte{200}, "t"); err == nil {
+		t.Error("unknown value kind accepted")
+	}
+	if _, _, err := CutValue([]byte{byte(spec.VInt)}, "t"); err == nil {
+		t.Error("int value with no payload accepted")
+	}
+	if _, _, err := CutValue(AppendValue(nil, spec.Str("xy"))[:2], "t"); err == nil {
+		t.Error("str value with truncated payload accepted")
+	}
+}
+
+// TestCutScalarValueAllocs: scalar values must cut without allocating —
+// the property that keeps ACCESS responses off the allocator.
+func TestCutScalarValueAllocs(t *testing.T) {
+	buf := AppendValue(nil, spec.Int(42))
+	if allocs := testing.AllocsPerRun(100, func() {
+		if v, _, err := CutValue(buf, "t"); err != nil || v != spec.Int(42) {
+			t.Fatalf("cut: %v, %v", v, err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("CutValue(int) allocates %.1f times, want 0", allocs)
+	}
 }

@@ -1,0 +1,40 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"nestedsg/internal/client"
+	"nestedsg/internal/server"
+)
+
+// BenchmarkServerSessionRoundTrip measures one full request/response round
+// trip — client encode, frame write, server read/parse/handle/encode, frame
+// write, client read/parse — over an in-process pipe. After the first
+// iteration warms the per-session scratch buffers (frame read buffer,
+// encode buffer), the steady state must be allocation-free on both sides:
+// the slice-cutting wire parsers, the geometric ReadFrame growth and the
+// reused encode buffers exist exactly so this number is zero.
+func BenchmarkServerSessionRoundTrip(b *testing.B) {
+	s := server.New(server.Options{Objects: []string{"x"}})
+	srvEnd, cliEnd := net.Pipe()
+	s.ServeConn(srvEnd)
+	c := client.NewConn(cliEnd)
+	// Warm the session and client scratch buffers outside the timed region.
+	if err := c.Ping(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/bits"
 	"net/http"
 	"sync/atomic"
@@ -150,6 +151,12 @@ type Metrics struct {
 	// retried with backoff instead of killing the accept loop.
 	AcceptRetries atomic.Int64
 
+	// Merge histograms: the appended-minus-merged gap observed by the log
+	// merger each time it wakes with work, and how many entries each wake
+	// merged (the reorder window the sharded append path creates).
+	MergeLag   Histogram
+	MergeBatch Histogram
+
 	// Latency histograms: all requests, and commit requests (which include
 	// the wait for the certifier watermark).
 	ReqLatency    Histogram
@@ -209,6 +216,17 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		"group_size_p50":    m.GroupSize.QuantileVal(0.50),
 		"group_size_p99":    m.GroupSize.QuantileVal(0.99),
 		"group_size_mean":   m.GroupSize.MeanVal(),
+		"log_shards":        len(s.log.shards),
+		"log_merged":        s.log.mergedLen(),
+		"merge_lag_p50":     m.MergeLag.QuantileVal(0.50),
+		"merge_lag_p99":     m.MergeLag.QuantileVal(0.99),
+		"merge_lag_mean":    m.MergeLag.MeanVal(),
+		"merge_batch_size_p50":  m.MergeBatch.QuantileVal(0.50),
+		"merge_batch_size_p99":  m.MergeBatch.QuantileVal(0.99),
+		"merge_batch_size_mean": m.MergeBatch.MeanVal(),
+	}
+	for i, sh := range s.log.shards {
+		snap[fmt.Sprintf("log_shard_appends_%d", i)] = sh.appends.Load()
 	}
 	if req := m.WALSyncRequests.Load(); req > 0 {
 		snap["wal_syncs_per_request"] = float64(m.WALSyncs.Load()) / float64(req)

@@ -69,6 +69,10 @@ type Options struct {
 	// (default 4); 0 disables detection, leaving the timeout as the only
 	// deadlock escape.
 	DeadlockEvery int
+	// LogShards stripes the event log's append path across this many
+	// shards (sessions hash to a shard; a deterministic merger restores
+	// the total order). Default 4; 1 degenerates to a single append lock.
+	LogShards int
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 
@@ -109,6 +113,9 @@ func (o Options) withDefaults() Options {
 	} else if o.DeadlockEvery == 0 {
 		o.DeadlockEvery = 4
 	}
+	if o.LogShards <= 0 {
+		o.LogShards = defaultLogShards
+	}
 	if o.Hooks == nil {
 		o.Hooks = realHooks{}
 	}
@@ -136,7 +143,7 @@ type Server struct {
 	tr   *tname.Tree     //sgvet:guardedby mu
 	objs []*sharedObject //sgvet:guardedby mu
 
-	log     *eventLog
+	log     *shardedLog
 	cert    *certifier
 	metrics *Metrics
 	waits   *waitTable
@@ -160,11 +167,11 @@ func newServer(opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		tr:      tname.NewTree(),
-		log:     newEventLog(),
 		metrics: newMetrics(),
 		waits:   newWaitTable(),
 		conns:   make(map[*session]struct{}),
 	}
+	s.log = newShardedLog(opts.LogShards, opts.Hooks, s.metrics)
 	s.cert = newCertifier(s)
 	return s
 }
@@ -184,7 +191,8 @@ func New(opts Options) *Server {
 			panic(fmt.Sprintf("server: pre-creating object %q: %v", label, err))
 		}
 	}
-	s.log.append(event.NewEvent(event.Create, tname.Root))
+	s.log.append(s.log.shards[0], event.NewEvent(event.Create, tname.Root))
+	s.log.startMerger()
 	go s.cert.loop()
 	return s
 }
@@ -305,11 +313,14 @@ func (s *Server) resolveObject(label string) (*sharedObject, error) {
 		return nil, errors.New("empty object label")
 	}
 	id := s.tr.AddObject(label, s.opts.DefaultSpec)
-	// The definition record is written inside the tree's write-lock
+	// The definition record is queued inside the tree's write-lock
 	// critical section, so WAL definition order equals interning order and
-	// recovery's sequential ID re-assignment reproduces the tree exactly.
+	// recovery's sequential ID re-assignment reproduces the tree exactly;
+	// the merger flushes it before any event that could reference the name.
 	if s.wal != nil {
-		s.wal.appendRecord(event.AppendWalObjectDef(nil, label, s.opts.DefaultSpec.Name()))
+		s.log.appendDef(func(buf []byte) []byte {
+			return event.AppendWalObjectDef(buf, label, s.opts.DefaultSpec.Name())
+		})
 	}
 	o := &sharedObject{id: id, sp: s.tr.Spec(id), g: s.opts.Protocol.New(s.tr, id)}
 	for int(id) >= len(s.objs) {
@@ -333,7 +344,9 @@ func (s *Server) internTx(parent tname.TxID, label string, obj tname.ObjID, op s
 		id = s.tr.Access(parent, label, obj, op)
 	}
 	if s.wal != nil && s.tr.NumTx() > before {
-		s.wal.appendRecord(event.AppendWalTxDef(nil, parent, label, obj, op))
+		s.log.appendDef(func(buf []byte) []byte {
+			return event.AppendWalTxDef(buf, parent, label, obj, op)
+		})
 	}
 	return id
 }
@@ -359,8 +372,37 @@ func (s *Server) WALError() error {
 	return s.wal.stickyErr()
 }
 
-// LogLen reports the current event-log length.
+// LogLen reports the current event-log length (events appended, whether or
+// not the merger has placed them in total order yet).
 func (s *Server) LogLen() int { return s.log.len() }
+
+// LogShards reports the number of append shards.
+func (s *Server) LogShards() int { return len(s.log.shards) }
+
+// MergedLen reports how many log events the merger has placed in total
+// order (MergedLen ≤ LogLen; the gap is the merge lag).
+func (s *Server) MergedLen() int { return s.log.mergedLen() }
+
+// WaitMergedLen blocks until the merged log covers n events. Test harnesses
+// use it to settle the merger at a deterministic point.
+func (s *Server) WaitMergedLen(n int) { s.log.waitMerged(n) }
+
+// SettleMerged blocks until the merged log covers n events, then flushes
+// every definition record already eligible at that point to the WAL writer.
+// The simulator calls it before snapshotting a crash: the merger announces
+// a merged prefix before its next definition-flush pass, so without the
+// explicit flush the crash-instant WAL bytes would depend on merger timing.
+func (s *Server) SettleMerged(n int) {
+	s.log.waitMerged(n)
+	s.log.flushDefs(s.log.mergedLen())
+}
+
+// MergeBoundAfter returns the smallest unmerged log index owned by shard
+// that is ≥ from, or -1 if the shard has none pending there. While a
+// harness stalls the shard's merge at from, the answer is stable — entries
+// at or past the stall can arrive but never merge — which is what makes
+// park-or-proceed decisions in the simulator deterministic.
+func (s *Server) MergeBoundAfter(shard, from int) int { return s.log.pendingIn(shard, from) }
 
 // withObj runs f while holding the object's mutex and the tree read lock —
 // the automata read the tree on most calls. Lock order is always object

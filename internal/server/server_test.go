@@ -406,13 +406,32 @@ func TestMetricsHandler(t *testing.T) {
 		t.Fatalf("metrics not JSON: %v", err)
 	}
 	for _, key := range []string{"requests", "top_commits", "sg_acyclic", "sg_edges",
-		"log_events", "certified", "req_p50_us", "commit_p99_us"} {
+		"log_events", "certified", "req_p50_us", "commit_p99_us",
+		"log_shards", "log_merged", "merge_lag_p99", "merge_batch_size_p99",
+		"log_shard_appends_0"} {
 		if _, ok := snap[key]; !ok {
 			t.Errorf("metrics snapshot missing %q", key)
 		}
 	}
 	if tc, _ := snap["top_commits"].(float64); tc != 1 {
 		t.Errorf("top_commits = %v, want 1", snap["top_commits"])
+	}
+	// Every configured shard reports an append counter, and together they
+	// account for every ticketed event.
+	nShards, _ := snap["log_shards"].(float64)
+	if nShards < 1 {
+		t.Fatalf("log_shards = %v, want >= 1", snap["log_shards"])
+	}
+	var perShard float64
+	for i := 0; i < int(nShards); i++ {
+		v, ok := snap[fmt.Sprintf("log_shard_appends_%d", i)].(float64)
+		if !ok {
+			t.Fatalf("metrics snapshot missing shard %d append counter", i)
+		}
+		perShard += v
+	}
+	if events, _ := snap["log_events"].(float64); perShard != events {
+		t.Errorf("shard append counters sum to %v, log_events = %v", perShard, events)
 	}
 	shutdownAndVerify(t, s)
 }

@@ -1,0 +1,177 @@
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nestedsg/internal/server"
+	"nestedsg/internal/sim"
+)
+
+// walBytes concatenates the final disk's segments in name order — the byte
+// stream recovery would replay.
+func walBytes(t *testing.T, d *server.MemDisk) []byte {
+	t.Helper()
+	if d == nil {
+		return nil
+	}
+	names, err := d.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []byte
+	for _, name := range names {
+		seg, err := d.ReadSegment(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, seg...)
+	}
+	return all
+}
+
+// TestSimShardCountInvariance: the shard count is a pure concurrency knob.
+// Under the driver's serialized execution the global append tickets replay
+// the exact action order regardless of how sessions hash to shards, so the
+// same seed must produce a byte-identical final trace AND byte-identical
+// WAL contents at 1, 2 and 8 shards — crashes, torn tails and recoveries
+// included. FaultMergeStall is excluded: its install draws a random shard
+// index, so the rng stream (not the log semantics) depends on the shard
+// count.
+func TestSimShardCountInvariance(t *testing.T) {
+	faults := []sim.FaultClass{
+		sim.FaultDrop, sim.FaultDropAfterCommit, sim.FaultCertStall,
+		sim.FaultClockStorm, sim.FaultCrash,
+	}
+	for _, seed := range []uint64{11, 12} {
+		var refRep *sim.Report
+		var refWal []byte
+		for _, shards := range []int{1, 2, 8} {
+			cfg := sim.Config{
+				Seed:          seed,
+				Steps:         220,
+				Shards:        shards,
+				Faults:        faults,
+				FaultPermille: 120,
+			}
+			rep, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatalf("seed=%d shards=%d: %v", seed, shards, err)
+			}
+			wal := walBytes(t, rep.FinalDisk)
+			if refRep == nil {
+				refRep, refWal = rep, wal
+				continue
+			}
+			if got, want := rep.Summary(), refRep.Summary(); got != want {
+				t.Fatalf("seed=%d shards=%d report diverges from shards=1:\n  %s\n  %s",
+					seed, shards, got, want)
+			}
+			if !bytes.Equal(rep.Trace, refRep.Trace) {
+				t.Fatalf("seed=%d shards=%d: trace diverges from shards=1 (%d vs %d bytes)",
+					seed, shards, len(rep.Trace), len(refRep.Trace))
+			}
+			if !bytes.Equal(wal, refWal) {
+				t.Fatalf("seed=%d shards=%d: WAL diverges from shards=1 (%d vs %d bytes)",
+					seed, shards, len(wal), len(refWal))
+			}
+		}
+		if refRep.Recoveries == 0 {
+			t.Errorf("seed=%d never crashed — the invariance check should cover recovery; raise FaultPermille", seed)
+		}
+	}
+}
+
+// TestSimMergeStallDeterminism: a run whose only faults are merge stalls
+// replays byte-identically — the stalled shard's pending entries, the
+// parked completions and the stall's eventual lift are all on the driver's
+// deterministic schedule.
+func TestSimMergeStallDeterminism(t *testing.T) {
+	cfg := sim.Config{
+		Seed:          21,
+		Steps:         220,
+		Shards:        4,
+		Faults:        []sim.FaultClass{sim.FaultMergeStall},
+		FaultPermille: 200,
+	}
+	a, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("reports diverge:\n  %s\n  %s", a.Summary(), b.Summary())
+	}
+	if !bytes.Equal(a.Trace, b.Trace) {
+		t.Fatalf("traces diverge for the same seed (%d vs %d bytes)", len(a.Trace), len(b.Trace))
+	}
+	if a.Faults[sim.FaultMergeStall] == 0 {
+		t.Fatalf("merge stall never injected: %s", a.Summary())
+	}
+}
+
+// TestSimCrashDuringMergeStall: crashing while a shard's merge front is
+// stalled is the sharded log's hardest durability corner — the crash must
+// settle the merged prefix at the stall's deterministic bound (nothing at
+// or past the stalled ticket reaches the WAL writer), and recovery from
+// the surviving bytes must still audit clean. The runs themselves must
+// stay deterministic.
+func TestSimCrashDuringMergeStall(t *testing.T) {
+	var stalls, crashes int
+	for seed := uint64(31); seed <= 36; seed++ {
+		cfg := sim.Config{
+			Seed:          seed,
+			Steps:         220,
+			Shards:        4,
+			Faults:        []sim.FaultClass{sim.FaultMergeStall, sim.FaultCrash},
+			FaultPermille: 250,
+		}
+		a, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed=%d: %v\nreproduce: sim.Run(%+v)", seed, err, cfg)
+		}
+		b, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed=%d replay: %v", seed, err)
+		}
+		if a.Summary() != b.Summary() || !bytes.Equal(a.Trace, b.Trace) {
+			t.Fatalf("seed=%d: crash+merge-stall run is not deterministic:\n  %s\n  %s",
+				seed, a.Summary(), b.Summary())
+		}
+		stalls += a.Faults[sim.FaultMergeStall]
+		crashes += a.Faults[sim.FaultCrash]
+	}
+	if stalls == 0 || crashes == 0 {
+		t.Fatalf("fault mix never exercised both classes: stalls=%d crashes=%d", stalls, crashes)
+	}
+}
+
+// TestSimShardsInMatrix pins the fault matrix's reach: every fault class —
+// merge-stall included — must inject and certify at a non-default shard
+// count too.
+func TestSimShardsInMatrix(t *testing.T) {
+	for _, class := range sim.AllFaults() {
+		class := class
+		t.Run(fmt.Sprintf("shards=8/%s", class), func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.Config{
+				Seed:          5,
+				Steps:         160,
+				Shards:        8,
+				Faults:        []sim.FaultClass{class},
+				FaultPermille: 200,
+			}
+			rep, err := sim.Run(cfg)
+			if err != nil {
+				t.Fatalf("%v\nreproduce: sim.Run(%+v)", err, cfg)
+			}
+			if rep.Faults[class] == 0 {
+				t.Errorf("fault %s never injected: %s", class, rep.Summary())
+			}
+		})
+	}
+}

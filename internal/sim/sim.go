@@ -60,6 +60,12 @@ const (
 	// keeps only the synced prefix plus a random torn tail of unsynced
 	// bytes, and the server is rebuilt with server.Recover.
 	FaultCrash
+	// FaultMergeStall blocks one randomly chosen shard of the sharded
+	// event log at the current log length: entries that session appends
+	// stay pending, the totally-ordered merge front stops at the shard's
+	// first pending ticket, and completions behind it park on the merged
+	// watermark until the stall lifts.
+	FaultMergeStall
 )
 
 var faultNames = map[FaultClass]string{
@@ -68,6 +74,7 @@ var faultNames = map[FaultClass]string{
 	FaultCertStall:       "cert-stall",
 	FaultClockStorm:      "clock-storm",
 	FaultCrash:           "crash",
+	FaultMergeStall:      "merge-stall",
 }
 
 // String names the fault class.
@@ -80,7 +87,7 @@ func (f FaultClass) String() string {
 
 // AllFaults lists every fault class.
 func AllFaults() []FaultClass {
-	return []FaultClass{FaultDrop, FaultDropAfterCommit, FaultCertStall, FaultClockStorm, FaultCrash}
+	return []FaultClass{FaultDrop, FaultDropAfterCommit, FaultCertStall, FaultClockStorm, FaultCrash, FaultMergeStall}
 }
 
 // Config parameterizes a simulation run. The zero value plus a seed is a
@@ -99,6 +106,9 @@ type Config struct {
 	// Protocol is the concurrency-control protocol under test (default
 	// Moss locking).
 	Protocol object.Protocol
+	// Shards is the server's event-log shard count (default 2, so the
+	// merge path is exercised without drowning small runs in shards).
+	Shards int
 	// Faults enables fault classes; empty means a fault-free run.
 	Faults []FaultClass
 	// FaultPermille is the per-step probability (in 1/1000) of injecting
@@ -122,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Protocol == nil {
 		c.Protocol = locking.Protocol{}
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
 	}
 	if c.FaultPermille <= 0 {
 		c.FaultPermille = 30
@@ -215,6 +228,7 @@ type sim struct {
 	wakes   map[int64]chan struct{} //sgvet:guardedby mu
 	release chan struct{}           //sgvet:guardedby mu
 	stall   *stallState             //sgvet:guardedby mu
+	mstall  *mergeStallState        //sgvet:guardedby mu
 
 	disk  *server.MemDisk
 	srv   *server.Server
@@ -222,7 +236,8 @@ type sim struct {
 	bySid map[int64]*slot
 	done  map[int64]bool // SessionDone seen, by server session id
 
-	stallLeft int // scheduler decisions until the stall lifts
+	stallLeft  int // scheduler decisions until the certifier stall lifts
+	mstallLeft int // scheduler decisions until the merge stall lifts
 }
 
 // Run executes one simulation and returns its deterministic report. A
@@ -265,6 +280,7 @@ func (s *sim) serverOpts(disk *server.MemDisk) server.Options {
 		LockTimeout: 40 * time.Millisecond, // virtual
 		LockPoll:    time.Millisecond,
 		LockPollMax: 8 * time.Millisecond,
+		LogShards:   s.cfg.Shards,
 		WAL:         disk,
 		Hooks:       &simHooks{s: s, gen: s.gen.Load()},
 	}
@@ -349,6 +365,13 @@ func (s *sim) drive() error {
 				}
 			}
 		}
+		if s.mstalled() {
+			if s.mstallLeft--; s.mstallLeft <= 0 {
+				if err := s.unstallMerge(); err != nil {
+					return fmt.Errorf("step %d: %w", step, err)
+				}
+			}
+		}
 		if err := s.tick(); err != nil {
 			return fmt.Errorf("step %d: %w", step, err)
 		}
@@ -375,6 +398,9 @@ func (s *sim) tick() error {
 	if len(idle) == 0 {
 		if s.stalled() {
 			return s.unstall()
+		}
+		if s.mstalled() {
+			return s.unstallMerge()
 		}
 		return fmt.Errorf("no runnable session (phases %v)", s.phases())
 	}
@@ -482,6 +508,25 @@ func (s *sim) handleEvent(ev simEvent) error {
 		if st != nil && ev.seq >= st.from {
 			sl.phase = phParkCert
 		}
+	case evMergeWait:
+		// The session is about to wait for the merged prefix to cover
+		// ev.seq; it blocks exactly when the stalled shard has a pending
+		// ticket ≤ ev.seq. The query is deterministic: entries at or past
+		// the stall point only accumulate while the stall holds, and no
+		// other session is mid-request when the driver handles this.
+		sl := s.bySid[ev.sess]
+		if sl == nil || sl.phase != phAwait {
+			return nil
+		}
+		s.mu.Lock()
+		mst := s.mstall
+		s.mu.Unlock()
+		if mst == nil {
+			return nil
+		}
+		if b := s.srv.MergeBoundAfter(mst.shard, mst.from); b >= 0 && b <= ev.seq {
+			sl.phase = phParkCert
+		}
 	case evDone:
 		s.done[ev.sess] = true
 	case evResp:
@@ -549,6 +594,12 @@ func (s *sim) applyResp(sl *slot, resp wire.Response) error {
 func (s *sim) fault(class FaultClass) (did bool, err error) {
 	switch class {
 	case FaultDrop:
+		if s.mstalled() {
+			// The disconnect abort must drain through the merged watermark
+			// before SessionDone; behind a stalled shard that would wedge
+			// the driver's wait for the session to retire.
+			return false, nil
+		}
 		var open []*slot
 		for _, sl := range s.slots {
 			if sl.phase == phIdle && sl.inTx {
@@ -561,10 +612,7 @@ func (s *sim) fault(class FaultClass) (did bool, err error) {
 		s.rep.Faults[class]++
 		return true, s.drop(open[s.r.intn(len(open))], wire.Request{})
 	case FaultDropAfterCommit:
-		s.mu.Lock()
-		stalled := s.stall != nil
-		s.mu.Unlock()
-		if stalled {
+		if s.stalled() || s.mstalled() {
 			return false, nil
 		}
 		var open []*slot
@@ -579,8 +627,11 @@ func (s *sim) fault(class FaultClass) (did bool, err error) {
 		s.rep.Faults[class]++
 		return true, s.drop(open[s.r.intn(len(open))], wire.Request{Cmd: wire.CmdCommit})
 	case FaultCertStall:
+		// Mutually exclusive with a merge stall: their unstall drains both
+		// pump on "no slot parked behind a watermark", so overlapping
+		// stalls would make either lift wait on the other's parks.
 		s.mu.Lock()
-		already := s.stall != nil
+		already := s.stall != nil || s.mstall != nil
 		if !already {
 			s.stall = &stallState{from: s.srv.LogLen(), released: make(chan struct{})}
 		}
@@ -589,6 +640,27 @@ func (s *sim) fault(class FaultClass) (did bool, err error) {
 			return false, nil
 		}
 		s.stallLeft = 5 + s.r.intn(20)
+		s.rep.Faults[class]++
+		return true, nil
+	case FaultMergeStall:
+		s.mu.Lock()
+		already := s.stall != nil || s.mstall != nil
+		if !already {
+			// from = LogLen(): no entry at or past the stall point exists
+			// yet, so the stalled shard's pending-set grows monotonically
+			// for the stall's whole lifetime — the driver's park decisions
+			// stay a pure function of its own history.
+			s.mstall = &mergeStallState{
+				shard:    s.r.intn(s.srv.LogShards()),
+				from:     s.srv.LogLen(),
+				released: make(chan struct{}),
+			}
+		}
+		s.mu.Unlock()
+		if already {
+			return false, nil
+		}
+		s.mstallLeft = 5 + s.r.intn(20)
 		s.rep.Faults[class]++
 		return true, nil
 	case FaultClockStorm:
@@ -658,9 +730,47 @@ func (s *sim) unstall() error {
 	return s.pumpUntil(func() bool { return len(s.phaseSlots(phParkCert)) == 0 })
 }
 
+// mstalled reports whether a merge stall is active (locked for the same
+// reason as stalled: the merger reads s.mstall from its own goroutine).
+func (s *sim) mstalled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mstall != nil
+}
+
+// unstallMerge lifts a merge stall and pumps until every completion parked
+// on the merged watermark has its response.
+func (s *sim) unstallMerge() error {
+	s.mu.Lock()
+	st := s.mstall
+	s.mstall = nil
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	close(st.released)
+	return s.pumpUntil(func() bool { return len(s.phaseSlots(phParkCert)) == 0 })
+}
+
 // crash kills the server at the current instant and recovers it from the
 // durable prefix plus a random torn tail.
 func (s *sim) crash() error {
+	// Settle the merger at its deterministic fixpoint before snapshotting
+	// the disk: every ticketed entry merges, except that an active merge
+	// stall pins the merge front at the stalled shard's first pending
+	// ticket. The stall is NOT lifted first — releasing it would let the
+	// parked sessions race their fsyncs against the snapshot below.
+	settle := s.srv.LogLen()
+	s.mu.Lock()
+	mst := s.mstall
+	s.mu.Unlock()
+	if mst != nil {
+		if b := s.srv.MergeBoundAfter(mst.shard, mst.from); b >= 0 && b < settle {
+			settle = b
+		}
+	}
+	s.srv.SettleMerged(settle)
+
 	keep := 0
 	if u := s.disk.UnsyncedBytes(); u > 0 {
 		keep = s.r.intn(u + 1)
@@ -669,14 +779,17 @@ func (s *sim) crash() error {
 	s.disk.Freeze()
 
 	// Retire the generation: stale hooks return immediately, parked
-	// sessions and a stalled certifier fall out of their hooks, and every
-	// event they still emit is discarded by the gen filter.
+	// sessions, a stalled certifier and a stalled merger fall out of their
+	// hooks (the dying merger drains the rest of its queue onto the frozen
+	// disk, harmlessly), and every event they still emit is discarded by
+	// the gen filter.
 	s.mu.Lock()
 	s.gen.Add(1)
 	close(s.release)
 	s.release = make(chan struct{})
 	s.wakes = make(map[int64]chan struct{})
 	s.stall = nil
+	s.mstall = nil
 	s.mu.Unlock()
 
 	s.srv.Kill()
@@ -721,6 +834,9 @@ func (s *sim) checkOracle() error {
 func (s *sim) finish() error {
 	if err := s.unstall(); err != nil {
 		return fmt.Errorf("final unstall: %w", err)
+	}
+	if err := s.unstallMerge(); err != nil {
+		return fmt.Errorf("final merge unstall: %w", err)
 	}
 	for {
 		parked := s.phaseSlots(phParkLock)

@@ -27,7 +27,6 @@ package wire
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -143,14 +142,22 @@ type Response struct {
 	Verdict Verdict
 }
 
-// WriteFrame writes one length-prefixed frame and flushes the writer.
+// WriteFrame writes one length-prefixed frame and flushes the writer. The
+// length prefix goes out byte-by-byte through the bufio.Writer: a stack
+// scratch array passed to Write would escape through the underlying
+// io.Writer interface and cost the hot path an allocation per frame.
 func WriteFrame(w *bufio.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
-	var lb [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lb[:], uint64(len(payload)))
-	if _, err := w.Write(lb[:n]); err != nil {
+	n := uint64(len(payload))
+	for n >= 0x80 {
+		if err := w.WriteByte(byte(n) | 0x80); err != nil {
+			return err
+		}
+		n >>= 7
+	}
+	if err := w.WriteByte(byte(n)); err != nil {
 		return err
 	}
 	if _, err := w.Write(payload); err != nil {
@@ -161,7 +168,10 @@ func WriteFrame(w *bufio.Writer, payload []byte) error {
 
 // ReadFrame reads one length-prefixed frame into buf (grown as needed) and
 // returns the payload slice. io.EOF before the length prefix means a clean
-// connection close.
+// connection close. Growth is geometric — at least double the old capacity,
+// clamped to MaxFrame — so a long-lived session's reuse buffer settles at
+// its peak frame size after O(log n) reallocations instead of reallocating
+// on every upward size wobble.
 func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -171,7 +181,17 @@ func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
 	if uint64(cap(buf)) < n {
-		buf = make([]byte, n)
+		newCap := 2 * cap(buf)
+		if newCap < 64 {
+			newCap = 64
+		}
+		if uint64(newCap) < n {
+			newCap = int(n)
+		}
+		if newCap > MaxFrame {
+			newCap = MaxFrame
+		}
+		buf = make([]byte, newCap)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -184,6 +204,8 @@ func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
 }
 
 // AppendRequest encodes q onto buf.
+//
+//sgvet:hotpath
 func AppendRequest(buf []byte, q Request) []byte {
 	buf = append(buf, byte(q.Cmd))
 	if q.Cmd == CmdAccess {
@@ -194,28 +216,30 @@ func AppendRequest(buf []byte, q Request) []byte {
 	return buf
 }
 
-// ParseRequest decodes a request payload.
+// ParseRequest decodes a request payload. It reads the byte slice directly
+// (no intermediate reader), so commands without string payloads parse
+// without allocating; an ACCESS request's one allocation is the Obj string.
 func ParseRequest(payload []byte) (Request, error) {
-	r := bufio.NewReader(bytes.NewReader(payload))
-	cb, err := r.ReadByte()
-	if err != nil {
-		return Request{}, fmt.Errorf("wire: request cmd: %w", err)
+	if len(payload) == 0 {
+		return Request{}, fmt.Errorf("wire: request cmd: %w", io.ErrUnexpectedEOF)
 	}
+	cb, rest := payload[0], payload[1:]
 	q := Request{Cmd: Cmd(cb), Arg: spec.Nil}
+	var err error
 	switch q.Cmd {
 	case CmdAccess:
-		if q.Obj, err = event.ReadString(r, "request obj"); err != nil {
+		if q.Obj, rest, err = event.CutString(rest, "request obj"); err != nil {
 			return Request{}, err
 		}
-		opk, err := binary.ReadUvarint(r)
-		if err != nil {
-			return Request{}, fmt.Errorf("wire: request op: %w", err)
+		var opk uint64
+		if opk, rest, err = event.CutUvarint(rest, "request op"); err != nil {
+			return Request{}, err
 		}
 		if opk == 0 || spec.OpKind(opk) > spec.OpDeq {
 			return Request{}, fmt.Errorf("wire: request has unknown op kind %d", opk)
 		}
 		q.Op = spec.OpKind(opk)
-		if q.Arg, err = event.ReadValue(r, "request arg"); err != nil {
+		if q.Arg, rest, err = event.CutValue(rest, "request arg"); err != nil {
 			return Request{}, err
 		}
 	case CmdBegin, CmdChild, CmdCommit, CmdAbort, CmdVerdict, CmdPing:
@@ -225,14 +249,16 @@ func ParseRequest(payload []byte) (Request, error) {
 	default:
 		return Request{}, fmt.Errorf("wire: unknown command byte %d", cb)
 	}
-	if r.Buffered() > 0 {
-		return Request{}, fmt.Errorf("wire: %d trailing bytes after %s request", r.Buffered(), q.Cmd)
+	if len(rest) > 0 {
+		return Request{}, fmt.Errorf("wire: %d trailing bytes after %s request", len(rest), q.Cmd)
 	}
 	return q, nil
 }
 
 // AppendResponse encodes the response to a cmd request onto buf. The command
 // selects which payload fields travel, mirroring ParseResponse.
+//
+//sgvet:hotpath
 func AppendResponse(buf []byte, cmd Cmd, resp Response) []byte {
 	buf = append(buf, byte(resp.Status))
 	switch resp.Status {
@@ -273,17 +299,19 @@ func AppendResponse(buf []byte, cmd Cmd, resp Response) []byte {
 	return buf
 }
 
-// ParseResponse decodes the response to a cmd request.
+// ParseResponse decodes the response to a cmd request. Like ParseRequest it
+// reads the byte slice directly, so responses without string payloads (PING,
+// ACCESS with a scalar value, COMMIT) parse without allocating.
 func ParseResponse(cmd Cmd, payload []byte) (Response, error) {
-	r := bufio.NewReader(bytes.NewReader(payload))
-	sb, err := r.ReadByte()
-	if err != nil {
-		return Response{}, fmt.Errorf("wire: response status: %w", err)
+	if len(payload) == 0 {
+		return Response{}, fmt.Errorf("wire: response status: %w", io.ErrUnexpectedEOF)
 	}
+	sb, rest := payload[0], payload[1:]
 	resp := Response{Status: Status(sb), Value: spec.Nil}
+	var err error
 	switch resp.Status {
 	case StatusTxAborted, StatusError:
-		if resp.Reason, err = event.ReadString(r, "response reason"); err != nil {
+		if resp.Reason, _, err = event.CutString(rest, "response reason"); err != nil {
 			return Response{}, err
 		}
 		return resp, nil
@@ -294,32 +322,33 @@ func ParseResponse(cmd Cmd, payload []byte) (Response, error) {
 	}
 	switch cmd {
 	case CmdBegin, CmdChild:
-		if resp.Name, err = event.ReadString(r, "response name"); err != nil {
+		if resp.Name, rest, err = event.CutString(rest, "response name"); err != nil {
 			return Response{}, err
 		}
 	case CmdAccess:
-		if resp.Value, err = event.ReadValue(r, "response value"); err != nil {
+		if resp.Value, rest, err = event.CutValue(rest, "response value"); err != nil {
 			return Response{}, err
 		}
 	case CmdCommit:
-		if resp.Seq, err = binary.ReadUvarint(r); err != nil {
-			return Response{}, fmt.Errorf("wire: response seq: %w", err)
+		if resp.Seq, rest, err = event.CutUvarint(rest, "response seq"); err != nil {
+			return Response{}, err
 		}
 	case CmdVerdict:
 		v := &resp.Verdict
-		for _, f := range []*uint64{&v.Events, &v.Certified} {
-			if *f, err = binary.ReadUvarint(r); err != nil {
-				return Response{}, fmt.Errorf("wire: response verdict: %w", err)
-			}
+		if v.Events, rest, err = event.CutUvarint(rest, "response verdict"); err != nil {
+			return Response{}, err
 		}
-		ab, err := r.ReadByte()
-		if err != nil {
-			return Response{}, fmt.Errorf("wire: response verdict acyclic: %w", err)
+		if v.Certified, rest, err = event.CutUvarint(rest, "response verdict"); err != nil {
+			return Response{}, err
 		}
-		v.Acyclic = ab != 0
+		if len(rest) == 0 {
+			return Response{}, fmt.Errorf("wire: response verdict acyclic: %w", io.ErrUnexpectedEOF)
+		}
+		v.Acyclic = rest[0] != 0
+		rest = rest[1:]
 		for _, f := range []*uint64{&v.Parents, &v.Nodes, &v.Edges, &v.Commits, &v.Aborts} {
-			if *f, err = binary.ReadUvarint(r); err != nil {
-				return Response{}, fmt.Errorf("wire: response verdict: %w", err)
+			if *f, rest, err = event.CutUvarint(rest, "response verdict"); err != nil {
+				return Response{}, err
 			}
 		}
 	case CmdAbort, CmdPing, CmdInvalid:

@@ -148,3 +148,101 @@ func TestNames(t *testing.T) {
 		t.Fatal("out-of-range names should include the raw byte")
 	}
 }
+
+// TestReadFrameGeometricGrowth: a long-lived session's reuse buffer must
+// settle after O(log peak) reallocations, not reallocate on every upward
+// size wobble — each growth at least doubles capacity (floor 64, clamped
+// to MaxFrame).
+func TestReadFrameGeometricGrowth(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	sizes := make([]int, 0, 600)
+	for n := 1; n <= 600; n++ {
+		sizes = append(sizes, n)
+	}
+	for _, n := range sizes {
+		if err := WriteFrame(w, make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	var reuse []byte
+	grows := 0
+	for _, n := range sizes {
+		prev := cap(reuse)
+		got, err := ReadFrame(r, reuse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("frame %d: got %d bytes", n, len(got))
+		}
+		reuse = got
+		if cap(reuse) != prev {
+			grows++
+			if prev > 0 && cap(reuse) < 2*prev {
+				t.Fatalf("growth %d -> %d is not geometric", prev, cap(reuse))
+			}
+		}
+	}
+	// 1..600 with doubling from a floor of 64: 64, 128, 256, 512, 1024.
+	if grows > 5 {
+		t.Fatalf("%d reallocations across 600 creeping frames, want <= 5", grows)
+	}
+	// The clamp: a growth triggered near the cap must not exceed MaxFrame.
+	buf.Reset()
+	if err := WriteFrame(bufio.NewWriter(&buf), make([]byte, MaxFrame)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(bufio.NewReader(&buf), make([]byte, 0, MaxFrame-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(got) > MaxFrame {
+		t.Fatalf("growth overshot the MaxFrame clamp: cap %d", cap(got))
+	}
+}
+
+// TestHotPathFrameAllocs pins the steady-state allocation count of the
+// framed request path at zero: with warmed reuse buffers, write+read+parse
+// of a PING request and its response must not allocate. This is the
+// per-frame contract the server session loop and client round trip rely on.
+func TestHotPathFrameAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	r := bufio.NewReader(&buf)
+	out := make([]byte, 0, 64)
+	reuse := make([]byte, 0, 64)
+	req := Request{Cmd: CmdPing, Arg: spec.Nil}
+	resp := Response{Status: StatusOK, Value: spec.Nil}
+	allocs := testing.AllocsPerRun(200, func() {
+		buf.Reset()
+		out = AppendRequest(out[:0], req)
+		if err := WriteFrame(w, out); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(r, reuse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reuse = payload
+		if q, err := ParseRequest(payload); err != nil || q.Cmd != CmdPing {
+			t.Fatalf("parse request: %+v, %v", q, err)
+		}
+		buf.Reset()
+		out = AppendResponse(out[:0], CmdPing, resp)
+		if err := WriteFrame(w, out); err != nil {
+			t.Fatal(err)
+		}
+		if payload, err = ReadFrame(r, reuse); err != nil {
+			t.Fatal(err)
+		}
+		reuse = payload
+		if p, err := ParseResponse(CmdPing, payload); err != nil || p.Status != StatusOK {
+			t.Fatalf("parse response: %+v, %v", p, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state frame round trip allocates %.1f times, want 0", allocs)
+	}
+}
