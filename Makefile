@@ -23,7 +23,7 @@ sgvet:
 # the acyclic graph the lockorder analyzer enforces; DESIGN.md §11
 # commits the current rendering.
 lockreport:
-	$(GO) run ./cmd/sgvet -lockdot ./internal/server ./internal/sim ./internal/client ./internal/core
+	$(GO) run ./cmd/sgvet -lockdot ./internal/server ./internal/sim ./internal/client ./internal/core ./internal/part
 
 race:
 	$(GO) test -race ./...
@@ -34,6 +34,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/event
 	$(GO) test -run '^$$' -fuzz '^FuzzBinaryTraceRoundTrip$$' -fuzztime 10s ./internal/event
 	$(GO) test -run '^$$' -fuzz '^FuzzRecoveryReplay$$' -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzPartitionedCertificate$$' -fuzztime 10s ./internal/part
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or fail their correctness assertions, without measuring anything.
@@ -57,13 +58,16 @@ bench-gate: bench-json
 # Refresh the "current" side of BENCH_SERVER.json: the server hot-path
 # micro benchmarks (sharded log append with WAL attached and the merger
 # live, group-commit ticket protocol, full client/server session round
-# trip) plus a short certified nestedload sweep over clients × read-ratio
-# × zipf × shards, whose latency percentiles and throughput parse into
-# the suite as first-class columns (p50-us, p99-us, tx/s).
+# trip, partitioned certifier apply+compose) plus a short certified
+# nestedload sweep over clients × read-ratio × zipf × shards ×
+# certifier partitions, whose latency percentiles and throughput parse
+# into the suite as first-class columns (p50-us, p99-us, tx/s).
 bench-server:
 	( $(GO) test -run '^$$' -bench 'ShardedLogAppend|ServerGroupCommit|ServerSessionRoundTrip' -benchmem -count 1 ./internal/server ; \
+	  $(GO) test -run '^$$' -bench 'PartitionedApply' -benchmem -count 1 ./internal/part ; \
 	  $(GO) run ./cmd/nestedload -sweep -dur 250ms -objects 8 \
-		-sweep-clients 1,4,8 -sweep-readratios 0.2,0.8 -sweep-zipfs 0,1.5 -sweep-shards 1,4 ) \
+		-sweep-clients 1,4,8 -sweep-readratios 0.2,0.8 -sweep-zipfs 0,1.5 -sweep-shards 1,4 \
+		-sweep-partitions 1,4 ) \
 		| $(GO) run ./cmd/benchdiff -write-current BENCH_SERVER.json
 
 # Fail when the server hot-path benchmarks regress against the committed
@@ -72,7 +76,7 @@ bench-server:
 # numbers are hardware noise on shared runners.
 bench-server-gate: bench-server
 	$(GO) run ./cmd/benchdiff -suite BENCH_SERVER.json \
-		-match 'ShardedLogAppend|ServerGroupCommit|ServerSessionRoundTrip' -max-allocs-regress 25 -max-bytes-regress 25
+		-match 'ShardedLogAppend|ServerGroupCommit|ServerSessionRoundTrip|PartitionedApply' -max-allocs-regress 25 -max-bytes-regress 25
 
 # Run the certified transaction server on the default port. SIGTERM (or
 # ctrl-C) drains it and prints the final online-vs-batch certificate.

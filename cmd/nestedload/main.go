@@ -124,6 +124,7 @@ type loadConfig struct {
 	seed      int64
 	retries   int
 	shards    int
+	parts     int
 }
 
 // loadResult is what one load run measured, plus the certification verdict
@@ -146,10 +147,11 @@ func execute(cfg loadConfig, stderr io.Writer) (*loadResult, int) {
 	if cfg.proto != nil {
 		var err error
 		srv, err = server.Listen("127.0.0.1:0", server.Options{
-			Protocol:    cfg.proto,
-			DefaultSpec: spec.ByName(cfg.specName),
-			Objects:     cfg.objects,
-			LogShards:   cfg.shards,
+			Protocol:       cfg.proto,
+			DefaultSpec:    spec.ByName(cfg.specName),
+			Objects:        cfg.objects,
+			LogShards:      cfg.shards,
+			CertPartitions: cfg.parts,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "nestedload:", err)
@@ -322,6 +324,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		protoName = fs.String("protocol", "moss", "selfserve: concurrency control protocol")
 		seed      = fs.Int64("seed", 1, "per-worker RNG seed base")
 		shards    = fs.Int("shards", 0, "selfserve: event-log append shards (0 = server default)")
+		certParts = fs.Int("cert-partitions", 0, "selfserve: certifier partitions (0 or 1 = single certifier)")
 		retries   = fs.Int("retries", 8, "max attempts per transaction (bounded exponential backoff)")
 		bench     = fs.Bool("bench", false, "also print a go test -bench style summary line")
 
@@ -330,6 +333,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sweepRatios = fs.String("sweep-readratios", "0.2,0.8", "sweep: comma-separated read ratios")
 		sweepZipfs  = fs.String("sweep-zipfs", "0,1.5", "sweep: comma-separated zipf skews (0 = uniform)")
 		sweepShards = fs.String("sweep-shards", "1,4", "sweep: comma-separated event-log shard counts")
+		sweepParts  = fs.String("sweep-partitions", "1", "sweep: comma-separated certifier partition counts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -366,10 +370,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed:      *seed,
 		retries:   *retries,
 		shards:    *shards,
+		parts:     *certParts,
 	}
 
 	if *sweep {
-		return runSweep(base, proto, *sweepCli, *sweepRatios, *sweepZipfs, *sweepShards, stdout, stderr)
+		return runSweep(base, proto, *sweepCli, *sweepRatios, *sweepZipfs, *sweepShards, *sweepParts, stdout, stderr)
 	}
 
 	if *selfserve {
@@ -404,12 +409,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runSweep executes the clients × read-ratio × zipf × shards grid, each
-// cell a fresh in-process server, and emits one benchmark line per cell
-// whose custom units (p50-us, p99-us, tx/s) cmd/benchdiff parses into
-// BENCH columns. Every cell must end with a clean certificate; any verdict
-// failure fails the sweep.
-func runSweep(base loadConfig, proto object.Protocol, cliList, ratioList, zipfList, shardList string, stdout, stderr io.Writer) int {
+// runSweep executes the clients × read-ratio × zipf × shards × partitions
+// grid, each cell a fresh in-process server, and emits one benchmark line
+// per cell whose custom units (p50-us, p99-us, tx/s) cmd/benchdiff parses
+// into BENCH columns. Every cell must end with a clean certificate; any
+// verdict failure fails the sweep.
+func runSweep(base loadConfig, proto object.Protocol, cliList, ratioList, zipfList, shardList, partList string, stdout, stderr io.Writer) int {
 	clients, err := parseInts(cliList)
 	if err != nil {
 		fmt.Fprintln(stderr, "nestedload: -sweep-clients:", err)
@@ -430,34 +435,42 @@ func runSweep(base loadConfig, proto object.Protocol, cliList, ratioList, zipfLi
 		fmt.Fprintln(stderr, "nestedload: -sweep-shards:", err)
 		return 2
 	}
+	parts, err := parseInts(partList)
+	if err != nil {
+		fmt.Fprintln(stderr, "nestedload: -sweep-partitions:", err)
+		return 2
+	}
 
 	rc := 0
 	for _, c := range clients {
 		for _, r := range ratios {
 			for _, z := range zipfs {
 				for _, sh := range shards {
-					cfg := base
-					cfg.proto = proto
-					cfg.workers = c
-					cfg.readRatio = r
-					cfg.zipfS = z
-					cfg.shards = sh
-					res, erc := execute(cfg, stderr)
-					if erc != 0 {
-						return erc
-					}
-					name := fmt.Sprintf("BenchmarkServerSweep/c%d/r%.2f/z%.1f/s%d", c, r, z, sh)
-					fmt.Fprintf(stderr, "# %s committed=%d failed=%d elapsed=%s ok=%v\n",
-						strings.TrimPrefix(name, "Benchmark"), res.committed, res.failed,
-						res.elapsed.Round(time.Millisecond), res.ok)
-					if res.committed > 0 {
-						fmt.Fprintf(stdout, "%s %d %d ns/op %d p50-us %d p99-us %.1f tx/s\n",
-							name, res.committed, res.elapsed.Nanoseconds()/res.committed,
-							res.lat.Quantile(0.50).Microseconds(), res.lat.Quantile(0.99).Microseconds(),
-							res.tput())
-					}
-					if !res.ok || (res.committed == 0 && res.failed > 0) {
-						rc = 1
+					for _, pt := range parts {
+						cfg := base
+						cfg.proto = proto
+						cfg.workers = c
+						cfg.readRatio = r
+						cfg.zipfS = z
+						cfg.shards = sh
+						cfg.parts = pt
+						res, erc := execute(cfg, stderr)
+						if erc != 0 {
+							return erc
+						}
+						name := fmt.Sprintf("BenchmarkServerSweep/c%d/r%.2f/z%.1f/s%d/p%d", c, r, z, sh, pt)
+						fmt.Fprintf(stderr, "# %s committed=%d failed=%d elapsed=%s ok=%v\n",
+							strings.TrimPrefix(name, "Benchmark"), res.committed, res.failed,
+							res.elapsed.Round(time.Millisecond), res.ok)
+						if res.committed > 0 {
+							fmt.Fprintf(stdout, "%s %d %d ns/op %d p50-us %d p99-us %.1f tx/s\n",
+								name, res.committed, res.elapsed.Nanoseconds()/res.committed,
+								res.lat.Quantile(0.50).Microseconds(), res.lat.Quantile(0.99).Microseconds(),
+								res.tput())
+						}
+						if !res.ok || (res.committed == 0 && res.failed > 0) {
+							rc = 1
+						}
 					}
 				}
 			}

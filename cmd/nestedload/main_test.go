@@ -70,7 +70,7 @@ func TestLoadBadFlags(t *testing.T) {
 	}
 }
 
-var sweepLine = regexp.MustCompile(`(?m)^BenchmarkServerSweep/c2/r0\.50/z0\.0/s2 \d+ \d+ ns/op \d+ p50-us \d+ p99-us \d+(\.\d+)? tx/s$`)
+var sweepLine = regexp.MustCompile(`(?m)^BenchmarkServerSweep/c2/r0\.50/z0\.0/s2/p1 \d+ \d+ ns/op \d+ p50-us \d+ p99-us \d+(\.\d+)? tx/s$`)
 
 func TestSweepBenchLines(t *testing.T) {
 	code, out, errs := runLoad(t,
@@ -82,11 +82,33 @@ func TestSweepBenchLines(t *testing.T) {
 	if !sweepLine.MatchString(out) {
 		t.Fatalf("no sweep bench line in:\n%s", out)
 	}
-	if !strings.Contains(out, "BenchmarkServerSweep/c2/r0.50/z0.0/s8 ") {
+	if !strings.Contains(out, "BenchmarkServerSweep/c2/r0.50/z0.0/s8/p1 ") {
 		t.Fatalf("sweep missing the shards=8 cell:\n%s", out)
 	}
 	if !strings.Contains(errs, "ok=true") {
 		t.Fatalf("sweep cell did not report a clean certificate:\n%s", errs)
+	}
+}
+
+// TestSweepPartitionsAxis: -sweep-partitions adds the certifier partition
+// count as a grid axis, and each cell's bench name carries its /p segment.
+func TestSweepPartitionsAxis(t *testing.T) {
+	code, out, errs := runLoad(t,
+		"-sweep", "-sweep-clients", "2", "-sweep-readratios", "0.5", "-sweep-zipfs", "0",
+		"-sweep-shards", "1", "-sweep-partitions", "1,4", "-sessions", "3", "-seed", "17")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	for _, cell := range []string{
+		"BenchmarkServerSweep/c2/r0.50/z0.0/s1/p1 ",
+		"BenchmarkServerSweep/c2/r0.50/z0.0/s1/p4 ",
+	} {
+		if !strings.Contains(out, cell) {
+			t.Fatalf("sweep missing cell %q:\n%s", cell, out)
+		}
+	}
+	if strings.Contains(errs, "ok=false") {
+		t.Fatalf("a partitioned sweep cell failed certification:\n%s", errs)
 	}
 }
 
@@ -96,6 +118,9 @@ func TestSweepBadLists(t *testing.T) {
 	}
 	if code, _, errs := runLoad(t, "-sweep", "-sweep-shards", "4,"); code != 2 || !strings.Contains(errs, "-sweep-shards") {
 		t.Fatalf("bad shard list: exit %d, stderr %q", code, errs)
+	}
+	if code, _, errs := runLoad(t, "-sweep", "-sweep-partitions", "p"); code != 2 || !strings.Contains(errs, "-sweep-partitions") {
+		t.Fatalf("bad partition list: exit %d, stderr %q", code, errs)
 	}
 }
 
@@ -109,5 +134,24 @@ func TestSelfServeShardsFlag(t *testing.T) {
 	}
 	if !strings.Contains(out, "final certificate: serially correct for T0") {
 		t.Errorf("no certificate:\n%s", out)
+	}
+}
+
+// TestSelfServeCertPartitionsFlag: -cert-partitions plumbs through to the
+// partitioned certifier backend, and the composed certificate still
+// matches the batch check at drain.
+func TestSelfServeCertPartitionsFlag(t *testing.T) {
+	code, out, errs := runLoad(t,
+		"-selfserve", "-workers", "3", "-sessions", "4", "-cert-partitions", "4", "-seed", "19")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	for _, want := range []string{
+		"final certificate: serially correct for T0",
+		"online snapshot matches batch SG byte-for-byte",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }

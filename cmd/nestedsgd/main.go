@@ -76,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 		objects      = fs.String("objects", "", "comma-separated object labels to pre-create")
 		walDir       = fs.String("wal", "", "directory for the durable write-ahead log; on boot, replay and audit it before serving ('' = in-memory, no durability)")
 		shards       = fs.Int("shards", 0, "event-log append shards (0 = server default)")
+		certParts    = fs.Int("cert-partitions", 0, "certifier partitions; >1 certifies via per-partition SG workers with cross-partition edge exchange (0 or 1 = single certifier)")
 		lockTimeout  = fs.Duration("lock-timeout", time.Second, "abort a transaction whose access waits this long")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "shutdown: force-close busy connections after this long")
 		verbose      = fs.Bool("v", false, "log per-session aborts")
@@ -94,10 +95,11 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 		return 2
 	}
 	opts := server.Options{
-		Protocol:    proto,
-		DefaultSpec: sp,
-		LockTimeout: *lockTimeout,
-		LogShards:   *shards,
+		Protocol:       proto,
+		DefaultSpec:    sp,
+		LockTimeout:    *lockTimeout,
+		LogShards:      *shards,
+		CertPartitions: *certParts,
 	}
 	if *objects != "" {
 		for _, label := range strings.Split(*objects, ",") {

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/tname"
+)
+
+// edgeRecord is one sink observation, kept in TxID space so it can be
+// replayed into a Composer in any order.
+type edgeRecord struct {
+	parent, from, to tname.TxID
+	kind             EdgeKind
+}
+
+// collectEdges streams b through an Incremental with a recording sink and
+// returns the deduped edge records in discovery order.
+func collectEdges(tr *tname.Tree, b event.Behavior) []edgeRecord {
+	inc := NewIncremental(tr)
+	var recs []edgeRecord
+	inc.SetEdgeSink(func(parent, from, to tname.TxID, kind EdgeKind) {
+		recs = append(recs, edgeRecord{parent, from, to, kind})
+	})
+	for _, e := range b {
+		inc.Append(e)
+	}
+	return recs
+}
+
+// TestComposerMatchesBuild: replaying the sink's edge records into a
+// Composer reconstructs SG(β) byte-for-byte, on protocol traces and on
+// random event soup, cyclic traces included.
+func TestComposerMatchesBuild(t *testing.T) {
+	for _, proto := range []string{"moss", "broken"} {
+		for seed := int64(0); seed < 30; seed++ {
+			tr := tname.NewTree()
+			b := protocolTrace(t, proto, seed, tr)
+			verifyComposed(t, tr, b)
+		}
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 40; i++ {
+		tr, names := randomSystem(rng)
+		b := randomEvents(rng, tr, names, 30+rng.Intn(40))
+		verifyComposed(t, tr, b)
+	}
+}
+
+func verifyComposed(t *testing.T, tr *tname.Tree, b event.Behavior) {
+	t.Helper()
+	recs := collectEdges(tr, b)
+	want := Build(tr, b)
+
+	comp := NewComposer(tr)
+	for _, r := range recs {
+		comp.AddEdge(r.parent, r.from, r.to, r.kind)
+	}
+	if got, w := comp.Snapshot().DOT(), want.DOT(); got != w {
+		t.Fatalf("composed snapshot diverges from Build:\n--- composed ---\n%s\n--- build ---\n%s", got, w)
+	}
+	_, cyc := want.Acyclicity()
+	if comp.Cyclic() != (cyc != nil) {
+		t.Fatalf("composed verdict cyclic=%v, Build cyclic=%v", comp.Cyclic(), cyc != nil)
+	}
+
+	// Arrival order must not matter: replay the records reversed, with
+	// every record delivered twice (a partition re-deriving an edge
+	// another partition already shipped is the common case).
+	comp2 := NewComposer(tr)
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		comp2.AddEdge(r.parent, r.from, r.to, r.kind)
+		if comp2.AddEdge(r.parent, r.from, r.to, r.kind) {
+			t.Fatalf("duplicate record reported as new: %+v", r)
+		}
+	}
+	if got, w := comp2.Snapshot().DOT(), want.DOT(); got != w {
+		t.Fatalf("reversed replay diverges from Build:\n%s\n%s", got, w)
+	}
+	if comp2.Cyclic() != (cyc != nil) {
+		t.Fatalf("reversed replay verdict cyclic=%v, Build cyclic=%v", comp2.Cyclic(), cyc != nil)
+	}
+}
+
+// TestComposerCounts: Counts must agree with the Incremental that fed it.
+func TestComposerCounts(t *testing.T) {
+	tr := tname.NewTree()
+	b := protocolTrace(t, "moss", 3, tr)
+	inc := NewIncremental(tr)
+	comp := NewComposer(tr)
+	inc.SetEdgeSink(func(parent, from, to tname.TxID, kind EdgeKind) {
+		comp.AddEdge(parent, from, to, kind)
+	})
+	for _, e := range b {
+		inc.Append(e)
+	}
+	ip, in, ie := inc.Counts()
+	cp, cn, ce := comp.Counts()
+	if ip != cp || in != cn || ie != ce {
+		t.Fatalf("counts diverge: incremental (%d,%d,%d) composer (%d,%d,%d)", ip, in, ie, cp, cn, ce)
+	}
+}
+
+// TestComposerReset: Reset rewinds to the empty graph and a second
+// composition over the same tree reproduces the same bytes.
+func TestComposerReset(t *testing.T) {
+	tr := tname.NewTree()
+	b := protocolTrace(t, "moss", 5, tr)
+	recs := collectEdges(tr, b)
+	comp := NewComposer(tr)
+	feed := func() {
+		for _, r := range recs {
+			comp.AddEdge(r.parent, r.from, r.to, r.kind)
+		}
+	}
+	feed()
+	first := comp.Snapshot().DOT()
+	comp.Reset()
+	if p, n, e := comp.Counts(); p != 0 || n != 0 || e != 0 {
+		t.Fatalf("reset left state behind: %d parents %d nodes %d edges", p, n, e)
+	}
+	feed()
+	if got := comp.Snapshot().DOT(); got != first {
+		t.Fatalf("post-reset composition diverges:\n%s\n%s", got, first)
+	}
+}
+
+// TestEdgeSinkFiresOncePerRecord: the sink sees exactly the dedup map's
+// support — len(seen) records, no duplicates.
+func TestEdgeSinkFiresOncePerRecord(t *testing.T) {
+	tr := tname.NewTree()
+	b := protocolTrace(t, "moss", 7, tr)
+	inc := NewIncremental(tr)
+	seen := map[edgeRecord]int{}
+	inc.SetEdgeSink(func(parent, from, to tname.TxID, kind EdgeKind) {
+		seen[edgeRecord{parent, from, to, kind}]++
+	})
+	for _, e := range b {
+		inc.Append(e)
+	}
+	_, _, edges := inc.Counts()
+	if len(seen) != edges {
+		t.Fatalf("sink saw %d distinct records, checker holds %d", len(seen), edges)
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %+v delivered %d times", r, n)
+		}
+	}
+}

@@ -71,7 +71,22 @@ type Incremental struct {
 	cyclic     bool
 	rejected   *Cycle
 	rejectedAt int
+
+	// sink, when set, observes every new deduped edge record as it enters
+	// the graph — the export half of the partitioned certification scheme
+	// (the Composer is the import half). Reset keeps it: the sink belongs
+	// to the stream's owner, not to any one prefix.
+	sink EdgeSink
 }
+
+// EdgeSink observes one new (parent, from, to, kind) edge record. The
+// callback fires at most once per distinct record (the dedup map gates
+// it), synchronously inside Append, before the cycle check — so a sink
+// always sees the edge that closes a cycle.
+type EdgeSink func(parent, from, to tname.TxID, kind EdgeKind)
+
+// SetEdgeSink installs (or, with nil, removes) the edge observer.
+func (inc *Incremental) SetEdgeSink(f EdgeSink) { inc.sink = f }
 
 // pendingOp is a visible-or-parked access operation tagged with the raw
 // stream position of its REQUEST_COMMIT, which fixes its place in the
@@ -370,6 +385,9 @@ func (inc *Incremental) addEdge(parent, from, to tname.TxID, kind EdgeKind) {
 	}
 	inc.seen[k] = struct{}{}
 	pg.edges = append(pg.edges, Edge{From: f, To: t, Kind: kind})
+	if inc.sink != nil {
+		inc.sink(parent, from, to, kind)
+	}
 	if inc.cyclic {
 		// Already rejected: keep the edge bookkeeping (Snapshot stays
 		// truthful) but the stale order cannot answer further queries.

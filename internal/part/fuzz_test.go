@@ -1,0 +1,97 @@
+package part_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"nestedsg/internal/event"
+)
+
+// corpusSeeds generates the committed seed traces: a few protocol runs
+// (well-formed, certifiable) and a few random event soups (ill-formed on
+// purpose), all marshalled in the NSGB binary trace format the fuzz
+// target decodes.
+func corpusSeeds(t testing.TB) map[string][]byte {
+	t.Helper()
+	seeds := map[string][]byte{}
+	for i := int64(0); i < 3; i++ {
+		tr, b := protocolBehavior(t, i, i+40)
+		seeds["seed_protocol_"+strconv.FormatInt(i, 10)] = event.MarshalBinaryTrace(tr, b)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3; i++ {
+		tr, names := randomSystem(rng)
+		b := randomEvents(rng, tr, names, 40)
+		seeds["seed_soup_"+strconv.Itoa(i)] = event.MarshalBinaryTrace(tr, b)
+	}
+	return seeds
+}
+
+// FuzzPartitionedCertificate is the differential fuzzer of the
+// partitioned certifier: any decodable trace, partitioned at P ∈
+// {1, 2, 4}, must compose to the byte-identical certificate a batch
+// construction produces over the same log — acyclicity verdict included.
+func FuzzPartitionedCertificate(f *testing.F) {
+	for _, data := range corpusSeeds(f) {
+		f.Add(data)
+	}
+	f.Add([]byte("NSGB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, b, err := event.ReadBinaryTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; all we require is no panic
+		}
+		if tr.Validate() != nil {
+			return
+		}
+		verifyDifferential(t, tr, b, 1, 2, 4)
+	})
+}
+
+// TestRegeneratePartitionedFuzzCorpus rewrites the committed seed corpus
+// for FuzzPartitionedCertificate when UPDATE_FUZZ_CORPUS=1; otherwise it
+// checks the committed files are current.
+func TestRegeneratePartitionedFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzPartitionedCertificate")
+	for name, data := range corpusSeeds(t) {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		path := filepath.Join(dir, name)
+		if os.Getenv("UPDATE_FUZZ_CORPUS") == "1" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed corpus missing (run with UPDATE_FUZZ_CORPUS=1): %v", err)
+		}
+		if string(got) != content {
+			t.Fatalf("seed corpus %s is stale (run with UPDATE_FUZZ_CORPUS=1)", name)
+		}
+	}
+}
+
+// TestFuzzCorpusCertifies replays every committed corpus entry through
+// the differential check directly, so the corpus guards the invariant
+// even when the fuzz engine is not running.
+func TestFuzzCorpusCertifies(t *testing.T) {
+	for name, data := range corpusSeeds(t) {
+		tr, b, err := event.ReadBinaryTrace(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		verifyDifferential(t, tr, b, 1, 2, 4, 8)
+	}
+}

@@ -1,0 +1,62 @@
+package part_test
+
+import (
+	"math/rand"
+
+	"nestedsg/internal/event"
+	"nestedsg/internal/spec"
+	"nestedsg/internal/tname"
+)
+
+// randomSystem interns a random tree over a couple of typed objects —
+// the same shape core's differential fuzzing uses.
+func randomSystem(rng *rand.Rand) (*tname.Tree, []tname.TxID) {
+	tr := tname.NewTree()
+	specs := spec.All()
+	nObj := 1 + rng.Intn(4)
+	objs := make([]tname.ObjID, nObj)
+	for i := range objs {
+		sp := specs[rng.Intn(len(specs))]
+		objs[i] = tr.AddObject(sp.Name()+string(rune('a'+i)), sp)
+	}
+	names := []tname.TxID{tname.Root}
+	for i := 0; i < 14; i++ {
+		parent := names[rng.Intn(len(names))]
+		if tr.IsAccess(parent) {
+			continue
+		}
+		label := "n" + string(rune('a'+i))
+		var id tname.TxID
+		if rng.Intn(3) == 0 {
+			x := objs[rng.Intn(len(objs))]
+			id = tr.Access(parent, label, x, tr.Spec(x).RandOp(rng))
+		} else {
+			id = tr.Child(parent, label)
+		}
+		names = append(names, id)
+	}
+	return tr, names
+}
+
+// randomEvents emits arbitrary (usually ill-formed) event sequences; the
+// composed and batch constructions must agree on garbage too.
+func randomEvents(rng *rand.Rand, tr *tname.Tree, names []tname.TxID, n int) event.Behavior {
+	kinds := []event.Kind{event.Create, event.RequestCreate, event.RequestCommit,
+		event.Commit, event.Abort, event.ReportCommit, event.ReportAbort}
+	b := make(event.Behavior, n)
+	for i := range b {
+		k := kinds[rng.Intn(len(kinds))]
+		tx := names[rng.Intn(len(names))]
+		var v spec.Value
+		switch rng.Intn(4) {
+		case 0:
+			v = spec.OK
+		case 1:
+			v = spec.Int(int64(rng.Intn(8)))
+		case 2:
+			v = spec.Bool(rng.Intn(2) == 0)
+		}
+		b[i] = event.NewValEvent(k, tx, v)
+	}
+	return b
+}

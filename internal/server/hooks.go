@@ -27,6 +27,19 @@ type Hooks interface {
 	// an installed stall; the real implementation returns max. Unlike
 	// CertApply it must not block.
 	CertBatch(index, max int) int
+	// PartApply is called before certifier partition part applies log
+	// event index to its local graph (only with Options.CertPartitions
+	// > 1); a harness can block here to freeze one partition. It must
+	// not be called with server locks held. The partition's edge batch —
+	// bound included — is delivered to the composer before any blocking,
+	// so the watermark stalls exactly at index.
+	PartApply(part, index int)
+	// PartBatch is the partitioned analogue of CertBatch: it returns how
+	// many events (clamped to [1, max]) partition part may apply in one
+	// locked run starting at index. A harness returns the distance to
+	// its next stall point; the real implementation returns max. It must
+	// not block.
+	PartBatch(part, index, max int) int
 	// MergeApply is called by the log merger just before it merges the
 	// shard's entry at global log index base into the totally-ordered
 	// log; a harness can block here to stall one shard's merge. It is
@@ -59,6 +72,8 @@ func (realHooks) Now() time.Time                    { return time.Now() }
 func (realHooks) LockWait(_ int64, d time.Duration) { time.Sleep(d) }
 func (realHooks) CertApply(int)                     {}
 func (realHooks) CertBatch(_, max int) int          { return max }
+func (realHooks) PartApply(int, int)                {}
+func (realHooks) PartBatch(_, _, max int) int       { return max }
 func (realHooks) MergeApply(int, int)               {}
 func (realHooks) MergeWait(int64, int)              {}
 func (realHooks) CommitWait(int64, int)             {}

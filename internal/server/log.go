@@ -68,10 +68,10 @@ type shardedLog struct {
 	// Pending definition records, fed under the tree write lock (so defSeq
 	// is contiguous and evbase monotonic).
 	defMu   sync.Mutex
-	defSeq  int             //sgvet:guardedby defMu
-	defs    []defEntry      //sgvet:guardedby defMu
-	defHead int             //sgvet:guardedby defMu
-	defFree [][]byte        //sgvet:guardedby defMu
+	defSeq  int        //sgvet:guardedby defMu
+	defs    []defEntry //sgvet:guardedby defMu
+	defHead int        //sgvet:guardedby defMu
+	defFree [][]byte   //sgvet:guardedby defMu
 
 	// wake is the merger's doorbell: one buffered token is enough, the
 	// merger rescans everything each time it wakes.
@@ -398,6 +398,36 @@ func (l *shardedLog) waitBeyond(n int, buf event.Behavior) (event.Behavior, bool
 	return buf, true
 }
 
+// certBackend is the seam between the server and its certification
+// engine. Two implementations exist: the single-goroutine certifier
+// below (the default, Options.CertPartitions ≤ 1) and the partitioned
+// multi-certifier of internal/part (partcert.go). Both gate every
+// commit ack on an acyclic-SG(β)-prefix covering its COMMIT event and
+// both produce a final snapshot byte-identical to the batch check.
+type certBackend interface {
+	// prime replays a recovered log synchronously — before any session
+	// or certification goroutine exists — and returns the recovery
+	// rejection error if the durable prefix is already cyclic.
+	prime(full event.Behavior) error
+	// start launches the certification goroutine(s) after the log is
+	// seeded or primed; waitDone blocks until the closed log has fully
+	// drained through them and they have exited.
+	start()
+	waitDone()
+	// waitCertified blocks until the certified watermark passes seq,
+	// returning nil when an acyclic SG(β) prefix covers it and the
+	// cycle-certificate error otherwise.
+	waitCertified(seq int) error
+	// state reports (watermark, acyclic) for the verdict request.
+	state() (watermark int, acyclic bool)
+	// gauges reports the live graph size: parents, nodes, edge records.
+	gauges() (parents, nodes, edges int64)
+	// snapshotSG materializes the online SG for audits and Final.
+	snapshotSG() *core.SG
+	// metricsInto adds backend-specific keys to the metrics snapshot.
+	metricsInto(snap map[string]any)
+}
+
 // certifier runs core.Incremental behind the event log: a single goroutine
 // consumes the merged log in order and certifies each prefix, so a commit
 // response can wait until the watermark covers its COMMIT event and thereby
@@ -418,9 +448,9 @@ type certifier struct {
 	// Live gauges, readable without the certifier's locks.
 	parents, nodes, edges atomic.Int64
 
-	// start is how many log events Recover primed synchronously before
-	// the loop began; the loop resumes after them.
-	start int
+	// primed is how many log events Recover replayed synchronously
+	// before the loop began; the loop resumes after them.
+	primed int
 
 	done chan struct{}
 }
@@ -441,7 +471,7 @@ func newCertifier(s *Server) *certifier {
 // is held while appending (sessions intern names under the write lock).
 func (c *certifier) loop() {
 	defer close(c.done)
-	processed := c.start
+	processed := c.primed
 	var buf event.Behavior
 	for {
 		batch, ok := c.srv.log.waitBeyond(processed, buf)
@@ -518,4 +548,42 @@ func (c *certifier) state() (int, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.watermark, c.cycle == nil
+}
+
+// prime replays the recovered log through the incremental graph
+// synchronously; recovery calls it single-threaded before the loop
+// starts, so the loop resumes exactly after the primed prefix.
+//
+//sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
+func (c *certifier) prime(full event.Behavior) error {
+	for _, e := range full {
+		c.inc.Append(e)
+	}
+	if cyc, at := c.inc.Rejected(); cyc != nil {
+		return fmt.Errorf("server: recovery rejected wal: SG(β) cyclic at durable event %d: %s", at, cyc.Format(c.srv.tr))
+	}
+	p, n, ed := c.inc.Counts()
+	c.parents.Store(int64(p))
+	c.nodes.Store(int64(n))
+	c.edges.Store(int64(ed))
+	c.primed = len(full)
+	c.mu.Lock()
+	c.watermark = len(full)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *certifier) start()    { go c.loop() }
+func (c *certifier) waitDone() { <-c.done }
+
+func (c *certifier) gauges() (int64, int64, int64) {
+	return c.parents.Load(), c.nodes.Load(), c.edges.Load()
+}
+
+// snapshotSG is called single-threaded (recovery) or post-drain (Final),
+// so the incremental graph is quiescent.
+func (c *certifier) snapshotSG() *core.SG { return c.inc.Snapshot() }
+
+func (c *certifier) metricsInto(snap map[string]any) {
+	snap["cert_partitions"] = 1
 }

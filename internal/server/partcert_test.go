@@ -1,0 +1,203 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nestedsg/internal/client"
+	"nestedsg/internal/server"
+	"nestedsg/internal/spec"
+)
+
+// TestPartitionedCertifierSoak is TestConcurrentSoak through the
+// partitioned backend: 8 clients hammer shared objects at
+// CertPartitions=4, every commit must certify against the composed
+// watermark, and the final composed snapshot must be byte-identical to
+// the batch certificate over the captured log (shutdownAndVerify checks
+// Final().Match).
+func TestPartitionedCertifierSoak(t *testing.T) {
+	objects := []string{"a", "b", "c", "d", "e"}
+	s := startServer(t, server.Options{
+		Objects:        objects,
+		LockTimeout:    500 * time.Millisecond,
+		CertPartitions: 4,
+	})
+	if got := s.CertPartitions(); got != 4 {
+		t.Fatalf("CertPartitions() = %d, want 4", got)
+	}
+	const (
+		clients = 8
+		txPer   = 15
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			c, err := client.Dial(s.Addr().String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for n := 0; n < txPer; n++ {
+				err := c.RunTx(10, func(tx *client.Tx) error {
+					for a := 0; a < 3; a++ {
+						obj := objects[rng.Intn(len(objects))]
+						var err error
+						if rng.Intn(2) == 0 {
+							_, err = tx.Access(obj, spec.OpRead, spec.Nil)
+						} else {
+							_, err = tx.Access(obj, spec.OpWrite, spec.Int(int64(rng.Intn(10))))
+						}
+						if err != nil {
+							return err
+						}
+						if rng.Intn(4) == 0 {
+							if _, err := tx.Child(); err != nil {
+								return err
+							}
+							if _, err := tx.Access(obj, spec.OpWrite, spec.Int(int64(n))); err != nil {
+								return err
+							}
+							if _, err := tx.Commit(); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("client %d tx %d: %w", i, n, err)
+					return
+				}
+			}
+			// The verdict path reads the composed gauges.
+			v, err := c.Verdict()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if !v.Acyclic {
+				errCh <- fmt.Errorf("client %d: verdict reports a cyclic SG", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Metrics must carry the per-partition breakdown before shutdown.
+	snap := s.MetricsSnapshot()
+	if got, ok := snap["cert_partitions"].(int); !ok || got != 4 {
+		t.Fatalf("cert_partitions = %v, want 4", snap["cert_partitions"])
+	}
+	var applied int64
+	for p := 0; p < 4; p++ {
+		for _, key := range []string{
+			"cert_part_events_%d", "cert_part_edges_%d", "cert_part_cross_edges_%d",
+			"compose_lag_p50_%d", "compose_lag_p99_%d", "compose_lag_mean_%d",
+		} {
+			if _, ok := snap[fmt.Sprintf(key, p)]; !ok {
+				t.Errorf("metrics snapshot missing %s for partition %d", key, p)
+			}
+		}
+		if ev, ok := snap[fmt.Sprintf("cert_part_events_%d", p)].(int64); ok {
+			applied += ev
+		}
+	}
+	if applied == 0 {
+		t.Error("no partition applied any events")
+	}
+
+	f := shutdownAndVerify(t, s)
+	m := s.Metrics()
+	if m.Uncertified.Load() != 0 {
+		t.Fatalf("%d commits failed certification", m.Uncertified.Load())
+	}
+	if got := m.TopCommits.Load(); got != clients*txPer {
+		t.Fatalf("TopCommits = %d, want %d", got, clients*txPer)
+	}
+	t.Logf("partitioned soak: %d events, %d commits, %d aborts", f.Events, f.Commits, f.Aborts)
+}
+
+// TestPartitionedRecovery: a durable server at CertPartitions=2 runs
+// committed traffic, shuts down, and is recovered at the same partition
+// count — the recovery prime must replay the WAL through every
+// partition, the audit must find the composed graph byte-identical to
+// the batch check, and the recovered server must keep certifying.
+func TestPartitionedRecovery(t *testing.T) {
+	disk := server.NewMemDisk()
+	opts := server.Options{
+		WAL:            disk,
+		Objects:        []string{"x", "y", "z"},
+		CertPartitions: 2,
+	}
+	s1, rep1 := recoverAndStart(t, opts)
+	if rep1.DurableEvents != 0 {
+		t.Fatalf("fresh report: %+v", rep1)
+	}
+	c := dialT(t, s1)
+	for i := 0; i < 4; i++ {
+		if err := c.RunTx(5, func(tx *client.Tx) error {
+			if _, err := tx.Access("x", spec.OpWrite, spec.Int(int64(i))); err != nil {
+				return err
+			}
+			if _, err := tx.Access("y", spec.OpWrite, spec.Int(int64(i))); err != nil {
+				return err
+			}
+			_, err := tx.Access("z", spec.OpRead, spec.Nil)
+			return err
+		}); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	c.Close()
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wantEvents := len(s1.Log())
+
+	s2, rep2 := recoverAndStart(t, opts)
+	if rep2.DurableEvents != wantEvents {
+		t.Fatalf("resume report: %+v (want %d durable events)", rep2, wantEvents)
+	}
+	if !rep2.AuditOK {
+		t.Fatalf("partitioned resume audit not ok: %+v", rep2)
+	}
+	// The recovered partitioned backend keeps certifying new commits.
+	c2 := dialT(t, s2)
+	if err := c2.RunTx(5, func(tx *client.Tx) error {
+		_, err := tx.Access("x", spec.OpWrite, spec.Int(99))
+		return err
+	}); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	c2.Close()
+	f := shutdownAndVerify(t, s2)
+	if f.Events <= wantEvents {
+		t.Fatalf("recovered server appended nothing: %d <= %d", f.Events, wantEvents)
+	}
+}
+
+// TestPartitionCountNormalized: zero and negative partition counts fall
+// back to the single certifier, whose metrics advertise one partition.
+func TestPartitionCountNormalized(t *testing.T) {
+	s := startServer(t, server.Options{Objects: []string{"x"}, CertPartitions: -3})
+	if got := s.CertPartitions(); got != 1 {
+		t.Fatalf("CertPartitions() = %d, want 1", got)
+	}
+	snap := s.MetricsSnapshot()
+	if got, ok := snap["cert_partitions"].(int); !ok || got != 1 {
+		t.Fatalf("cert_partitions = %v, want 1", snap["cert_partitions"])
+	}
+	shutdownAndVerify(t, s)
+}

@@ -147,7 +147,7 @@ func Recover(opts Options) (s *Server, rep *RecoveryReport, err error) {
 		return nil, nil, err
 	}
 	s.log.startMerger()
-	go s.cert.loop()
+	s.cert.start()
 	return s, rep, nil
 }
 
@@ -179,7 +179,7 @@ func (s *Server) finishFresh(scan *walScan, rep *RecoveryReport) (*Server, *Reco
 		return nil, nil, err
 	}
 	s.log.startMerger()
-	go s.cert.loop()
+	s.cert.start()
 	return s, rep, nil
 }
 
@@ -406,21 +406,9 @@ func (s *Server) recoverMetrics() {
 //sgvet:ignore[lockguard] recovery is single-threaded: no session or certifier goroutine exists yet
 func (s *Server) primeCertifier(rep *RecoveryReport) error {
 	full := s.log.snapshot()
-	for _, e := range full {
-		s.cert.inc.Append(e)
+	if err := s.cert.prime(full); err != nil {
+		return err
 	}
-	if cyc, at := s.cert.inc.Rejected(); cyc != nil {
-		return fmt.Errorf("server: recovery rejected wal: SG(β) cyclic at durable event %d: %s", at, cyc.Format(s.tr))
-	}
-	p, n, ed := s.cert.inc.Counts()
-	s.cert.parents.Store(int64(p))
-	s.cert.nodes.Store(int64(n))
-	s.cert.edges.Store(int64(ed))
-	s.cert.start = len(full)
-	s.cert.mu.Lock()
-	s.cert.watermark = len(full)
-	s.cert.mu.Unlock()
-
 	if s.opts.SkipRecoveryAudit {
 		return nil
 	}
@@ -428,7 +416,7 @@ func (s *Server) primeCertifier(rep *RecoveryReport) error {
 	if !res.OK {
 		return fmt.Errorf("server: recovery rejected wal: stitched log fails batch check: %s", res.Summary(s.tr))
 	}
-	if got, want := s.cert.inc.Snapshot().DOT(), res.SG.DOT(); got != want {
+	if got, want := s.cert.snapshotSG().DOT(), res.SG.DOT(); got != want {
 		return fmt.Errorf("server: recovery audit: online snapshot differs from batch SG")
 	}
 	rep.AuditOK = true

@@ -73,6 +73,12 @@ type Options struct {
 	// shards (sessions hash to a shard; a deterministic merger restores
 	// the total order). Default 4; 1 degenerates to a single append lock.
 	LogShards int
+	// CertPartitions splits SG(β) certification across this many
+	// partitions of the object space (internal/part): each runs its own
+	// incremental checker over its filtered view of the merged log and
+	// the composed graph gates commits. Default 1 — the single certifier
+	// goroutine; values > 1 engage the partitioned multi-certifier.
+	CertPartitions int
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 
@@ -116,6 +122,9 @@ func (o Options) withDefaults() Options {
 	if o.LogShards <= 0 {
 		o.LogShards = defaultLogShards
 	}
+	if o.CertPartitions <= 0 {
+		o.CertPartitions = 1
+	}
 	if o.Hooks == nil {
 		o.Hooks = realHooks{}
 	}
@@ -144,7 +153,7 @@ type Server struct {
 	objs []*sharedObject //sgvet:guardedby mu
 
 	log     *shardedLog
-	cert    *certifier
+	cert    certBackend
 	metrics *Metrics
 	waits   *waitTable
 	wal     *walWriter      // nil without durability
@@ -172,7 +181,11 @@ func newServer(opts Options) *Server {
 		conns:   make(map[*session]struct{}),
 	}
 	s.log = newShardedLog(opts.LogShards, opts.Hooks, s.metrics)
-	s.cert = newCertifier(s)
+	if opts.CertPartitions > 1 {
+		s.cert = newPartCertifier(s, opts.CertPartitions)
+	} else {
+		s.cert = newCertifier(s)
+	}
 	return s
 }
 
@@ -193,7 +206,7 @@ func New(opts Options) *Server {
 	}
 	s.log.append(s.log.shards[0], event.NewEvent(event.Create, tname.Root))
 	s.log.startMerger()
-	go s.cert.loop()
+	s.cert.start()
 	return s
 }
 
@@ -202,7 +215,7 @@ func Listen(addr string, opts Options) (*Server, error) {
 	s := New(opts)
 	if err := s.Start(addr); err != nil {
 		s.log.close()
-		<-s.cert.done
+		s.cert.waitDone()
 		return nil, err
 	}
 	return s, nil
@@ -480,7 +493,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.wg.Wait()
 		s.log.close()
-		<-s.cert.done
+		s.cert.waitDone()
 		if s.wal != nil {
 			s.wal.close()
 		}
@@ -509,7 +522,7 @@ func (s *Server) Kill() {
 		s.connMu.Unlock()
 		s.wg.Wait()
 		s.log.close()
-		<-s.cert.done
+		s.cert.waitDone()
 		if s.wal != nil {
 			s.wal.closeNoSync()
 		}
@@ -549,7 +562,7 @@ func (s *Server) Final() *Final {
 		}
 	}
 	f.Batch = core.Check(s.tr, b)
-	f.Snapshot = s.cert.inc.Snapshot()
+	f.Snapshot = s.cert.snapshotSG()
 	if f.Batch.SG != nil {
 		f.Match = f.Snapshot.DOT() == f.Batch.SG.DOT()
 	}
@@ -566,6 +579,10 @@ func (s *Server) Final() *Final {
 
 // Log returns a copy of the captured event log.
 func (s *Server) Log() event.Behavior { return s.log.snapshot() }
+
+// CertPartitions reports the certifier partition count (1 = the single
+// certifier goroutine).
+func (s *Server) CertPartitions() int { return s.opts.CertPartitions }
 
 // Tree returns the server's system type. It must only be read concurrently
 // with running sessions under external synchronization; tests use it after

@@ -477,13 +477,14 @@ func (sn *session) handleVerdict() wire.Response {
 	if wm > logLen {
 		wm = logLen
 	}
+	parents, nodes, edges := sn.s.cert.gauges()
 	return wire.Response{Status: wire.StatusOK, Verdict: wire.Verdict{
 		Events:    uint64(logLen),
 		Certified: uint64(wm),
 		Acyclic:   acyclic,
-		Parents:   uint64(sn.s.cert.parents.Load()),
-		Nodes:     uint64(sn.s.cert.nodes.Load()),
-		Edges:     uint64(sn.s.cert.edges.Load()),
+		Parents:   uint64(parents),
+		Nodes:     uint64(nodes),
+		Edges:     uint64(edges),
 		Commits:   uint64(sn.s.metrics.CommitEvents.Load()),
 		Aborts:    uint64(sn.s.metrics.AbortEvents.Load()),
 	}}

@@ -124,6 +124,69 @@ func (h *simHooks) CertBatch(index, max int) int {
 	return max
 }
 
+// PartApply blocks certifier partitions at the active stall fronts: a
+// certifier stall (FaultCertStall) freezes EVERY partition at indexes at
+// or beyond its from — so the fault behaves identically at any partition
+// count, watermark pinned at from — while a partition stall
+// (FaultPartStall) freezes just its chosen partition. The workers call
+// it with no lock held and with their delivered bound already at the
+// stall front (the worker flushes each run's edge batch before the next
+// PartApply), so the composed watermark settles exactly at from.
+func (h *simHooks) PartApply(part, index int) {
+	s := h.s
+	for {
+		s.mu.Lock()
+		if h.gen != s.gen.Load() {
+			s.mu.Unlock()
+			return
+		}
+		st := s.stall
+		pst := s.pstall
+		rel := s.release
+		s.mu.Unlock()
+		var released chan struct{}
+		switch {
+		case st != nil && index >= st.from:
+			released = st.released
+		case pst != nil && part == pst.part && index >= pst.from:
+			released = pst.released
+		default:
+			return
+		}
+		select {
+		case <-released:
+		case <-rel:
+			return
+		}
+	}
+}
+
+// PartBatch cuts a partition's locked run at the nearest active stall
+// front, exactly like CertBatch: events before the front may be applied
+// as one run, events at or past it keep blocking in PartApply.
+func (h *simHooks) PartBatch(part, index, max int) int {
+	s := h.s
+	s.mu.Lock()
+	st := s.stall
+	pst := s.pstall
+	stale := h.gen != s.gen.Load()
+	s.mu.Unlock()
+	if stale {
+		return max
+	}
+	if st != nil {
+		if d := st.from - index; d > 0 && d < max {
+			max = d
+		}
+	}
+	if pst != nil && part == pst.part {
+		if d := pst.from - index; d > 0 && d < max {
+			max = d
+		}
+	}
+	return max
+}
+
 // MergeApply blocks the merger when it reaches the stalled shard's merge
 // front — entries of that shard at or past the stall's install point —
 // until the driver lifts the stall or retires the generation. Entries of
@@ -193,6 +256,14 @@ type stallState struct {
 // of shard with tickets >= from until released is closed.
 type mergeStallState struct {
 	shard    int
+	from     int
+	released chan struct{}
+}
+
+// partStallState is an active certifier-partition stall: partition part
+// blocks at indexes >= from until released is closed.
+type partStallState struct {
+	part     int
 	from     int
 	released chan struct{}
 }

@@ -159,11 +159,13 @@ func TestSimShardsInMatrix(t *testing.T) {
 		t.Run(fmt.Sprintf("shards=8/%s", class), func(t *testing.T) {
 			t.Parallel()
 			cfg := sim.Config{
-				Seed:          5,
-				Steps:         160,
-				Shards:        8,
-				Faults:        []sim.FaultClass{class},
-				FaultPermille: 200,
+				Seed:   5,
+				Steps:  160,
+				Shards: 8,
+				// part-stall needs multiple certifier partitions to inject.
+				CertPartitions: 2,
+				Faults:         []sim.FaultClass{class},
+				FaultPermille:  200,
 			}
 			rep, err := sim.Run(cfg)
 			if err != nil {

@@ -4,8 +4,9 @@
 // virtual scheduler: a single driver goroutine issues every request,
 // wakes every blocked lock poll, advances a virtual clock, and samples
 // faults (connection drops mid-transaction, drops after REQUEST_COMMIT,
-// certifier stalls, lock-timeout storms, and full process crashes with
-// torn-write recovery) from one splitmix64 stream. Two runs with the same
+// certifier stalls, lock-timeout storms, frozen certifier partitions,
+// cross-partition deadlocks, and full process crashes with torn-write
+// recovery) from one splitmix64 stream. Two runs with the same
 // Config produce byte-identical event traces, so any failing run
 // reproduces from its uint64 seed alone.
 //
@@ -33,6 +34,7 @@ import (
 	"nestedsg/internal/locking"
 	"nestedsg/internal/object"
 	"nestedsg/internal/oracle"
+	"nestedsg/internal/part"
 	"nestedsg/internal/server"
 	"nestedsg/internal/spec"
 	"nestedsg/internal/wire"
@@ -66,6 +68,18 @@ const (
 	// first pending ticket, and completions behind it park on the merged
 	// watermark until the stall lifts.
 	FaultMergeStall
+	// FaultPartStall freezes one randomly chosen certifier partition at
+	// the current log length: the partition delivers its edge batch up to
+	// the bound and blocks, the composed watermark settles exactly there,
+	// and commits past it park until the stall lifts (or a crash retires
+	// the incarnation). Applicable only with CertPartitions > 1.
+	FaultPartStall
+	// FaultXPartDeadlock drives two sessions into a crossing write
+	// conflict over two distinct objects — lock waits that span certifier
+	// partitions whenever the objects hash to different owners — which
+	// the server's waits-for detector (or timeout) must resolve. The
+	// injection itself is partition-count independent.
+	FaultXPartDeadlock
 )
 
 var faultNames = map[FaultClass]string{
@@ -75,6 +89,8 @@ var faultNames = map[FaultClass]string{
 	FaultClockStorm:      "clock-storm",
 	FaultCrash:           "crash",
 	FaultMergeStall:      "merge-stall",
+	FaultPartStall:       "part-stall",
+	FaultXPartDeadlock:   "xpart-deadlock",
 }
 
 // String names the fault class.
@@ -87,7 +103,7 @@ func (f FaultClass) String() string {
 
 // AllFaults lists every fault class.
 func AllFaults() []FaultClass {
-	return []FaultClass{FaultDrop, FaultDropAfterCommit, FaultCertStall, FaultClockStorm, FaultCrash, FaultMergeStall}
+	return []FaultClass{FaultDrop, FaultDropAfterCommit, FaultCertStall, FaultClockStorm, FaultCrash, FaultMergeStall, FaultPartStall, FaultXPartDeadlock}
 }
 
 // Config parameterizes a simulation run. The zero value plus a seed is a
@@ -109,6 +125,9 @@ type Config struct {
 	// Shards is the server's event-log shard count (default 2, so the
 	// merge path is exercised without drowning small runs in shards).
 	Shards int
+	// CertPartitions is the server's certifier partition count (default
+	// 1: the single certifier goroutine).
+	CertPartitions int
 	// Faults enables fault classes; empty means a fault-free run.
 	Faults []FaultClass
 	// FaultPermille is the per-step probability (in 1/1000) of injecting
@@ -135,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards <= 0 {
 		c.Shards = 2
+	}
+	if c.CertPartitions <= 0 {
+		c.CertPartitions = 1
 	}
 	if c.FaultPermille <= 0 {
 		c.FaultPermille = 30
@@ -164,6 +186,11 @@ type Report struct {
 	// Trace is its binary encoding (the determinism witness).
 	FinalEvents int
 	Trace       []byte
+	// XPartSpans counts injected cross-partition deadlocks whose two
+	// objects were owned by different certifier partitions. Partition-
+	// count dependent by construction, so deliberately NOT part of
+	// Summary() — summaries stay comparable across partition counts.
+	XPartSpans int
 	// FinalDisk is the WAL left behind by the clean shutdown — tests
 	// re-recover from it. Not part of the deterministic comparison.
 	FinalDisk *server.MemDisk
@@ -229,6 +256,7 @@ type sim struct {
 	release chan struct{}           //sgvet:guardedby mu
 	stall   *stallState             //sgvet:guardedby mu
 	mstall  *mergeStallState        //sgvet:guardedby mu
+	pstall  *partStallState         //sgvet:guardedby mu
 
 	disk  *server.MemDisk
 	srv   *server.Server
@@ -238,6 +266,7 @@ type sim struct {
 
 	stallLeft  int // scheduler decisions until the certifier stall lifts
 	mstallLeft int // scheduler decisions until the merge stall lifts
+	pstallLeft int // scheduler decisions until the partition stall lifts
 }
 
 // Run executes one simulation and returns its deterministic report. A
@@ -275,14 +304,15 @@ func Run(cfg Config) (*Report, error) {
 
 func (s *sim) serverOpts(disk *server.MemDisk) server.Options {
 	return server.Options{
-		Protocol:    s.cfg.Protocol,
-		Objects:     s.objs,
-		LockTimeout: 40 * time.Millisecond, // virtual
-		LockPoll:    time.Millisecond,
-		LockPollMax: 8 * time.Millisecond,
-		LogShards:   s.cfg.Shards,
-		WAL:         disk,
-		Hooks:       &simHooks{s: s, gen: s.gen.Load()},
+		Protocol:       s.cfg.Protocol,
+		Objects:        s.objs,
+		LockTimeout:    40 * time.Millisecond, // virtual
+		LockPoll:       time.Millisecond,
+		LockPollMax:    8 * time.Millisecond,
+		LogShards:      s.cfg.Shards,
+		CertPartitions: s.cfg.CertPartitions,
+		WAL:            disk,
+		Hooks:          &simHooks{s: s, gen: s.gen.Load()},
 	}
 }
 
@@ -372,6 +402,13 @@ func (s *sim) drive() error {
 				}
 			}
 		}
+		if s.pstalled() {
+			if s.pstallLeft--; s.pstallLeft <= 0 {
+				if err := s.unstallPart(); err != nil {
+					return fmt.Errorf("step %d: %w", step, err)
+				}
+			}
+		}
 		if err := s.tick(); err != nil {
 			return fmt.Errorf("step %d: %w", step, err)
 		}
@@ -401,6 +438,9 @@ func (s *sim) tick() error {
 		}
 		if s.mstalled() {
 			return s.unstallMerge()
+		}
+		if s.pstalled() {
+			return s.unstallPart()
 		}
 		return fmt.Errorf("no runnable session (phases %v)", s.phases())
 	}
@@ -504,8 +544,15 @@ func (s *sim) handleEvent(ev simEvent) error {
 		}
 		s.mu.Lock()
 		st := s.stall
+		pst := s.pstall
 		s.mu.Unlock()
+		// Either stall pins the certified watermark at its from — the
+		// partition stall because the frozen partition's bound is the min
+		// — so the park rule is the same for both.
 		if st != nil && ev.seq >= st.from {
+			sl.phase = phParkCert
+		}
+		if pst != nil && ev.seq >= pst.from {
 			sl.phase = phParkCert
 		}
 	case evMergeWait:
@@ -612,7 +659,10 @@ func (s *sim) fault(class FaultClass) (did bool, err error) {
 		s.rep.Faults[class]++
 		return true, s.drop(open[s.r.intn(len(open))], wire.Request{})
 	case FaultDropAfterCommit:
-		if s.stalled() || s.mstalled() {
+		if s.stalled() || s.mstalled() || s.pstalled() {
+			// The dropped session's COMMIT parks on the stalled watermark
+			// (or merge front), and with it the driver's wait for the
+			// session to retire.
 			return false, nil
 		}
 		var open []*slot
@@ -631,7 +681,7 @@ func (s *sim) fault(class FaultClass) (did bool, err error) {
 		// pump on "no slot parked behind a watermark", so overlapping
 		// stalls would make either lift wait on the other's parks.
 		s.mu.Lock()
-		already := s.stall != nil || s.mstall != nil
+		already := s.stall != nil || s.mstall != nil || s.pstall != nil
 		if !already {
 			s.stall = &stallState{from: s.srv.LogLen(), released: make(chan struct{})}
 		}
@@ -644,7 +694,7 @@ func (s *sim) fault(class FaultClass) (did bool, err error) {
 		return true, nil
 	case FaultMergeStall:
 		s.mu.Lock()
-		already := s.stall != nil || s.mstall != nil
+		already := s.stall != nil || s.mstall != nil || s.pstall != nil
 		if !already {
 			// from = LogLen(): no entry at or past the stall point exists
 			// yet, so the stalled shard's pending-set grows monotonically
@@ -678,6 +728,63 @@ func (s *sim) fault(class FaultClass) (did bool, err error) {
 			}
 		}
 		return true, nil
+	case FaultPartStall:
+		// Applicability is decided before any random draw, so runs with a
+		// single certifier treat the class as a deterministic no-op.
+		if s.srv.CertPartitions() <= 1 {
+			return false, nil
+		}
+		s.mu.Lock()
+		already := s.stall != nil || s.mstall != nil || s.pstall != nil
+		if !already {
+			// from = LogLen(): the frozen partition delivers its bound up
+			// to from and blocks, so the composed watermark settles exactly
+			// at from and the park decisions below stay deterministic.
+			s.pstall = &partStallState{
+				part:     s.r.intn(s.srv.CertPartitions()),
+				from:     s.srv.LogLen(),
+				released: make(chan struct{}),
+			}
+		}
+		s.mu.Unlock()
+		if already {
+			return false, nil
+		}
+		s.pstallLeft = 5 + s.r.intn(20)
+		s.rep.Faults[class]++
+		return true, nil
+	case FaultXPartDeadlock:
+		if len(s.objs) < 2 {
+			return false, nil
+		}
+		var open []*slot
+		for _, sl := range s.slots {
+			if sl.phase == phIdle && sl.inTx {
+				open = append(open, sl)
+			}
+		}
+		if len(open) < 2 {
+			return false, nil
+		}
+		s.rep.Faults[class]++
+		// Two distinct objects and two distinct sessions, all drawn
+		// independently of the partition count so the injection (and the
+		// trace it produces) is identical at any CertPartitions.
+		i := s.r.intn(len(s.objs))
+		j := s.r.intn(len(s.objs) - 1)
+		if j >= i {
+			j++
+		}
+		a := s.r.intn(len(open))
+		b := s.r.intn(len(open) - 1)
+		if b >= a {
+			b++
+		}
+		p := s.srv.CertPartitions()
+		if part.Owner(s.objs[i], p) != part.Owner(s.objs[j], p) {
+			s.rep.XPartSpans++
+		}
+		return true, s.xpartDeadlock(open[a], open[b], s.objs[i], s.objs[j])
 	case FaultCrash:
 		s.rep.Faults[class]++
 		return true, s.crash()
@@ -704,6 +811,30 @@ func (s *sim) drop(sl *slot, last wire.Request) error {
 	}
 	delete(s.bySid, sid)
 	return s.connect(sl)
+}
+
+// xpartDeadlock drives sessions a and b into a crossing write conflict:
+// a writes x then wants y, b writes y then wants x. Whenever both halves
+// of the cross block, the waits-for edge spans the two objects' owner
+// partitions (when they differ); the server's deadlock detector or lock
+// timeout must resolve it exactly as a same-partition cycle. Each access
+// is only issued while its session is still idle inside its transaction
+// — an earlier park or abort leaves a harmless partial pattern.
+func (s *sim) xpartDeadlock(a, b *slot, x, y string) error {
+	steps := []struct {
+		sl  *slot
+		obj string
+	}{{a, x}, {b, y}, {a, y}, {b, x}}
+	for _, st := range steps {
+		if st.sl.phase != phIdle || !st.sl.inTx {
+			continue
+		}
+		q := wire.Request{Cmd: wire.CmdAccess, Obj: st.obj, Op: spec.OpWrite, Arg: spec.Int(int64(s.r.intn(8)))}
+		if err := s.perform(st.sl, q); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // stalled reports whether a certifier stall is active. Only the driver
@@ -752,6 +883,29 @@ func (s *sim) unstallMerge() error {
 	return s.pumpUntil(func() bool { return len(s.phaseSlots(phParkCert)) == 0 })
 }
 
+// pstalled reports whether a certifier-partition stall is active (locked
+// for the same reason as stalled: the frozen partition worker reads
+// s.pstall from its own goroutine).
+func (s *sim) pstalled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pstall != nil
+}
+
+// unstallPart lifts a partition stall and pumps until every commit parked
+// on the composed watermark has its response.
+func (s *sim) unstallPart() error {
+	s.mu.Lock()
+	st := s.pstall
+	s.pstall = nil
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	close(st.released)
+	return s.pumpUntil(func() bool { return len(s.phaseSlots(phParkCert)) == 0 })
+}
+
 // crash kills the server at the current instant and recovers it from the
 // durable prefix plus a random torn tail.
 func (s *sim) crash() error {
@@ -790,6 +944,7 @@ func (s *sim) crash() error {
 	s.wakes = make(map[int64]chan struct{})
 	s.stall = nil
 	s.mstall = nil
+	s.pstall = nil
 	s.mu.Unlock()
 
 	s.srv.Kill()
@@ -837,6 +992,9 @@ func (s *sim) finish() error {
 	}
 	if err := s.unstallMerge(); err != nil {
 		return fmt.Errorf("final merge unstall: %w", err)
+	}
+	if err := s.unstallPart(); err != nil {
+		return fmt.Errorf("final partition unstall: %w", err)
 	}
 	for {
 		parked := s.phaseSlots(phParkLock)

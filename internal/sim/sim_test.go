@@ -36,11 +36,15 @@ func TestSimFaultMatrix(t *testing.T) {
 				t.Parallel()
 				for seed := uint64(1); seed <= 3; seed++ {
 					cfg := sim.Config{
-						Seed:          seed,
-						Steps:         160,
-						Protocol:      proto.p,
-						Faults:        []sim.FaultClass{class},
-						FaultPermille: 200,
+						Seed:     seed,
+						Steps:    160,
+						Protocol: proto.p,
+						// Two certifier partitions: part-stall needs P > 1
+						// to inject, and every other class should certify
+						// through the partitioned backend too.
+						CertPartitions: 2,
+						Faults:         []sim.FaultClass{class},
+						FaultPermille:  200,
 					}
 					rep, err := sim.Run(cfg)
 					if err != nil {

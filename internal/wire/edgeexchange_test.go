@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sampleBatch() EdgeBatch {
+	return EdgeBatch{
+		Part: 3,
+		UpTo: 1234,
+		Edges: []SGEdge{
+			{Parent: 0, From: 1, To: 2, Kind: 0},
+			{Parent: 7, From: 300, To: 70000, Kind: 1},
+			{Parent: 7, From: 70000, To: 300, Kind: 0},
+		},
+	}
+}
+
+func TestEdgeBatchRoundTrip(t *testing.T) {
+	want := sampleBatch()
+	buf := AppendEdgeBatch(nil, want)
+	got, err := ParseEdgeBatch(buf, EdgeBatch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Part != want.Part || got.UpTo != want.UpTo || !reflect.DeepEqual(got.Edges, want.Edges) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Empty batches (a pure bound advance) round-trip too.
+	empty := EdgeBatch{Part: 1, UpTo: 9}
+	got, err = ParseEdgeBatch(AppendEdgeBatch(nil, empty), EdgeBatch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Part != 1 || got.UpTo != 9 || len(got.Edges) != 0 {
+		t.Fatalf("empty batch diverged: %+v", got)
+	}
+}
+
+// TestEdgeBatchReuse: parsing into a recycled batch reuses its backing
+// array — the live exchange parses one batch per flush with zero
+// steady-state allocations.
+func TestEdgeBatchReuse(t *testing.T) {
+	buf := AppendEdgeBatch(nil, sampleBatch())
+	scratch := EdgeBatch{Edges: make([]SGEdge, 0, 16)}
+	got, err := ParseEdgeBatch(buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got.Edges[0] != &scratch.Edges[:1][0] {
+		t.Fatal("parse did not reuse the scratch backing array")
+	}
+}
+
+func TestEdgeBatchRejects(t *testing.T) {
+	valid := AppendEdgeBatch(nil, sampleBatch())
+	cases := map[string][]byte{
+		"empty":            {},
+		"unknown version":  append([]byte{99}, valid[1:]...),
+		"trailing bytes":   append(append([]byte{}, valid...), 0),
+		"truncated header": valid[:2],
+		"truncated record": valid[:len(valid)-1],
+	}
+	for name, payload := range cases {
+		if _, err := ParseEdgeBatch(payload, EdgeBatch{}); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	// A hostile count must be rejected before any allocation is sized
+	// from it.
+	hostile := []byte{EdgeBatchVersion}
+	hostile = append(hostile, 0, 0)                      // part, upTo
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 7) // count ≫ MaxEdgeBatch
+	if _, err := ParseEdgeBatch(hostile, EdgeBatch{}); err == nil {
+		t.Error("hostile count decoded without error")
+	}
+}
+
+// FuzzParseEdgeBatch: arbitrary payloads must be decoded or rejected,
+// never panic, and every accepted payload must re-encode to the identical
+// bytes (the encoding is canonical... modulo uvarint minimality, so assert
+// a parse-append-parse fixed point instead).
+func FuzzParseEdgeBatch(f *testing.F) {
+	f.Add(AppendEdgeBatch(nil, sampleBatch()))
+	f.Add([]byte{EdgeBatchVersion, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ParseEdgeBatch(data, EdgeBatch{})
+		if err != nil {
+			return
+		}
+		again, err := ParseEdgeBatch(AppendEdgeBatch(nil, b), EdgeBatch{})
+		if err != nil {
+			t.Fatalf("re-encoded batch rejected: %v", err)
+		}
+		if again.Part != b.Part || again.UpTo != b.UpTo || !reflect.DeepEqual(again.Edges, b.Edges) {
+			t.Fatalf("parse/append not a fixed point: %+v vs %+v", again, b)
+		}
+	})
+}
