@@ -23,18 +23,20 @@ sgvet:
 # the acyclic graph the lockorder analyzer enforces; DESIGN.md §11
 # commits the current rendering.
 lockreport:
-	$(GO) run ./cmd/sgvet -lockdot ./internal/server ./internal/sim ./internal/client ./internal/core ./internal/part
+	$(GO) run ./cmd/sgvet -lockdot ./internal/server ./internal/sim ./internal/client ./internal/core ./internal/part ./internal/mvto ./internal/replica
 
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the trace codec round-trip properties and the WAL
-# recovery path. The committed seeds live under */testdata/fuzz/.
+# Short fuzz pass over the trace codec round-trip properties, the WAL
+# recovery path, and the moss-vs-undolog backend differential. The
+# committed seeds live under */testdata/fuzz/.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/event
 	$(GO) test -run '^$$' -fuzz '^FuzzBinaryTraceRoundTrip$$' -fuzztime 10s ./internal/event
 	$(GO) test -run '^$$' -fuzz '^FuzzRecoveryReplay$$' -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzPartitionedCertificate$$' -fuzztime 10s ./internal/part
+	$(GO) test -run '^$$' -fuzz '^FuzzBackendDifferential$$' -fuzztime 10s ./internal/sim
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or fail their correctness assertions, without measuring anything.
@@ -67,7 +69,10 @@ bench-server:
 	  $(GO) test -run '^$$' -bench 'PartitionedApply' -benchmem -count 1 ./internal/part ; \
 	  $(GO) run ./cmd/nestedload -sweep -dur 250ms -objects 8 \
 		-sweep-clients 1,4,8 -sweep-readratios 0.2,0.8 -sweep-zipfs 0,1.5 -sweep-shards 1,4 \
-		-sweep-partitions 1,4 ) \
+		-sweep-partitions 1,4 ; \
+	  $(GO) run ./cmd/nestedload -sweep -dur 250ms -objects 8 \
+		-sweep-backends moss,undolog,mvto,replica -sweep-clients 8 \
+		-sweep-readratios 0.5,0.95 -sweep-zipfs 0 -sweep-shards 1 -sweep-partitions 1 ) \
 		| $(GO) run ./cmd/benchdiff -write-current BENCH_SERVER.json
 
 # Fail when the server hot-path benchmarks regress against the committed
@@ -83,11 +88,14 @@ bench-server-gate: bench-server
 serve:
 	$(GO) run ./cmd/nestedsgd -addr 127.0.0.1:7474 -objects x,y,z
 
-# One-second certified load test against an in-process server: exits
-# nonzero unless every commit certified and the final online SG snapshot
-# matches the batch check byte-for-byte.
+# Certified load tests against in-process servers, one per object
+# backend: each exits nonzero unless every commit certified and the final
+# online SG snapshot matches the batch check byte-for-byte.
 loadtest-smoke:
-	$(GO) run ./cmd/nestedload -selfserve -workers 8 -dur 1s -objects 4 -zipf 1.2 -bench
+	$(GO) run ./cmd/nestedload -selfserve -backend moss -workers 8 -dur 1s -objects 4 -zipf 1.2 -bench
+	$(GO) run ./cmd/nestedload -selfserve -backend undolog -workers 8 -dur 250ms -objects 4 -zipf 1.2
+	$(GO) run ./cmd/nestedload -selfserve -backend mvto -workers 8 -dur 250ms -objects 4 -readratio 0.8
+	$(GO) run ./cmd/nestedload -selfserve -backend replica -workers 8 -dur 250ms -objects 4 -zipf 1.2
 
 # Long deterministic fault-injection soak: 64 seeds, every fault class,
 # both protocols. Any failure prints the uint64 seed that replays it;

@@ -9,14 +9,20 @@
 //
 //	nestedload -addr 127.0.0.1:7474 -workers 16 -sessions 25
 //	nestedload -selfserve -workers 4 -dur 1s       # in-process server
+//	nestedload -selfserve -backend mvto -readratio 0.95   # snapshot reads
 //	nestedload -selfserve -workers 4 -bench        # go test -bench format
 //	nestedload -sweep -dur 250ms                   # clients × read-ratio × zipf grid
+//	nestedload -sweep -sweep-backends moss,undolog,mvto,replica
 //
-// The sweep runs every combination of -sweep-clients, -sweep-readratios
-// and -sweep-zipfs against a fresh in-process server and emits one
-// `go test -bench` style line per cell with latency percentiles and
-// throughput as custom units (p50-us, p99-us, tx/s), so cmd/benchdiff can
-// track tail latency and throughput as first-class columns.
+// The sweep runs every combination of -sweep-backends, -sweep-clients,
+// -sweep-readratios and -sweep-zipfs against a fresh in-process server and
+// emits one `go test -bench` style line per cell with latency percentiles
+// and throughput as custom units (p50-us, p99-us, tx/s), so cmd/benchdiff
+// can track tail latency and throughput as first-class columns.
+//
+// Transactions whose drawn operations are all read-class run through
+// client.RunReadTx: on the mvto backend they read a lock-free certified
+// snapshot; every other backend degrades them to ordinary transactions.
 package main
 
 import (
@@ -35,83 +41,73 @@ import (
 	"context"
 
 	"nestedsg/internal/client"
-	"nestedsg/internal/locking"
-	"nestedsg/internal/object"
 	"nestedsg/internal/server"
 	"nestedsg/internal/spec"
-	"nestedsg/internal/undolog"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func protocolByName(name string) object.Protocol {
-	switch name {
-	case "moss":
-		return locking.Protocol{}
-	case "undolog":
-		return undolog.Protocol{}
-	}
-	return nil
-}
-
 // opFor draws one operation for the given spec: read-class with probability
 // readRatio, update-class otherwise, with small argument domains so
-// conflicts actually occur.
-func opFor(specName string, rng *rand.Rand, readRatio float64) (spec.OpKind, spec.Value) {
+// conflicts actually occur. The third return reports whether the drawn
+// operation is read-class, so the caller can route all-read transactions
+// through the read-only BEGIN.
+func opFor(specName string, rng *rand.Rand, readRatio float64) (spec.OpKind, spec.Value, bool) {
 	read := rng.Float64() < readRatio
 	switch specName {
 	case "counter":
 		if read {
-			return spec.OpGet, spec.Nil
+			return spec.OpGet, spec.Nil, true
 		}
 		if rng.Intn(2) == 0 {
-			return spec.OpIncrement, spec.Int(int64(1 + rng.Intn(4)))
+			return spec.OpIncrement, spec.Int(int64(1 + rng.Intn(4))), false
 		}
-		return spec.OpDecrement, spec.Int(int64(1 + rng.Intn(4)))
+		return spec.OpDecrement, spec.Int(int64(1 + rng.Intn(4))), false
 	case "account":
 		if read {
-			return spec.OpBalance, spec.Nil
+			return spec.OpBalance, spec.Nil, true
 		}
 		if rng.Intn(2) == 0 {
-			return spec.OpDeposit, spec.Int(int64(1 + rng.Intn(10)))
+			return spec.OpDeposit, spec.Int(int64(1 + rng.Intn(10))), false
 		}
-		return spec.OpWithdraw, spec.Int(int64(1 + rng.Intn(10)))
+		return spec.OpWithdraw, spec.Int(int64(1 + rng.Intn(10))), false
 	case "set":
 		if read {
 			if rng.Intn(2) == 0 {
-				return spec.OpMember, spec.Int(int64(rng.Intn(8)))
+				return spec.OpMember, spec.Int(int64(rng.Intn(8))), true
 			}
-			return spec.OpSize, spec.Nil
+			return spec.OpSize, spec.Nil, true
 		}
 		if rng.Intn(2) == 0 {
-			return spec.OpInsert, spec.Int(int64(rng.Intn(8)))
+			return spec.OpInsert, spec.Int(int64(rng.Intn(8))), false
 		}
-		return spec.OpRemove, spec.Int(int64(rng.Intn(8)))
+		return spec.OpRemove, spec.Int(int64(rng.Intn(8))), false
 	case "appendlog":
 		if read {
-			return spec.OpLen, spec.Nil
+			return spec.OpLen, spec.Nil, true
 		}
-		return spec.OpAppend, spec.Int(int64(rng.Intn(100)))
+		return spec.OpAppend, spec.Int(int64(rng.Intn(100))), false
 	case "queue":
 		if read {
-			return spec.OpDeq, spec.Nil
+			return spec.OpDeq, spec.Nil, false // Deq mutates: not read-class
 		}
-		return spec.OpEnq, spec.Int(int64(rng.Intn(100)))
+		return spec.OpEnq, spec.Int(int64(rng.Intn(100))), false
 	default: // register
 		if read {
-			return spec.OpRead, spec.Nil
+			return spec.OpRead, spec.Nil, true
 		}
-		return spec.OpWrite, spec.Int(int64(rng.Intn(100)))
+		return spec.OpWrite, spec.Int(int64(rng.Intn(100))), false
 	}
 }
 
-// loadConfig is one load run's parameters. A non-nil proto means selfserve:
-// execute starts (and drains) an in-process server.
+// loadConfig is one load run's parameters. selfserve means execute starts
+// (and drains) an in-process server running the named object backend.
 type loadConfig struct {
 	target    string
-	proto     object.Protocol
+	selfserve bool
+	backend   string
 	workers   int
 	sessions  int
 	dur       time.Duration
@@ -131,11 +127,19 @@ type loadConfig struct {
 // the run ended with.
 type loadResult struct {
 	committed int64
+	roDone    int64 // committed transactions that ran through RunReadTx
 	failed    int64
+	srvAborts int64 // selfserve: server-initiated top-level aborts (timeouts, deadlocks, restarts, drain)
 	elapsed   time.Duration
 	lat       *server.Histogram
 	ok        bool
 	summary   string // final certificate (selfserve) or remote verdict line
+}
+
+// snapInt reads an int64-valued counter out of a metrics snapshot.
+func snapInt(m map[string]any, key string) int64 {
+	v, _ := m[key].(int64)
+	return v
 }
 
 // execute runs one closed loop load against the configured server and
@@ -144,10 +148,10 @@ type loadResult struct {
 func execute(cfg loadConfig, stderr io.Writer) (*loadResult, int) {
 	var srv *server.Server
 	target := cfg.target
-	if cfg.proto != nil {
+	if cfg.selfserve {
 		var err error
 		srv, err = server.Listen("127.0.0.1:0", server.Options{
-			Protocol:       cfg.proto,
+			Backend:        cfg.backend,
 			DefaultSpec:    spec.ByName(cfg.specName),
 			Objects:        cfg.objects,
 			LogShards:      cfg.shards,
@@ -162,6 +166,7 @@ func execute(cfg loadConfig, stderr io.Writer) (*loadResult, int) {
 
 	var (
 		committed atomic.Int64
+		roDone    atomic.Int64
 		failed    atomic.Int64
 		lat       server.Histogram
 		wg        sync.WaitGroup
@@ -193,29 +198,49 @@ func execute(cfg loadConfig, stderr io.Writer) (*loadResult, int) {
 				return
 			}
 			defer c.Close()
+			// Each transaction's accesses are drawn up front so retries
+			// replay the same work, and so an all-read plan can run through
+			// RunReadTx: on the mvto backend that is a lock-free certified
+			// snapshot, on every other backend the server degrades it to an
+			// ordinary transaction.
+			type planned struct {
+				obj   string
+				op    spec.OpKind
+				arg   spec.Value
+				child bool
+			}
+			plan := make([]planned, cfg.accesses)
 			body := func(tx *client.Tx) error {
-				for a := 0; a < cfg.accesses; a++ {
-					op, arg := opFor(cfg.specName, rng, cfg.readRatio)
-					obj := pick()
-					if rng.Float64() < cfg.childProb {
+				for _, p := range plan {
+					if p.child {
 						if _, err := tx.Child(); err != nil {
 							return err
 						}
-						if _, err := tx.Access(obj, op, arg); err != nil {
+						if _, err := tx.Access(p.obj, p.op, p.arg); err != nil {
 							return err
 						}
 						if _, err := tx.Commit(); err != nil {
 							return err
 						}
-					} else if _, err := tx.Access(obj, op, arg); err != nil {
+					} else if _, err := tx.Access(p.obj, p.op, p.arg); err != nil {
 						return err
 					}
 				}
 				return nil
 			}
 			for i := 0; deadline.IsZero() && i < cfg.sessions || !deadline.IsZero() && time.Now().Before(deadline); i++ {
+				allRead := true
+				for a := range plan {
+					op, arg, read := opFor(cfg.specName, rng, cfg.readRatio)
+					plan[a] = planned{obj: pick(), op: op, arg: arg, child: rng.Float64() < cfg.childProb}
+					allRead = allRead && read
+				}
+				runTx := c.RunTx
+				if allRead {
+					runTx = c.RunReadTx
+				}
 				t0 := time.Now()
-				if err := c.RunTx(cfg.retries, body); err != nil {
+				if err := runTx(cfg.retries, body); err != nil {
 					failed.Add(1)
 					if !errors.Is(err, client.ErrTxAborted) {
 						errCh <- err
@@ -225,6 +250,9 @@ func execute(cfg loadConfig, stderr io.Writer) (*loadResult, int) {
 				}
 				lat.Observe(time.Since(t0))
 				committed.Add(1)
+				if allRead {
+					roDone.Add(1)
+				}
 			}
 		}(w)
 	}
@@ -237,6 +265,7 @@ func execute(cfg loadConfig, stderr io.Writer) (*loadResult, int) {
 
 	res := &loadResult{
 		committed: committed.Load(),
+		roDone:    roDone.Load(),
 		failed:    failed.Load(),
 		elapsed:   elapsed,
 		lat:       &lat,
@@ -247,6 +276,9 @@ func execute(cfg loadConfig, stderr io.Writer) (*loadResult, int) {
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(stderr, "nestedload: drain:", err)
 		}
+		snap := srv.MetricsSnapshot()
+		res.srvAborts = snapInt(snap, "lock_timeouts") + snapInt(snap, "deadlock_aborts") +
+			snapInt(snap, "restart_aborts") + snapInt(snap, "drain_aborts")
 		f := srv.Final()
 		res.summary = f.Summary
 		res.ok = f.Batch.OK && f.Match
@@ -320,20 +352,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		readRatio = fs.Float64("readratio", 0.5, "fraction of read-class operations")
 		zipfS     = fs.Float64("zipf", 0, "zipf skew parameter s (>1 enables skewed object choice)")
 		numObj    = fs.Int("objects", 4, "number of shared objects (x0..x{n-1})")
-		specName  = fs.String("spec", "register", "object type")
-		protoName = fs.String("protocol", "moss", "selfserve: concurrency control protocol")
-		seed      = fs.Int64("seed", 1, "per-worker RNG seed base")
+		specName    = fs.String("spec", "register", "object type")
+		protoName   = fs.String("protocol", "", "selfserve: legacy alias for -backend (moss or undolog)")
+		backendName = fs.String("backend", "", "selfserve: object backend: moss (default), undolog, mvto, replica")
+		seed        = fs.Int64("seed", 1, "per-worker RNG seed base")
 		shards    = fs.Int("shards", 0, "selfserve: event-log append shards (0 = server default)")
 		certParts = fs.Int("cert-partitions", 0, "selfserve: certifier partitions (0 or 1 = single certifier)")
 		retries   = fs.Int("retries", 8, "max attempts per transaction (bounded exponential backoff)")
 		bench     = fs.Bool("bench", false, "also print a go test -bench style summary line")
 
-		sweep       = fs.Bool("sweep", false, "run a clients × read-ratio × zipf grid on in-process servers, one bench line per cell")
-		sweepCli    = fs.String("sweep-clients", "1,4,8,16", "sweep: comma-separated worker counts")
-		sweepRatios = fs.String("sweep-readratios", "0.2,0.8", "sweep: comma-separated read ratios")
-		sweepZipfs  = fs.String("sweep-zipfs", "0,1.5", "sweep: comma-separated zipf skews (0 = uniform)")
-		sweepShards = fs.String("sweep-shards", "1,4", "sweep: comma-separated event-log shard counts")
-		sweepParts  = fs.String("sweep-partitions", "1", "sweep: comma-separated certifier partition counts")
+		sweep         = fs.Bool("sweep", false, "run a backends × clients × read-ratio × zipf grid on in-process servers, one bench line per cell")
+		sweepBackends = fs.String("sweep-backends", "moss", "sweep: comma-separated object backends")
+		sweepCli      = fs.String("sweep-clients", "1,4,8,16", "sweep: comma-separated worker counts")
+		sweepRatios   = fs.String("sweep-readratios", "0.2,0.8", "sweep: comma-separated read ratios")
+		sweepZipfs    = fs.String("sweep-zipfs", "0,1.5", "sweep: comma-separated zipf skews (0 = uniform)")
+		sweepShards   = fs.String("sweep-shards", "1,4", "sweep: comma-separated event-log shard counts")
+		sweepParts    = fs.String("sweep-partitions", "1", "sweep: comma-separated certifier partition counts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -342,13 +376,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "nestedload: -workers, -accesses and -objects must be positive")
 		return 2
 	}
-	if spec.ByName(*specName) == nil {
+	sp := spec.ByName(*specName)
+	if sp == nil {
 		fmt.Fprintf(stderr, "nestedload: unknown spec %q\n", *specName)
 		return 2
 	}
-	proto := protocolByName(*protoName)
-	if proto == nil {
-		fmt.Fprintf(stderr, "nestedload: unknown protocol %q\n", *protoName)
+	backend := *backendName
+	if *protoName != "" {
+		// -protocol is the legacy alias; it resolves to the same backends.
+		if backend != "" {
+			fmt.Fprintln(stderr, "nestedload: -protocol and -backend are both set; use -backend")
+			return 2
+		}
+		if *protoName != "moss" && *protoName != "undolog" {
+			fmt.Fprintf(stderr, "nestedload: unknown protocol %q (want moss or undolog)\n", *protoName)
+			return 2
+		}
+		backend = *protoName
+	}
+	if backend == "" {
+		backend = "moss"
+	}
+	if err := server.ValidateBackendOptions(server.Options{Backend: backend, DefaultSpec: sp}); err != nil {
+		fmt.Fprintln(stderr, "nestedload:", err)
 		return 2
 	}
 
@@ -358,6 +408,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	base := loadConfig{
+		backend:   backend,
 		workers:   *workers,
 		sessions:  *sessions,
 		dur:       *dur,
@@ -374,11 +425,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *sweep {
-		return runSweep(base, proto, *sweepCli, *sweepRatios, *sweepZipfs, *sweepShards, *sweepParts, stdout, stderr)
+		return runSweep(base, *sweepBackends, *sweepCli, *sweepRatios, *sweepZipfs, *sweepShards, *sweepParts, stdout, stderr)
 	}
 
 	if *selfserve {
-		base.proto = proto
+		base.selfserve = true
 	} else if *addr == "" {
 		fmt.Fprintln(stderr, "nestedload: -addr is required without -selfserve")
 		return 2
@@ -391,8 +442,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return rc
 	}
 	tput := res.tput()
-	fmt.Fprintf(stdout, "workers=%d committed=%d failed=%d elapsed=%s throughput=%.1f tx/s\n",
-		base.workers, res.committed, res.failed, res.elapsed.Round(time.Millisecond), tput)
+	// backend= and server-aborts= are selfserve facts; a remote server's
+	// backend is its own business and its abort counters arrive in the
+	// verdict line instead.
+	if base.selfserve {
+		fmt.Fprintf(stdout, "backend=%s ", base.backend)
+	}
+	fmt.Fprintf(stdout, "workers=%d committed=%d ro=%d failed=%d", base.workers, res.committed, res.roDone, res.failed)
+	if base.selfserve {
+		fmt.Fprintf(stdout, " server-aborts=%d", res.srvAborts)
+	}
+	fmt.Fprintf(stdout, " elapsed=%s throughput=%.1f tx/s\n", res.elapsed.Round(time.Millisecond), tput)
 	fmt.Fprintf(stdout, "latency: mean=%s p50=%s p99=%s\n",
 		res.lat.Mean().Round(time.Microsecond), res.lat.Quantile(0.50), res.lat.Quantile(0.99))
 	fmt.Fprint(stdout, res.summary)
@@ -409,12 +469,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runSweep executes the clients × read-ratio × zipf × shards × partitions
-// grid, each cell a fresh in-process server, and emits one benchmark line
-// per cell whose custom units (p50-us, p99-us, tx/s) cmd/benchdiff parses
-// into BENCH columns. Every cell must end with a clean certificate; any
-// verdict failure fails the sweep.
-func runSweep(base loadConfig, proto object.Protocol, cliList, ratioList, zipfList, shardList, partList string, stdout, stderr io.Writer) int {
+// runSweep executes the backends × clients × read-ratio × zipf × shards ×
+// partitions grid, each cell a fresh in-process server, and emits one
+// benchmark line per cell whose custom units (p50-us, p99-us, tx/s)
+// cmd/benchdiff parses into BENCH columns. Every cell must end with a clean
+// certificate; any verdict failure fails the sweep.
+func runSweep(base loadConfig, backendList, cliList, ratioList, zipfList, shardList, partList string, stdout, stderr io.Writer) int {
+	var bks []string
+	for _, b := range strings.Split(backendList, ",") {
+		if b = strings.TrimSpace(b); b == "" {
+			continue
+		}
+		if err := server.ValidateBackendOptions(server.Options{Backend: b, DefaultSpec: spec.ByName(base.specName)}); err != nil {
+			fmt.Fprintln(stderr, "nestedload: -sweep-backends:", err)
+			return 2
+		}
+		bks = append(bks, b)
+	}
+	if len(bks) == 0 {
+		fmt.Fprintln(stderr, "nestedload: -sweep-backends is empty")
+		return 2
+	}
 	clients, err := parseInts(cliList)
 	if err != nil {
 		fmt.Fprintln(stderr, "nestedload: -sweep-clients:", err)
@@ -442,34 +517,37 @@ func runSweep(base loadConfig, proto object.Protocol, cliList, ratioList, zipfLi
 	}
 
 	rc := 0
-	for _, c := range clients {
-		for _, r := range ratios {
-			for _, z := range zipfs {
-				for _, sh := range shards {
-					for _, pt := range parts {
-						cfg := base
-						cfg.proto = proto
-						cfg.workers = c
-						cfg.readRatio = r
-						cfg.zipfS = z
-						cfg.shards = sh
-						cfg.parts = pt
-						res, erc := execute(cfg, stderr)
-						if erc != 0 {
-							return erc
-						}
-						name := fmt.Sprintf("BenchmarkServerSweep/c%d/r%.2f/z%.1f/s%d/p%d", c, r, z, sh, pt)
-						fmt.Fprintf(stderr, "# %s committed=%d failed=%d elapsed=%s ok=%v\n",
-							strings.TrimPrefix(name, "Benchmark"), res.committed, res.failed,
-							res.elapsed.Round(time.Millisecond), res.ok)
-						if res.committed > 0 {
-							fmt.Fprintf(stdout, "%s %d %d ns/op %d p50-us %d p99-us %.1f tx/s\n",
-								name, res.committed, res.elapsed.Nanoseconds()/res.committed,
-								res.lat.Quantile(0.50).Microseconds(), res.lat.Quantile(0.99).Microseconds(),
-								res.tput())
-						}
-						if !res.ok || (res.committed == 0 && res.failed > 0) {
-							rc = 1
+	for _, bk := range bks {
+		for _, c := range clients {
+			for _, r := range ratios {
+				for _, z := range zipfs {
+					for _, sh := range shards {
+						for _, pt := range parts {
+							cfg := base
+							cfg.selfserve = true
+							cfg.backend = bk
+							cfg.workers = c
+							cfg.readRatio = r
+							cfg.zipfS = z
+							cfg.shards = sh
+							cfg.parts = pt
+							res, erc := execute(cfg, stderr)
+							if erc != 0 {
+								return erc
+							}
+							name := fmt.Sprintf("BenchmarkServerSweep/b%s/c%d/r%.2f/z%.1f/s%d/p%d", bk, c, r, z, sh, pt)
+							fmt.Fprintf(stderr, "# %s committed=%d ro=%d failed=%d aborts=%d elapsed=%s ok=%v\n",
+								strings.TrimPrefix(name, "Benchmark"), res.committed, res.roDone, res.failed,
+								res.srvAborts, res.elapsed.Round(time.Millisecond), res.ok)
+							if res.committed > 0 {
+								fmt.Fprintf(stdout, "%s %d %d ns/op %d p50-us %d p99-us %.1f tx/s\n",
+									name, res.committed, res.elapsed.Nanoseconds()/res.committed,
+									res.lat.Quantile(0.50).Microseconds(), res.lat.Quantile(0.99).Microseconds(),
+									res.tput())
+							}
+							if !res.ok || (res.committed == 0 && res.failed > 0) {
+								rc = 1
+							}
 						}
 					}
 				}

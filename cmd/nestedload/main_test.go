@@ -19,7 +19,7 @@ func TestSelfServeSmoke(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
 	}
-	if !strings.Contains(out, "workers=4 committed=20 failed=0") {
+	if !regexp.MustCompile(`(?m)^backend=moss workers=4 committed=20 ro=\d+ failed=0 server-aborts=\d+ `).MatchString(out) {
 		t.Errorf("unexpected tally line:\n%s", out)
 	}
 	for _, want := range []string{
@@ -68,9 +68,71 @@ func TestLoadBadFlags(t *testing.T) {
 	if code, _, _ := runLoad(t, "-selfserve", "-spec", "nope"); code != 2 {
 		t.Fatalf("bad spec: exit %d, want 2", code)
 	}
+	if code, _, errs := runLoad(t, "-selfserve", "-backend", "nope"); code != 2 || !strings.Contains(errs, "unknown backend") {
+		t.Fatalf("bad backend: exit %d, stderr %q", code, errs)
+	}
+	if code, _, errs := runLoad(t, "-selfserve", "-backend", "mvto", "-protocol", "moss"); code != 2 || !strings.Contains(errs, "both set") {
+		t.Fatalf("backend+protocol conflict: exit %d, stderr %q", code, errs)
+	}
+	if code, _, errs := runLoad(t, "-selfserve", "-backend", "mvto", "-spec", "counter"); code != 2 || !strings.Contains(errs, "register") {
+		t.Fatalf("mvto non-register spec: exit %d, stderr %q", code, errs)
+	}
 }
 
-var sweepLine = regexp.MustCompile(`(?m)^BenchmarkServerSweep/c2/r0\.50/z0\.0/s2/p1 \d+ \d+ ns/op \d+ p50-us \d+ p99-us \d+(\.\d+)? tx/s$`)
+// TestSelfServeBackends: every -backend value runs the closed loop to a
+// clean certificate, and a read-heavy mvto run routes all-read
+// transactions through the snapshot path.
+func TestSelfServeBackends(t *testing.T) {
+	for _, backend := range []string{"moss", "undolog", "mvto", "replica"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			t.Parallel()
+			code, out, errs := runLoad(t,
+				"-selfserve", "-backend", backend, "-workers", "3", "-sessions", "5",
+				"-readratio", "0.9", "-seed", "23")
+			if code != 0 {
+				t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+			}
+			if !strings.Contains(out, "backend="+backend+" ") {
+				t.Errorf("tally line missing backend=%s:\n%s", backend, out)
+			}
+			if !strings.Contains(out, "final certificate: serially correct for T0") {
+				t.Errorf("no certificate:\n%s", out)
+			}
+			if backend == "mvto" && !regexp.MustCompile(`ro=[1-9]`).MatchString(out) {
+				t.Errorf("read-heavy mvto run drove no read-only transactions:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestSweepBackendsAxis: -sweep-backends adds the object backend as a grid
+// axis; each cell's bench name carries its /b segment and certifies.
+func TestSweepBackendsAxis(t *testing.T) {
+	code, out, errs := runLoad(t,
+		"-sweep", "-sweep-backends", "moss,mvto", "-sweep-clients", "2",
+		"-sweep-readratios", "0.5", "-sweep-zipfs", "0", "-sweep-shards", "1",
+		"-sessions", "3", "-seed", "29")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	for _, cell := range []string{
+		"BenchmarkServerSweep/bmoss/c2/r0.50/z0.0/s1/p1 ",
+		"BenchmarkServerSweep/bmvto/c2/r0.50/z0.0/s1/p1 ",
+	} {
+		if !strings.Contains(out, cell) {
+			t.Fatalf("sweep missing cell %q:\n%s", cell, out)
+		}
+	}
+	if strings.Contains(errs, "ok=false") {
+		t.Fatalf("a backend sweep cell failed certification:\n%s", errs)
+	}
+	if code, _, errs := runLoad(t, "-sweep", "-sweep-backends", "nope"); code != 2 || !strings.Contains(errs, "-sweep-backends") {
+		t.Fatalf("bad backend list: exit %d, stderr %q", code, errs)
+	}
+}
+
+var sweepLine = regexp.MustCompile(`(?m)^BenchmarkServerSweep/bmoss/c2/r0\.50/z0\.0/s2/p1 \d+ \d+ ns/op \d+ p50-us \d+ p99-us \d+(\.\d+)? tx/s$`)
 
 func TestSweepBenchLines(t *testing.T) {
 	code, out, errs := runLoad(t,
@@ -82,7 +144,7 @@ func TestSweepBenchLines(t *testing.T) {
 	if !sweepLine.MatchString(out) {
 		t.Fatalf("no sweep bench line in:\n%s", out)
 	}
-	if !strings.Contains(out, "BenchmarkServerSweep/c2/r0.50/z0.0/s8/p1 ") {
+	if !strings.Contains(out, "BenchmarkServerSweep/bmoss/c2/r0.50/z0.0/s8/p1 ") {
 		t.Fatalf("sweep missing the shards=8 cell:\n%s", out)
 	}
 	if !strings.Contains(errs, "ok=true") {
@@ -100,8 +162,8 @@ func TestSweepPartitionsAxis(t *testing.T) {
 		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errs)
 	}
 	for _, cell := range []string{
-		"BenchmarkServerSweep/c2/r0.50/z0.0/s1/p1 ",
-		"BenchmarkServerSweep/c2/r0.50/z0.0/s1/p4 ",
+		"BenchmarkServerSweep/bmoss/c2/r0.50/z0.0/s1/p1 ",
+		"BenchmarkServerSweep/bmoss/c2/r0.50/z0.0/s1/p4 ",
 	} {
 		if !strings.Contains(out, cell) {
 			t.Fatalf("sweep missing cell %q:\n%s", cell, out)

@@ -6,12 +6,15 @@
 //
 // Usage:
 //
-//	nestedsgd -addr :7474 -protocol moss -spec register -objects x,y,z
+//	nestedsgd -addr :7474 -backend moss -spec register -objects x,y,z
+//	nestedsgd -addr :7474 -backend mvto          # multiversion TO + lock-free read-only snapshots
+//	nestedsgd -addr :7474 -backend replica -replica-copies 5 -replica-read-quorum 3 -replica-write-quorum 3
 //	nestedsgd -addr :7474 -metrics :7475     # JSON at /metrics, expvar at /debug/vars
 //	nestedsgd -addr :7474 -wal /var/lib/nestedsgd/wal   # durable log; replayed and audited on boot
 //
-// Protocols: moss, undolog. Specs: register, counter, account, set,
-// appendlog, queue.
+// Backends: moss, undolog, mvto, replica (-protocol is the legacy alias
+// for the first two). Specs: register, counter, account, set, appendlog,
+// queue (mvto and replica support register only).
 package main
 
 import (
@@ -71,7 +74,11 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 	var (
 		addr         = fs.String("addr", "127.0.0.1:7474", "TCP listen address")
 		metricsAddr  = fs.String("metrics", "", "serve JSON metrics on this HTTP address ('' disables)")
-		protoName    = fs.String("protocol", "moss", "concurrency control protocol: moss or undolog")
+		protoName    = fs.String("protocol", "", "legacy alias for -backend: moss or undolog")
+		backendName  = fs.String("backend", "", "object backend: moss (default), undolog, mvto, replica")
+		replicaN     = fs.Int("replica-copies", 0, "replica backend: copy count N (0 = server default 3)")
+		replicaR     = fs.Int("replica-read-quorum", 0, "replica backend: read quorum R (0 = server default 2)")
+		replicaW     = fs.Int("replica-write-quorum", 0, "replica backend: write quorum W (0 = server default 2)")
 		specName     = fs.String("spec", "register", "object type for new objects: register, counter, account, set, appendlog, queue")
 		objects      = fs.String("objects", "", "comma-separated object labels to pre-create")
 		walDir       = fs.String("wal", "", "directory for the durable write-ahead log; on boot, replay and audit it before serving ('' = in-memory, no durability)")
@@ -84,10 +91,21 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	proto := protocolByName(*protoName)
-	if proto == nil {
-		fmt.Fprintf(stderr, "nestedsgd: unknown protocol %q (want moss or undolog)\n", *protoName)
-		return 2
+	backend := *backendName
+	if *protoName != "" {
+		// -protocol is the legacy alias; it resolves to the same backends.
+		if backend != "" {
+			fmt.Fprintln(stderr, "nestedsgd: -protocol and -backend are both set; use -backend")
+			return 2
+		}
+		if protocolByName(*protoName) == nil {
+			fmt.Fprintf(stderr, "nestedsgd: unknown protocol %q (want moss or undolog)\n", *protoName)
+			return 2
+		}
+		backend = *protoName
+	}
+	if backend == "" {
+		backend = "moss"
 	}
 	sp := spec.ByName(*specName)
 	if sp == nil {
@@ -95,11 +113,18 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 		return 2
 	}
 	opts := server.Options{
-		Protocol:       proto,
-		DefaultSpec:    sp,
-		LockTimeout:    *lockTimeout,
-		LogShards:      *shards,
-		CertPartitions: *certParts,
+		Backend:            backend,
+		DefaultSpec:        sp,
+		LockTimeout:        *lockTimeout,
+		LogShards:          *shards,
+		CertPartitions:     *certParts,
+		ReplicaCopies:      *replicaN,
+		ReplicaReadQuorum:  *replicaR,
+		ReplicaWriteQuorum: *replicaW,
+	}
+	if err := server.ValidateBackendOptions(opts); err != nil {
+		fmt.Fprintln(stderr, "nestedsgd:", err)
+		return 2
 	}
 	if *objects != "" {
 		for _, label := range strings.Split(*objects, ",") {
@@ -155,7 +180,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, ready ch
 		}()
 	}
 
-	fmt.Fprintf(stdout, "nestedsgd: listening on %s (protocol=%s spec=%s)\n", s.Addr(), *protoName, *specName)
+	fmt.Fprintf(stdout, "nestedsgd: listening on %s (backend=%s spec=%s)\n", s.Addr(), s.Backend(), *specName)
 	if ready != nil {
 		ready <- s.Addr().String()
 	}

@@ -91,6 +91,16 @@ func (c *Conn) Begin() (string, error) {
 	return resp.Name, err
 }
 
+// BeginRO opens a read-only top-level transaction. On a backend with a
+// snapshot store (mvto) the transaction reads a consistent certified
+// snapshot without taking locks and can never be aborted by the server; on
+// other backends the server degrades it to an ordinary transaction, so
+// callers must still be prepared for ErrTxAborted (RunReadTx is).
+func (c *Conn) BeginRO() (string, error) {
+	resp, err := c.roundTrip(wire.Request{Cmd: wire.CmdBegin, RO: true})
+	return resp.Name, err
+}
+
 // Child opens a subtransaction of the current transaction.
 func (c *Conn) Child() (string, error) {
 	resp, err := c.roundTrip(wire.Request{Cmd: wire.CmdChild})
@@ -177,6 +187,19 @@ func (t *Tx) Abort() error {
 // maxAttempts. Any other error from fn aborts the transaction and is
 // returned as-is.
 func (c *Conn) RunTx(maxAttempts int, fn func(tx *Tx) error) error {
+	return c.runTx(maxAttempts, (*Conn).Begin, fn)
+}
+
+// RunReadTx is RunTx for read-only transactions: it opens the top level
+// with BeginRO, so on a snapshot-capable backend the body runs lock-free
+// against a consistent certified snapshot. The retry loop is kept because
+// backends without snapshots serve the transaction normally and may abort
+// it like any other.
+func (c *Conn) RunReadTx(maxAttempts int, fn func(tx *Tx) error) error {
+	return c.runTx(maxAttempts, (*Conn).BeginRO, fn)
+}
+
+func (c *Conn) runTx(maxAttempts int, begin func(*Conn) (string, error), fn func(tx *Tx) error) error {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
@@ -189,7 +212,7 @@ func (c *Conn) RunTx(maxAttempts int, fn func(tx *Tx) error) error {
 				backoff = 64 * time.Millisecond
 			}
 		}
-		if _, err := c.Begin(); err != nil {
+		if _, err := begin(c); err != nil {
 			return err
 		}
 		tx := &Tx{c: c}

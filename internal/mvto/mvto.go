@@ -32,6 +32,7 @@ package mvto
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nestedsg/internal/object"
 	"nestedsg/internal/spec"
@@ -71,21 +72,49 @@ func (p Path) String() string {
 }
 
 // Clock assigns path timestamps; one Clock is shared by all objects of a
-// system so the serialization order is global.
+// system so the serialization order is global. The server drives one
+// system's objects from concurrent sessions under per-object mutexes, so
+// the clock carries its own lock.
 type Clock struct {
-	tr      *tname.Tree
-	byTx    map[tname.TxID]Path
-	counter map[tname.TxID]int64
+	tr *tname.Tree
+	// byID switches the per-level component from an arrival-order counter
+	// to the transaction's interning ID. Interning order is recorded in the
+	// WAL def stream and replayed verbatim, so ID paths are the only
+	// assignment that is stable across crash recovery — arrival order at
+	// the clock is not, because sessions race on different object mutexes.
+	byID bool
+
+	mu      sync.Mutex
+	byTx    map[tname.TxID]Path  //sgvet:guardedby mu
+	counter map[tname.TxID]int64 //sgvet:guardedby mu
 }
 
-// NewClock returns an empty clock over the given system type.
+// NewClock returns an empty arrival-order clock over the given system type.
 func NewClock(tr *tname.Tree) *Clock {
 	return &Clock{tr: tr, byTx: make(map[tname.TxID]Path), counter: make(map[tname.TxID]int64)}
 }
 
-// PathTS returns tx's path timestamp, assigning counters (recursively, up
-// the ancestor chain) on first use. T0's path is empty.
+// NewIDClock returns a clock whose per-level components are the interned
+// transaction IDs rather than arrival-order counters. Sibling order is
+// first-interning order, which the WAL def stream makes replay-stable.
+func NewIDClock(tr *tname.Tree) *Clock {
+	c := NewClock(tr)
+	c.byID = true
+	return c
+}
+
+// PathTS returns tx's path timestamp, assigning components (recursively,
+// up the ancestor chain) on first use. T0's path is empty.
 func (c *Clock) PathTS(tx tname.TxID) Path {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pathTS(tx)
+}
+
+// pathTS is PathTS's recursive body.
+//
+//sgvet:holds c.mu
+func (c *Clock) pathTS(tx tname.TxID) Path {
 	if tx == tname.Root {
 		return nil
 	}
@@ -93,11 +122,15 @@ func (c *Clock) PathTS(tx tname.TxID) Path {
 		return p
 	}
 	parent := c.tr.Parent(tx)
-	pp := c.PathTS(parent)
-	c.counter[parent]++
+	pp := c.pathTS(parent)
 	p := make(Path, len(pp)+1)
 	copy(p, pp)
-	p[len(pp)] = c.counter[parent]
+	if c.byID {
+		p[len(pp)] = int64(tx)
+	} else {
+		c.counter[parent]++
+		p[len(pp)] = c.counter[parent]
+	}
 	c.byTx[tx] = p
 	return p
 }
@@ -119,6 +152,13 @@ type MVTO struct {
 	tr    *tname.Tree
 	x     tname.ObjID
 	clock *Clock
+	// strict restarts any conflicting access that arrives below an already
+	// granted one in timestamp order, instead of serving it out of event
+	// order. With strict admission every per-object conflict is granted in
+	// increasing path order, so each SG(β) conflict edge points from the
+	// lower path to the higher one and the certifier's event-order graph is
+	// acyclic — the mode the online-certified server runs.
+	strict bool
 
 	created         map[tname.TxID]bool
 	commitRequested map[tname.TxID]bool
@@ -144,6 +184,14 @@ func New(tr *tname.Tree, x tname.ObjID, clock *Clock) *MVTO {
 		committed:       make(map[tname.TxID]bool),
 		versions:        []*version{{ts: nil, val: init, writer: tname.None}},
 	}
+}
+
+// NewStrict builds the strict-admission MVTO object for register x (see the
+// MVTO.strict field); the server backend uses it with an ID clock.
+func NewStrict(tr *tname.Tree, x tname.ObjID, clock *Clock) *MVTO {
+	m := New(tr, x, clock)
+	m.strict = true
+	return m
 }
 
 // Create implements object.Generic; the path timestamp is assigned eagerly
@@ -209,6 +257,22 @@ func (m *MVTO) writeTooLate(q Path) bool {
 	return false
 }
 
+// versionAbove reports whether a version with a path above p exists —
+// under strict admission, a conflicting access at p arrived too late.
+func (m *MVTO) versionAbove(p Path) bool {
+	// versions is sorted by ts; the last entry is the largest.
+	return len(m.versions) > 0 && m.versions[len(m.versions)-1].ts.Cmp(p) > 0
+}
+
+// tooLate reports whether access t at path p can never be granted and its
+// classical transaction must restart.
+func (m *MVTO) tooLate(p Path, isRead bool) bool {
+	if m.strict && m.versionAbove(p) {
+		return true
+	}
+	return !isRead && m.writeTooLate(p)
+}
+
 // TryRequestCommit implements object.Generic.
 func (m *MVTO) TryRequestCommit(t tname.TxID) (spec.Value, bool) {
 	if !m.created[t] || m.commitRequested[t] {
@@ -216,7 +280,11 @@ func (m *MVTO) TryRequestCommit(t tname.TxID) (spec.Value, bool) {
 	}
 	op := m.tr.AccessOp(t)
 	p := m.clock.PathTS(t)
-	if spec.IsRead(op) {
+	isRead := spec.IsRead(op)
+	if m.tooLate(p, isRead) {
+		return spec.Nil, false // ShouldAbort reports the restart
+	}
+	if isRead {
 		v := m.candidate(p)
 		if v == nil || !m.visibleTo(v, t) {
 			return spec.Nil, false // wait for the writer's commit chain
@@ -228,9 +296,6 @@ func (m *MVTO) TryRequestCommit(t tname.TxID) (spec.Value, bool) {
 		return v.val, true
 	}
 	// Write access.
-	if m.writeTooLate(p) {
-		return spec.Nil, false // ShouldAbort reports the restart
-	}
 	m.versions = append(m.versions, &version{ts: p, val: op.Arg, writer: t})
 	sort.SliceStable(m.versions, func(i, j int) bool {
 		return m.versions[i].ts.Cmp(m.versions[j].ts) < 0
@@ -239,16 +304,14 @@ func (m *MVTO) TryRequestCommit(t tname.TxID) (spec.Value, bool) {
 	return spec.OK, true
 }
 
-// ShouldAbort implements object.Aborter: a write that arrived too late can
-// never be granted; its classical transaction must restart.
+// ShouldAbort implements object.Aborter: an access that arrived too late
+// (a late write in classic mode; any late conflicting access in strict
+// mode) can never be granted; its classical transaction must restart.
 func (m *MVTO) ShouldAbort(t tname.TxID) bool {
 	if !m.created[t] || m.commitRequested[t] {
 		return false
 	}
-	if spec.IsRead(m.tr.AccessOp(t)) {
-		return false
-	}
-	return m.writeTooLate(m.clock.PathTS(t))
+	return m.tooLate(m.clock.PathTS(t), spec.IsRead(m.tr.AccessOp(t)))
 }
 
 // Blockers implements object.Generic: a read waiting for its candidate
@@ -300,17 +363,33 @@ func (m *MVTO) Versions() []struct {
 // Protocol implements object.Protocol. All objects of one system share one
 // clock; construct a fresh Protocol per system with NewProtocol.
 type Protocol struct {
-	clock *Clock
+	clock  *Clock
+	strict bool
 }
 
 // NewProtocol returns an MVTO protocol whose objects will share one clock
 // over the given system type.
 func NewProtocol(tr *tname.Tree) *Protocol { return &Protocol{clock: NewClock(tr)} }
 
+// NewStrictProtocol returns the strict-admission MVTO protocol the server
+// runs: conflicts are granted in increasing timestamp order (late arrivals
+// restart), and timestamps come from the replay-stable ID clock.
+func NewStrictProtocol(tr *tname.Tree) *Protocol {
+	return &Protocol{clock: NewIDClock(tr), strict: true}
+}
+
 // Name implements object.Protocol.
-func (*Protocol) Name() string { return "mvto" }
+func (p *Protocol) Name() string {
+	if p.strict {
+		return "mvto-strict"
+	}
+	return "mvto"
+}
 
 // New implements object.Protocol.
 func (p *Protocol) New(tr *tname.Tree, x tname.ObjID) object.Generic {
+	if p.strict {
+		return NewStrict(tr, x, p.clock)
+	}
 	return New(tr, x, p.clock)
 }

@@ -24,11 +24,21 @@ package replica
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"nestedsg/internal/object"
 	"nestedsg/internal/spec"
 	"nestedsg/internal/tname"
 )
+
+// Counters aggregates quorum traffic across every object that shares the
+// instance. The fields are atomics because the server drives different
+// objects under different mutexes; all other Replicated state is guarded by
+// the caller's per-object serialization.
+type Counters struct {
+	QuorumReads  atomic.Int64
+	QuorumWrites atomic.Int64
+}
 
 // Config sets the replication parameters.
 type Config struct {
@@ -39,6 +49,9 @@ type Config struct {
 	UnavailableProb float64
 	// Seed drives the availability process.
 	Seed int64
+	// Counters, when non-nil, receives one increment per assembled read or
+	// write quorum (shared across objects; the server's metrics hook).
+	Counters *Counters
 }
 
 // Validate checks the quorum arithmetic.
@@ -142,6 +155,9 @@ func (r *Replicated) quorumRead() (spec.Value, int64, bool) {
 			bestI = i
 		}
 	}
+	if r.cfg.Counters != nil {
+		r.cfg.Counters.QuorumReads.Add(1)
+	}
 	return r.copyVals[bestI], r.copyVers[bestI], true
 }
 
@@ -162,6 +178,9 @@ func (r *Replicated) install(val spec.Value, version int64) {
 			r.copyVers[i] = version
 		}
 		r.Installs++
+		if r.cfg.Counters != nil {
+			r.cfg.Counters.QuorumWrites.Add(1)
+		}
 		return
 	}
 }

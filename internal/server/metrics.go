@@ -132,6 +132,7 @@ type Metrics struct {
 	LockTimeouts   atomic.Int64 // top-level aborts from lock-wait timeout
 	DeadlockAborts atomic.Int64 // top-level aborts as waits-for cycle victim
 	DrainAborts    atomic.Int64 // top-level aborts forced by shutdown
+	RestartAborts  atomic.Int64 // top-level aborts forced by a protocol restart verdict (e.g. mvto too-late)
 	Retries        atomic.Int64 // BEGINs that follow a server-side abort on the same session
 	Uncertified    atomic.Int64 // commits whose certification failed (SG cycle)
 	WALFailures    atomic.Int64 // commits refused because the WAL write/sync failed
@@ -169,7 +170,7 @@ func newMetrics() *Metrics {
 
 // serverAborts sums the server-initiated top-level aborts.
 func (m *Metrics) serverAborts() int64 {
-	return m.LockTimeouts.Load() + m.DeadlockAborts.Load() + m.DrainAborts.Load()
+	return m.LockTimeouts.Load() + m.DeadlockAborts.Load() + m.DrainAborts.Load() + m.RestartAborts.Load()
 }
 
 // Snapshot renders every counter (plus the live SG gauges, when a certifier
@@ -195,7 +196,9 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		"client_aborts":         m.ClientAborts.Load(),
 		"lock_timeouts":         m.LockTimeouts.Load(),
 		"deadlock_aborts":       m.DeadlockAborts.Load(),
+		"restart_aborts":        m.RestartAborts.Load(),
 		"drain_aborts":          m.DrainAborts.Load(),
+		"backend":               s.backend.name(),
 		"retries":               m.Retries.Load(),
 		"uncertified":           m.Uncertified.Load(),
 		"wal_failures":          m.WALFailures.Load(),
@@ -230,6 +233,7 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		snap[fmt.Sprintf("log_shard_appends_%d", i)] = sh.appends.Load()
 	}
 	s.cert.metricsInto(snap)
+	s.backend.metricsInto(snap)
 	if req := m.WALSyncRequests.Load(); req > 0 {
 		snap["wal_syncs_per_request"] = float64(m.WALSyncs.Load()) / float64(req)
 	}

@@ -86,7 +86,10 @@ func Recover(opts Options) (s *Server, rep *RecoveryReport, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	s = newServer(opts)
+	s, err = newServer(opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	rep = &RecoveryReport{
 		Segments:    scan.segments,
 		Records:     scan.records,
@@ -148,6 +151,7 @@ func Recover(opts Options) (s *Server, rep *RecoveryReport, err error) {
 	}
 	s.log.startMerger()
 	s.cert.start()
+	s.backend.start(s)
 	return s, rep, nil
 }
 
@@ -180,6 +184,7 @@ func (s *Server) finishFresh(scan *walScan, rep *RecoveryReport) (*Server, *Reco
 	}
 	s.log.startMerger()
 	s.cert.start()
+	s.backend.start(s)
 	return s, rep, nil
 }
 
@@ -201,7 +206,7 @@ func (s *Server) replayDefs(ops []event.WalOp) (event.Behavior, error) {
 			for int(id) >= len(s.objs) {
 				s.objs = append(s.objs, nil)
 			}
-			s.objs[id] = &sharedObject{id: id, sp: s.tr.Spec(id), g: s.opts.Protocol.New(s.tr, id)}
+			s.objs[id] = &sharedObject{id: id, sp: s.tr.Spec(id), g: s.backend.protocol().New(s.tr, id)}
 		case event.WalTxDef:
 			before := s.tr.NumTx()
 			var id tname.TxID

@@ -42,7 +42,6 @@ import (
 
 	"nestedsg/internal/core"
 	"nestedsg/internal/event"
-	"nestedsg/internal/locking"
 	"nestedsg/internal/object"
 	"nestedsg/internal/spec"
 	"nestedsg/internal/tname"
@@ -50,8 +49,21 @@ import (
 
 // Options configures a server.
 type Options struct {
-	// Protocol chooses the generic object automaton guarding each object;
-	// default is Moss read/update locking.
+	// Backend selects the object layer by name: "moss" (the default Moss
+	// read/update locking), "undolog", "mvto" (strict multiversion
+	// timestamp ordering with a lock-free snapshot path for read-only
+	// transactions), or "replica" (quorum reads/writes over ReplicaCopies
+	// copies). Empty behaves like "moss" unless Protocol is set. Setting
+	// both Backend and Protocol is an error.
+	Backend string
+	// ReplicaCopies/ReplicaReadQuorum/ReplicaWriteQuorum configure the
+	// "replica" backend (defaults 3/2/2; R+W must exceed N).
+	ReplicaCopies      int
+	ReplicaReadQuorum  int
+	ReplicaWriteQuorum int
+	// Protocol injects an arbitrary generic object automaton instead of a
+	// named Backend (tests use it for broken protocols); default is Moss
+	// read/update locking.
 	Protocol object.Protocol
 	// DefaultSpec is the serial specification given to objects created on
 	// first access; default is the read/write Register.
@@ -99,8 +111,14 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Protocol == nil {
-		o.Protocol = locking.Protocol{}
+	if o.ReplicaCopies <= 0 {
+		o.ReplicaCopies = 3
+	}
+	if o.ReplicaReadQuorum <= 0 {
+		o.ReplicaReadQuorum = 2
+	}
+	if o.ReplicaWriteQuorum <= 0 {
+		o.ReplicaWriteQuorum = 2
 	}
 	if o.DefaultSpec == nil {
 		o.DefaultSpec = spec.Register{}
@@ -154,6 +172,7 @@ type Server struct {
 
 	log     *shardedLog
 	cert    certBackend
+	backend objectBackend
 	metrics *Metrics
 	waits   *waitTable
 	wal     *walWriter      // nil without durability
@@ -170,9 +189,9 @@ type Server struct {
 }
 
 // newServer allocates the shared state; it neither seeds the log nor
-// starts the certifier — New and Recover finish construction their own
-// way.
-func newServer(opts Options) *Server {
+// starts the certifier or backend goroutines — New and Recover finish
+// construction their own way.
+func newServer(opts Options) (*Server, error) {
 	s := &Server{
 		opts:    opts,
 		tr:      tname.NewTree(),
@@ -180,13 +199,18 @@ func newServer(opts Options) *Server {
 		waits:   newWaitTable(),
 		conns:   make(map[*session]struct{}),
 	}
+	be, err := resolveBackend(opts, s.tr)
+	if err != nil {
+		return nil, err
+	}
+	s.backend = be
 	s.log = newShardedLog(opts.LogShards, opts.Hooks, s.metrics)
 	if opts.CertPartitions > 1 {
 		s.cert = newPartCertifier(s, opts.CertPartitions)
 	} else {
 		s.cert = newCertifier(s)
 	}
-	return s
+	return s, nil
 }
 
 // New builds a server (not yet listening). The log opens with CREATE(T0),
@@ -198,7 +222,10 @@ func New(opts Options) *Server {
 	if opts.WAL != nil {
 		panic("server: Options.WAL is set; build durable servers with Recover")
 	}
-	s := newServer(opts)
+	s, err := newServer(opts)
+	if err != nil {
+		panic(err)
+	}
 	for _, label := range s.opts.Objects {
 		if _, err := s.resolveObject(label); err != nil {
 			panic(fmt.Sprintf("server: pre-creating object %q: %v", label, err))
@@ -207,6 +234,7 @@ func New(opts Options) *Server {
 	s.log.append(s.log.shards[0], event.NewEvent(event.Create, tname.Root))
 	s.log.startMerger()
 	s.cert.start()
+	s.backend.start(s)
 	return s
 }
 
@@ -216,6 +244,7 @@ func Listen(addr string, opts Options) (*Server, error) {
 	if err := s.Start(addr); err != nil {
 		s.log.close()
 		s.cert.waitDone()
+		s.backend.waitDone()
 		return nil, err
 	}
 	return s, nil
@@ -335,7 +364,7 @@ func (s *Server) resolveObject(label string) (*sharedObject, error) {
 			return event.AppendWalObjectDef(buf, label, s.opts.DefaultSpec.Name())
 		})
 	}
-	o := &sharedObject{id: id, sp: s.tr.Spec(id), g: s.opts.Protocol.New(s.tr, id)}
+	o := &sharedObject{id: id, sp: s.tr.Spec(id), g: s.backend.protocol().New(s.tr, id)}
 	for int(id) >= len(s.objs) {
 		s.objs = append(s.objs, nil)
 	}
@@ -429,6 +458,36 @@ func (s *Server) withObj(o *sharedObject, f func()) {
 	o.mu.Unlock()
 }
 
+// AuditObjects runs every object's protocol self-audit (object.Auditor)
+// under its mutex and returns the first violation. Safe on a live server;
+// the simulator calls it after every crash recovery and at the final
+// drain, so backend invariants — e.g. the replica backend's rule that the
+// latest installed version sits on a full write quorum — are re-proved
+// across torn-write recoveries.
+func (s *Server) AuditObjects() error {
+	s.mu.RLock()
+	objs := append([]*sharedObject(nil), s.objs...)
+	s.mu.RUnlock()
+	for _, o := range objs {
+		if o == nil {
+			continue
+		}
+		var err error
+		s.withObj(o, func() { //sgvet:holds o.mu, s.mu:r
+			if au, ok := o.g.(object.Auditor); ok {
+				err = au.Audit()
+			}
+		})
+		if err != nil {
+			s.mu.RLock()
+			label := s.tr.ObjectLabel(o.id)
+			s.mu.RUnlock()
+			return fmt.Errorf("object %s: %w", label, err)
+		}
+	}
+	return nil
+}
+
 // specOps lists the operation kinds each built-in specification interprets;
 // the server validates access requests against it so a client cannot drive
 // an automaton into an unsupported operation.
@@ -494,6 +553,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		s.log.close()
 		s.cert.waitDone()
+		s.backend.waitDone()
 		if s.wal != nil {
 			s.wal.close()
 		}
@@ -523,6 +583,7 @@ func (s *Server) Kill() {
 		s.wg.Wait()
 		s.log.close()
 		s.cert.waitDone()
+		s.backend.waitDone()
 		if s.wal != nil {
 			s.wal.closeNoSync()
 		}
@@ -583,6 +644,10 @@ func (s *Server) Log() event.Behavior { return s.log.snapshot() }
 // CertPartitions reports the certifier partition count (1 = the single
 // certifier goroutine).
 func (s *Server) CertPartitions() int { return s.opts.CertPartitions }
+
+// Backend reports the object backend's name ("moss", "undolog", "mvto",
+// "replica", or an injected protocol's name).
+func (s *Server) Backend() string { return s.backend.name() }
 
 // Tree returns the server's system type. It must only be read concurrently
 // with running sessions under external synchronization; tests use it after

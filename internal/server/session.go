@@ -54,6 +54,12 @@ type session struct {
 	labelN int // session-local unique label counter for children/accesses
 	topN   int // top-level transactions begun on this session
 
+	// roDepth > 0 means the open transaction is read-only on the backend's
+	// snapshot store: it has no frames, appends no events, and every read
+	// resolves against the log prefix pinned in roCut at BEGIN.
+	roDepth int
+	roCut   int
+
 	// lastAborted marks that the previous transaction ended in a
 	// server-side abort, so the next BEGIN counts as a retry.
 	lastAborted bool
@@ -124,14 +130,22 @@ func (sn *session) serve() {
 			sn.s.metrics.ClientAborts.Add(1)
 			sn.abortTop("client disconnected")
 		}
+	} else if sn.roDepth > 0 {
+		// A read-only transaction holds no locks and logged nothing;
+		// dropping it needs no abort events.
+		sn.roDepth = 0
+		sn.inTx.Store(false)
 	}
 	sn.s.opts.Hooks.SessionDone(sn.id)
 }
 
 func (sn *session) handle(q wire.Request) wire.Response {
+	if sn.roDepth > 0 {
+		return sn.handleRO(q)
+	}
 	switch q.Cmd {
 	case wire.CmdBegin:
-		return sn.handleBegin()
+		return sn.handleBegin(q)
 	case wire.CmdChild:
 		return sn.handleChild()
 	case wire.CmdAccess:
@@ -174,8 +188,11 @@ func (sn *session) appendLog(evs ...event.Event) int {
 
 // handleBegin opens a top-level transaction: REQUEST_CREATE by T0 followed
 // immediately by the controller's CREATE — one specific schedule of the
-// generic controller's nondeterminism.
-func (sn *session) handleBegin() wire.Response {
+// generic controller's nondeterminism. A read-only BEGIN on a backend with
+// a snapshot store instead pins a certified snapshot cut and enters the
+// lock-free read-only mode; backends without one serve it as a normal
+// transaction.
+func (sn *session) handleBegin(q wire.Request) wire.Response {
 	if len(sn.frames) > 0 {
 		return errResp("BEGIN with a transaction already open")
 	}
@@ -187,6 +204,21 @@ func (sn *session) handleBegin() wire.Response {
 		// silently dropped, so stop accepting work instead of building
 		// transactions that recovery can never see.
 		return errResp(fmt.Sprintf("wal unavailable: %v", err))
+	}
+	if q.RO {
+		if st := sn.s.backend.snapshots(); st != nil {
+			sn.topN++
+			sn.roDepth = 1
+			sn.roCut = st.cut()
+			sn.inTx.Store(true)
+			if sn.lastAborted {
+				sn.s.metrics.Retries.Add(1)
+				sn.lastAborted = false
+			}
+			// The name is cosmetic — a read-only transaction is a query
+			// outside the behavior β, so nothing is interned or logged.
+			return wire.Response{Status: wire.StatusOK, Name: fmt.Sprintf("s%d.r%d", sn.id, sn.topN)}
+		}
 	}
 	sn.topN++
 	label := fmt.Sprintf("s%d.%d", sn.id, sn.topN)
@@ -203,6 +235,46 @@ func (sn *session) handleBegin() wire.Response {
 		sn.lastAborted = false
 	}
 	return wire.Response{Status: wire.StatusOK, Name: label}
+}
+
+// handleRO serves every request of an open read-only transaction: children
+// are pure depth bookkeeping, accesses must be read-only ops answered from
+// the snapshot cut, and completions just pop depth — none of it touches
+// objects, locks, or the event log, so a read-only transaction can never
+// block, deadlock, or be chosen as a victim.
+func (sn *session) handleRO(q wire.Request) wire.Response {
+	st := sn.s.backend.snapshots()
+	switch q.Cmd {
+	case wire.CmdBegin:
+		return errResp("BEGIN with a transaction already open")
+	case wire.CmdChild:
+		sn.roDepth++
+		sn.labelN++
+		return wire.Response{Status: wire.StatusOK, Name: fmt.Sprintf("c%d", sn.labelN)}
+	case wire.CmdAccess:
+		if !sn.s.opts.DefaultSpec.ReadOnly(spec.Op{Kind: q.Op, Arg: q.Arg}) {
+			return errResp(fmt.Sprintf("read-only transaction: op %s not allowed", q.Op))
+		}
+		v, err := st.read(q.Obj, sn.roCut)
+		if err != nil {
+			return errResp(err.Error())
+		}
+		return wire.Response{Status: wire.StatusOK, Value: v}
+	case wire.CmdCommit, wire.CmdAbort:
+		sn.roDepth--
+		if sn.roDepth == 0 {
+			sn.inTx.Store(false)
+		}
+		return wire.Response{Status: wire.StatusOK}
+	case wire.CmdVerdict:
+		return sn.handleVerdict()
+	case wire.CmdPing:
+		return wire.Response{Status: wire.StatusOK}
+	case wire.CmdInvalid:
+		return errResp("invalid command")
+	default:
+		return errResp(fmt.Sprintf("unknown command %d", uint8(q.Cmd)))
+	}
 }
 
 // handleChild opens a subtransaction of the current transaction.
@@ -297,14 +369,24 @@ func (sn *session) waitGrant(obj *sharedObject, acc tname.TxID) (spec.Value, boo
 		}
 	}()
 	for {
+		var restart string
 		sn.s.withObj(obj, func() { //sgvet:holds obj.mu, sn.s.mu:r
 			v, ok = obj.g.TryRequestCommit(acc)
 			if ok {
 				sn.appendLog(event.NewValEvent(event.RequestCommit, acc, v))
+			} else {
+				restart = sn.s.backend.restartReason(obj.g, acc)
 			}
 		})
 		if ok {
 			return v, true, ""
+		}
+		if restart != "" {
+			// The protocol says this access can never be granted (e.g. an
+			// MVTO access below an already granted conflicting timestamp):
+			// restart the classical transaction instead of parking forever.
+			sn.s.metrics.RestartAborts.Add(1)
+			return spec.Nil, false, restart
 		}
 		polls++
 		sn.s.metrics.BlockedPolls.Add(1)

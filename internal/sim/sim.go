@@ -120,8 +120,19 @@ type Config struct {
 	// drain (default 150).
 	Steps int
 	// Protocol is the concurrency-control protocol under test (default
-	// Moss locking).
+	// Moss locking when Backend is empty).
 	Protocol object.Protocol
+	// Backend selects a named server object backend ("moss", "undolog",
+	// "mvto", "replica"); empty uses Protocol. Setting both is a server
+	// configuration error, exactly as over server.Options.
+	Backend string
+	// ROPermille is the per-BEGIN probability (in 1/1000) that a
+	// top-level transaction opens read-only (default 0: none). Read-only
+	// transactions issue only reads; on a snapshot-capable backend
+	// ("mvto") the simulator additionally asserts they never park on a
+	// lock, are never aborted by the server, and that each completed
+	// read set matches the committed state of some log prefix.
+	ROPermille int
 	// Shards is the server's event-log shard count (default 2, so the
 	// merge path is exercised without drowning small runs in shards).
 	Shards int
@@ -149,7 +160,7 @@ func (c Config) withDefaults() Config {
 	if c.Steps <= 0 {
 		c.Steps = 150
 	}
-	if c.Protocol == nil {
+	if c.Protocol == nil && c.Backend == "" {
 		c.Protocol = locking.Protocol{}
 	}
 	if c.Shards <= 0 {
@@ -174,6 +185,9 @@ type Report struct {
 	Steps int
 	// Request counters, as observed by the driver.
 	Begins, Accesses, TopCommits, TxAborts int
+	// ROBegins and ROReads count read-only top-level BEGINs and the
+	// reads they issued (zero unless Config.ROPermille > 0).
+	ROBegins, ROReads int
 	// Faults counts injected faults by class.
 	Faults map[FaultClass]int
 	// Recoveries counts crash recoveries; the repair totals aggregate
@@ -186,6 +200,13 @@ type Report struct {
 	// Trace is its binary encoding (the determinism witness).
 	FinalEvents int
 	Trace       []byte
+	// CertDOT is the DOT rendering of the final batch-checked SG(β) —
+	// the serialization certificate. Byte-comparable across runs and
+	// across backends fed the identical trace.
+	CertDOT string
+	// FinalState maps each configured object label to its committed value
+	// after the drain, replayed from the stitched log (registers).
+	FinalState map[string]spec.Value
 	// XPartSpans counts injected cross-partition deadlocks whose two
 	// objects were owned by different certifier partitions. Partition-
 	// count dependent by construction, so deliberately NOT part of
@@ -209,8 +230,8 @@ func (r *Report) Summary() string {
 		fs = append(fs, fmt.Sprintf("%s=%d", c, r.Faults[c]))
 	}
 	return fmt.Sprintf(
-		"seed=%d steps=%d begins=%d accesses=%d commits=%d txaborts=%d faults=%v recoveries=%d orphans=%d fixups=%d torn=%d events=%d",
-		r.Seed, r.Steps, r.Begins, r.Accesses, r.TopCommits, r.TxAborts, fs,
+		"seed=%d steps=%d begins=%d accesses=%d commits=%d txaborts=%d ro=%d/%d faults=%v recoveries=%d orphans=%d fixups=%d torn=%d events=%d",
+		r.Seed, r.Steps, r.Begins, r.Accesses, r.TopCommits, r.TxAborts, r.ROBegins, r.ROReads, fs,
 		r.Recoveries, r.OrphanTops, r.FixupInforms, r.TornBytes, r.FinalEvents)
 }
 
@@ -234,8 +255,19 @@ type slot struct {
 	phase   int
 	parkDur time.Duration
 	lastCmd wire.Cmd
+	lastRO  bool   // the in-flight request was a read-only BEGIN
+	lastObj string // object of the in-flight ACCESS (read-set recording)
 	inTx    bool
 	depth   int
+	ro      bool     // the open top-level transaction is read-only
+	roReads []roRead // reads of the open read-only transaction (snapshot backends)
+}
+
+// roRead is one observed read of a read-only transaction: the object label
+// and the value the server returned.
+type roRead struct {
+	obj string
+	val spec.Value
 }
 
 // sim is the driver state. Exactly one goroutine (the driver) mutates it;
@@ -245,6 +277,16 @@ type sim struct {
 	r    *rng
 	rep  *Report
 	objs []string
+
+	// roSnap: the configured backend serves read-only transactions from a
+	// certified snapshot, so the driver asserts they never park and never
+	// abort, and records their read sets for the prefix-consistency check.
+	roSnap bool
+	// roSets are the completed read-only read sets of the CURRENT server
+	// incarnation. A crash discards them: a set may have read a published
+	// commit whose WAL record was still unsynced, and such a commit is
+	// legitimately absent from the stitched post-crash log.
+	roSets [][]roRead
 
 	clock atomic.Int64  // virtual ns
 	gen   atomic.Uint64 // server incarnation; bumped by crashes
@@ -284,6 +326,7 @@ func Run(cfg Config) (*Report, error) {
 		release: make(chan struct{}),
 		done:    make(map[int64]bool),
 		bySid:   make(map[int64]*slot),
+		roSnap:  cfg.Backend == "mvto",
 	}
 	s.clock.Store(1)
 	for i := 0; i < cfg.Objects; i++ {
@@ -305,6 +348,7 @@ func Run(cfg Config) (*Report, error) {
 func (s *sim) serverOpts(disk *server.MemDisk) server.Options {
 	return server.Options{
 		Protocol:       s.cfg.Protocol,
+		Backend:        s.cfg.Backend,
 		Objects:        s.objs,
 		LockTimeout:    40 * time.Millisecond, // virtual
 		LockPoll:       time.Millisecond,
@@ -335,6 +379,9 @@ func (s *sim) boot(disk *server.MemDisk, into []*slot) error {
 	if err := s.checkOracle(); err != nil {
 		return err
 	}
+	if err := srv.AuditObjects(); err != nil {
+		return fmt.Errorf("post-recovery object audit: %w", err)
+	}
 	s.bySid = make(map[int64]*slot)
 	if into == nil {
 		for i := 0; i < s.cfg.Sessions; i++ {
@@ -364,6 +411,8 @@ func (s *sim) connect(sl *slot) error {
 	sl.phase = phIdle
 	sl.inTx = false
 	sl.depth = 0
+	sl.ro = false
+	sl.roReads = nil
 	s.bySid[sid] = sl
 	go s.reader(s.gen.Load(), sl.idx, sl.connID, clientEnd)
 	return nil
@@ -466,16 +515,22 @@ func (s *sim) phaseSlots(phase int) []*slot {
 	return out
 }
 
-// nextRequest samples the next workload request for an idle slot.
+// nextRequest samples the next workload request for an idle slot. The
+// read-only draw happens only when ROPermille is set, so configurations
+// without read-only traffic consume exactly the rng stream they always did.
 func (s *sim) nextRequest(sl *slot) wire.Request {
 	if !sl.inTx {
-		return wire.Request{Cmd: wire.CmdBegin}
+		q := wire.Request{Cmd: wire.CmdBegin}
+		if s.cfg.ROPermille > 0 && s.r.intn(1000) < s.cfg.ROPermille {
+			q.RO = true
+		}
+		return q
 	}
 	roll := s.r.intn(100)
 	switch {
 	case roll < 55:
 		obj := s.objs[s.r.intn(len(s.objs))]
-		if s.r.intn(100) < 40 {
+		if sl.ro || s.r.intn(100) < 40 {
 			return wire.Request{Cmd: wire.CmdAccess, Obj: obj, Op: spec.OpRead, Arg: spec.Nil}
 		}
 		return wire.Request{Cmd: wire.CmdAccess, Obj: obj, Op: spec.OpWrite, Arg: spec.Int(int64(s.r.intn(8)))}
@@ -496,6 +551,8 @@ func (s *sim) perform(sl *slot, q wire.Request) error {
 		return fmt.Errorf("slot %d: write %s: %w", sl.idx, q.Cmd, err)
 	}
 	sl.lastCmd = q.Cmd
+	sl.lastRO = q.RO
+	sl.lastObj = q.Obj
 	sl.phase = phAwait
 	return s.pumpUntil(func() bool { return sl.phase != phAwait })
 }
@@ -534,6 +591,9 @@ func (s *sim) handleEvent(ev simEvent) error {
 	switch ev.kind {
 	case evPark:
 		if sl := s.bySid[ev.sess]; sl != nil && sl.phase != phClosed {
+			if sl.ro && s.roSnap {
+				return fmt.Errorf("slot %d: snapshot read-only transaction parked on a lock wait", sl.idx)
+			}
 			sl.phase = phParkLock
 			sl.parkDur = ev.dur
 		}
@@ -608,32 +668,61 @@ func (s *sim) applyResp(sl *slot, resp wire.Response) error {
 		case wire.CmdBegin:
 			sl.inTx = true
 			sl.depth = 1
+			sl.ro = sl.lastRO
+			sl.roReads = nil
 			s.rep.Begins++
+			if sl.ro {
+				s.rep.ROBegins++
+			}
 		case wire.CmdChild:
 			sl.depth++
 		case wire.CmdAccess:
 			s.rep.Accesses++
+			if sl.ro {
+				s.rep.ROReads++
+				if s.roSnap {
+					sl.roReads = append(sl.roReads, roRead{obj: sl.lastObj, val: resp.Value})
+				}
+			}
 		case wire.CmdCommit:
 			if sl.depth--; sl.depth == 0 {
 				sl.inTx = false
 				s.rep.TopCommits++
+				s.endRO(sl)
 			}
 		case wire.CmdAbort:
 			if sl.depth--; sl.depth == 0 {
 				sl.inTx = false
+				s.endRO(sl)
 			}
 		default:
 			// CmdVerdict/CmdPing responses carry no cursor state; the
 			// workload generator never sends them anyway.
 		}
 	case wire.StatusTxAborted:
+		if sl.ro && s.roSnap {
+			return fmt.Errorf("slot %d: snapshot read-only transaction aborted by server: %s", sl.idx, resp.Reason)
+		}
 		sl.inTx = false
 		sl.depth = 0
+		sl.ro = false
+		sl.roReads = nil
 		s.rep.TxAborts++
 	default:
 		return fmt.Errorf("slot %d: server rejected %s: %s", sl.idx, sl.lastCmd, resp.Reason)
 	}
 	return nil
+}
+
+// endRO closes out a finished read-only top-level transaction: on a
+// snapshot backend its completed read set is queued for the
+// prefix-consistency validation in finish().
+func (s *sim) endRO(sl *slot) {
+	if sl.ro && s.roSnap && len(sl.roReads) > 0 {
+		s.roSets = append(s.roSets, sl.roReads)
+	}
+	sl.ro = false
+	sl.roReads = nil
 }
 
 // fault injects one fault; did=false means the class is not applicable in
@@ -757,9 +846,11 @@ func (s *sim) fault(class FaultClass) (did bool, err error) {
 		if len(s.objs) < 2 {
 			return false, nil
 		}
+		// Read-only slots are excluded: the crossing pattern needs writes,
+		// which a snapshot backend rejects on a read-only session.
 		var open []*slot
 		for _, sl := range s.slots {
-			if sl.phase == phIdle && sl.inTx {
+			if sl.phase == phIdle && sl.inTx && !sl.ro {
 				open = append(open, sl)
 			}
 		}
@@ -947,6 +1038,11 @@ func (s *sim) crash() error {
 	s.pstall = nil
 	s.mu.Unlock()
 
+	// Discard the incarnation's read-only read sets: a set may have read a
+	// published commit whose WAL record was unsynced at the crash instant,
+	// and such a commit is legitimately missing from the stitched log.
+	s.roSets = nil
+
 	s.srv.Kill()
 	for _, sl := range s.slots {
 		sl.conn.Close()
@@ -1044,14 +1140,27 @@ func (s *sim) finish() error {
 	}
 	s.rep.FinalEvents = f.Events
 	s.rep.Trace = event.MarshalBinaryTrace(s.srv.Tree(), s.srv.Log())
+	if f.Batch.SG != nil {
+		s.rep.CertDOT = f.Batch.SG.DOT()
+	}
 	s.rep.FinalDisk = s.disk
+	timeline := s.committedTimeline()
+	s.rep.FinalState = s.finalState(timeline)
 	if err := s.checkOracle(); err != nil {
 		return err
 	}
+	if err := s.validateROSets(timeline); err != nil {
+		return err
+	}
+	if err := s.srv.AuditObjects(); err != nil {
+		return fmt.Errorf("final object audit: %w", err)
+	}
 
-	// The WAL of the clean shutdown must recover to the identical trace.
+	// The WAL of the clean shutdown must recover to the identical trace,
+	// through the same backend that produced it.
 	s2, rrep, err := server.Recover(server.Options{
 		Protocol: s.cfg.Protocol,
+		Backend:  s.cfg.Backend,
 		Objects:  s.objs,
 		WAL:      s.disk,
 	})

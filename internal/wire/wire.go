@@ -103,12 +103,17 @@ func (s Status) String() string {
 const MaxFrame = 1 << 20
 
 // Request is a decoded request frame. Obj, Op and Arg are meaningful only
-// for CmdAccess.
+// for CmdAccess; RO only for CmdBegin.
 type Request struct {
 	Cmd Cmd
 	Obj string
 	Op  spec.OpKind
 	Arg spec.Value
+	// RO asks for a read-only transaction: backends with a snapshot store
+	// serve its reads from a certified snapshot without locks; others run
+	// it as a normal transaction. Encoded as an optional flag byte after
+	// CmdBegin, so old BEGIN frames (no byte) still parse.
+	RO bool
 }
 
 // Verdict is the server's live certification state, as reported by
@@ -208,10 +213,13 @@ func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
 //sgvet:hotpath
 func AppendRequest(buf []byte, q Request) []byte {
 	buf = append(buf, byte(q.Cmd))
-	if q.Cmd == CmdAccess {
+	switch {
+	case q.Cmd == CmdAccess:
 		buf = event.AppendString(buf, q.Obj)
 		buf = binary.AppendUvarint(buf, uint64(q.Op))
 		buf = event.AppendValue(buf, q.Arg)
+	case q.Cmd == CmdBegin && q.RO:
+		buf = append(buf, 1)
 	}
 	return buf
 }
@@ -242,7 +250,15 @@ func ParseRequest(payload []byte) (Request, error) {
 		if q.Arg, rest, err = event.CutValue(rest, "request arg"); err != nil {
 			return Request{}, err
 		}
-	case CmdBegin, CmdChild, CmdCommit, CmdAbort, CmdVerdict, CmdPing:
+	case CmdBegin:
+		// Optional read-only flag byte; absent means read/write.
+		if len(rest) > 0 {
+			if rest[0] != 1 {
+				return Request{}, fmt.Errorf("wire: BEGIN flag byte %d", rest[0])
+			}
+			q.RO, rest = true, rest[1:]
+		}
+	case CmdChild, CmdCommit, CmdAbort, CmdVerdict, CmdPing:
 		// No payload beyond the command byte.
 	case CmdInvalid:
 		return Request{}, fmt.Errorf("wire: invalid command byte 0")

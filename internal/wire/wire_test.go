@@ -60,6 +60,7 @@ func TestFrameTruncatedBody(t *testing.T) {
 func TestRequestRoundTrip(t *testing.T) {
 	reqs := []Request{
 		{Cmd: CmdBegin, Arg: spec.Nil},
+		{Cmd: CmdBegin, Arg: spec.Nil, RO: true},
 		{Cmd: CmdChild, Arg: spec.Nil},
 		{Cmd: CmdAccess, Obj: "x", Op: spec.OpWrite, Arg: spec.Int(42)},
 		{Cmd: CmdAccess, Obj: "long object name", Op: spec.OpRead, Arg: spec.Nil},
@@ -88,7 +89,9 @@ func TestRequestRejectsJunk(t *testing.T) {
 		"trailing bytes": append(AppendRequest(nil, Request{Cmd: CmdPing}), 1, 2),
 		"truncated access": AppendRequest(nil, Request{
 			Cmd: CmdAccess, Obj: "x", Op: spec.OpRead, Arg: spec.Nil})[:3],
-		"bad op kind": {byte(CmdAccess), 1, 'x', 200, 0},
+		"bad op kind":  {byte(CmdAccess), 1, 'x', 200, 0},
+		"bad RO flag":  {byte(CmdBegin), 2},
+		"RO wrong cmd": append(AppendRequest(nil, Request{Cmd: CmdCommit}), 1),
 	}
 	for name, payload := range cases {
 		if _, err := ParseRequest(payload); err == nil {
